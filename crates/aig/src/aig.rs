@@ -1,0 +1,456 @@
+//! The And-Inverter Graph container and its structural-hashing builders.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Lit, Node, Var};
+
+/// A named primary output of an [`Aig`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Output {
+    /// Output name (unique within the AIG by convention, not enforced).
+    pub name: String,
+    /// Literal driving the output.
+    pub lit: Lit,
+}
+
+/// A combinational And-Inverter Graph with structural hashing.
+///
+/// Nodes are append-only, so node indices form a topological order:
+/// the fanins of an AND always have smaller indices than the AND itself.
+/// All builder methods ([`and`](Aig::and), [`or`](Aig::or),
+/// [`xor`](Aig::xor), ...) constant-fold and hash structurally, so
+/// syntactically identical subgraphs are shared.
+///
+/// # Examples
+///
+/// ```
+/// use eco_aig::Aig;
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let f = aig.xor(a, b);
+/// aig.add_output("f", f);
+/// assert_eq!(aig.num_inputs(), 2);
+/// assert_eq!(aig.eval(&[true, false])[0], true);
+/// ```
+#[derive(Clone, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    strash: HashMap<(Lit, Lit), Var>,
+    inputs: Vec<Var>,
+    input_names: Vec<String>,
+    outputs: Vec<Output>,
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node::Constant],
+            strash: HashMap::new(),
+            inputs: Vec::new(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Total number of nodes, including the constant and all inputs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the AIG contains only the constant node.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of primary (and pseudo-primary) inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of AND nodes currently allocated (including dangling ones).
+    pub fn num_ands(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_and()).count()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Returns the node stored at `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of bounds.
+    #[inline]
+    pub fn node(&self, var: Var) -> Node {
+        self.nodes[var.index() as usize]
+    }
+
+    /// Returns all input variables in creation order.
+    #[inline]
+    pub fn inputs(&self) -> &[Var] {
+        &self.inputs
+    }
+
+    /// Returns the name of the input at position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of bounds.
+    #[inline]
+    pub fn input_name(&self, pos: usize) -> &str {
+        &self.input_names[pos]
+    }
+
+    /// Returns the input variable at position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of bounds.
+    #[inline]
+    pub fn input_var(&self, pos: usize) -> Var {
+        self.inputs[pos]
+    }
+
+    /// Returns the input position of `var`, or `None` if it is not an input.
+    pub fn input_pos(&self, var: Var) -> Option<usize> {
+        match self.node(var) {
+            Node::Input { pos } => Some(pos as usize),
+            _ => None,
+        }
+    }
+
+    /// Finds an input variable by name.
+    pub fn find_input(&self, name: &str) -> Option<Var> {
+        self.input_names
+            .iter()
+            .position(|n| n == name)
+            .map(|p| self.inputs[p])
+    }
+
+    /// Returns the primary outputs.
+    #[inline]
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// Returns the literal driving output `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn output_lit(&self, idx: usize) -> Lit {
+        self.outputs[idx].lit
+    }
+
+    /// Finds an output index by name.
+    pub fn find_output(&self, name: &str) -> Option<usize> {
+        self.outputs.iter().position(|o| o.name == name)
+    }
+
+    /// Appends a fresh primary input and returns its positive literal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Lit {
+        let var = Var::new(self.nodes.len() as u32);
+        self.nodes.push(Node::Input {
+            pos: self.inputs.len() as u32,
+        });
+        self.inputs.push(var);
+        self.input_names.push(name.into());
+        var.pos()
+    }
+
+    /// Registers `lit` as a named primary output and returns its index.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: Lit) -> usize {
+        self.outputs.push(Output {
+            name: name.into(),
+            lit,
+        });
+        self.outputs.len() - 1
+    }
+
+    /// Replaces the literal driving output `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn set_output(&mut self, idx: usize, lit: Lit) {
+        self.outputs[idx].lit = lit;
+    }
+
+    /// Removes all outputs (the logic itself is retained).
+    pub fn clear_outputs(&mut self) {
+        self.outputs.clear();
+    }
+
+    /// Builds the AND of two literals with constant folding and structural
+    /// hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant and trivial folding.
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let (fan0, fan1) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&v) = self.strash.get(&(fan0, fan1)) {
+            return v.pos();
+        }
+        let var = Var::new(self.nodes.len() as u32);
+        self.nodes.push(Node::And { fan0, fan1 });
+        self.strash.insert((fan0, fan1), var);
+        var.pos()
+    }
+
+    /// Builds the OR of two literals.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// Builds the XOR of two literals.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t0 = self.and(a, !b);
+        let t1 = self.and(!a, b);
+        self.or(t0, t1)
+    }
+
+    /// Builds the XNOR (equivalence) of two literals.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Builds the implication `a -> b`.
+    pub fn implies(&mut self, a: Lit, b: Lit) -> Lit {
+        self.or(!a, b)
+    }
+
+    /// Builds the multiplexer `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let on = self.and(sel, t);
+        let off = self.and(!sel, e);
+        self.or(on, off)
+    }
+
+    /// Builds the AND of an arbitrary number of literals (balanced tree).
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::TRUE, Self::and)
+    }
+
+    /// Builds the OR of an arbitrary number of literals (balanced tree).
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::FALSE, Self::or)
+    }
+
+    /// Builds the XOR of an arbitrary number of literals (balanced tree).
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::FALSE, Self::xor)
+    }
+
+    fn reduce_balanced(
+        &mut self,
+        lits: &[Lit],
+        unit: Lit,
+        op: fn(&mut Self, Lit, Lit) -> Lit,
+    ) -> Lit {
+        match lits.len() {
+            0 => unit,
+            1 => lits[0],
+            _ => {
+                let mid = lits.len() / 2;
+                let l = self.reduce_balanced(&lits[..mid], unit, op);
+                let r = self.reduce_balanced(&lits[mid..], unit, op);
+                op(self, l, r)
+            }
+        }
+    }
+
+    /// Evaluates all outputs for a single input assignment.
+    ///
+    /// `inputs[pos]` gives the value of the input at position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs(), "input arity mismatch");
+        let values = self.eval_all(inputs);
+        self.outputs
+            .iter()
+            .map(|o| values[o.lit.var().index() as usize] ^ o.lit.is_complement())
+            .collect()
+    }
+
+    /// Evaluates a single literal for a single input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval_lit(&self, lit: Lit, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.num_inputs(), "input arity mismatch");
+        let values = self.eval_all(inputs);
+        values[lit.var().index() as usize] ^ lit.is_complement()
+    }
+
+    fn eval_all(&self, inputs: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match *node {
+                Node::Constant => false,
+                Node::Input { pos } => inputs[pos as usize],
+                Node::And { fan0, fan1 } => {
+                    let v0 = values[fan0.var().index() as usize] ^ fan0.is_complement();
+                    let v1 = values[fan1.var().index() as usize] ^ fan1.is_complement();
+                    v0 && v1
+                }
+            };
+        }
+        values
+    }
+
+    /// Iterates over all `(Var, Node)` pairs in topological (index) order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (Var, Node)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (Var::new(i as u32), n))
+    }
+}
+
+impl fmt::Debug for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Aig {{ nodes: {}, inputs: {}, ands: {}, outputs: {} }}",
+            self.len(),
+            self.num_inputs(),
+            self.num_ands(),
+            self.num_outputs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_rules() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(Lit::FALSE, a), Lit::FALSE);
+        assert_eq!(g.and(a, Lit::TRUE), a);
+        assert_eq!(g.and(Lit::TRUE, a), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), Lit::FALSE);
+        // No AND node was created by any of the above.
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_shares_nodes() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let f = g.xor(a, b);
+        g.add_output("f", f);
+        assert_eq!(g.eval(&[false, false]), vec![false]);
+        assert_eq!(g.eval(&[false, true]), vec![true]);
+        assert_eq!(g.eval(&[true, false]), vec![true]);
+        assert_eq!(g.eval(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn mux_truth_table() {
+        let mut g = Aig::new();
+        let s = g.add_input("s");
+        let t = g.add_input("t");
+        let e = g.add_input("e");
+        let f = g.mux(s, t, e);
+        g.add_output("f", f);
+        for s_v in [false, true] {
+            for t_v in [false, true] {
+                for e_v in [false, true] {
+                    let expect = if s_v { t_v } else { e_v };
+                    assert_eq!(g.eval(&[s_v, t_v, e_v]), vec![expect]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn many_input_gates() {
+        let mut g = Aig::new();
+        let ins: Vec<Lit> = (0..5).map(|i| g.add_input(format!("i{i}"))).collect();
+        let and_all = g.and_many(&ins);
+        let or_all = g.or_many(&ins);
+        let xor_all = g.xor_many(&ins);
+        g.add_output("and", and_all);
+        g.add_output("or", or_all);
+        g.add_output("xor", xor_all);
+        for pattern in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| pattern >> i & 1 == 1).collect();
+            let ones = bits.iter().filter(|&&b| b).count();
+            let out = g.eval(&bits);
+            assert_eq!(out[0], ones == 5);
+            assert_eq!(out[1], ones > 0);
+            assert_eq!(out[2], ones % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn empty_reductions_yield_units() {
+        let mut g = Aig::new();
+        assert_eq!(g.and_many(&[]), Lit::TRUE);
+        assert_eq!(g.or_many(&[]), Lit::FALSE);
+        assert_eq!(g.xor_many(&[]), Lit::FALSE);
+    }
+
+    #[test]
+    fn output_management() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let f = g.or(a, b);
+        let idx = g.add_output("f", f);
+        assert_eq!(g.find_output("f"), Some(idx));
+        assert_eq!(g.output_lit(idx), f);
+        g.set_output(idx, !f);
+        assert_eq!(g.output_lit(idx), !f);
+        assert_eq!(g.find_output("nope"), None);
+    }
+
+    #[test]
+    fn find_input_by_name() {
+        let mut g = Aig::new();
+        let a = g.add_input("alpha");
+        let _ = g.add_input("beta");
+        assert_eq!(g.find_input("alpha"), Some(a.var()));
+        assert_eq!(g.find_input("gamma"), None);
+        assert_eq!(g.input_name(0), "alpha");
+        assert_eq!(g.input_pos(a.var()), Some(0));
+    }
+}

@@ -1,0 +1,458 @@
+//! AIGER format I/O (combinational subset).
+//!
+//! Reads and writes the [AIGER](https://fmv.jku.at/aiger/) interchange
+//! format in both its ASCII (`aag`) and binary (`aig`) variants, restricted
+//! to combinational circuits (no latches). AIGER's literal encoding
+//! (`2·var + complement`, 0 = false) matches [`Lit`] exactly; only the
+//! variable numbering differs, since AIGER requires inputs first.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{Aig, Lit, Var};
+
+/// Error produced when AIGER data cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAigerError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AIGER: {}", self.message)
+    }
+}
+
+impl Error for ParseAigerError {}
+
+fn err(message: impl Into<String>) -> ParseAigerError {
+    ParseAigerError {
+        message: message.into(),
+    }
+}
+
+/// Renumbering of an AIG into AIGER order: inputs 1..=I, then ANDs in
+/// topological order. Returns (mapping old var → new AIGER var index,
+/// AND vars in emission order).
+fn renumber(aig: &Aig) -> (HashMap<Var, u32>, Vec<Var>) {
+    let mut map: HashMap<Var, u32> = HashMap::new();
+    map.insert(Var::CONST, 0);
+    for (i, &v) in aig.inputs().iter().enumerate() {
+        map.insert(v, i as u32 + 1);
+    }
+    let roots: Vec<Lit> = aig.outputs().iter().map(|o| o.lit).collect();
+    let mut ands = Vec::new();
+    let mut next = aig.num_inputs() as u32 + 1;
+    for v in aig.cone_vars(&roots) {
+        if aig.node(v).is_and() {
+            map.insert(v, next);
+            next += 1;
+            ands.push(v);
+        }
+    }
+    (map, ands)
+}
+
+fn map_lit(map: &HashMap<Var, u32>, lit: Lit) -> u32 {
+    map[&lit.var()] * 2 + lit.is_complement() as u32
+}
+
+/// Writes the reachable logic as ASCII AIGER (`aag`), including a symbol
+/// table with the input and output names.
+pub fn write_aiger_ascii(aig: &Aig) -> String {
+    use fmt::Write as _;
+    let (map, ands) = renumber(aig);
+    let i = aig.num_inputs();
+    let a = ands.len();
+    let m = i + a;
+    let mut s = String::new();
+    let _ = writeln!(s, "aag {m} {i} 0 {} {a}", aig.num_outputs());
+    for k in 0..i {
+        let _ = writeln!(s, "{}", (k + 1) * 2);
+    }
+    for out in aig.outputs() {
+        let _ = writeln!(s, "{}", map_lit(&map, out.lit));
+    }
+    for &v in &ands {
+        let (f0, f1) = aig.node(v).fanins().expect("AND node");
+        let lhs = map[&v] * 2;
+        let (r0, r1) = (map_lit(&map, f0), map_lit(&map, f1));
+        let (r0, r1) = if r0 >= r1 { (r0, r1) } else { (r1, r0) };
+        let _ = writeln!(s, "{lhs} {r0} {r1}");
+    }
+    for k in 0..i {
+        let _ = writeln!(s, "i{k} {}", aig.input_name(k));
+    }
+    for (k, out) in aig.outputs().iter().enumerate() {
+        let _ = writeln!(s, "o{k} {}", out.name);
+    }
+    s
+}
+
+/// Writes the reachable logic as binary AIGER (`aig`), including a symbol
+/// table.
+pub fn write_aiger_binary(aig: &Aig) -> Vec<u8> {
+    let (map, ands) = renumber(aig);
+    let i = aig.num_inputs();
+    let a = ands.len();
+    let m = i + a;
+    let mut out = Vec::new();
+    out.extend_from_slice(format!("aig {m} {i} 0 {} {a}\n", aig.num_outputs()).as_bytes());
+    for o in aig.outputs() {
+        out.extend_from_slice(format!("{}\n", map_lit(&map, o.lit)).as_bytes());
+    }
+    for &v in &ands {
+        let (f0, f1) = aig.node(v).fanins().expect("AND node");
+        let lhs = map[&v] * 2;
+        let (r0, r1) = (map_lit(&map, f0), map_lit(&map, f1));
+        let (r0, r1) = if r0 >= r1 { (r0, r1) } else { (r1, r0) };
+        debug_assert!(lhs > r0, "binary AIGER requires lhs > rhs0");
+        write_varint(&mut out, lhs - r0);
+        write_varint(&mut out, r0 - r1);
+    }
+    for k in 0..i {
+        out.extend_from_slice(format!("i{k} {}\n", aig.input_name(k)).as_bytes());
+    }
+    for (k, o) in aig.outputs().iter().enumerate() {
+        out.extend_from_slice(format!("o{k} {}\n", o.name).as_bytes());
+    }
+    out
+}
+
+fn write_varint(out: &mut Vec<u8>, mut x: u32) {
+    while x >= 0x80 {
+        out.push((x & 0x7f) as u8 | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Result<u32, ParseAigerError> {
+    let mut x: u32 = 0;
+    let mut shift = 0;
+    loop {
+        let &b = data.get(*pos).ok_or_else(|| err("truncated delta"))?;
+        *pos += 1;
+        x |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(err("delta overflow"));
+        }
+    }
+}
+
+struct Header {
+    m: u32,
+    i: u32,
+    o: u32,
+    a: u32,
+}
+
+fn parse_header(line: &str, magic: &str) -> Result<Header, ParseAigerError> {
+    let mut it = line.split_whitespace();
+    if it.next() != Some(magic) {
+        return Err(err(format!("expected `{magic}` header")));
+    }
+    let mut field = |name: &str| -> Result<u32, ParseAigerError> {
+        it.next()
+            .ok_or_else(|| err(format!("missing {name}")))?
+            .parse()
+            .map_err(|_| err(format!("invalid {name}")))
+    };
+    let m = field("M")?;
+    let i = field("I")?;
+    let l = field("L")?;
+    let o = field("O")?;
+    let a = field("A")?;
+    if l != 0 {
+        return Err(err("latches are not supported (combinational only)"));
+    }
+    if m != i + a {
+        return Err(err("M != I + A"));
+    }
+    Ok(Header { m, i, o, a })
+}
+
+/// Builds the AIG given resolved AND definitions and output literals.
+fn build(
+    header: &Header,
+    and_defs: &[(u32, u32, u32)],
+    out_lits: &[u32],
+    symbols: &HashMap<String, String>,
+) -> Result<Aig, ParseAigerError> {
+    let mut aig = Aig::new();
+    // lits[v] = our literal for AIGER variable v.
+    let mut lits: Vec<Option<Lit>> = vec![None; header.m as usize + 1];
+    lits[0] = Some(Lit::FALSE);
+    for k in 0..header.i {
+        let name = symbols
+            .get(&format!("i{k}"))
+            .cloned()
+            .unwrap_or_else(|| format!("i{k}"));
+        lits[k as usize + 1] = Some(aig.add_input(name));
+    }
+    let resolve = |lits: &[Option<Lit>], l: u32| -> Result<Lit, ParseAigerError> {
+        let v = (l / 2) as usize;
+        let base = lits
+            .get(v)
+            .copied()
+            .flatten()
+            .ok_or_else(|| err(format!("literal {l} references undefined variable")))?;
+        Ok(base.xor_complement(l % 2 == 1))
+    };
+    for &(lhs, r0, r1) in and_defs {
+        if lhs % 2 != 0 {
+            return Err(err("AND left-hand side must be even"));
+        }
+        if r0 >= lhs || r1 >= lhs {
+            return Err(err("AND right-hand sides must precede the definition"));
+        }
+        let a = resolve(&lits, r0)?;
+        let b = resolve(&lits, r1)?;
+        let v = (lhs / 2) as usize;
+        if lits[v].is_some() {
+            return Err(err(format!("variable {v} defined twice")));
+        }
+        lits[v] = Some(aig.and(a, b));
+    }
+    for (k, &l) in out_lits.iter().enumerate() {
+        let lit = resolve(&lits, l)?;
+        let name = symbols
+            .get(&format!("o{k}"))
+            .cloned()
+            .unwrap_or_else(|| format!("o{k}"));
+        aig.add_output(name, lit);
+    }
+    Ok(aig)
+}
+
+fn parse_symbols<'a>(lines: impl Iterator<Item = &'a str>) -> HashMap<String, String> {
+    let mut symbols = HashMap::new();
+    for line in lines {
+        if line.starts_with('c') {
+            break;
+        }
+        if let Some((key, name)) = line.split_once(' ') {
+            symbols.insert(key.to_string(), name.to_string());
+        }
+    }
+    symbols
+}
+
+/// Parses ASCII AIGER (`aag`), combinational subset.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed headers, latches, forward
+/// references, or redefinitions.
+///
+/// # Examples
+///
+/// ```
+/// let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 a\ni1 b\no0 y\n";
+/// let aig = eco_aig::parse_aiger_ascii(text)?;
+/// assert_eq!(aig.eval(&[true, true]), vec![true]);
+/// assert_eq!(aig.eval(&[true, false]), vec![false]);
+/// # Ok::<(), eco_aig::ParseAigerError>(())
+/// ```
+pub fn parse_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
+    let mut lines = text.lines();
+    let header = parse_header(lines.next().ok_or_else(|| err("empty input"))?, "aag")?;
+    let mut next_line = |what: &str| -> Result<&str, ParseAigerError> {
+        lines.next().ok_or_else(|| err(format!("missing {what}")))
+    };
+    for k in 0..header.i {
+        let l: u32 = next_line("input line")?
+            .trim()
+            .parse()
+            .map_err(|_| err("invalid input literal"))?;
+        if l != (k + 1) * 2 {
+            return Err(err("inputs must be 2, 4, ... in order"));
+        }
+    }
+    let mut out_lits = Vec::with_capacity(header.o as usize);
+    for _ in 0..header.o {
+        out_lits.push(
+            next_line("output line")?
+                .trim()
+                .parse()
+                .map_err(|_| err("invalid output literal"))?,
+        );
+    }
+    let mut and_defs = Vec::with_capacity(header.a as usize);
+    for _ in 0..header.a {
+        let line = next_line("AND line")?;
+        let mut it = line.split_whitespace();
+        let mut num = |what: &str| -> Result<u32, ParseAigerError> {
+            it.next()
+                .ok_or_else(|| err(format!("missing {what}")))?
+                .parse()
+                .map_err(|_| err(format!("invalid {what}")))
+        };
+        and_defs.push((num("lhs")?, num("rhs0")?, num("rhs1")?));
+    }
+    let symbols = parse_symbols(lines);
+    build(&header, &and_defs, &out_lits, &symbols)
+}
+
+/// Parses binary AIGER (`aig`), combinational subset.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed headers, latches, or corrupt
+/// delta encodings.
+pub fn parse_aiger_binary(data: &[u8]) -> Result<Aig, ParseAigerError> {
+    let header_end = data
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| err("missing header line"))?;
+    let header_line =
+        std::str::from_utf8(&data[..header_end]).map_err(|_| err("non-UTF-8 header"))?;
+    let header = parse_header(header_line, "aig")?;
+    let mut pos = header_end + 1;
+    let mut out_lits = Vec::with_capacity(header.o as usize);
+    for _ in 0..header.o {
+        let end = data[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| err("truncated output section"))?;
+        let line =
+            std::str::from_utf8(&data[pos..pos + end]).map_err(|_| err("non-UTF-8 output"))?;
+        out_lits.push(
+            line.trim()
+                .parse()
+                .map_err(|_| err("invalid output literal"))?,
+        );
+        pos += end + 1;
+    }
+    let mut and_defs = Vec::with_capacity(header.a as usize);
+    for k in 0..header.a {
+        let lhs = (header.i + k + 1) * 2;
+        let d0 = read_varint(data, &mut pos)?;
+        let d1 = read_varint(data, &mut pos)?;
+        let r0 = lhs
+            .checked_sub(d0)
+            .ok_or_else(|| err("delta0 exceeds lhs"))?;
+        let r1 = r0
+            .checked_sub(d1)
+            .ok_or_else(|| err("delta1 exceeds rhs0"))?;
+        and_defs.push((lhs, r0, r1));
+    }
+    let symbols = match std::str::from_utf8(&data[pos..]) {
+        Ok(rest) => parse_symbols(rest.lines()),
+        Err(_) => HashMap::new(),
+    };
+    build(&header, &and_defs, &out_lits, &symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let f = aig.xor(ab, !c);
+        let g = aig.or(a, c);
+        aig.add_output("f", f);
+        aig.add_output("g", !g);
+        aig
+    }
+
+    fn check_equal(x: &Aig, y: &Aig) {
+        assert_eq!(x.num_inputs(), y.num_inputs());
+        assert_eq!(x.num_outputs(), y.num_outputs());
+        for bits in 0u32..1 << x.num_inputs() {
+            let vals: Vec<bool> = (0..x.num_inputs()).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(x.eval(&vals), y.eval(&vals), "at {vals:?}");
+        }
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        let aig = sample();
+        let text = write_aiger_ascii(&aig);
+        let back = parse_aiger_ascii(&text).expect("parses");
+        check_equal(&aig, &back);
+        assert_eq!(back.input_name(0), "a");
+        assert_eq!(back.outputs()[1].name, "g");
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let aig = sample();
+        let bytes = write_aiger_binary(&aig);
+        let back = parse_aiger_binary(&bytes).expect("parses");
+        check_equal(&aig, &back);
+        assert_eq!(back.input_name(2), "c");
+    }
+
+    #[test]
+    fn ascii_and_binary_agree() {
+        let aig = sample();
+        let from_ascii = parse_aiger_ascii(&write_aiger_ascii(&aig)).expect("ascii");
+        let from_bin = parse_aiger_binary(&write_aiger_binary(&aig)).expect("binary");
+        check_equal(&from_ascii, &from_bin);
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        aig.add_output("zero", Lit::FALSE);
+        aig.add_output("one", Lit::TRUE);
+        aig.add_output("pass", a);
+        let text = write_aiger_ascii(&aig);
+        let back = parse_aiger_ascii(&text).expect("parses");
+        assert_eq!(back.eval(&[false]), vec![false, true, false]);
+        assert_eq!(back.eval(&[true]), vec![false, true, true]);
+        let back = parse_aiger_binary(&write_aiger_binary(&aig)).expect("parses");
+        assert_eq!(back.eval(&[true]), vec![false, true, true]);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_aiger_ascii("").is_err());
+        assert!(parse_aiger_ascii("nope 1 1 0 0 0\n").is_err());
+        // Latches unsupported.
+        assert!(parse_aiger_ascii("aag 1 0 1 0 0\n").is_err());
+        // M != I + A.
+        assert!(parse_aiger_ascii("aag 5 2 0 0 1\n2\n4\n6 2 4\n").is_err());
+        // Forward reference.
+        assert!(parse_aiger_ascii("aag 3 1 0 1 2\n2\n4\n4 6 2\n6 2 2\n").is_err());
+        // Odd lhs.
+        assert!(parse_aiger_ascii("aag 2 1 0 0 1\n2\n5 2 2\n").is_err());
+        // Truncated binary.
+        assert!(parse_aiger_binary(b"aig 2 1 0 0 1\n\x80").is_err());
+        assert!(parse_aiger_binary(b"no newline").is_err());
+    }
+
+    #[test]
+    fn external_handwritten_file() {
+        // A 2-input mux written by hand: y = s ? d1 : d0, as
+        // y = ¬(¬(¬s ∧ d0) ∧ ¬(s ∧ d1)).
+        let text = "aag 6 3 0 1 3\n2\n4\n6\n13\n8 3 4\n10 2 6\n12 9 11\n\
+                    i0 s\ni1 d0\ni2 d1\no0 y\n";
+        let aig = parse_aiger_ascii(text).expect("parses");
+        for s in [false, true] {
+            for d0 in [false, true] {
+                for d1 in [false, true] {
+                    let expect = if s { d1 } else { d0 };
+                    assert_eq!(
+                        aig.eval(&[s, d0, d1]),
+                        vec![expect],
+                        "s={s} d0={d0} d1={d1}"
+                    );
+                }
+            }
+        }
+    }
+}

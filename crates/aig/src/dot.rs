@@ -1,0 +1,75 @@
+//! Graphviz DOT export for debugging and documentation figures.
+
+use std::fmt::Write as _;
+
+use crate::{Aig, Node};
+
+impl Aig {
+    /// Renders the reachable part of the AIG as a Graphviz `digraph`.
+    ///
+    /// Inverted edges are drawn dashed. Only logic in the transitive fanin
+    /// of the outputs is emitted.
+    pub fn to_dot(&self, name: &str) -> String {
+        let roots: Vec<_> = self.outputs().iter().map(|o| o.lit).collect();
+        let cone = self.cone_vars(&roots);
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{name}\" {{");
+        let _ = writeln!(s, "  rankdir=BT;");
+        for v in &cone {
+            match self.node(*v) {
+                Node::Constant => {
+                    let _ = writeln!(s, "  n{} [label=\"0\", shape=box];", v.index());
+                }
+                Node::Input { pos } => {
+                    let _ = writeln!(
+                        s,
+                        "  n{} [label=\"{}\", shape=triangle];",
+                        v.index(),
+                        self.input_name(pos as usize)
+                    );
+                }
+                Node::And { fan0, fan1 } => {
+                    let _ = writeln!(s, "  n{} [label=\"∧\", shape=ellipse];", v.index());
+                    for f in [fan0, fan1] {
+                        let style = if f.is_complement() {
+                            " [style=dashed]"
+                        } else {
+                            ""
+                        };
+                        let _ = writeln!(s, "  n{} -> n{}{};", f.var().index(), v.index(), style);
+                    }
+                }
+            }
+        }
+        for (i, out) in self.outputs().iter().enumerate() {
+            let _ = writeln!(s, "  o{i} [label=\"{}\", shape=invtriangle];", out.name);
+            let style = if out.lit.is_complement() {
+                " [style=dashed]"
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "  n{} -> o{i}{};", out.lit.var().index(), style);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f = aig.and(a, !b);
+        aig.add_output("f", f);
+        let dot = aig.to_dot("t");
+        assert!(dot.starts_with("digraph \"t\""));
+        assert!(dot.contains("triangle"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("invtriangle"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Variables and literals for AIG nodes.
+//!
+//! A [`Var`] indexes a node in an [`Aig`](crate::Aig); a [`Lit`] is a
+//! variable together with a complement flag, encoded ABC-style as
+//! `2 * var + complement`. The constant-false node always has index 0, so
+//! [`Lit::FALSE`] is `0` and [`Lit::TRUE`] is `1`.
+
+use std::fmt;
+
+/// Index of a node in an [`Aig`](crate::Aig).
+///
+/// `Var(0)` is the constant node. Variables are assigned densely in
+/// creation order, which is also a topological order of the graph.
+///
+/// # Examples
+///
+/// ```
+/// use eco_aig::Var;
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.lit(false).var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// The constant-false node present in every AIG.
+    pub const CONST: Var = Var(0);
+
+    /// Creates a variable from a raw node index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Returns the raw node index.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the literal for this variable with the given complement flag.
+    #[inline]
+    pub const fn lit(self, complement: bool) -> Lit {
+        Lit(self.0 << 1 | complement as u32)
+    }
+
+    /// Returns the positive-phase literal of this variable.
+    #[inline]
+    pub const fn pos(self) -> Lit {
+        self.lit(false)
+    }
+
+    /// Returns the negative-phase literal of this variable.
+    #[inline]
+    pub const fn neg(self) -> Lit {
+        self.lit(true)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A possibly-complemented reference to an AIG node.
+///
+/// # Examples
+///
+/// ```
+/// use eco_aig::{Lit, Var};
+/// let a = Var::new(2).pos();
+/// assert_eq!(!a, Var::new(2).neg());
+/// assert_eq!((!a).var(), a.var());
+/// assert!(Lit::TRUE.is_const());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal from its raw `2*var + complement` encoding.
+    #[inline]
+    pub const fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Returns the raw `2*var + complement` encoding.
+    #[inline]
+    pub const fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the underlying variable.
+    #[inline]
+    pub const fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is complemented.
+    #[inline]
+    pub const fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if this is one of the two constant literals.
+    #[inline]
+    pub const fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Returns the constant value if this is a constant literal.
+    #[inline]
+    pub fn const_value(self) -> Option<bool> {
+        match self.0 {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Returns this literal with its complement flag replaced.
+    #[inline]
+    pub const fn with_complement(self, complement: bool) -> Lit {
+        Lit(self.0 & !1 | complement as u32)
+    }
+
+    /// Complements this literal if `c` is true (XOR with the flag).
+    #[inline]
+    pub const fn xor_complement(self, c: bool) -> Lit {
+        Lit(self.0 ^ c as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    fn from(v: Var) -> Lit {
+        v.pos()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complement() {
+            write!(f, "!v{}", self.var().index())
+        } else {
+            write!(f, "v{}", self.var().index())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_lit_round_trip() {
+        for i in [0u32, 1, 2, 57, 1 << 20] {
+            let v = Var::new(i);
+            assert_eq!(v.pos().var(), v);
+            assert_eq!(v.neg().var(), v);
+            assert!(!v.pos().is_complement());
+            assert!(v.neg().is_complement());
+        }
+    }
+
+    #[test]
+    fn complement_involution() {
+        let l = Var::new(9).pos();
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+    }
+
+    #[test]
+    fn const_literals() {
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+        assert_eq!(Lit::FALSE.const_value(), Some(false));
+        assert_eq!(Lit::TRUE.const_value(), Some(true));
+        assert_eq!(Var::new(2).pos().const_value(), None);
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+    }
+
+    #[test]
+    fn with_complement_sets_phase() {
+        let l = Var::new(4).neg();
+        assert_eq!(l.with_complement(false), Var::new(4).pos());
+        assert_eq!(l.with_complement(true), l);
+        assert_eq!(l.xor_complement(true), Var::new(4).pos());
+        assert_eq!(l.xor_complement(false), l);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        let l = Lit::from_code(11);
+        assert_eq!(l.code(), 11);
+        assert_eq!(l.var().index(), 5);
+        assert!(l.is_complement());
+    }
+}

@@ -1,0 +1,72 @@
+//! AIG node representation.
+
+use crate::Lit;
+
+/// A node of an And-Inverter Graph.
+///
+/// The node at index 0 is always [`Node::Constant`] (logical false in its
+/// positive phase). Inputs carry their position within the input list; all
+/// other logic is expressed with two-input ANDs whose fanin literals may be
+/// complemented.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The constant-false node (index 0).
+    Constant,
+    /// A primary (or pseudo-primary) input; `pos` is its position in the
+    /// AIG's input list.
+    Input {
+        /// Position within [`Aig::inputs`](crate::Aig::inputs).
+        pos: u32,
+    },
+    /// A two-input AND gate. Invariant: `fan0 <= fan1` (canonical order).
+    And {
+        /// First (smaller) fanin literal.
+        fan0: Lit,
+        /// Second (larger) fanin literal.
+        fan1: Lit,
+    },
+}
+
+impl Node {
+    /// Returns `true` for AND nodes.
+    #[inline]
+    pub fn is_and(&self) -> bool {
+        matches!(self, Node::And { .. })
+    }
+
+    /// Returns `true` for input nodes.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        matches!(self, Node::Input { .. })
+    }
+
+    /// Returns the fanin literals of an AND node, if any.
+    #[inline]
+    pub fn fanins(&self) -> Option<(Lit, Lit)> {
+        match *self {
+            Node::And { fan0, fan1 } => Some((fan0, fan1)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    #[test]
+    fn node_kind_predicates() {
+        let c = Node::Constant;
+        let i = Node::Input { pos: 0 };
+        let a = Node::And {
+            fan0: Var::new(1).pos(),
+            fan1: Var::new(2).neg(),
+        };
+        assert!(!c.is_and() && !c.is_input());
+        assert!(i.is_input() && !i.is_and());
+        assert!(a.is_and() && !a.is_input());
+        assert_eq!(a.fanins(), Some((Var::new(1).pos(), Var::new(2).neg())));
+        assert_eq!(i.fanins(), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! 64-way parallel bit-vector simulation.
+//!
+//! Each node is simulated on 64 input patterns at once using one `u64` word
+//! per node per word-column. This powers FRAIG signature computation and
+//! randomized semantic checks.
+
+use crate::{Aig, Lit, Node};
+
+/// Result of a parallel simulation: one row of `words` 64-bit words per node.
+#[derive(Clone, Debug)]
+pub struct SimVectors {
+    words: usize,
+    values: Vec<u64>,
+}
+
+impl SimVectors {
+    /// Number of 64-pattern word columns.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Returns the simulation words of a literal (complement applied).
+    pub fn lit_words(&self, lit: Lit) -> Vec<u64> {
+        let base = lit.var().index() as usize * self.words;
+        let mask = if lit.is_complement() { !0u64 } else { 0 };
+        self.values[base..base + self.words]
+            .iter()
+            .map(|&w| w ^ mask)
+            .collect()
+    }
+
+    /// Returns the value of `lit` under pattern `pattern` (a global pattern
+    /// index across all word columns).
+    pub fn lit_bit(&self, lit: Lit, pattern: usize) -> bool {
+        let word = pattern / 64;
+        let bit = pattern % 64;
+        let base = lit.var().index() as usize * self.words;
+        let v = self.values[base + word] >> bit & 1 == 1;
+        v ^ lit.is_complement()
+    }
+
+    /// A signature for equivalence-class hashing: the simulation words of
+    /// the positive literal, canonicalized so that the first bit is 0
+    /// (returns `(canonical_words, phase)` where `phase` is true if the
+    /// words were complemented to canonicalize).
+    pub fn signature(&self, lit: Lit) -> (Vec<u64>, bool) {
+        let words = self.lit_words(lit.with_complement(false));
+        let phase = words.first().is_some_and(|w| w & 1 == 1);
+        if phase {
+            (words.iter().map(|w| !w).collect(), true)
+        } else {
+            (words, false)
+        }
+    }
+}
+
+impl Aig {
+    /// Simulates the whole AIG on the given input patterns.
+    ///
+    /// `patterns[pos]` holds `words` words of stimulus for the input at
+    /// position `pos` (bit *b* of word *w* is pattern `64*w + b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.len() != self.num_inputs()` or rows have uneven
+    /// lengths.
+    pub fn simulate(&self, patterns: &[Vec<u64>]) -> SimVectors {
+        assert_eq!(patterns.len(), self.num_inputs(), "stimulus arity mismatch");
+        let words = patterns.first().map_or(1, Vec::len);
+        assert!(
+            patterns.iter().all(|p| p.len() == words),
+            "uneven stimulus rows"
+        );
+        let mut values = vec![0u64; self.len() * words];
+        for (v, node) in self.iter_nodes() {
+            let base = v.index() as usize * words;
+            match node {
+                Node::Constant => {}
+                Node::Input { pos } => {
+                    values[base..base + words].copy_from_slice(&patterns[pos as usize]);
+                }
+                Node::And { fan0, fan1 } => {
+                    let b0 = fan0.var().index() as usize * words;
+                    let b1 = fan1.var().index() as usize * words;
+                    let m0 = if fan0.is_complement() { !0u64 } else { 0 };
+                    let m1 = if fan1.is_complement() { !0u64 } else { 0 };
+                    for w in 0..words {
+                        let a = values[b0 + w] ^ m0;
+                        let b = values[b1 + w] ^ m1;
+                        values[base + w] = a & b;
+                    }
+                }
+            }
+        }
+        SimVectors { words, values }
+    }
+
+    /// Simulates with `words * 64` uniformly random patterns from `seed`
+    /// (xorshift; deterministic across runs).
+    pub fn simulate_random(&self, words: usize, seed: u64) -> SimVectors {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let patterns: Vec<Vec<u64>> = (0..self.num_inputs())
+            .map(|_| (0..words).map(|_| next()).collect())
+            .collect();
+        self.simulate(&patterns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_matches_eval() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let f = aig.mux(a, b, c);
+        let g = aig.xor(f, c);
+        aig.add_output("f", f);
+        aig.add_output("g", g);
+
+        // Exhaustive 8 patterns packed into one word per input.
+        let patterns: Vec<Vec<u64>> = (0..3)
+            .map(|i| {
+                let mut w = 0u64;
+                for p in 0..8u32 {
+                    if p >> i & 1 == 1 {
+                        w |= 1 << p;
+                    }
+                }
+                vec![w]
+            })
+            .collect();
+        let sim = aig.simulate(&patterns);
+        for p in 0..8usize {
+            let bits: Vec<bool> = (0..3).map(|i| p >> i & 1 == 1).collect();
+            let out = aig.eval(&bits);
+            assert_eq!(sim.lit_bit(f, p), out[0], "f pattern {p}");
+            assert_eq!(sim.lit_bit(g, p), out[1], "g pattern {p}");
+        }
+    }
+
+    #[test]
+    fn complemented_lit_words() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let sim = aig.simulate(&[vec![0b1010]]);
+        assert_eq!(sim.lit_words(a)[0], 0b1010);
+        assert_eq!(sim.lit_words(!a)[0], !0b1010u64);
+    }
+
+    #[test]
+    fn signature_canonicalization() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let sim = aig.simulate(&[vec![0b1011]]);
+        let (sig_pos, ph_pos) = sim.signature(a);
+        let (sig_neg, ph_neg) = sim.signature(!a);
+        // The signature identifies the *node*, so both literals of the same
+        // node share the canonical signature and phase.
+        assert_eq!(sig_pos, sig_neg);
+        assert_eq!(ph_pos, ph_neg);
+        // First pattern bit of `a` is 1, so canonicalization flipped it.
+        assert!(ph_pos);
+        assert_eq!(sig_pos[0], !0b1011u64);
+    }
+
+    #[test]
+    fn random_simulation_is_deterministic() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f = aig.and(a, b);
+        let s1 = aig.simulate_random(2, 42);
+        let s2 = aig.simulate_random(2, 42);
+        assert_eq!(s1.lit_words(f), s2.lit_words(f));
+    }
+
+    #[test]
+    fn constant_simulates_to_zero() {
+        let aig = Aig::new();
+        let sim = aig.simulate(&[]);
+        assert_eq!(sim.lit_words(Lit::FALSE)[0], 0);
+        assert_eq!(sim.lit_words(Lit::TRUE)[0], !0u64);
+    }
+}

@@ -1,0 +1,299 @@
+//! Structural transformations: cofactoring, substitution, cross-AIG import,
+//! cone extraction against a cut, and compaction.
+
+use std::collections::HashMap;
+
+use crate::{Aig, Lit, Node, Var};
+
+impl Aig {
+    /// Rebuilds the cones of `roots` with each variable in `map` replaced by
+    /// the given literal, returning the new root literals.
+    ///
+    /// The mapped variables may be inputs *or* internal nodes: the cone is
+    /// rewritten bottom-up and the replacement literal is used wherever a
+    /// mapped variable occurs. New nodes are created in `self` (structural
+    /// hashing keeps sharing). Replacement literals must not transitively
+    /// depend on the mapped variables themselves (no cyclic substitution).
+    pub fn substitute(&mut self, roots: &[Lit], map: &HashMap<Var, Lit>) -> Vec<Lit> {
+        let mut cache: HashMap<Var, Lit> = map.clone();
+        cache.insert(Var::CONST, Lit::FALSE);
+        let cone = self.cone_vars_to_cut(roots, &map.keys().copied().collect());
+        for v in cone {
+            if cache.contains_key(&v) {
+                continue;
+            }
+            let new_lit = match self.node(v) {
+                Node::Constant => Lit::FALSE,
+                Node::Input { .. } => v.pos(),
+                Node::And { fan0, fan1 } => {
+                    let n0 = cache
+                        .get(&fan0.var())
+                        .map_or(fan0, |l| l.xor_complement(fan0.is_complement()));
+                    let n1 = cache
+                        .get(&fan1.var())
+                        .map_or(fan1, |l| l.xor_complement(fan1.is_complement()));
+                    self.and(n0, n1)
+                }
+            };
+            cache.insert(v, new_lit);
+        }
+        roots
+            .iter()
+            .map(|&r| {
+                cache
+                    .get(&r.var())
+                    .map_or(r, |l| l.xor_complement(r.is_complement()))
+            })
+            .collect()
+    }
+
+    /// Returns the cofactor of each root with variable `var` fixed to
+    /// `value`.
+    pub fn cofactor(&mut self, roots: &[Lit], var: Var, value: bool) -> Vec<Lit> {
+        let mut map = HashMap::new();
+        map.insert(var, if value { Lit::TRUE } else { Lit::FALSE });
+        self.substitute(roots, &map)
+    }
+
+    /// Copies the cones of `roots` from `other` into `self`.
+    ///
+    /// `input_map` gives, for every input position of `other` that occurs in
+    /// the cones, the literal in `self` it maps to. Returns the imported
+    /// root literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cone input of `other` has no entry in `input_map`.
+    pub fn import(
+        &mut self,
+        other: &Aig,
+        roots: &[Lit],
+        input_map: &HashMap<Var, Lit>,
+    ) -> Vec<Lit> {
+        let mut cache: HashMap<Var, Lit> = HashMap::new();
+        cache.insert(Var::CONST, Lit::FALSE);
+        for v in other.cone_vars(roots) {
+            let new_lit = match other.node(v) {
+                Node::Constant => Lit::FALSE,
+                Node::Input { .. } => *input_map
+                    .get(&v)
+                    .unwrap_or_else(|| panic!("import: unmapped input {v:?}")),
+                Node::And { fan0, fan1 } => {
+                    let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
+                    let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
+                    self.and(n0, n1)
+                }
+            };
+            cache.insert(v, new_lit);
+        }
+        roots
+            .iter()
+            .map(|&r| cache[&r.var()].xor_complement(r.is_complement()))
+            .collect()
+    }
+
+    /// Extracts the cones of `roots` into a fresh AIG whose inputs are the
+    /// `cut` variables (in the given order, named by `cut_names`).
+    ///
+    /// Traversal stops at cut variables; any non-cut input reached must also
+    /// be listed in `cut`, otherwise this panics. Returns the new AIG and
+    /// the root literals within it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cone leaf (input) is reached that is not in `cut`, or if
+    /// `cut.len() != cut_names.len()`.
+    pub fn extract_cone(
+        &self,
+        roots: &[Lit],
+        cut: &[Var],
+        cut_names: &[String],
+    ) -> (Aig, Vec<Lit>) {
+        assert_eq!(cut.len(), cut_names.len(), "cut/name arity mismatch");
+        let mut new = Aig::new();
+        let mut cache: HashMap<Var, Lit> = HashMap::new();
+        cache.insert(Var::CONST, Lit::FALSE);
+        for (v, name) in cut.iter().zip(cut_names) {
+            let lit = new.add_input(name.clone());
+            cache.insert(*v, lit);
+        }
+        let cut_set = cut.iter().copied().collect();
+        for v in self.cone_vars_to_cut(roots, &cut_set) {
+            if cache.contains_key(&v) {
+                continue;
+            }
+            let new_lit = match self.node(v) {
+                Node::Constant => Lit::FALSE,
+                Node::Input { .. } => panic!("extract_cone: input {v:?} not in cut"),
+                Node::And { fan0, fan1 } => {
+                    let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
+                    let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
+                    new.and(n0, n1)
+                }
+            };
+            cache.insert(v, new_lit);
+        }
+        let new_roots = roots
+            .iter()
+            .map(|&r| cache[&r.var()].xor_complement(r.is_complement()))
+            .collect();
+        (new, new_roots)
+    }
+
+    /// Returns a compacted copy containing only the logic reachable from the
+    /// outputs, with all inputs retained (so input positions are stable).
+    pub fn compact(&self) -> Aig {
+        let mut new = Aig::new();
+        let mut cache: HashMap<Var, Lit> = HashMap::new();
+        cache.insert(Var::CONST, Lit::FALSE);
+        for (pos, &v) in self.inputs().iter().enumerate() {
+            let lit = new.add_input(self.input_name(pos).to_owned());
+            cache.insert(v, lit);
+        }
+        let roots: Vec<Lit> = self.outputs().iter().map(|o| o.lit).collect();
+        for v in self.cone_vars(&roots) {
+            if cache.contains_key(&v) {
+                continue;
+            }
+            if let Node::And { fan0, fan1 } = self.node(v) {
+                let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
+                let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
+                let lit = new.and(n0, n1);
+                cache.insert(v, lit);
+            }
+        }
+        for out in self.outputs() {
+            let lit = cache[&out.lit.var()].xor_complement(out.lit.is_complement());
+            new.add_output(out.name.clone(), lit);
+        }
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cofactor_shannon_expansion() {
+        // f = a ? b : c; f|a=1 = b, f|a=0 = c.
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let f = aig.mux(a, b, c);
+        let f1 = aig.cofactor(&[f], a.var(), true)[0];
+        let f0 = aig.cofactor(&[f], a.var(), false)[0];
+        assert_eq!(f1, b);
+        assert_eq!(f0, c);
+    }
+
+    #[test]
+    fn substitute_internal_node() {
+        // f = (a&b) | c. Replace the internal node (a&b) with input d.
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let f = aig.or(ab, c);
+        let d = aig.add_input("d");
+        let mut map = HashMap::new();
+        map.insert(ab.var(), d);
+        let f2 = aig.substitute(&[f], &map)[0];
+        aig.add_output("f2", f2);
+        // f2 = d | c for all assignments.
+        for pat in 0u32..16 {
+            let bits: Vec<bool> = (0..4).map(|i| pat >> i & 1 == 1).collect();
+            let expect = bits[3] || bits[2];
+            assert_eq!(aig.eval(&bits)[0], expect);
+        }
+    }
+
+    #[test]
+    fn substitute_complemented_use() {
+        // f = !t & a; replace t with (a ^ b): f2 = !(a ^ b) & a = a & b.
+        let mut aig = Aig::new();
+        let t = aig.add_input("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f = aig.and(!t, a);
+        let rep = aig.xor(a, b);
+        let mut map = HashMap::new();
+        map.insert(t.var(), rep);
+        let f2 = aig.substitute(&[f], &map)[0];
+        aig.add_output("f2", f2);
+        for pat in 0u32..8 {
+            let bits: Vec<bool> = (0..3).map(|i| pat >> i & 1 == 1).collect();
+            let expect = bits[1] && bits[2];
+            assert_eq!(aig.eval(&bits)[0], expect, "pattern {bits:?}");
+        }
+    }
+
+    #[test]
+    fn import_across_aigs() {
+        let mut src = Aig::new();
+        let x = src.add_input("x");
+        let y = src.add_input("y");
+        let g = src.xor(x, y);
+
+        let mut dst = Aig::new();
+        let p = dst.add_input("p");
+        let q = dst.add_input("q");
+        let pq = dst.and(p, q);
+        let mut map = HashMap::new();
+        map.insert(x.var(), pq);
+        map.insert(y.var(), !p);
+        let g2 = dst.import(&src, &[g], &map)[0];
+        dst.add_output("g2", g2);
+        for pat in 0u32..4 {
+            let bits: Vec<bool> = (0..2).map(|i| pat >> i & 1 == 1).collect();
+            let expect = (bits[0] && bits[1]) ^ !bits[0];
+            assert_eq!(dst.eval(&bits)[0], expect);
+        }
+    }
+
+    #[test]
+    fn extract_cone_over_cut() {
+        // h = (a&b) ^ c; cut at m = a&b and c.
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let m = aig.and(a, b);
+        let h = aig.xor(m, c);
+        let (sub, roots) = aig.extract_cone(&[h], &[m.var(), c.var()], &["m".into(), "c".into()]);
+        assert_eq!(sub.num_inputs(), 2);
+        let mut sub = sub;
+        sub.add_output("h", roots[0]);
+        for pat in 0u32..4 {
+            let bits: Vec<bool> = (0..2).map(|i| pat >> i & 1 == 1).collect();
+            assert_eq!(sub.eval(&bits)[0], bits[0] ^ bits[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in cut")]
+    fn extract_cone_missing_cut_panics() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f = aig.and(a, b);
+        let _ = aig.extract_cone(&[f], &[a.var()], &["a".into()]);
+    }
+
+    #[test]
+    fn compact_drops_dangling_logic() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let keep = aig.and(a, b);
+        let _dangling = aig.xor(a, b);
+        aig.add_output("keep", keep);
+        let compacted = aig.compact();
+        assert_eq!(compacted.num_ands(), 1);
+        assert_eq!(compacted.num_inputs(), 2);
+        assert_eq!(compacted.eval(&[true, true]), vec![true]);
+        assert_eq!(compacted.eval(&[true, false]), vec![false]);
+    }
+}

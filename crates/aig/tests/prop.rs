@@ -1,0 +1,172 @@
+//! Property-based tests for the AIG package.
+
+use eco_aig::{Aig, Lit};
+use proptest::prelude::*;
+
+/// A recipe: sequence of (op, operand indices, complement flags).
+type Recipe = Vec<(u8, usize, usize, bool, bool)>;
+
+fn build(n_inputs: usize, recipe: &Recipe) -> (Aig, Vec<Lit>) {
+    let mut aig = Aig::new();
+    let mut nets: Vec<Lit> = (0..n_inputs)
+        .map(|i| aig.add_input(format!("x{i}")))
+        .collect();
+    for &(op, i, j, ci, cj) in recipe {
+        let a = nets[i % nets.len()].xor_complement(ci);
+        let b = nets[j % nets.len()].xor_complement(cj);
+        let w = match op % 4 {
+            0 => aig.and(a, b),
+            1 => aig.or(a, b),
+            2 => aig.xor(a, b),
+            _ => aig.mux(a, b, nets[(i + j) % nets.len()]),
+        };
+        nets.push(w);
+    }
+    (aig, nets)
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    prop::collection::vec(
+        (
+            any::<u8>(),
+            0..64usize,
+            0..64usize,
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        1..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Structural hashing is commutative: and(a, b) == and(b, a).
+    #[test]
+    fn and_is_commutative(recipe in recipe_strategy(), ci in any::<bool>(), cj in any::<bool>()) {
+        let (mut aig, nets) = build(4, &recipe);
+        let a = nets[nets.len() / 2].xor_complement(ci);
+        let b = nets[nets.len() - 1].xor_complement(cj);
+        prop_assert_eq!(aig.and(a, b), aig.and(b, a));
+    }
+
+    /// eval and 64-way simulate agree on every node.
+    #[test]
+    fn simulate_agrees_with_eval(recipe in recipe_strategy()) {
+        let (mut aig, nets) = build(5, &recipe);
+        let root = *nets.last().expect("non-empty");
+        aig.add_output("f", root);
+        // 32 exhaustive patterns in one word.
+        let patterns: Vec<Vec<u64>> = (0..5)
+            .map(|i| {
+                let mut w = 0u64;
+                for p in 0..32u32 {
+                    if p >> i & 1 == 1 {
+                        w |= 1 << p;
+                    }
+                }
+                vec![w]
+            })
+            .collect();
+        let sim = aig.simulate(&patterns);
+        for p in 0..32usize {
+            let vals: Vec<bool> = (0..5).map(|i| p >> i & 1 == 1).collect();
+            prop_assert_eq!(sim.lit_bit(root, p), aig.eval_lit(root, &vals));
+        }
+    }
+
+    /// compact() preserves output functions and never grows the AIG.
+    #[test]
+    fn compact_preserves_semantics(recipe in recipe_strategy()) {
+        let (mut aig, nets) = build(5, &recipe);
+        let root = *nets.last().expect("non-empty");
+        aig.add_output("f", root);
+        let compacted = aig.compact();
+        prop_assert!(compacted.num_ands() <= aig.num_ands());
+        for bits in 0u32..32 {
+            let vals: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(aig.eval(&vals), compacted.eval(&vals));
+        }
+    }
+
+    /// Substituting an input with a constant equals cofactoring, and both
+    /// equal direct evaluation with that input fixed.
+    #[test]
+    fn cofactor_fixes_the_input(recipe in recipe_strategy(), pick in 0..5usize, value in any::<bool>()) {
+        let (mut aig, nets) = build(5, &recipe);
+        let root = *nets.last().expect("non-empty");
+        let x = aig.input_var(pick);
+        let cof = aig.cofactor(&[root], x, value)[0];
+        // The cofactor no longer depends on x.
+        prop_assert!(!aig.support(&[cof]).contains(&x));
+        for bits in 0u32..32 {
+            let mut vals: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let cof_val = aig.eval_lit(cof, &vals);
+            vals[pick] = value;
+            prop_assert_eq!(cof_val, aig.eval_lit(root, &vals));
+        }
+    }
+
+    /// Import into a fresh manager is semantics-preserving.
+    #[test]
+    fn import_round_trip(recipe in recipe_strategy()) {
+        let (src, nets) = build(4, &recipe);
+        let root = *nets.last().expect("non-empty");
+        let mut dst = Aig::new();
+        let mut map = std::collections::HashMap::new();
+        for (i, &v) in src.inputs().iter().enumerate() {
+            map.insert(v, dst.add_input(format!("y{i}")));
+        }
+        let imported = dst.import(&src, &[root], &map)[0];
+        for bits in 0u32..16 {
+            let vals: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(src.eval_lit(root, &vals), dst.eval_lit(imported, &vals));
+        }
+    }
+
+    /// Cone counting is consistent: |cone(f ∪ g)| <= |cone f| + |cone g|,
+    /// and support ⊆ cone.
+    #[test]
+    fn cone_arithmetic(recipe in recipe_strategy()) {
+        let (aig, nets) = build(4, &recipe);
+        let f = nets[nets.len() / 2];
+        let g = *nets.last().expect("non-empty");
+        let cf = aig.count_cone_ands(&[f]);
+        let cg = aig.count_cone_ands(&[g]);
+        let cfg = aig.count_cone_ands(&[f, g]);
+        prop_assert!(cfg <= cf + cg);
+        prop_assert!(cfg >= cf.max(cg));
+        let sup = aig.support(&[g]);
+        let cone = aig.cone_vars(&[g]);
+        for v in sup {
+            prop_assert!(cone.contains(&v));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AIGER round trips (both formats) preserve semantics and names.
+    #[test]
+    fn aiger_round_trips(recipe in recipe_strategy()) {
+        let (mut aig, nets) = build(5, &recipe);
+        let root = *nets.last().expect("non-empty");
+        let half = nets[nets.len() / 2];
+        aig.add_output("f", root);
+        aig.add_output("g", !half);
+
+        let ascii = eco_aig::parse_aiger_ascii(&eco_aig::write_aiger_ascii(&aig))
+            .expect("ascii parses");
+        let binary = eco_aig::parse_aiger_binary(&eco_aig::write_aiger_binary(&aig))
+            .expect("binary parses");
+        prop_assert_eq!(ascii.input_name(0), "x0");
+        prop_assert_eq!(&binary.outputs()[1].name, "g");
+        for bits in 0u32..32 {
+            let vals: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let want = aig.eval(&vals);
+            prop_assert_eq!(&ascii.eval(&vals), &want);
+            prop_assert_eq!(&binary.eval(&vals), &want);
+        }
+    }
+}

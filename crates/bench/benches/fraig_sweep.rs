@@ -1,0 +1,34 @@
+//! Criterion bench for the FRAIG stage (step 1 of the Fig.-1 flow).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_core::{EcoInstance, Workspace};
+use eco_fraig::{fraig_classes, FraigOptions};
+use eco_workgen::{assign_weights, cut_targets, WeightProfile};
+
+fn bench_fraig(c: &mut Criterion) {
+    // A combined faulty+golden workspace like the engine builds.
+    let golden = eco_workgen::circuits::shared_datapath(10);
+    let target = golden.wires.last().expect("wires").clone();
+    let faulty = cut_targets(&golden, std::slice::from_ref(&target));
+    let weights = assign_weights(&faulty, WeightProfile::Unit, 1);
+    let inst = EcoInstance::from_netlists("bench", &faulty, &golden, vec![target], &weights)
+        .expect("valid");
+    let ws = Workspace::new(&inst);
+
+    let mut group = c.benchmark_group("fraig");
+    group.sample_size(20);
+    group.bench_function("classes/datapath10_combined", |b| {
+        b.iter(|| std::hint::black_box(fraig_classes(&ws.mgr, &FraigOptions::default())));
+    });
+    group.bench_function("classes/fewer_sim_words", |b| {
+        let opts = FraigOptions {
+            sim_words: 2,
+            ..Default::default()
+        };
+        b.iter(|| std::hint::black_box(fraig_classes(&ws.mgr, &opts)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fraig);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches regenerating the Table-2 timing series: full engine
+//! runs (ours and baseline) per representative unit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eco_core::{EcoEngine, EcoOptions};
+use eco_workgen::contest_suite;
+
+fn bench_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for unit in contest_suite() {
+        // Representative subset: easy, medium, difficult.
+        if !matches!(
+            unit.spec.name.as_str(),
+            "unit01" | "unit04" | "unit06" | "unit10" | "unit16"
+        ) {
+            continue;
+        }
+        let inst = unit.instance().expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("ours", &unit.spec.name),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    EcoEngine::new(inst.clone(), EcoOptions::default())
+                        .run()
+                        .expect("rectifiable")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline", &unit.spec.name),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    EcoEngine::new(inst.clone(), EcoOptions::baseline())
+                        .run()
+                        .expect("rectifiable")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_units);
+criterion_main!(benches);

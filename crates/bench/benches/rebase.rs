@@ -1,0 +1,60 @@
+//! Criterion benches for the Eq.-12 rebasing machinery (Fig. 3): query
+//! construction, feasibility checks, and full base selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_core::{on_off_sets, select_base, BaseSelectOptions, EcoInstance, RebaseQuery, Workspace};
+use eco_workgen::{assign_weights, cut_targets, WeightProfile};
+
+fn setup() -> (Workspace, eco_aig::Lit, eco_aig::Lit, Vec<usize>) {
+    let golden = eco_workgen::circuits::shared_datapath(8);
+    let target = golden.wires.last().expect("wires").clone();
+    let faulty = cut_targets(&golden, std::slice::from_ref(&target));
+    let weights = assign_weights(&faulty, WeightProfile::CheapWires { pi: 50, wire: 2 }, 3);
+    let inst = EcoInstance::from_netlists("bench", &faulty, &golden, vec![target], &weights)
+        .expect("valid");
+    let mut ws = Workspace::new(&inst);
+    let t = ws.target_vars[0];
+    let (f, g) = (ws.f_outs.clone(), ws.g_outs.clone());
+    let onoff = on_off_sets(&mut ws.mgr, &f, &g, t);
+    // Pool: the 32 cheapest candidates.
+    let mut pool: Vec<usize> = (0..ws.cands.len()).collect();
+    pool.sort_by_key(|&i| (ws.cands[i].weight, ws.cands[i].name.clone()));
+    pool.truncate(32);
+    (ws, onoff.on, onoff.off, pool)
+}
+
+fn bench_rebase(c: &mut Criterion) {
+    let (ws, on, off, pool) = setup();
+
+    c.bench_function("rebase/query_construction", |b| {
+        b.iter(|| std::hint::black_box(RebaseQuery::new(&ws, on, off, pool.clone())));
+    });
+
+    c.bench_function("rebase/feasibility_sweep", |b| {
+        let mut q = RebaseQuery::new(&ws, on, off, pool.clone());
+        b.iter(|| {
+            for k in 1..pool.len().min(12) {
+                let base: Vec<usize> = (0..k).collect();
+                std::hint::black_box(q.feasible(&base, 100_000));
+            }
+        });
+    });
+
+    c.bench_function("rebase/select_base_full", |b| {
+        b.iter(|| {
+            let mut q = RebaseQuery::new(&ws, on, off, pool.clone());
+            let full: Vec<usize> = (0..pool.len()).collect();
+            if q.feasible(&full, 100_000) == Some(true) {
+                std::hint::black_box(select_base(
+                    &ws,
+                    &mut q,
+                    &full,
+                    &BaseSelectOptions::default(),
+                ));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_rebase);
+criterion_main!(benches);

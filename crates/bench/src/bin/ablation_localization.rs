@@ -1,0 +1,56 @@
+//! Ablation A (§5 design choice): localization on/off.
+//!
+//! The paper claims localization "dramatically reduces the runtime of
+//! interpolation-based patch optimization and substantially reduces patch
+//! sizes of difficult instances". This harness isolates that choice: both
+//! configurations run the full optimizer; only the localization stage
+//! differs.
+
+use std::time::Instant;
+
+use eco_core::{EcoEngine, EcoOptions};
+use eco_workgen::contest_suite;
+
+fn main() {
+    println!("Ablation A: localization on vs off (optimizer enabled in both)");
+    println!(
+        "{:<8} {:>4} | {:>9} {:>6} {:>8} | {:>9} {:>6} {:>8}",
+        "unit", "tgts", "cost-off", "sz-off", "t-off", "cost-on", "sz-on", "t-on"
+    );
+    for unit in contest_suite() {
+        // Difficult units plus a couple of easy controls.
+        if !unit.spec.difficult && !matches!(unit.spec.name.as_str(), "unit04" | "unit15") {
+            continue;
+        }
+        let inst = unit.instance().expect("valid");
+        let run = |localization: bool| {
+            let opts = EcoOptions {
+                localization,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let r = EcoEngine::new(inst.clone(), opts)
+                .run()
+                .expect("rectifiable");
+            (r.cost, r.size, t0.elapsed().as_secs_f64())
+        };
+        let (c_off, s_off, t_off) = run(false);
+        let (c_on, s_on, t_on) = run(true);
+        println!(
+            "{:<8} {:>4} | {:>9} {:>6} {:>8.2} | {:>9} {:>6} {:>8.2}",
+            format!(
+                "{}{}",
+                unit.spec.name,
+                if unit.spec.difficult { "*" } else { "" }
+            ),
+            unit.spec.n_targets,
+            c_off,
+            s_off,
+            t_off,
+            c_on,
+            s_on,
+            t_on
+        );
+    }
+    println!("\n* = difficult unit; localization should win on cost/size there");
+}

@@ -1,0 +1,1 @@
+//! Benchmark harnesses for the eco workspace; see `src/bin/*` and `benches/*`.

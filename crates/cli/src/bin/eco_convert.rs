@@ -1,0 +1,104 @@
+//! `eco-convert`: translate between the workspace's circuit formats.
+//!
+//! ```text
+//! eco-convert -i design.v -o design.blif
+//! eco-convert -i design.aag -o design.v
+//! ```
+//!
+//! Formats are inferred from file extensions: `.v` (structural Verilog
+//! subset), `.blif`, `.aag` (ASCII AIGER), `.aig` (binary AIGER). All
+//! conversions go through an AIG, so the output is always flat
+//! AND-inverter logic.
+
+use std::process::ExitCode;
+
+use eco_aig::Aig;
+use eco_netlist::{
+    elaborate, netlist_from_aig, parse_blif, parse_verilog, write_blif, write_verilog,
+};
+
+const USAGE: &str =
+    "usage: eco-convert -i <in.{v,blif,aag,aig}> -o <out.{v,blif,aag,aig}> [--name <module>]";
+
+fn ext(path: &str) -> Option<&str> {
+    std::path::Path::new(path).extension()?.to_str()
+}
+
+fn read_aig(path: &str) -> Result<Aig, String> {
+    let fmt = ext(path).ok_or_else(|| format!("{path}: no file extension"))?;
+    match fmt {
+        "v" => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let nl = parse_verilog(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(elaborate(&nl).map_err(|e| format!("{path}: {e}"))?.aig)
+        }
+        "blif" => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(parse_blif(&text).map_err(|e| format!("{path}: {e}"))?.aig)
+        }
+        "aag" => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            eco_aig::parse_aiger_ascii(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        "aig" => {
+            let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            eco_aig::parse_aiger_binary(&data).map_err(|e| format!("{path}: {e}"))
+        }
+        other => Err(format!("{path}: unsupported input format `.{other}`")),
+    }
+}
+
+fn write_aig(path: &str, aig: &Aig, name: &str) -> Result<(), String> {
+    let fmt = ext(path).ok_or_else(|| format!("{path}: no file extension"))?;
+    let bytes: Vec<u8> = match fmt {
+        "v" => write_verilog(&netlist_from_aig(aig, name)).into_bytes(),
+        "blif" => write_blif(aig, name).into_bytes(),
+        "aag" => eco_aig::write_aiger_ascii(aig).into_bytes(),
+        "aig" => eco_aig::write_aiger_binary(aig),
+        other => return Err(format!("{path}: unsupported output format `.{other}`")),
+    };
+    std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut input = None;
+    let mut output = None;
+    let mut name = "top".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-i" | "--input" => input = args.next(),
+            "-o" | "--output" => output = args.next(),
+            "--name" => name = args.next().unwrap_or(name),
+            "-h" | "--help" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let (Some(input), Some(output)) = (input, output) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    };
+    let result = read_aig(&input).and_then(|aig| {
+        eprintln!(
+            "{}: {} inputs, {} outputs, {} AND gates",
+            input,
+            aig.num_inputs(),
+            aig.num_outputs(),
+            aig.compact().num_ands()
+        );
+        write_aig(&output, &aig.compact(), &name)
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

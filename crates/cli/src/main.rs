@@ -1,0 +1,175 @@
+//! `eco-patch`: contest-style command line for cost-aware ECO patch
+//! generation.
+//!
+//! ```text
+//! eco-patch -f faulty.v -g golden.v -w weights.txt -t t_0,t_1 -o patch.v
+//! ```
+//!
+//! Reads the faulty circuit (targets floating as inputs), the golden
+//! circuit, and a weight file; writes the patch as structural Verilog
+//! whose inputs are existing faulty nets and whose outputs drive the
+//! targets. Exit code 0 = patched and verified; 2 = unrectifiable;
+//! 1 = usage or I/O error.
+
+use std::process::ExitCode;
+
+use std::collections::HashMap;
+
+use eco_core::{EcoEngine, EcoInstance, EcoOptions, InitialPatchKind};
+use eco_netlist::{
+    netlist_from_aig, parse_blif, parse_verilog, parse_weights, write_verilog, WeightTable,
+};
+
+struct Args {
+    faulty: String,
+    golden: String,
+    weights: Option<String>,
+    targets: Vec<String>,
+    output: Option<String>,
+    localization: bool,
+    optimize: bool,
+    initial: InitialPatchKind,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: eco-patch -f <faulty.{v,blif}> -g <golden.{v,blif}> -t <t1,t2,...> \
+[-w <weights.txt>] [-o <patch.v>] [--no-localization] [--no-optimize] \
+[--initial onset|negoff|interpolant] [-q]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        faulty: String::new(),
+        golden: String::new(),
+        weights: None,
+        targets: Vec::new(),
+        output: None,
+        localization: true,
+        optimize: true,
+        initial: InitialPatchKind::OnSet,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match a.as_str() {
+            "-f" | "--faulty" => args.faulty = value("-f")?,
+            "-g" | "--golden" => args.golden = value("-g")?,
+            "-w" | "--weights" => args.weights = Some(value("-w")?),
+            "-o" | "--output" => args.output = Some(value("-o")?),
+            "-t" | "--targets" => {
+                args.targets = value("-t")?.split(',').map(str::to_string).collect()
+            }
+            "--no-localization" => args.localization = false,
+            "--no-optimize" => args.optimize = false,
+            "--initial" => {
+                args.initial = match value("--initial")?.as_str() {
+                    "onset" => InitialPatchKind::OnSet,
+                    "negoff" => InitialPatchKind::NegOffSet,
+                    "interpolant" => InitialPatchKind::Interpolant,
+                    other => return Err(format!("unknown initial patch kind `{other}`")),
+                }
+            }
+            "-q" | "--quiet" => args.quiet = true,
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if args.faulty.is_empty() || args.golden.is_empty() || args.targets.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+/// Reads `.v` or `.blif` into an AIG plus its net map.
+fn read_circuit(path: &str) -> Result<(eco_aig::Aig, HashMap<String, eco_aig::Lit>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if std::path::Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        == Some("blif")
+    {
+        let m = parse_blif(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok((m.aig, m.net_lits))
+    } else {
+        let nl = parse_verilog(&text).map_err(|e| format!("{path}: {e}"))?;
+        let e = eco_netlist::elaborate(&nl).map_err(|e| format!("{path}: {e}"))?;
+        Ok((e.aig, e.net_lits))
+    }
+}
+
+fn run(args: &Args) -> Result<i32, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let weights = match &args.weights {
+        Some(p) => parse_weights(&read(p)?).map_err(|e| format!("{p}: {e}"))?,
+        None => WeightTable::new(1),
+    };
+    let is_verilog =
+        |p: &str| std::path::Path::new(p).extension().and_then(|e| e.to_str()) != Some("blif");
+    // Verilog inputs go through `from_netlists`, which filters base
+    // candidates by *structural* target independence (constant folding can
+    // hide a physical fanout path, and tapping such a net would wire a
+    // combinational loop). BLIF loses the gate structure at parse time, so
+    // that path keeps the AIG-level filter only (see
+    // `EcoInstance::from_elaborated` docs).
+    let instance = if is_verilog(&args.faulty) && is_verilog(&args.golden) {
+        let faulty =
+            parse_verilog(&read(&args.faulty)?).map_err(|e| format!("{}: {e}", args.faulty))?;
+        let golden =
+            parse_verilog(&read(&args.golden)?).map_err(|e| format!("{}: {e}", args.golden))?;
+        EcoInstance::from_netlists("cli", &faulty, &golden, args.targets.clone(), &weights)
+    } else {
+        let (faulty_aig, faulty_nets) = read_circuit(&args.faulty)?;
+        let (golden_aig, _) = read_circuit(&args.golden)?;
+        EcoInstance::from_elaborated(
+            "cli",
+            faulty_aig,
+            &faulty_nets,
+            golden_aig,
+            args.targets.clone(),
+            &weights,
+        )
+    }
+    .map_err(|e| e.to_string())?;
+
+    let options = EcoOptions {
+        localization: args.localization,
+        optimize: args.optimize,
+        initial_patch: args.initial,
+        ..Default::default()
+    };
+    let result = match EcoEngine::new(instance, options).run() {
+        Ok(r) => r,
+        Err(eco_core::EcoError::Unrectifiable(why)) => {
+            eprintln!("unrectifiable: {why}");
+            return Ok(2);
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+
+    if !args.quiet {
+        eprint!("{}", eco_core::Report(&result));
+    }
+    let text = write_verilog(&netlist_from_aig(&result.patch_aig, "patch"));
+    match &args.output {
+        Some(p) => std::fs::write(p, text).map_err(|e| format!("{p}: {e}"))?,
+        None => print!("{text}"),
+    }
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    match run(&args) {
+        Ok(code) => ExitCode::from(code as u8),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

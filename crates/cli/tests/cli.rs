@@ -1,0 +1,175 @@
+//! End-to-end tests of the `eco-patch` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eco-patch"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eco-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+const FAULTY: &str = "module f (a, b, c, t, y);\n\
+                      input a, b, c, t;\noutput y;\nxor g1 (y, t, c);\nendmodule\n";
+const GOLDEN: &str = "module g (a, b, c, y);\n\
+                      input a, b, c;\noutput y;\nwire w;\nand g1 (w, a, b);\n\
+                      xor g2 (y, w, c);\nendmodule\n";
+
+#[test]
+fn patches_and_writes_verilog() {
+    let dir = tmpdir("ok");
+    let f = dir.join("faulty.v");
+    let g = dir.join("golden.v");
+    let w = dir.join("weights.txt");
+    let o = dir.join("patch.v");
+    std::fs::write(&f, FAULTY).expect("write");
+    std::fs::write(&g, GOLDEN).expect("write");
+    std::fs::write(&w, "a 5\nb 5\nc 9\n").expect("write");
+    let out = bin()
+        .args(["-f", f.to_str().expect("path")])
+        .args(["-g", g.to_str().expect("path")])
+        .args(["-w", w.to_str().expect("path")])
+        .args(["-t", "t"])
+        .args(["-o", o.to_str().expect("path")])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let patch = std::fs::read_to_string(&o).expect("patch file");
+    assert!(patch.contains("module patch"));
+    assert!(patch.contains("output t"));
+    // The patch parses and drives the target.
+    let nl = eco_netlist::parse_verilog(&patch).expect("patch parses");
+    assert_eq!(nl.outputs, vec!["t"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cost 10"), "stderr: {stderr}");
+}
+
+#[test]
+fn stdout_mode_and_quiet() {
+    let dir = tmpdir("stdout");
+    let f = dir.join("faulty.v");
+    let g = dir.join("golden.v");
+    std::fs::write(&f, FAULTY).expect("write");
+    std::fs::write(&g, GOLDEN).expect("write");
+    let out = bin()
+        .args(["-f", f.to_str().expect("path")])
+        .args(["-g", g.to_str().expect("path")])
+        .args(["-t", "t", "-q"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("module patch"));
+    assert!(String::from_utf8_lossy(&out.stderr).is_empty());
+}
+
+#[test]
+fn unrectifiable_exits_2() {
+    let dir = tmpdir("unrect");
+    let f = dir.join("faulty.v");
+    let g = dir.join("golden.v");
+    std::fs::write(
+        &f,
+        "module f (a, t, y, z); input a, t; output y, z;\nbuf g1 (y, t);\nbuf g2 (z, a);\nendmodule\n",
+    )
+    .expect("write");
+    std::fs::write(
+        &g,
+        "module g (a, y, z); input a; output y, z;\nbuf g1 (y, a);\nnot g2 (z, a);\nendmodule\n",
+    )
+    .expect("write");
+    let out = bin()
+        .args(["-f", f.to_str().expect("path")])
+        .args(["-g", g.to_str().expect("path")])
+        .args(["-t", "t"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unrectifiable"));
+}
+
+#[test]
+fn usage_errors_exit_1() {
+    let out = bin().output().expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = bin().args(["--frobnicate"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(1));
+
+    let out = bin()
+        .args(["-f", "/nonexistent.v", "-g", "/nonexistent.v", "-t", "t"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn flag_variants_accepted() {
+    let dir = tmpdir("flags");
+    let f = dir.join("faulty.v");
+    let g = dir.join("golden.v");
+    std::fs::write(&f, FAULTY).expect("write");
+    std::fs::write(&g, GOLDEN).expect("write");
+    for extra in [
+        vec!["--no-localization"],
+        vec!["--no-optimize"],
+        vec!["--initial", "interpolant"],
+        vec!["--initial", "negoff"],
+    ] {
+        let out = bin()
+            .args(["--faulty", f.to_str().expect("path")])
+            .args(["--golden", g.to_str().expect("path")])
+            .args(["--targets", "t", "-q"])
+            .args(&extra)
+            .output()
+            .expect("run");
+        assert!(out.status.success(), "args {extra:?}");
+    }
+    let out = bin()
+        .args(["-f", f.to_str().expect("path")])
+        .args(["-g", g.to_str().expect("path")])
+        .args(["-t", "t", "--initial", "bogus"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn blif_inputs_are_accepted() {
+    let dir = tmpdir("blif");
+    let f = dir.join("faulty.blif");
+    let g = dir.join("golden.blif");
+    std::fs::write(
+        &f,
+        ".model f\n.inputs a b c t\n.outputs y\n.names t c y\n10 1\n01 1\n.end\n",
+    )
+    .expect("write");
+    std::fs::write(
+        &g,
+        ".model g\n.inputs a b c\n.outputs y\n.names a b w\n11 1\n\
+         .names w c y\n10 1\n01 1\n.end\n",
+    )
+    .expect("write");
+    let out = bin()
+        .args(["-f", f.to_str().expect("path")])
+        .args(["-g", g.to_str().expect("path")])
+        .args(["-t", "t", "-q"])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let patch = String::from_utf8_lossy(&out.stdout);
+    assert!(patch.contains("module patch"), "{patch}");
+}

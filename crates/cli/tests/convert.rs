@@ -1,0 +1,117 @@
+//! End-to-end tests of the `eco-convert` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eco-convert"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eco-convert-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+const SRC: &str = "module m (a, b, c, y, z);\ninput a, b, c;\noutput y, z;\n\
+                   wire w;\nand g1 (w, a, b);\nxor g2 (y, w, c);\nnor g3 (z, a, c);\nendmodule\n";
+
+fn eval_file(path: &PathBuf, vals: &[bool]) -> Vec<bool> {
+    let name = path.to_str().expect("utf8 path");
+    let aig = match path.extension().and_then(|e| e.to_str()) {
+        Some("v") => {
+            let nl = eco_netlist::parse_verilog(&std::fs::read_to_string(path).expect("read"))
+                .expect("verilog parses");
+            eco_netlist::elaborate(&nl).expect("elaborates").aig
+        }
+        Some("blif") => {
+            eco_netlist::parse_blif(&std::fs::read_to_string(path).expect("read"))
+                .expect("blif parses")
+                .aig
+        }
+        Some("aag") => eco_aig::parse_aiger_ascii(&std::fs::read_to_string(path).expect("read"))
+            .expect("aag parses"),
+        Some("aig") => {
+            eco_aig::parse_aiger_binary(&std::fs::read(path).expect("read")).expect("aig parses")
+        }
+        other => panic!("unexpected extension {other:?} for {name}"),
+    };
+    aig.eval(vals)
+}
+
+#[test]
+fn all_format_chains_preserve_semantics() {
+    let dir = tmpdir("chain");
+    let v0 = dir.join("m.v");
+    std::fs::write(&v0, SRC).expect("write");
+    // v -> blif -> aag -> aig -> v
+    let chain = [
+        dir.join("m.blif"),
+        dir.join("m.aag"),
+        dir.join("m.aig"),
+        dir.join("m2.v"),
+    ];
+    let mut prev = v0.clone();
+    for next in &chain {
+        let out = bin()
+            .args(["-i", prev.to_str().expect("path")])
+            .args(["-o", next.to_str().expect("path")])
+            .output()
+            .expect("run");
+        assert!(
+            out.status.success(),
+            "{prev:?} -> {next:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        prev = next.clone();
+    }
+    for bits in 0u32..8 {
+        let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+        let want = eval_file(&v0, &vals);
+        for f in &chain {
+            assert_eq!(eval_file(f, &vals), want, "{f:?} at {vals:?}");
+        }
+    }
+}
+
+#[test]
+fn reports_stats_on_stderr() {
+    let dir = tmpdir("stats");
+    let v0 = dir.join("m.v");
+    std::fs::write(&v0, SRC).expect("write");
+    let out = bin()
+        .args(["-i", v0.to_str().expect("path")])
+        .args(["-o", dir.join("m.blif").to_str().expect("path")])
+        .output()
+        .expect("run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("3 inputs, 2 outputs"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_usage_and_formats_fail() {
+    let out = bin().output().expect("run");
+    assert_eq!(out.status.code(), Some(1));
+
+    let dir = tmpdir("bad");
+    let v0 = dir.join("m.v");
+    std::fs::write(&v0, SRC).expect("write");
+    let out = bin()
+        .args(["-i", v0.to_str().expect("path")])
+        .args(["-o", dir.join("m.xyz").to_str().expect("path")])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported output format"));
+
+    let out = bin()
+        .args([
+            "-i",
+            "/nonexistent.v",
+            "-o",
+            dir.join("x.blif").to_str().expect("path"),
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,0 +1,306 @@
+//! Cost-aware base selection (§6.2): the Watch/Hold rotation with
+//! cost-per-blocking (CPB) greedy selection.
+
+use crate::cexenum::{enumerate_cex_capped, CexSet};
+use crate::rebase::RebaseQuery;
+use crate::Workspace;
+
+/// Knobs for base selection.
+#[derive(Clone, Debug)]
+pub struct BaseSelectOptions {
+    /// Watch-window size β (the paper finds β = 5 a good trade-off).
+    pub watch_size: usize,
+    /// SAT conflict budget per query.
+    pub conflict_budget: u64,
+    /// Hard cap on rotation rounds (the paper rotates `|B|` times).
+    pub max_rounds: usize,
+    /// Cap on counterexample projections collected per probe (the paper's
+    /// bound is `2^watch_size`; capping trades CPB accuracy for runtime).
+    pub max_probe_cex: usize,
+    /// Cap on candidates probed per round: the cheapest `max_probes`
+    /// non-Hold candidates (the paper probes all of `B' \ Hold`; the cap
+    /// bounds the `2^|Watch| × |B'|` SAT-iteration budget).
+    pub max_probes: usize,
+}
+
+impl Default for BaseSelectOptions {
+    fn default() -> Self {
+        BaseSelectOptions {
+            watch_size: 5,
+            conflict_budget: 50_000,
+            max_rounds: 6,
+            max_probe_cex: 16,
+            max_probes: 24,
+        }
+    }
+}
+
+/// Result of base selection.
+#[derive(Clone, Debug)]
+pub struct SelectedBase {
+    /// Pool indices of the best feasible base found.
+    pub base: Vec<usize>,
+    /// Its total weight.
+    pub cost: u64,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+fn cost_of(ws: &Workspace, q: &RebaseQuery, base: &[usize]) -> u64 {
+    base.iter().map(|&i| ws.cands[q.pool()[i]].weight).sum()
+}
+
+/// Runs the §6.2 procedure: starting from a feasible `initial_base`
+/// (pool indices), repeatedly watch the β heaviest signals, collect
+/// counterexample projections per candidate, greedily re-select signals by
+/// minimal CPB until feasible, and keep the cheapest feasible base seen.
+///
+/// Deviation from the paper, documented here because Eq. (13) is
+/// ill-defined for the first pick (`cex_0` is empty): we seed the
+/// blocking pool with the union of all candidates' projections, so the
+/// first CPB denominator is "projections of the pool that the candidate
+/// blocks". This preserves the stated intuition (prefer cheap signals that
+/// block many counterexamples).
+///
+/// # Panics
+///
+/// Panics if `initial_base` is infeasible for `q`.
+pub fn select_base(
+    ws: &Workspace,
+    q: &mut RebaseQuery,
+    initial_base: &[usize],
+    opts: &BaseSelectOptions,
+) -> SelectedBase {
+    debug_assert_eq!(
+        q.feasible(initial_base, opts.conflict_budget),
+        Some(true),
+        "initial base must be feasible"
+    );
+    let pool_weights: Vec<u64> = q.pool().iter().map(|&i| ws.cands[i].weight).collect();
+    let weight = move |i: usize| pool_weights[i];
+
+    let mut best = initial_base.to_vec();
+    let mut best_cost = cost_of(ws, q, &best);
+
+    // Step 1: sort by weight, non-increasing; split Watch/Hold.
+    let mut sorted = initial_base.to_vec();
+    sorted.sort_by(|&a, &b| weight(b).cmp(&weight(a)).then(a.cmp(&b)));
+    let beta = opts.watch_size.max(1);
+    let mut watch: Vec<usize> = sorted.iter().copied().take(beta).collect();
+    let mut hold: Vec<usize> = sorted.iter().copied().skip(beta).collect();
+
+    let total_rounds = initial_base.len().min(opts.max_rounds).max(1);
+    let mut rounds = 0;
+    for _round in 0..total_rounds {
+        rounds += 1;
+        // Step 2: per-candidate counterexample projections — cheapest
+        // candidates first, capped.
+        let pool_size = q.pool().len();
+        let mut cex: Vec<Option<CexSet>> = vec![None; pool_size];
+        let mut budget_ok = true;
+        let mut probe_order: Vec<usize> = (0..pool_size).filter(|b| !hold.contains(b)).collect();
+        probe_order.sort_by_key(|&b| (weight(b), b));
+        probe_order.truncate(opts.max_probes.max(watch.len() + 1));
+        // Watched (tentatively removed) signals must stay probe-able, or
+        // the greedy loop could not re-add them.
+        for &w in &watch {
+            if !probe_order.contains(&w) {
+                probe_order.push(w);
+            }
+        }
+        for b in probe_order {
+            match enumerate_cex_capped(
+                q,
+                &hold,
+                Some(b),
+                &watch,
+                opts.conflict_budget,
+                opts.max_probe_cex,
+            ) {
+                Some(set) => cex[b] = Some(set),
+                None => {
+                    budget_ok = false;
+                    break;
+                }
+            }
+        }
+        if !budget_ok {
+            break;
+        }
+
+        // Pool of projections any probe left unblocked.
+        let mut pool_cex = CexSet::default();
+        for set in cex.iter().flatten() {
+            pool_cex.union_with(set);
+        }
+
+        // Step 3: greedy CPB until Hold ∪ Γ is feasible.
+        let mut gamma: Vec<usize> = Vec::new();
+        loop {
+            let mut selection: Vec<usize> = hold.clone();
+            selection.extend(&gamma);
+            match q.feasible(&selection, opts.conflict_budget) {
+                Some(true) => break,
+                None => {
+                    budget_ok = false;
+                    break;
+                }
+                Some(false) => {}
+            }
+            // Pick min CPB = W(b') / |newly blocked|.
+            let mut pick: Option<(usize, f64)> = None;
+            for (b, probe_cex) in cex.iter().enumerate() {
+                if hold.contains(&b) || gamma.contains(&b) {
+                    continue;
+                }
+                let Some(set) = probe_cex else { continue };
+                let blocked = pool_cex.count_not_in(set);
+                let score = if blocked == 0 {
+                    // Blocks nothing we know of: de-prioritize by weight.
+                    f64::INFINITY
+                } else {
+                    weight(b) as f64 / blocked as f64
+                };
+                match pick {
+                    Some((_, s)) if s <= score => {}
+                    _ => pick = Some((b, score)),
+                }
+            }
+            let Some((b, score)) = pick else {
+                // Pool exhausted — cannot happen if the initial base is
+                // feasible, but guard anyway.
+                budget_ok = false;
+                break;
+            };
+            if score.is_infinite() {
+                // No candidate blocks a known projection; fall back to the
+                // cheapest remaining candidate to guarantee progress.
+                let mut fallback: Option<usize> = None;
+                for (b2, probe_cex) in cex.iter().enumerate() {
+                    if hold.contains(&b2) || gamma.contains(&b2) || probe_cex.is_none() {
+                        continue;
+                    }
+                    match fallback {
+                        Some(f) if weight(f) <= weight(b2) => {}
+                        _ => fallback = Some(b2),
+                    }
+                }
+                gamma.push(fallback.unwrap_or(b));
+            } else {
+                gamma.push(b);
+            }
+            if let Some(&last) = gamma.last() {
+                if let Some(set) = &cex[last] {
+                    pool_cex.intersect_with(set);
+                }
+            }
+        }
+        if !budget_ok {
+            break;
+        }
+
+        // New base = Hold ∪ Γ; keep the cheapest.
+        let mut new_base: Vec<usize> = hold.clone();
+        new_base.extend(&gamma);
+        let c = cost_of(ws, q, &new_base);
+        if c < best_cost {
+            best_cost = c;
+            best = new_base.clone();
+        }
+
+        // Step 4: rotate the watch window.
+        hold = new_base;
+        hold.sort_by(|&a, &b| weight(b).cmp(&weight(a)).then(a.cmp(&b)));
+        let take = beta.min(hold.len());
+        watch = hold.drain(..take).collect();
+        if watch.is_empty() {
+            break;
+        }
+    }
+
+    SelectedBase {
+        base: best,
+        cost: best_cost,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carediff::on_off_sets;
+    use crate::EcoInstance;
+    use eco_netlist::{parse_verilog, WeightTable};
+
+    /// Spec on-set = a & b. Candidates: a (w=9), b (w=9), and the existing
+    /// net w = a&b (w=3). Starting from base {a, b} (cost 18), selection
+    /// must discover the single-signal base {w} (cost 3).
+    fn fixture() -> (crate::Workspace, RebaseQuery, Vec<usize>) {
+        let faulty = parse_verilog(
+            "module f (a, b, c, t, y, u); input a, b, c, t; output y, u; \
+             wire w; and g0 (w, a, b); xor g1 (y, t, c); buf g2 (u, w); endmodule",
+        )
+        .expect("faulty");
+        let golden = parse_verilog(
+            "module g (a, b, c, y, u); input a, b, c; output y, u; \
+             wire w; and g0 (w, a, b); xor g1 (y, w, c); buf g2 (u, w); endmodule",
+        )
+        .expect("golden");
+        let mut weights = WeightTable::new(9);
+        weights.set("w", 3);
+        let inst = EcoInstance::from_netlists("bs", &faulty, &golden, vec!["t".into()], &weights)
+            .expect("instance");
+        let mut ws = Workspace::new(&inst);
+        let t = ws.target_vars[0];
+        let f_outs = ws.f_outs.clone();
+        let g_outs = ws.g_outs.clone();
+        let onoff = on_off_sets(&mut ws.mgr, &f_outs, &g_outs, t);
+        let pool: Vec<usize> = (0..ws.cands.len()).collect();
+        let q = RebaseQuery::new(&ws, onoff.on, onoff.off, pool.clone());
+        (ws, q, pool)
+    }
+
+    fn pool_pos(ws: &crate::Workspace, pool: &[usize], name: &str) -> usize {
+        pool.iter()
+            .position(|&i| ws.cands[i].name == name)
+            .unwrap_or_else(|| panic!("{name} in pool"))
+    }
+
+    #[test]
+    fn discovers_cheaper_single_signal_base() {
+        let (ws, mut q, pool) = fixture();
+        let a = pool_pos(&ws, &pool, "a");
+        let b = pool_pos(&ws, &pool, "b");
+        let w = pool_pos(&ws, &pool, "w");
+        let opts = BaseSelectOptions {
+            watch_size: 2,
+            ..Default::default()
+        };
+        let got = select_base(&ws, &mut q, &[a, b], &opts);
+        assert_eq!(got.cost, 3, "base {:?}", got.base);
+        assert_eq!(got.base, vec![w]);
+        assert!(got.rounds >= 1);
+    }
+
+    #[test]
+    fn already_optimal_base_is_kept() {
+        let (ws, mut q, pool) = fixture();
+        let w = pool_pos(&ws, &pool, "w");
+        let got = select_base(&ws, &mut q, &[w], &BaseSelectOptions::default());
+        assert_eq!(got.cost, 3);
+        assert_eq!(got.base, vec![w]);
+    }
+
+    #[test]
+    fn watch_window_larger_than_base_is_fine() {
+        let (ws, mut q, pool) = fixture();
+        let a = pool_pos(&ws, &pool, "a");
+        let b = pool_pos(&ws, &pool, "b");
+        let opts = BaseSelectOptions {
+            watch_size: 8,
+            ..Default::default()
+        };
+        let got = select_base(&ws, &mut q, &[a, b], &opts);
+        assert!(got.cost <= 18);
+    }
+}

@@ -1,0 +1,200 @@
+//! Care-set / diff-set construction (§2.3) and the per-target on/off sets
+//! of Eqs. (5)–(8).
+
+use eco_aig::{Aig, Lit, Var};
+
+/// The on-set and off-set circuits of a target-variable-dependent patch
+/// function `p'_k` (Eqs. 7 and 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OnOff {
+    /// Minterms where the patch must output 1.
+    pub on: Lit,
+    /// Minterms where the patch must output 0.
+    pub off: Lit,
+}
+
+/// Builds the multi-output on/off sets for target `t` given the *current*
+/// working outputs `f_cur` (earlier targets already substituted) and the
+/// golden outputs `g_outs`:
+///
+/// ```text
+/// on  = ⋁_j care_j^t ∧ diff_j|t=0      off = ⋁_j care_j^t ∧ diff_j|t=1
+/// care_j^t = f_j|t=0 ⊕ f_j|t=1         diff_j|t=e = f_j|t=e ⊕ g_j
+/// ```
+///
+/// # Panics
+///
+/// Panics if `f_cur` and `g_outs` have different lengths.
+pub fn on_off_sets(mgr: &mut Aig, f_cur: &[Lit], g_outs: &[Lit], t: Var) -> OnOff {
+    assert_eq!(f_cur.len(), g_outs.len(), "output arity mismatch");
+    let f0 = mgr.cofactor(f_cur, t, false);
+    let f1 = mgr.cofactor(f_cur, t, true);
+    let mut on_terms = Vec::with_capacity(f_cur.len());
+    let mut off_terms = Vec::with_capacity(f_cur.len());
+    for j in 0..f_cur.len() {
+        let care = mgr.xor(f0[j], f1[j]);
+        let d0 = mgr.xor(f0[j], g_outs[j]);
+        let d1 = mgr.xor(f1[j], g_outs[j]);
+        on_terms.push(mgr.and(care, d0));
+        off_terms.push(mgr.and(care, d1));
+    }
+    OnOff {
+        on: mgr.or_many(&on_terms),
+        off: mgr.or_many(&off_terms),
+    }
+}
+
+/// Builds the *exact* determinization on/off sets from the equivalence
+/// relation `R(X, T) = ⋀_j (f_j ≡ g_j)`:
+///
+/// ```text
+/// on  = ¬R|t=0 ∧ R|t=1        off = R|t=0 ∧ ¬R|t=1
+/// ```
+///
+/// Unlike the per-output union of Eqs. (7)/(8), these sets are disjoint
+/// *by construction*, so Craig interpolation between them can never hit
+/// the §4.3 multi-output conflict. The price is a smaller don't-care set
+/// (conflict points are forced instead of free), which is why the paper
+/// prefers Eqs. (7)/(8) when they work; the engine uses this form as the
+/// guaranteed-applicable fallback.
+pub fn exact_on_off_sets(mgr: &mut Aig, f_cur: &[Lit], g_outs: &[Lit], t: Var) -> OnOff {
+    assert_eq!(f_cur.len(), g_outs.len(), "output arity mismatch");
+    let eqs: Vec<Lit> = f_cur
+        .iter()
+        .zip(g_outs)
+        .map(|(&f, &g)| mgr.xnor(f, g))
+        .collect();
+    let r = mgr.and_many(&eqs);
+    let r0 = mgr.cofactor(&[r], t, false)[0];
+    let r1 = mgr.cofactor(&[r], t, true)[0];
+    OnOff {
+        on: mgr.and(!r0, r1),
+        off: mgr.and(r0, !r1),
+    }
+}
+
+/// Builds the diff-set `⋁_j f_j ⊕ g_j` (the error-minterm characteristic
+/// function over the current inputs).
+pub fn diff_set(mgr: &mut Aig, f_outs: &[Lit], g_outs: &[Lit]) -> Lit {
+    assert_eq!(f_outs.len(), g_outs.len(), "output arity mismatch");
+    let xors: Vec<Lit> = f_outs
+        .iter()
+        .zip(g_outs)
+        .map(|(&f, &g)| mgr.xor(f, g))
+        .collect();
+    mgr.or_many(&xors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single-output sanity: F = t ^ c, G = (a & b) ^ c.
+    /// care^t = 1 (t always observable), diff|t=0 = c ^ ((a&b)^c) = a&b,
+    /// diff|t=1 = !(a&b). So on = a&b, off = !(a&b).
+    #[test]
+    fn single_output_on_off() {
+        let mut mgr = Aig::new();
+        let a = mgr.add_input("a");
+        let b = mgr.add_input("b");
+        let c = mgr.add_input("c");
+        let t = mgr.add_input("t");
+        let f = mgr.xor(t, c);
+        let ab = mgr.and(a, b);
+        let g = mgr.xor(ab, c);
+        let onoff = on_off_sets(&mut mgr, &[f], &[g], t.var());
+        mgr.add_output("on", onoff.on);
+        mgr.add_output("off", onoff.off);
+        for bits in 0u32..16 {
+            let vals: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let expect_on = vals[0] && vals[1];
+            let out = mgr.eval(&vals);
+            assert_eq!(out[0], expect_on, "on at {vals:?}");
+            assert_eq!(out[1], !expect_on, "off at {vals:?}");
+        }
+    }
+
+    /// Output insensitive to t contributes nothing (care = 0).
+    #[test]
+    fn insensitive_output_contributes_nothing() {
+        let mut mgr = Aig::new();
+        let a = mgr.add_input("a");
+        let t = mgr.add_input("t");
+        let f = mgr.and(a, a); // = a, independent of t
+        let g = !a;
+        let onoff = on_off_sets(&mut mgr, &[f], &[g], t.var());
+        // care = 0 → both sets empty even though f != g.
+        assert_eq!(onoff.on, Lit::FALSE);
+        assert_eq!(onoff.off, Lit::FALSE);
+    }
+
+    /// Multi-output union: conflicting requirements make on and off
+    /// overlap (the §4.3 interpolation-failure scenario).
+    #[test]
+    fn multi_output_conflict_overlaps() {
+        let mut mgr = Aig::new();
+        let t = mgr.add_input("t");
+        // f1 = t must equal g1 = 1 → on-set everywhere.
+        // f2 = t must equal g2 = 0 → off-set everywhere.
+        let f1 = t;
+        let f2 = t;
+        let g1 = Lit::TRUE;
+        let g2 = Lit::FALSE;
+        let onoff = on_off_sets(&mut mgr, &[f1, f2], &[g1, g2], t.var());
+        assert_eq!(onoff.on, Lit::TRUE);
+        assert_eq!(onoff.off, Lit::TRUE);
+    }
+
+    /// Exact determinization sets are always disjoint, even in the
+    /// multi-output conflict scenario where Eqs. (7)/(8) overlap.
+    #[test]
+    fn exact_sets_are_disjoint_under_conflict() {
+        let mut mgr = Aig::new();
+        let t = mgr.add_input("t");
+        let f1 = t;
+        let f2 = t;
+        let g1 = Lit::TRUE;
+        let g2 = Lit::FALSE;
+        let exact = exact_on_off_sets(&mut mgr, &[f1, f2], &[g1, g2], t.var());
+        let overlap = mgr.and(exact.on, exact.off);
+        assert_eq!(overlap, Lit::FALSE);
+    }
+
+    /// On a conflict-free instance the exact sets agree with Eqs. (7)/(8)
+    /// where both are defined (single output: identical).
+    #[test]
+    fn exact_matches_union_single_output() {
+        let mut mgr = Aig::new();
+        let a = mgr.add_input("a");
+        let b = mgr.add_input("b");
+        let c = mgr.add_input("c");
+        let t = mgr.add_input("t");
+        let f = mgr.xor(t, c);
+        let ab = mgr.and(a, b);
+        let g = mgr.xor(ab, c);
+        let union = on_off_sets(&mut mgr, &[f], &[g], t.var());
+        let exact = exact_on_off_sets(&mut mgr, &[f], &[g], t.var());
+        mgr.add_output("u_on", union.on);
+        mgr.add_output("e_on", exact.on);
+        mgr.add_output("u_off", union.off);
+        mgr.add_output("e_off", exact.off);
+        for bits in 0u32..16 {
+            let vals: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let out = mgr.eval(&vals);
+            assert_eq!(out[0], out[1], "on at {vals:?}");
+            assert_eq!(out[2], out[3], "off at {vals:?}");
+        }
+    }
+
+    #[test]
+    fn diff_set_detects_disagreement() {
+        let mut mgr = Aig::new();
+        let a = mgr.add_input("a");
+        let b = mgr.add_input("b");
+        let d = diff_set(&mut mgr, &[a, b], &[a, !b]);
+        // Outputs differ exactly on the second pair → diff = 1 always.
+        assert_eq!(d, Lit::TRUE);
+        let d2 = diff_set(&mut mgr, &[a, b], &[a, b]);
+        assert_eq!(d2, Lit::FALSE);
+    }
+}

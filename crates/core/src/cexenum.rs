@@ -1,0 +1,225 @@
+//! Counterexample enumeration over Watch variables (§6.2.1, Table 1).
+//!
+//! With the Hold signals (plus one probe candidate) selected in the Eq.-12
+//! formula, every satisfying assignment is a *counterexample*: an on-set
+//! point and an off-set point that the selected signals fail to
+//! distinguish. Counterexamples are projected onto the Watch signals of
+//! the on-copy and blocked one projection at a time with clauses guarded
+//! by fresh control variables — the controls are simply not assumed in
+//! later enumerations, deactivating the blocks without solver surgery.
+
+use crate::rebase::RebaseQuery;
+
+/// The counterexample projections seen for one probe: each entry is a
+/// bitmask over the Watch list (bit `i` = value of the on-copy literal of
+/// `watch[i]`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CexSet {
+    /// Distinct projections in discovery order.
+    pub masks: Vec<u32>,
+}
+
+impl CexSet {
+    /// Returns `true` if no counterexample exists (the probed selection is
+    /// feasible).
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Number of distinct projections.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Counts projections in `self` that are absent from `other` — the
+    /// "newly blocked" quantity in the CPB score (Eq. 13).
+    pub fn count_not_in(&self, other: &CexSet) -> usize {
+        self.masks
+            .iter()
+            .filter(|m| !other.masks.contains(m))
+            .count()
+    }
+
+    /// Set union (used to accumulate the candidate pool's projections).
+    pub fn union_with(&mut self, other: &CexSet) {
+        for &m in &other.masks {
+            if !self.masks.contains(&m) {
+                self.masks.push(m);
+            }
+        }
+    }
+
+    /// Set intersection (projections still unblocked).
+    pub fn intersect_with(&mut self, other: &CexSet) {
+        self.masks.retain(|m| other.masks.contains(m));
+    }
+}
+
+/// Enumerates counterexample projections onto `watch` (pool indices)
+/// with `hold ∪ probe` selected (all pool indices), up to `max_cex`
+/// projections (a runtime knob on top of the paper's `2^|watch|` bound).
+///
+/// Returns `None` when the conflict budget is exhausted mid-enumeration.
+/// Each found projection is blocked through a fresh control literal that
+/// subsequent calls leave unassumed.
+///
+/// # Panics
+///
+/// Panics if `watch.len() > 31`.
+pub fn enumerate_cex(
+    q: &mut RebaseQuery,
+    hold: &[usize],
+    probe: Option<usize>,
+    watch: &[usize],
+    conflict_budget: u64,
+) -> Option<CexSet> {
+    enumerate_cex_capped(q, hold, probe, watch, conflict_budget, usize::MAX)
+}
+
+/// [`enumerate_cex`] with an explicit projection cap.
+pub fn enumerate_cex_capped(
+    q: &mut RebaseQuery,
+    hold: &[usize],
+    probe: Option<usize>,
+    watch: &[usize],
+    conflict_budget: u64,
+    max_cex: usize,
+) -> Option<CexSet> {
+    assert!(watch.len() <= 31, "watch windows beyond 31 are impractical");
+    let mut assumptions: Vec<eco_sat::Lit> = hold.iter().map(|&i| q.sel_lits()[i]).collect();
+    if let Some(p) = probe {
+        assumptions.push(q.sel_lits()[p]);
+    }
+    let watch_b1: Vec<eco_sat::Lit> = watch.iter().map(|&i| q.b1_lits()[i]).collect();
+
+    let mut set = CexSet::default();
+    let mut local_controls: Vec<eco_sat::Lit> = Vec::new();
+    while set.masks.len() < max_cex {
+        let mut assume = assumptions.clone();
+        assume.extend(&local_controls);
+        match q.solver_mut().solve_limited(&assume, conflict_budget) {
+            None => return None,
+            Some(false) => break,
+            Some(true) => {
+                let mut mask = 0u32;
+                let mut block: Vec<eco_sat::Lit> = Vec::new();
+                let c = q.solver_mut().new_var().pos();
+                block.push(!c);
+                for (i, &wl) in watch_b1.iter().enumerate() {
+                    let val = q.solver_mut().model_value(wl) == eco_sat::LBool::True;
+                    if val {
+                        mask |= 1 << i;
+                    }
+                    // Block this on-copy projection: at least one watch
+                    // literal must differ next time (Table 1's
+                    // `c → a ∨ ¬b` pattern).
+                    block.push(if val { !wl } else { wl });
+                }
+                if watch_b1.is_empty() {
+                    // Nothing to project on: one counterexample suffices.
+                    set.masks.push(0);
+                    break;
+                }
+                debug_assert!(!set.masks.contains(&mask), "projection repeated");
+                set.masks.push(mask);
+                q.solver_mut().add_clause(&block);
+                local_controls.push(c);
+            }
+        }
+    }
+    Some(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carediff::on_off_sets;
+    use crate::{EcoInstance, RebaseQuery, Workspace};
+    use eco_netlist::{parse_verilog, WeightTable};
+
+    /// The paper's Table-1 setting: patch p = a ⊕ b over base {a, b}.
+    /// With no base selected, the on-copy projections on (a, b) are
+    /// exactly the on-set rows {01, 10}; two blocking clauses end the
+    /// enumeration (§6.2.1's worked example).
+    fn xor_query() -> (Workspace, RebaseQuery, usize, usize) {
+        let faulty = parse_verilog(
+            "module f (a, b, t, y); input a, b, t; output y; buf g (y, t); endmodule",
+        )
+        .expect("faulty");
+        let golden =
+            parse_verilog("module g (a, b, y); input a, b; output y; xor g (y, a, b); endmodule")
+                .expect("golden");
+        let inst = EcoInstance::from_netlists(
+            "t1",
+            &faulty,
+            &golden,
+            vec!["t".into()],
+            &WeightTable::new(1),
+        )
+        .expect("instance");
+        let mut ws = Workspace::new(&inst);
+        let t = ws.target_vars[0];
+        let f_outs = ws.f_outs.clone();
+        let g_outs = ws.g_outs.clone();
+        let onoff = on_off_sets(&mut ws.mgr, &f_outs, &g_outs, t);
+        let pool: Vec<usize> = (0..ws.cands.len()).collect();
+        let a = pool
+            .iter()
+            .position(|&i| ws.cands[i].name == "a")
+            .expect("a");
+        let b = pool
+            .iter()
+            .position(|&i| ws.cands[i].name == "b")
+            .expect("b");
+        let q = RebaseQuery::new(&ws, onoff.on, onoff.off, pool);
+        (ws, q, a, b)
+    }
+
+    #[test]
+    fn table1_xor_enumeration() {
+        let (_ws, mut q, a, b) = xor_query();
+        // Watch (a, b); nothing selected. On-set of a⊕b = {01, 10}.
+        let cex = enumerate_cex(&mut q, &[], None, &[a, b], 1 << 20).expect("in budget");
+        let mut masks = cex.masks.clone();
+        masks.sort_unstable();
+        // bit0 = a, bit1 = b: {a=1,b=0} = 0b01, {a=0,b=1} = 0b10.
+        assert_eq!(masks, vec![0b01, 0b10]);
+    }
+
+    #[test]
+    fn selecting_the_base_removes_all_cex() {
+        let (_ws, mut q, a, b) = xor_query();
+        let cex = enumerate_cex(&mut q, &[a], Some(b), &[a, b], 1 << 20).expect("in budget");
+        assert!(cex.is_empty(), "base {{a,b}} distinguishes everything");
+        // And the blocked clauses from earlier runs don't leak: a fresh
+        // unconstrained enumeration still sees both projections.
+        let again = enumerate_cex(&mut q, &[], None, &[a, b], 1 << 20).expect("in budget");
+        assert_eq!(again.len(), 2);
+    }
+
+    #[test]
+    fn partial_base_leaves_cex() {
+        let (_ws, mut q, a, b) = xor_query();
+        // Selecting only a: on/off points still collide when they agree on
+        // a but differ on b.
+        let cex = enumerate_cex(&mut q, &[], Some(a), &[a, b], 1 << 20).expect("in budget");
+        assert!(!cex.is_empty());
+        let _ = b;
+    }
+
+    #[test]
+    fn cexset_algebra() {
+        let s1 = CexSet {
+            masks: vec![1, 2, 3],
+        };
+        let s2 = CexSet { masks: vec![2, 4] };
+        assert_eq!(s1.count_not_in(&s2), 2);
+        let mut u = s1.clone();
+        u.union_with(&s2);
+        assert_eq!(u.len(), 4);
+        let mut i = s1.clone();
+        i.intersect_with(&s2);
+        assert_eq!(i.masks, vec![2]);
+        assert!(!i.is_empty());
+    }
+}

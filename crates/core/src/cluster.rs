@@ -1,0 +1,178 @@
+//! Target clustering (Fig. 2 of the paper).
+//!
+//! Two targets belong to one group when they share a primary output in
+//! their transitive fanout cones; groups sharing a target are merged
+//! iteratively. Rectification then proceeds one group at a time, which
+//! bounds the cone sizes of every downstream SAT query.
+
+use eco_fraig::ParityUnionFind;
+
+use crate::Workspace;
+
+/// One group of targets and the outputs they can influence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TargetCluster {
+    /// Indices into `instance.targets` / `workspace.target_vars`.
+    pub targets: Vec<usize>,
+    /// Indices of the primary outputs reachable from these targets.
+    pub outputs: Vec<usize>,
+}
+
+/// Result of the clustering stage.
+#[derive(Clone, Debug, Default)]
+pub struct Clustering {
+    /// Groups in ascending order of their smallest target index.
+    pub clusters: Vec<TargetCluster>,
+    /// Outputs not reachable from any target. These cannot be influenced
+    /// by any patch, so they must already match the golden circuit
+    /// (checked during verification).
+    pub untouched_outputs: Vec<usize>,
+    /// Targets that reach no output at all; their patch is arbitrary (the
+    /// engine ties them to constant false).
+    pub dead_targets: Vec<usize>,
+}
+
+/// Clusters the targets of `ws` by shared-output reachability.
+pub fn cluster_targets(ws: &Workspace) -> Clustering {
+    let n_targets = ws.target_vars.len();
+    let m = ws.num_outputs();
+
+    // targets_of[j] = targets in the support of output j.
+    let mut targets_of: Vec<Vec<usize>> = Vec::with_capacity(m);
+    for j in 0..m {
+        let sup = ws.mgr.support(&[ws.f_outs[j]]);
+        let ts: Vec<usize> = (0..n_targets)
+            .filter(|&k| sup.contains(&ws.target_vars[k]))
+            .collect();
+        targets_of.push(ts);
+    }
+
+    let mut uf = ParityUnionFind::new(n_targets);
+    for ts in &targets_of {
+        for w in ts.windows(2) {
+            uf.union(w[0], w[1], false);
+        }
+    }
+
+    let mut cluster_of_root: std::collections::HashMap<usize, usize> = Default::default();
+    let mut clusters: Vec<TargetCluster> = Vec::new();
+    let mut dead_targets = Vec::new();
+    let reachable: Vec<bool> = (0..n_targets)
+        .map(|k| targets_of.iter().any(|ts| ts.contains(&k)))
+        .collect();
+    for (k, &is_reachable) in reachable.iter().enumerate() {
+        if !is_reachable {
+            dead_targets.push(k);
+            continue;
+        }
+        let (root, _) = uf.find(k);
+        let idx = *cluster_of_root.entry(root).or_insert_with(|| {
+            clusters.push(TargetCluster {
+                targets: Vec::new(),
+                outputs: Vec::new(),
+            });
+            clusters.len() - 1
+        });
+        clusters[idx].targets.push(k);
+    }
+    let mut untouched_outputs = Vec::new();
+    for (j, ts) in targets_of.iter().enumerate() {
+        match ts.first() {
+            None => untouched_outputs.push(j),
+            Some(&t) => {
+                let (root, _) = uf.find(t);
+                let idx = cluster_of_root[&root];
+                clusters[idx].outputs.push(j);
+            }
+        }
+    }
+    clusters.sort_by_key(|c| c.targets[0]);
+    Clustering {
+        clusters,
+        untouched_outputs,
+        dead_targets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EcoInstance;
+    use eco_netlist::{parse_verilog, WeightTable};
+
+    fn make(faulty: &str, golden: &str, targets: &[&str]) -> Clustering {
+        let f = parse_verilog(faulty).expect("faulty");
+        let g = parse_verilog(golden).expect("golden");
+        let inst = EcoInstance::from_netlists(
+            "c",
+            &f,
+            &g,
+            targets.iter().map(|s| s.to_string()).collect(),
+            &WeightTable::new(1),
+        )
+        .expect("instance");
+        cluster_targets(&Workspace::new(&inst))
+    }
+
+    #[test]
+    fn fig2_topology_single_group() {
+        // Fig. 2 of the paper: t1 feeds o1 and o2 (with t2), t2 also feeds
+        // o3 with t3 — all three land in one group.
+        let clustering = make(
+            "module f (a, t1, t2, t3, o1, o2, o3); input a, t1, t2, t3; \
+             output o1, o2, o3; \
+             buf g1 (o1, t1); and g2 (o2, t1, t2); or g3 (o3, t2, t3); endmodule",
+            "module g (a, o1, o2, o3); input a; output o1, o2, o3; \
+             buf g1 (o1, a); buf g2 (o2, a); buf g3 (o3, a); endmodule",
+            &["t1", "t2", "t3"],
+        );
+        assert_eq!(clustering.clusters.len(), 1);
+        assert_eq!(clustering.clusters[0].targets, vec![0, 1, 2]);
+        assert_eq!(clustering.clusters[0].outputs, vec![0, 1, 2]);
+        assert!(clustering.untouched_outputs.is_empty());
+    }
+
+    #[test]
+    fn disjoint_targets_get_separate_groups() {
+        let clustering = make(
+            "module f (a, t1, t2, o1, o2, o3); input a, t1, t2; \
+             output o1, o2, o3; \
+             buf g1 (o1, t1); buf g2 (o2, t2); buf g3 (o3, a); endmodule",
+            "module g (a, o1, o2, o3); input a; output o1, o2, o3; \
+             not g1 (o1, a); buf g2 (o2, a); buf g3 (o3, a); endmodule",
+            &["t1", "t2"],
+        );
+        assert_eq!(clustering.clusters.len(), 2);
+        assert_eq!(clustering.clusters[0].targets, vec![0]);
+        assert_eq!(clustering.clusters[0].outputs, vec![0]);
+        assert_eq!(clustering.clusters[1].targets, vec![1]);
+        assert_eq!(clustering.clusters[1].outputs, vec![1]);
+        assert_eq!(clustering.untouched_outputs, vec![2]);
+    }
+
+    #[test]
+    fn transitive_merge_through_shared_target() {
+        // o1: {t1, t2}, o2: {t2, t3} — one group via t2.
+        let clustering = make(
+            "module f (t1, t2, t3, o1, o2); input t1, t2, t3; output o1, o2; \
+             and g1 (o1, t1, t2); or g2 (o2, t2, t3); endmodule",
+            "module g (o1, o2); output o1, o2; \
+             assign o1 = 1'b0; assign o2 = 1'b1; endmodule",
+            &["t1", "t2", "t3"],
+        );
+        assert_eq!(clustering.clusters.len(), 1);
+        assert_eq!(clustering.clusters[0].targets, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dead_target_reported() {
+        let clustering = make(
+            "module f (a, t1, t2, o1); input a, t1, t2; output o1; \
+             buf g1 (o1, t1); endmodule",
+            "module g (a, o1); input a; output o1; buf g1 (o1, a); endmodule",
+            &["t1", "t2"],
+        );
+        assert_eq!(clustering.dead_targets, vec![1]);
+        assert_eq!(clustering.clusters.len(), 1);
+    }
+}

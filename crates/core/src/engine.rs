@@ -1,0 +1,590 @@
+//! The top-level ECO engine: the full Fig.-1 flow.
+//!
+//! `FRAIG → clustering → localization → patch generation → cost
+//! optimization → verification`, with a completeness fallback: if a
+//! localized run fails final verification, the engine silently retries
+//! without localization before declaring the instance unrectifiable.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use eco_aig::{Aig, Lit, Var};
+use eco_fraig::{fraig_classes, fraig_reduce, FraigOptions};
+
+use crate::cluster::cluster_targets;
+use crate::localize::{Cut, TapMap};
+use crate::optimize::{optimize_patches, total_cost, OptimizeOptions};
+use crate::patchgen::{extract_patch_aig, generate_group_patches, PatchFn, PatchGenOptions};
+use crate::rectifiable::{check_rectifiable, Rectifiability};
+use crate::sizeopt::{reduce_patch_sizes, SizeOptOptions};
+use crate::synth::InitialPatchKind;
+use crate::verify::{check_equivalence, VerifyOutcome};
+use crate::{EcoError, EcoInstance, Workspace};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EcoOptions {
+    /// Run localization (Alg. 2); patches may then use intermediate
+    /// signals. Off = patches over primary inputs only.
+    pub localization: bool,
+    /// How initial patches are synthesized (§4.3).
+    pub initial_patch: InitialPatchKind,
+    /// Run the §6 cost optimizer.
+    pub optimize: bool,
+    /// Optimizer knobs.
+    pub optimize_opts: OptimizeOptions,
+    /// FRAIG sweeping knobs.
+    pub fraig: FraigOptions,
+    /// SAT conflict budget for synthesis queries.
+    pub synth_budget: u64,
+    /// SAT conflict budget for final verification.
+    pub verify_budget: u64,
+    /// Decide Eq. (2) (`∀X ∃T. F = G`) up front via 2QBF CEGAR before any
+    /// patch generation. Off by default — final verification already
+    /// guarantees soundness — but useful to fail fast on hopeless
+    /// instances with a universal counterexample.
+    pub precheck_rectifiability: bool,
+    /// Run the §2.4 don't-care-based patch size reduction after cost
+    /// optimization.
+    pub size_optimize: bool,
+    /// Knobs for the size reduction pass.
+    pub size_opts: SizeOptOptions,
+}
+
+impl Default for EcoOptions {
+    fn default() -> Self {
+        EcoOptions {
+            localization: true,
+            initial_patch: InitialPatchKind::OnSet,
+            optimize: true,
+            optimize_opts: OptimizeOptions::default(),
+            fraig: FraigOptions::default(),
+            synth_budget: 1 << 22,
+            verify_budget: u64::MAX,
+            precheck_rectifiability: false,
+            size_optimize: true,
+            size_opts: SizeOptOptions::default(),
+        }
+    }
+}
+
+impl EcoOptions {
+    /// The configuration used as the contest-winner-style *baseline* in
+    /// the paper's Table 2 comparison: primary-input-support patches
+    /// (reference \[20\]-style), no localization, no cost optimization.
+    pub fn baseline() -> Self {
+        EcoOptions {
+            localization: false,
+            optimize: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Wall-clock time per flow stage (Fig. 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimes {
+    /// FRAIG sweeping.
+    pub fraig: Duration,
+    /// Clustering + localization bookkeeping.
+    pub clustering: Duration,
+    /// Initial patch generation (Alg. 1).
+    pub patchgen: Duration,
+    /// Cost optimization (§6).
+    pub optimize: Duration,
+    /// Final verification.
+    pub verify: Duration,
+}
+
+impl StageTimes {
+    /// Total across stages.
+    pub fn total(&self) -> Duration {
+        self.fraig + self.clustering + self.patchgen + self.optimize + self.verify
+    }
+}
+
+/// One target's patch, reported over the final patch AIG.
+#[derive(Clone, Debug)]
+pub struct TargetPatch {
+    /// Target name.
+    pub target: String,
+    /// Base signal names this patch's function reads.
+    pub base: Vec<String>,
+    /// AND-gate count of this patch's cone (shared gates counted once per
+    /// patch here; the global `size` dedups across patches).
+    pub size: usize,
+}
+
+/// The engine's result.
+#[derive(Clone, Debug)]
+pub struct EcoResult {
+    /// Per-target patches.
+    pub patches: Vec<TargetPatch>,
+    /// The combined patch circuit: inputs = union of base signals (named
+    /// as in the faulty netlist), outputs = target names.
+    pub patch_aig: Aig,
+    /// Total base cost: sum of weights over the union of base signals.
+    pub cost: u64,
+    /// Total patch size in AND gates (shared logic counted once).
+    pub size: usize,
+    /// Stage wall-clock times.
+    pub stage_times: StageTimes,
+    /// `true` if the localized attempt failed verification and the engine
+    /// fell back to an unlocalized run.
+    pub localization_fallback: bool,
+    /// Interpolation attempts that fell back to the on-set (§4.3).
+    pub interpolation_fallbacks: usize,
+    /// Cost before/after the optimization stage.
+    pub optimize_delta: (u64, u64),
+}
+
+/// The cost-aware multi-target ECO patch generator.
+///
+/// # Examples
+///
+/// ```
+/// use eco_core::{EcoEngine, EcoInstance, EcoOptions};
+/// use eco_netlist::{parse_verilog, WeightTable};
+///
+/// let faulty = parse_verilog(
+///     "module f (a, b, c, t, y); input a, b, c, t; output y;
+///      xor g1 (y, t, c); endmodule",
+/// )?;
+/// let golden = parse_verilog(
+///     "module g (a, b, c, y); input a, b, c; output y;
+///      wire w; and g1 (w, a, b); xor g2 (y, w, c); endmodule",
+/// )?;
+/// let inst = EcoInstance::from_netlists(
+///     "demo", &faulty, &golden, vec!["t".into()], &WeightTable::new(1),
+/// )?;
+/// let result = EcoEngine::new(inst, EcoOptions::default()).run()?;
+/// assert_eq!(result.patches[0].target, "t");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct EcoEngine {
+    instance: EcoInstance,
+    options: EcoOptions,
+}
+
+impl EcoEngine {
+    /// Creates an engine over a validated instance.
+    pub fn new(instance: EcoInstance, options: EcoOptions) -> Self {
+        EcoEngine { instance, options }
+    }
+
+    /// The instance under rectification.
+    pub fn instance(&self) -> &EcoInstance {
+        &self.instance
+    }
+
+    /// Runs the full flow.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::Unrectifiable`] when no patch over the given targets can
+    /// make the circuits equivalent (witnessed by a failed final
+    /// verification of the complete, unlocalized derivation), and
+    /// [`EcoError::ResourceLimit`] when verification exhausts its budget.
+    pub fn run(&self) -> Result<EcoResult, EcoError> {
+        match self.attempt(self.options.localization)? {
+            Ok(result) => Ok(result),
+            Err(_cex) if self.options.localization => {
+                // Completeness fallback: retry without localization.
+                match self.attempt(false)? {
+                    Ok(mut result) => {
+                        result.localization_fallback = true;
+                        Ok(result)
+                    }
+                    Err(cex) => Err(EcoError::Unrectifiable(format!(
+                        "verification counterexample: {cex}"
+                    ))),
+                }
+            }
+            Err(cex) => Err(EcoError::Unrectifiable(format!(
+                "verification counterexample: {cex}"
+            ))),
+        }
+    }
+
+    /// One flow attempt; `Ok(Err(cex))` = verification failed.
+    fn attempt(&self, localization: bool) -> Result<Result<EcoResult, String>, EcoError> {
+        let opts = &self.options;
+        let mut times = StageTimes::default();
+        let mut ws = Workspace::new(&self.instance);
+
+        // Stage 1: FRAIG (only needed for localization taps).
+        let t0 = Instant::now();
+        let tap = if localization {
+            let classes = fraig_classes(&ws.mgr, &opts.fraig);
+            TapMap::build(&ws, &classes)
+        } else {
+            TapMap::empty()
+        };
+        times.fraig = t0.elapsed();
+
+        // Stage 2: clustering.
+        let t0 = Instant::now();
+        let clustering = cluster_targets(&ws);
+        times.clustering = t0.elapsed();
+
+        if opts.precheck_rectifiability {
+            match check_rectifiable(&mut ws, 256, opts.verify_budget) {
+                Rectifiability::Rectifiable => {}
+                Rectifiability::Counterexample(cex) => {
+                    return Err(EcoError::Unrectifiable(format!(
+                        "Eq. (2) counterexample: no target assignment works at {cex:?}"
+                    )))
+                }
+                Rectifiability::Unknown => {
+                    return Err(EcoError::ResourceLimit("rectifiability precheck".into()))
+                }
+            }
+        }
+
+        // Untouched outputs must already match — otherwise no patch can
+        // ever rectify them (fast necessary condition for Eq. 2).
+        if !clustering.untouched_outputs.is_empty() {
+            let pairs: Vec<(Lit, Lit)> = clustering
+                .untouched_outputs
+                .iter()
+                .map(|&j| (ws.f_outs[j], ws.g_outs[j]))
+                .collect();
+            match check_equivalence(&mut ws.mgr, &pairs, opts.verify_budget) {
+                VerifyOutcome::Equivalent => {}
+                VerifyOutcome::Counterexample(cex) => {
+                    let at = if cex.is_empty() {
+                        "for all inputs".to_string()
+                    } else {
+                        format!("at {cex:?}")
+                    };
+                    return Err(EcoError::Unrectifiable(format!(
+                        "output outside all target fanout cones differs {at}"
+                    )));
+                }
+                VerifyOutcome::Unknown => {
+                    return Err(EcoError::ResourceLimit(
+                        "verification budget (untouched outputs)".into(),
+                    ))
+                }
+            }
+        }
+
+        // Stage 3+4: localization-aware patch generation per cluster.
+        let t0 = Instant::now();
+        let mut patches: Vec<PatchFn> = Vec::new();
+        let mut interpolation_fallbacks = 0;
+        let pg_opts = PatchGenOptions {
+            kind: opts.initial_patch,
+            conflict_budget: opts.synth_budget,
+            ..Default::default()
+        };
+        for cluster in &clustering.clusters {
+            let group = generate_group_patches(&mut ws, &tap, cluster, &pg_opts);
+            interpolation_fallbacks += group.fallbacks;
+            patches.extend(group.patches);
+        }
+        for &k in &clustering.dead_targets {
+            patches.push(PatchFn {
+                target: k,
+                lit: Lit::FALSE,
+                cut: Cut::default(),
+            });
+        }
+        times.patchgen = t0.elapsed();
+
+        // Stage 5: cost optimization.
+        let t0 = Instant::now();
+        let optimize_delta = if opts.optimize {
+            let stats = optimize_patches(&mut ws, &mut patches, &opts.optimize_opts);
+            (stats.cost_before, stats.cost_after)
+        } else {
+            let c = total_cost(&ws, &patches);
+            (c, c)
+        };
+        if opts.size_optimize {
+            let _ = reduce_patch_sizes(&mut ws, &mut patches, &opts.size_opts);
+        }
+        times.optimize = t0.elapsed();
+
+        // Stage 6: verification.
+        let t0 = Instant::now();
+        let map: HashMap<Var, Lit> = patches
+            .iter()
+            .map(|p| (ws.target_vars[p.target], p.lit))
+            .collect();
+        let f_outs = ws.f_outs.clone();
+        let patched = ws.mgr.substitute(&f_outs, &map);
+        let pairs: Vec<(Lit, Lit)> = patched.into_iter().zip(ws.g_outs.clone()).collect();
+        let verdict = check_equivalence(&mut ws.mgr, &pairs, opts.verify_budget);
+        times.verify = t0.elapsed();
+        match verdict {
+            VerifyOutcome::Equivalent => {}
+            VerifyOutcome::Counterexample(cex) => return Ok(Err(format!("{cex:?}"))),
+            VerifyOutcome::Unknown => {
+                return Err(EcoError::ResourceLimit("verification budget".into()))
+            }
+        }
+
+        // Assemble the result: order patches by target index, extract the
+        // combined patch AIG over the merged cut, prune unused inputs, and
+        // FRAIG-reduce the patch itself.
+        patches.sort_by_key(|p| p.target);
+        let merged = Cut::merge(patches.iter().map(|p| &p.cut));
+        let roots: Vec<Lit> = patches.iter().map(|p| p.lit).collect();
+        let (mut patch_aig, outs) = extract_patch_aig(&ws.mgr, &ws.target_vars, &roots, &merged);
+        for (p, &o) in patches.iter().zip(&outs) {
+            patch_aig.add_output(self.instance.targets[p.target].clone(), o);
+        }
+        let patch_aig = prune_unused_inputs(&patch_aig);
+        let patch_aig = {
+            let classes = fraig_classes(&patch_aig, &opts.fraig);
+            fraig_reduce(&patch_aig, &classes).compact()
+        };
+
+        let cost = total_cost(&ws, &patches);
+        let all_roots: Vec<Lit> = patch_aig.outputs().iter().map(|o| o.lit).collect();
+        let size = patch_aig.count_cone_ands(&all_roots);
+        let target_patches: Vec<TargetPatch> = patch_aig
+            .outputs()
+            .iter()
+            .map(|o| TargetPatch {
+                target: o.name.clone(),
+                base: patch_aig
+                    .support(&[o.lit])
+                    .iter()
+                    .map(|&v| {
+                        patch_aig
+                            .input_name(patch_aig.input_pos(v).expect("support is inputs"))
+                            .to_owned()
+                    })
+                    .collect(),
+                size: patch_aig.count_cone_ands(&[o.lit]),
+            })
+            .collect();
+
+        Ok(Ok(EcoResult {
+            patches: target_patches,
+            patch_aig,
+            cost,
+            size,
+            stage_times: times,
+            localization_fallback: false,
+            interpolation_fallbacks,
+            optimize_delta,
+        }))
+    }
+}
+
+/// Rebuilds `aig` keeping only inputs in the support of its outputs.
+fn prune_unused_inputs(aig: &Aig) -> Aig {
+    let roots: Vec<Lit> = aig.outputs().iter().map(|o| o.lit).collect();
+    let used = aig.support(&roots);
+    let mut new = Aig::new();
+    let mut map: HashMap<Var, Lit> = HashMap::new();
+    for &v in &used {
+        let pos = aig.input_pos(v).expect("support is inputs");
+        map.insert(v, new.add_input(aig.input_name(pos).to_owned()));
+    }
+    let outs = new.import(aig, &roots, &map);
+    for (o, &lit) in aig.outputs().iter().zip(&outs) {
+        new.add_output(o.name.clone(), lit);
+    }
+    new
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_netlist::{parse_verilog, WeightTable};
+
+    fn instance(
+        faulty: &str,
+        golden: &str,
+        targets: &[&str],
+        weights: &WeightTable,
+    ) -> EcoInstance {
+        EcoInstance::from_netlists(
+            "engine-test",
+            &parse_verilog(faulty).expect("faulty"),
+            &parse_verilog(golden).expect("golden"),
+            targets.iter().map(|s| s.to_string()).collect(),
+            weights,
+        )
+        .expect("instance")
+    }
+
+    /// Exhaustively check that splicing the patch AIG into the faulty
+    /// circuit matches the golden circuit.
+    fn check_result(inst: &EcoInstance, result: &EcoResult) {
+        let x_names = inst.x_names();
+        assert!(x_names.len() <= 10, "exhaustive check needs few inputs");
+        // Evaluate golden directly; evaluate faulty with targets driven by
+        // the patch AIG, whose inputs are faulty nets (which in these tests
+        // are all X inputs or computable nets — we re-elaborate via the
+        // workspace instead for generality).
+        let ws = Workspace::new(inst);
+        let mut mgr = ws.mgr.clone();
+        // Patch outputs imported over the manager: patch input names are
+        // faulty net names = candidate names.
+        let mut imap: HashMap<Var, Lit> = HashMap::new();
+        for pos in 0..result.patch_aig.num_inputs() {
+            let name = result.patch_aig.input_name(pos);
+            let lit = ws
+                .cands
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.lit)
+                .or_else(|| ws.x_lit(name))
+                .unwrap_or_else(|| panic!("patch input `{name}` not found"));
+            imap.insert(result.patch_aig.input_var(pos), lit);
+        }
+        let proots: Vec<Lit> = result.patch_aig.outputs().iter().map(|o| o.lit).collect();
+        let plits = mgr.import(&result.patch_aig, &proots, &imap);
+        let tmap: HashMap<Var, Lit> = result
+            .patch_aig
+            .outputs()
+            .iter()
+            .zip(&plits)
+            .map(|(o, &l)| {
+                let k = inst
+                    .targets
+                    .iter()
+                    .position(|t| *t == o.name)
+                    .expect("target");
+                (ws.target_vars[k], l)
+            })
+            .collect();
+        let patched = mgr.substitute(&ws.f_outs.clone(), &tmap);
+        mgr.clear_outputs();
+        for (j, (&p, &g)) in patched.iter().zip(&ws.g_outs).enumerate() {
+            let m = mgr.xor(p, g);
+            mgr.add_output(format!("m{j}"), m);
+        }
+        let n = mgr.num_inputs();
+        for bits in 0u64..1 << n {
+            let vals: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert!(
+                mgr.eval(&vals).iter().all(|&b| !b),
+                "patched != golden at {vals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_target_end_to_end() {
+        let inst = instance(
+            "module f (a, b, c, t, y); input a, b, c, t; output y; \
+             xor g1 (y, t, c); endmodule",
+            "module g (a, b, c, y); input a, b, c; output y; \
+             wire w; and g1 (w, a, b); xor g2 (y, w, c); endmodule",
+            &["t"],
+            &WeightTable::new(3),
+        );
+        let result = EcoEngine::new(inst.clone(), EcoOptions::default())
+            .run()
+            .expect("rectifiable");
+        assert_eq!(result.patches.len(), 1);
+        assert!(result.cost > 0);
+        assert!(result.size >= 1);
+        check_result(&inst, &result);
+    }
+
+    #[test]
+    fn multi_target_end_to_end() {
+        let inst = instance(
+            "module f (a, b, c, t1, t2, y, z); input a, b, c, t1, t2; output y, z; \
+             or g1 (y, t1, t2); and g2 (z, t2, c); endmodule",
+            "module g (a, b, c, y, z); input a, b, c; output y, z; \
+             wire w1, w2; and g1 (w1, a, b); xor g2 (w2, a, c); \
+             or g3 (y, w1, w2); and g4 (z, w2, c); endmodule",
+            &["t1", "t2"],
+            &WeightTable::new(2),
+        );
+        let result = EcoEngine::new(inst.clone(), EcoOptions::default())
+            .run()
+            .expect("rectifiable");
+        assert_eq!(result.patches.len(), 2);
+        check_result(&inst, &result);
+    }
+
+    #[test]
+    fn localization_reuses_existing_net() {
+        // The needed function exists as cheap net `w`; PIs cost 50.
+        let mut weights = WeightTable::new(50);
+        weights.set("w", 2);
+        let inst = instance(
+            "module f (a, b, c, t, y, u); input a, b, c, t; output y, u; \
+             wire w; and g0 (w, a, b); xor g1 (y, t, c); buf g2 (u, w); endmodule",
+            "module g (a, b, c, y, u); input a, b, c; output y, u; \
+             wire w; and g0 (w, a, b); xor g1 (y, w, c); buf g2 (u, w); endmodule",
+            &["t"],
+            &weights,
+        );
+        let result = EcoEngine::new(inst.clone(), EcoOptions::default())
+            .run()
+            .expect("rectifiable");
+        check_result(&inst, &result);
+        assert_eq!(result.cost, 2, "patch should tap w: {:?}", result.patches);
+        assert_eq!(result.patches[0].base, vec!["w"]);
+        // Baseline (PI-only) must pay for the inputs instead.
+        let baseline = EcoEngine::new(inst.clone(), EcoOptions::baseline())
+            .run()
+            .expect("rectifiable");
+        check_result(&inst, &baseline);
+        assert!(baseline.cost > result.cost);
+    }
+
+    #[test]
+    fn unrectifiable_is_reported() {
+        // Output z does not depend on the target and differs from golden.
+        let inst = instance(
+            "module f (a, t, y, z); input a, t; output y, z; \
+             buf g1 (y, t); buf g2 (z, a); endmodule",
+            "module g (a, y, z); input a; output y, z; \
+             buf g1 (y, a); not g2 (z, a); endmodule",
+            &["t"],
+            &WeightTable::new(1),
+        );
+        let err = EcoEngine::new(inst, EcoOptions::default())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, EcoError::Unrectifiable(_)), "{err}");
+    }
+
+    #[test]
+    fn dead_target_gets_constant_patch() {
+        let inst = instance(
+            "module f (a, t1, t2, y); input a, t1, t2; output y; \
+             buf g1 (y, t1); endmodule",
+            "module g (a, y); input a; output y; not g1 (y, a); endmodule",
+            &["t1", "t2"],
+            &WeightTable::new(1),
+        );
+        let result = EcoEngine::new(inst.clone(), EcoOptions::default())
+            .run()
+            .expect("rectifiable");
+        let t2 = result
+            .patches
+            .iter()
+            .find(|p| p.target == "t2")
+            .expect("t2");
+        assert!(t2.base.is_empty());
+        assert_eq!(t2.size, 0);
+        check_result(&inst, &result);
+    }
+
+    #[test]
+    fn stage_times_are_recorded() {
+        let inst = instance(
+            "module f (a, t, y); input a, t; output y; and g1 (y, a, t); endmodule",
+            "module g (a, y); input a; output y; buf g1 (y, a); endmodule",
+            &["t"],
+            &WeightTable::new(1),
+        );
+        let result = EcoEngine::new(inst, EcoOptions::default())
+            .run()
+            .expect("ok");
+        // total() sums the stages; just ensure it is consistent.
+        assert!(result.stage_times.total() >= result.stage_times.patchgen);
+    }
+}

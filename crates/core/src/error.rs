@@ -1,0 +1,63 @@
+//! Error type for the ECO engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by instance construction and patch generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcoError {
+    /// A golden-circuit input has no same-named faulty-circuit input.
+    MissingInput(String),
+    /// A declared target is not a (pseudo-)input of the faulty circuit.
+    UnknownTarget(String),
+    /// The circuits' primary output name sets differ.
+    OutputMismatch(String),
+    /// No patch over the given targets can rectify the faulty circuit.
+    Unrectifiable(String),
+    /// A configured resource budget was exhausted.
+    ResourceLimit(String),
+}
+
+impl fmt::Display for EcoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoError::MissingInput(n) => {
+                write!(f, "golden input `{n}` has no matching faulty input")
+            }
+            EcoError::UnknownTarget(n) => {
+                write!(f, "target `{n}` is not an input of the faulty circuit")
+            }
+            EcoError::OutputMismatch(n) => {
+                write!(f, "output `{n}` is not present in both circuits")
+            }
+            EcoError::Unrectifiable(why) => write!(f, "instance is not rectifiable: {why}"),
+            EcoError::ResourceLimit(what) => write!(f, "resource limit exhausted: {what}"),
+        }
+    }
+}
+
+impl Error for EcoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EcoError::MissingInput("a".into())
+            .to_string()
+            .contains("`a`"));
+        assert!(EcoError::UnknownTarget("t".into())
+            .to_string()
+            .contains("`t`"));
+        assert!(EcoError::OutputMismatch("y".into())
+            .to_string()
+            .contains("`y`"));
+        assert!(EcoError::Unrectifiable("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(EcoError::ResourceLimit("sat".into())
+            .to_string()
+            .contains("sat"));
+    }
+}

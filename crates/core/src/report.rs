@@ -1,0 +1,98 @@
+//! Human-readable run reports.
+
+use std::fmt;
+
+use crate::EcoResult;
+
+/// A displayable summary of an [`EcoResult`] (one line per patch plus
+/// stage timings), used by the CLI and the benchmark harnesses.
+///
+/// # Examples
+///
+/// ```
+/// use eco_core::{EcoEngine, EcoInstance, EcoOptions, Report};
+/// use eco_netlist::{parse_verilog, WeightTable};
+///
+/// # let faulty = parse_verilog(
+/// #     "module f (a, b, t, y); input a, b, t; output y; and g (y, t, b); endmodule")?;
+/// # let golden = parse_verilog(
+/// #     "module g (a, b, y); input a, b; output y; wire w; xor g0 (w, a, b);
+/// #      and g1 (y, w, b); endmodule")?;
+/// # let inst = EcoInstance::from_netlists(
+/// #     "r", &faulty, &golden, vec!["t".into()], &WeightTable::new(1))?;
+/// let result = EcoEngine::new(inst, EcoOptions::default()).run()?;
+/// let text = Report(&result).to_string();
+/// assert!(text.contains("cost"));
+/// assert!(text.contains("t <-"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Report<'a>(pub &'a EcoResult);
+
+impl fmt::Display for Report<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.0;
+        writeln!(
+            f,
+            "patched {} target(s): cost {}, size {} AND gates{}",
+            r.patches.len(),
+            r.cost,
+            r.size,
+            if r.localization_fallback {
+                " (localization fallback)"
+            } else {
+                ""
+            }
+        )?;
+        for p in &r.patches {
+            writeln!(
+                f,
+                "  {} <- f({})  [{} gates]",
+                p.target,
+                p.base.join(", "),
+                p.size
+            )?;
+        }
+        let t = r.stage_times;
+        writeln!(
+            f,
+            "stages: fraig {:.1?}, cluster {:.1?}, patchgen {:.1?}, optimize {:.1?} (cost {} -> {}), verify {:.1?}",
+            t.fraig, t.clustering, t.patchgen, t.optimize, r.optimize_delta.0, r.optimize_delta.1, t.verify
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EcoEngine, EcoInstance, EcoOptions};
+    use eco_netlist::{parse_verilog, WeightTable};
+
+    #[test]
+    fn report_mentions_every_patch() {
+        let faulty = parse_verilog(
+            "module f (a, t1, t2, y, z); input a, t1, t2; output y, z; \
+             buf g1 (y, t1); and g2 (z, t2, a); endmodule",
+        )
+        .expect("faulty");
+        let golden = parse_verilog(
+            "module g (a, y, z); input a; output y, z; \
+             not g1 (y, a); buf g2 (z, a); endmodule",
+        )
+        .expect("golden");
+        let inst = EcoInstance::from_netlists(
+            "rep",
+            &faulty,
+            &golden,
+            vec!["t1".into(), "t2".into()],
+            &WeightTable::new(1),
+        )
+        .expect("instance");
+        let result = EcoEngine::new(inst, EcoOptions::default())
+            .run()
+            .expect("ok");
+        let text = Report(&result).to_string();
+        assert!(text.contains("t1 <-"), "{text}");
+        assert!(text.contains("t2 <-"), "{text}");
+        assert!(text.contains("stages:"), "{text}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Don't-care-based patch size reduction (§2.4).
+//!
+//! The patch specification is an *interval*: any function `h` with
+//! `on ⊆ h ⊆ ¬off` rectifies the target, and the gap between the bounds is
+//! exactly the observability/satisfiability don't-care set the paper says
+//! is "especially important in ECO". This pass exploits it as classic
+//! SAT-based redundancy removal: every AND node of a patch cone is
+//! tentatively replaced by a constant or one of its fanins, and the
+//! replacement is kept when a SAT check proves the mutated patch still
+//! lies inside the interval and the cone shrank.
+
+use std::collections::HashMap;
+
+use eco_aig::{Lit, Node, Var};
+use eco_sat::{encode_cone, Lit as SLit, Solver};
+
+use crate::carediff::on_off_sets;
+use crate::patchgen::PatchFn;
+use crate::Workspace;
+
+/// Knobs for the size-reduction pass.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeOptOptions {
+    /// Cap on replacement trials per patch.
+    pub max_trials: usize,
+    /// SAT conflict budget per validity check.
+    pub conflict_budget: u64,
+    /// Skip patches whose cone exceeds this many AND gates (each accepted
+    /// replacement restarts the node scan, so very large cones would make
+    /// the pass quadratic).
+    pub max_cone: usize,
+}
+
+impl Default for SizeOptOptions {
+    fn default() -> Self {
+        SizeOptOptions {
+            max_trials: 128,
+            conflict_budget: 50_000,
+            max_cone: 400,
+        }
+    }
+}
+
+/// Statistics from one size-reduction run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SizeOptStats {
+    /// Replacement candidates tried.
+    pub trials: usize,
+    /// Replacements accepted.
+    pub accepted: usize,
+    /// Summed per-patch cone sizes before.
+    pub size_before: usize,
+    /// Summed per-patch cone sizes after.
+    pub size_after: usize,
+}
+
+/// Validity check: is `candidate` inside the `[on, ¬off]` interval?
+/// Decides `(on ∧ ¬candidate) ∨ (off ∧ candidate)` unsat.
+fn patch_is_valid(
+    ws: &mut Workspace,
+    on: Lit,
+    off: Lit,
+    candidate: Lit,
+    conflict_budget: u64,
+) -> Option<bool> {
+    let viol = {
+        let mgr = &mut ws.mgr;
+        let bad_on = mgr.and(on, !candidate);
+        let bad_off = mgr.and(off, candidate);
+        mgr.or(bad_on, bad_off)
+    };
+    if viol == Lit::FALSE {
+        return Some(true);
+    }
+    let mut solver = Solver::new();
+    let mut map: HashMap<Var, SLit> = HashMap::new();
+    let roots = encode_cone(&ws.mgr, &[viol], &mut map, &mut solver);
+    solver.add_clause(&[roots[0]]);
+    solver.solve_limited(&[], conflict_budget).map(|sat| !sat)
+}
+
+/// Shrinks each patch cone in place using the ECO don't cares.
+///
+/// Each patch's specification is recomputed with every *other* patch
+/// substituted (as in the cost optimizer), so the interval reflects the
+/// final context. Cones are measured against each patch's own cut
+/// frontier.
+pub fn reduce_patch_sizes(
+    ws: &mut Workspace,
+    patches: &mut [PatchFn],
+    opts: &SizeOptOptions,
+) -> SizeOptStats {
+    let mut stats = SizeOptStats::default();
+    for p in 0..patches.len() {
+        let k = patches[p].target;
+        let frontier = patches[p].cut.frontier_vars();
+        let cone_size = |ws: &Workspace, lit: Lit, frontier: &std::collections::HashSet<Var>| {
+            ws.mgr.count_cone_ands_to_cut(&[lit], frontier)
+        };
+        stats.size_before += cone_size(ws, patches[p].lit, &frontier);
+
+        // Specification with the other patches fixed.
+        let other_map: HashMap<Var, Lit> = patches
+            .iter()
+            .filter(|q| q.target != k)
+            .map(|q| (ws.target_vars[q.target], q.lit))
+            .collect();
+        let f_outs = ws.f_outs.clone();
+        let g_outs = ws.g_outs.clone();
+        let f_spec = ws.mgr.substitute(&f_outs, &other_map);
+        let t = ws.target_vars[k];
+        let onoff = on_off_sets(&mut ws.mgr, &f_spec, &g_outs, t);
+
+        let mut trials_left = opts.max_trials;
+        if cone_size(ws, patches[p].lit, &frontier) > opts.max_cone {
+            trials_left = 0;
+        }
+        let mut improved = true;
+        while improved && trials_left > 0 {
+            improved = false;
+            let cur = patches[p].lit;
+            let cur_size = cone_size(ws, cur, &frontier);
+            if cur_size == 0 {
+                break;
+            }
+            // AND nodes strictly above the cut, deepest first (replacing a
+            // node near the root removes the most logic).
+            let mut nodes: Vec<Var> = ws
+                .mgr
+                .cone_vars_to_cut(&[cur], &frontier)
+                .into_iter()
+                .filter(|&v| ws.mgr.node(v).is_and() && !frontier.contains(&v))
+                .collect();
+            nodes.reverse();
+            'nodes: for v in nodes {
+                let Node::And { fan0, fan1 } = ws.mgr.node(v) else {
+                    continue;
+                };
+                for replacement in [Lit::FALSE, Lit::TRUE, fan0, fan1] {
+                    if trials_left == 0 {
+                        break 'nodes;
+                    }
+                    let mut map = HashMap::new();
+                    map.insert(v, replacement);
+                    let candidate = ws.mgr.substitute(&[cur], &map)[0];
+                    if cone_size(ws, candidate, &frontier) >= cur_size {
+                        continue;
+                    }
+                    trials_left -= 1;
+                    stats.trials += 1;
+                    if patch_is_valid(ws, onoff.on, onoff.off, candidate, opts.conflict_budget)
+                        == Some(true)
+                    {
+                        patches[p].lit = candidate;
+                        stats.accepted += 1;
+                        improved = true;
+                        break 'nodes;
+                    }
+                }
+            }
+        }
+        stats.size_after += cone_size(ws, patches[p].lit, &frontier);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::localize::{Cut, TapMap};
+    use crate::{cluster_targets, generate_group_patches, EcoInstance, PatchGenOptions};
+    use eco_netlist::{parse_verilog, WeightTable};
+
+    /// Deliberately bloated spec: the on-set circuit of the initial patch
+    /// contains redundant structure that the don't cares allow removing.
+    #[test]
+    fn redundant_patch_logic_is_removed() {
+        // Golden patch function: a & b. The on-set construction builds
+        // care∧diff products that are larger than needed.
+        let faulty = parse_verilog(
+            "module f (a, b, c, t, y); input a, b, c, t; output y; \
+             xor g1 (y, t, c); endmodule",
+        )
+        .expect("faulty");
+        let golden = parse_verilog(
+            "module g (a, b, c, y); input a, b, c; output y; \
+             wire w; and g1 (w, a, b); xor g2 (y, w, c); endmodule",
+        )
+        .expect("golden");
+        let inst = EcoInstance::from_netlists(
+            "so",
+            &faulty,
+            &golden,
+            vec!["t".into()],
+            &WeightTable::new(1),
+        )
+        .expect("instance");
+        let mut ws = Workspace::new(&inst);
+        let clustering = cluster_targets(&ws);
+        let tap = TapMap::empty();
+        let group = generate_group_patches(
+            &mut ws,
+            &tap,
+            &clustering.clusters[0],
+            &PatchGenOptions::default(),
+        );
+        let mut patches = group.patches;
+        let stats = reduce_patch_sizes(&mut ws, &mut patches, &SizeOptOptions::default());
+        assert!(stats.size_after <= stats.size_before, "{stats:?}");
+        // The patch still equals a & b everywhere.
+        let mut mgr = ws.mgr.clone();
+        mgr.clear_outputs();
+        mgr.add_output("p", patches[0].lit);
+        for bits in 0u32..16 {
+            let vals: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(mgr.eval(&vals)[0], vals[0] && vals[1], "at {vals:?}");
+        }
+    }
+
+    /// An already-minimal patch is left alone.
+    #[test]
+    fn minimal_patch_is_stable() {
+        let faulty =
+            parse_verilog("module f (a, t, y); input a, t; output y; buf g1 (y, t); endmodule")
+                .expect("faulty");
+        let golden = parse_verilog("module g (a, y); input a; output y; buf g1 (y, a); endmodule")
+            .expect("golden");
+        let inst = EcoInstance::from_netlists(
+            "min",
+            &faulty,
+            &golden,
+            vec!["t".into()],
+            &WeightTable::new(1),
+        )
+        .expect("instance");
+        let mut ws = Workspace::new(&inst);
+        let clustering = cluster_targets(&ws);
+        let tap = TapMap::empty();
+        let group = generate_group_patches(
+            &mut ws,
+            &tap,
+            &clustering.clusters[0],
+            &PatchGenOptions::default(),
+        );
+        let mut patches = group.patches;
+        let before = patches[0].lit;
+        let stats = reduce_patch_sizes(&mut ws, &mut patches, &SizeOptOptions::default());
+        assert_eq!(stats.size_after, stats.size_before);
+        // A wire patch has no AND nodes at all; nothing to try.
+        let _ = Cut::frontier(&ws, &tap, &[before]);
+    }
+}

@@ -1,0 +1,257 @@
+//! `SynthesizePatch` (§4.2/§4.3): realize a patch function from its on/off
+//! sets, by interpolation or by taking the on-set / negated off-set.
+
+use std::collections::HashMap;
+
+use eco_aig::{Lit, Var};
+use eco_sat::{ClauseLabel, ItpOutcome, ItpSolver, LabeledSink, Lit as SLit};
+
+use crate::carediff::OnOff;
+use crate::localize::Cut;
+use crate::Workspace;
+
+/// How the initial patch function is realized from the on/off pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InitialPatchKind {
+    /// Take the on-set circuit directly (the paper's choice, §4.3
+    /// option 2 — cheap and always applicable).
+    #[default]
+    OnSet,
+    /// Take the negated off-set circuit.
+    NegOffSet,
+    /// Try Craig interpolation between on and off (smaller patches when it
+    /// succeeds); falls back to the on-set when `on ∧ off` is satisfiable
+    /// (the multi-output conflict of §4.3) or the budget is exhausted.
+    Interpolant,
+}
+
+/// Result of one `SynthesizePatch` call.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthOutcome {
+    /// The patch function `p'_k` as a manager literal (over cut signals and
+    /// the remaining target variables).
+    pub lit: Lit,
+    /// `true` if the result came from a successful interpolation.
+    pub interpolated: bool,
+    /// `true` if interpolation was requested but failed (satisfiable
+    /// overlap or budget), triggering the on-set fallback.
+    pub fallback: bool,
+}
+
+/// Synthesizes `p'_k` from its on/off sets over the cut `C_d` and the
+/// remaining targets `T_k` (Theorem 2).
+///
+/// For [`InitialPatchKind::Interpolant`], the A-side encodes the on-set
+/// cone and the B-side the off-set cone, cut at `C_d ∪ T_k`; the shared
+/// variables are exactly the cut signals and remaining targets, so the
+/// interpolant — imported back into the manager — is a valid patch
+/// whenever `on ∧ off` is unsatisfiable.
+pub fn synthesize_patch(
+    ws: &mut Workspace,
+    onoff: OnOff,
+    cut: &Cut,
+    kind: InitialPatchKind,
+    conflict_budget: u64,
+) -> SynthOutcome {
+    match kind {
+        InitialPatchKind::OnSet => SynthOutcome {
+            lit: onoff.on,
+            interpolated: false,
+            fallback: false,
+        },
+        InitialPatchKind::NegOffSet => SynthOutcome {
+            lit: !onoff.off,
+            interpolated: false,
+            fallback: false,
+        },
+        InitialPatchKind::Interpolant => match try_interpolate(ws, onoff, cut, conflict_budget) {
+            Some(lit) => SynthOutcome {
+                lit,
+                interpolated: true,
+                fallback: false,
+            },
+            None => SynthOutcome {
+                lit: onoff.on,
+                interpolated: false,
+                fallback: true,
+            },
+        },
+    }
+}
+
+fn try_interpolate(
+    ws: &mut Workspace,
+    onoff: OnOff,
+    cut: &Cut,
+    conflict_budget: u64,
+) -> Option<Lit> {
+    let mut q = ItpSolver::new();
+
+    // Shared variables: one per cut signal, one per frontier target.
+    let sig_sat: Vec<SLit> = cut.signals.iter().map(|_| q.new_var().pos()).collect();
+    let tgt_sat: HashMap<Var, SLit> = cut
+        .targets
+        .iter()
+        .map(|&k| (ws.target_vars[k], q.new_var().pos()))
+        .collect();
+
+    // Seed map shared by both copies: frontier nodes and targets.
+    let mut seed: HashMap<Var, SLit> = HashMap::new();
+    for (&v, &(sig, phase)) in &cut.node_map {
+        let sl = sig_sat[sig];
+        seed.insert(v, if phase { !sl } else { sl });
+    }
+    for (&v, &sl) in &tgt_sat {
+        seed.insert(v, sl);
+    }
+
+    // A: on-set asserted; B: off-set asserted. Separate maps above the cut.
+    {
+        let mut map_a = seed.clone();
+        let mut sink = LabeledSink::new(&mut q, ClauseLabel::A);
+        let roots = eco_sat::encode_cone(&ws.mgr, &[onoff.on], &mut map_a, &mut sink);
+        sink.sink_clause(&[roots[0]]);
+    }
+    {
+        let mut map_b = seed.clone();
+        let mut sink = LabeledSink::new(&mut q, ClauseLabel::B);
+        let roots = eco_sat::encode_cone(&ws.mgr, &[onoff.off], &mut map_b, &mut sink);
+        sink.sink_clause(&[roots[0]]);
+    }
+
+    q.set_conflict_budget(conflict_budget);
+    let itp = match q.solve_limited()? {
+        ItpOutcome::Unsat(itp) => itp,
+        ItpOutcome::Sat(_) => return None,
+    };
+
+    // Import the interpolant into the manager: map its inputs (shared SAT
+    // vars) back to the corresponding manager literals.
+    let mut input_map: HashMap<Var, Lit> = HashMap::new();
+    for (i, &sv) in itp.inputs.iter().enumerate() {
+        let mgr_lit = sig_sat
+            .iter()
+            .position(|sl| sl.var() == sv)
+            .map(|sig| cut.signals[sig].lit)
+            .or_else(|| {
+                tgt_sat
+                    .iter()
+                    .find(|(_, sl)| sl.var() == sv)
+                    .map(|(&tv, _)| tv.pos())
+            })
+            .expect("shared var maps to a cut signal or target");
+        input_map.insert(itp.aig.input_var(i), mgr_lit);
+    }
+    Some(ws.mgr.import(&itp.aig, &[itp.root], &input_map)[0])
+}
+
+// `LabeledSink` needs `ClauseSink` in scope for `sink_clause`.
+use eco_sat::ClauseSink as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carediff::on_off_sets;
+    use crate::localize::TapMap;
+    use crate::EcoInstance;
+    use eco_netlist::{parse_verilog, WeightTable};
+
+    fn xor_instance() -> (EcoInstance, Workspace) {
+        // F: y = t ^ c (target t). G: y = (a & b) ^ c. Patch must be a & b.
+        let faulty = parse_verilog(
+            "module f (a, b, c, t, y); input a, b, c, t; output y; \
+             xor g1 (y, t, c); endmodule",
+        )
+        .expect("faulty");
+        let golden = parse_verilog(
+            "module g (a, b, c, y); input a, b, c; output y; \
+             wire w; and g1 (w, a, b); xor g2 (y, w, c); endmodule",
+        )
+        .expect("golden");
+        let inst = EcoInstance::from_netlists(
+            "x",
+            &faulty,
+            &golden,
+            vec!["t".into()],
+            &WeightTable::new(1),
+        )
+        .expect("instance");
+        let ws = Workspace::new(&inst);
+        (inst, ws)
+    }
+
+    fn check_patch_semantics(ws: &Workspace, patch: Lit) {
+        // Patch must equal a & b for every X assignment (T irrelevant here).
+        let mut mgr = ws.mgr.clone();
+        mgr.clear_outputs();
+        mgr.add_output("p", patch);
+        for bits in 0u32..16 {
+            let vals: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(mgr.eval(&vals)[0], vals[0] && vals[1], "patch at {vals:?}");
+        }
+    }
+
+    #[test]
+    fn onset_patch_is_correct() {
+        let (_i, mut ws) = xor_instance();
+        let t = ws.target_vars[0];
+        let onoff = on_off_sets(&mut ws.mgr, &ws.f_outs.clone(), &ws.g_outs.clone(), t);
+        let cut = Cut::frontier(&ws, &TapMap::empty(), &[onoff.on, onoff.off]);
+        let got = synthesize_patch(&mut ws, onoff, &cut, InitialPatchKind::OnSet, 1 << 20);
+        assert!(!got.interpolated && !got.fallback);
+        check_patch_semantics(&ws, got.lit);
+    }
+
+    #[test]
+    fn neg_offset_patch_is_correct() {
+        let (_i, mut ws) = xor_instance();
+        let t = ws.target_vars[0];
+        let onoff = on_off_sets(&mut ws.mgr, &ws.f_outs.clone(), &ws.g_outs.clone(), t);
+        let cut = Cut::frontier(&ws, &TapMap::empty(), &[onoff.on, onoff.off]);
+        let got = synthesize_patch(&mut ws, onoff, &cut, InitialPatchKind::NegOffSet, 1 << 20);
+        check_patch_semantics(&ws, got.lit);
+    }
+
+    #[test]
+    fn interpolant_patch_is_correct_and_flagged() {
+        let (_i, mut ws) = xor_instance();
+        let t = ws.target_vars[0];
+        let onoff = on_off_sets(&mut ws.mgr, &ws.f_outs.clone(), &ws.g_outs.clone(), t);
+        let cut = Cut::frontier(&ws, &TapMap::empty(), &[onoff.on, onoff.off]);
+        let got = synthesize_patch(&mut ws, onoff, &cut, InitialPatchKind::Interpolant, 1 << 20);
+        assert!(got.interpolated && !got.fallback);
+        check_patch_semantics(&ws, got.lit);
+    }
+
+    #[test]
+    fn conflicting_onoff_falls_back_to_onset() {
+        // Two outputs demanding opposite t values everywhere: on ∧ off sat.
+        let faulty = parse_verilog(
+            "module f (a, t, y1, y2); input a, t; output y1, y2; \
+             buf g1 (y1, t); not g2 (y2, t); endmodule",
+        )
+        .expect("faulty");
+        let golden = parse_verilog(
+            "module g (a, y1, y2); input a; output y1, y2; \
+             buf g1 (y1, a); buf g2 (y2, a); endmodule",
+        )
+        .expect("golden");
+        let inst = EcoInstance::from_netlists(
+            "c",
+            &faulty,
+            &golden,
+            vec!["t".into()],
+            &WeightTable::new(1),
+        )
+        .expect("instance");
+        let mut ws = Workspace::new(&inst);
+        let t = ws.target_vars[0];
+        let onoff = on_off_sets(&mut ws.mgr, &ws.f_outs.clone(), &ws.g_outs.clone(), t);
+        let got = {
+            let cut = Cut::frontier(&ws, &TapMap::empty(), &[onoff.on, onoff.off]);
+            synthesize_patch(&mut ws, onoff, &cut, InitialPatchKind::Interpolant, 1 << 20)
+        };
+        assert!(got.fallback);
+        assert_eq!(got.lit, onoff.on);
+    }
+}

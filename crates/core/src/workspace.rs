@@ -1,0 +1,276 @@
+//! The combined AIG manager holding both circuits.
+//!
+//! All patch-generation arithmetic (care/diff sets, substitution of
+//! generated patches, localization cuts) happens inside one structurally
+//! hashed manager containing the faulty *and* golden cones over shared `X`
+//! inputs plus the target pseudo-inputs. Structural hashing alone already
+//! merges identical subcircuits across the two designs; FRAIG sweeping
+//! (stage 1 of the flow) extends this to semantic equivalence.
+
+use std::collections::HashMap;
+
+use eco_aig::{Aig, Lit, Var};
+
+use crate::EcoInstance;
+
+/// A base candidate lifted into the workspace manager.
+#[derive(Clone, Debug)]
+pub struct WsCandidate {
+    /// Net name in the faulty circuit.
+    pub name: String,
+    /// Driving literal in the workspace manager.
+    pub lit: Lit,
+    /// Tap cost.
+    pub weight: u64,
+}
+
+/// Both circuits elaborated into one manager.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    /// The shared manager. Outputs are registered as: faulty outputs
+    /// (original names), then golden outputs (`__g__<name>`), then base
+    /// candidates (`__c__<index>`) — the latter two groups exist so FRAIG
+    /// sweeping covers golden logic and tappable nets.
+    pub mgr: Aig,
+    /// Primary inputs `X`: `(name, manager literal)`.
+    pub x: Vec<(String, Lit)>,
+    /// Target pseudo-input variables, aligned with `instance.targets`.
+    pub target_vars: Vec<Var>,
+    /// Primary output names (faulty order).
+    pub out_names: Vec<String>,
+    /// Faulty output literals `f_j(X, T)`.
+    pub f_outs: Vec<Lit>,
+    /// Golden output literals `g_j(X)`, aligned with `f_outs`.
+    pub g_outs: Vec<Lit>,
+    /// Base candidates with manager literals (each independent of `T`).
+    pub cands: Vec<WsCandidate>,
+    /// Candidate index of each `X` input variable (cheapest same-named
+    /// positive-literal candidate), used to weight cut frontiers that
+    /// bottom out at primary inputs.
+    pub input_cand: HashMap<Var, usize>,
+}
+
+impl Workspace {
+    /// Elaborates `instance` into a fresh combined manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance violates the invariants checked by
+    /// [`EcoInstance::new`] (construct instances through that API).
+    pub fn new(instance: &EcoInstance) -> Self {
+        let mut mgr = Aig::new();
+        let mut x = Vec::new();
+
+        // X inputs in faulty declaration order.
+        let mut faulty_map: HashMap<Var, Lit> = HashMap::new();
+        let target_names: Vec<&str> = instance.targets.iter().map(String::as_str).collect();
+        for pos in 0..instance.faulty.num_inputs() {
+            let name = instance.faulty.input_name(pos);
+            if target_names.contains(&name) {
+                continue;
+            }
+            let lit = mgr.add_input(name.to_owned());
+            faulty_map.insert(instance.faulty.input_var(pos), lit);
+            x.push((name.to_owned(), lit));
+        }
+        // Target pseudo-inputs.
+        let mut target_vars = Vec::new();
+        for t in &instance.targets {
+            let fv = instance.faulty.find_input(t).expect("validated target");
+            let lit = mgr.add_input(t.clone());
+            faulty_map.insert(fv, lit);
+            target_vars.push(lit.var());
+        }
+
+        // Import faulty outputs and candidate nets in one pass (shared cache).
+        let mut roots: Vec<Lit> = instance.faulty.outputs().iter().map(|o| o.lit).collect();
+        let n_outs = roots.len();
+        roots.extend(instance.candidates.iter().map(|c| c.lit));
+        let imported = mgr.import(&instance.faulty, &roots, &faulty_map);
+        let f_outs: Vec<Lit> = imported[..n_outs].to_vec();
+        let cands: Vec<WsCandidate> = instance
+            .candidates
+            .iter()
+            .zip(&imported[n_outs..])
+            .map(|(c, &lit)| WsCandidate {
+                name: c.name.clone(),
+                lit,
+                weight: c.weight,
+            })
+            .collect();
+
+        // Import golden outputs (aligned with the faulty output order).
+        let mut golden_map: HashMap<Var, Lit> = HashMap::new();
+        for pos in 0..instance.golden.num_inputs() {
+            let name = instance.golden.input_name(pos);
+            let lit = x
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, l)| *l)
+                .expect("validated golden input");
+            golden_map.insert(instance.golden.input_var(pos), lit);
+        }
+        let out_names: Vec<String> = instance
+            .faulty
+            .outputs()
+            .iter()
+            .map(|o| o.name.clone())
+            .collect();
+        let g_roots: Vec<Lit> = out_names
+            .iter()
+            .map(|n| {
+                let idx = instance.golden.find_output(n).expect("validated output");
+                instance.golden.output_lit(idx)
+            })
+            .collect();
+        let g_outs = mgr.import(&instance.golden, &g_roots, &golden_map);
+
+        // Register outputs for FRAIG coverage.
+        for (name, &lit) in out_names.iter().zip(&f_outs) {
+            mgr.add_output(name.clone(), lit);
+        }
+        for (name, &lit) in out_names.iter().zip(&g_outs) {
+            mgr.add_output(format!("__g__{name}"), lit);
+        }
+        for (i, c) in cands.iter().enumerate() {
+            let _ = i;
+            mgr.add_output(format!("__c__{}", c.name), c.lit);
+        }
+
+        let mut input_cand: HashMap<Var, usize> = HashMap::new();
+        for (idx, c) in cands.iter().enumerate() {
+            if c.lit.is_complement() || !mgr.node(c.lit.var()).is_input() {
+                continue;
+            }
+            match input_cand.get(&c.lit.var()) {
+                Some(&old) if cands[old].weight <= c.weight => {}
+                _ => {
+                    input_cand.insert(c.lit.var(), idx);
+                }
+            }
+        }
+        Workspace {
+            mgr,
+            x,
+            target_vars,
+            out_names,
+            f_outs,
+            g_outs,
+            cands,
+            input_cand,
+        }
+    }
+
+    /// Number of primary outputs `m`.
+    pub fn num_outputs(&self) -> usize {
+        self.f_outs.len()
+    }
+
+    /// Looks up an `X` input literal by name.
+    pub fn x_lit(&self, name: &str) -> Option<Lit> {
+        self.x.iter().find(|(n, _)| n == name).map(|(_, l)| *l)
+    }
+
+    /// The set of `X` input variables.
+    pub fn x_vars(&self) -> Vec<Var> {
+        self.x.iter().map(|(_, l)| l.var()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BaseCandidate;
+    use eco_netlist::{parse_verilog, WeightTable};
+
+    fn sample_instance() -> EcoInstance {
+        let faulty = parse_verilog(
+            "module f (a, b, c, t, y, z); input a, b, c, t; output y, z; \
+             wire w; or g0 (w, a, b); xor g1 (y, t, c); and g2 (z, w, c); endmodule",
+        )
+        .expect("faulty");
+        let golden = parse_verilog(
+            "module g (a, b, c, y, z); input a, b, c; output y, z; \
+             wire w, v; or g0 (w, a, b); and g1 (v, a, b); xor g2 (y, v, c); \
+             and g3 (z, w, c); endmodule",
+        )
+        .expect("golden");
+        EcoInstance::from_netlists(
+            "ws",
+            &faulty,
+            &golden,
+            vec!["t".into()],
+            &WeightTable::new(2),
+        )
+        .expect("instance")
+    }
+
+    #[test]
+    fn workspace_shares_structure() {
+        let inst = sample_instance();
+        let ws = Workspace::new(&inst);
+        assert_eq!(ws.x.len(), 3);
+        assert_eq!(ws.target_vars.len(), 1);
+        assert_eq!(ws.num_outputs(), 2);
+        // z is identical in both circuits: structural hashing must merge it.
+        assert_eq!(ws.f_outs[1], ws.g_outs[1]);
+        // y differs (depends on t in F).
+        assert_ne!(ws.f_outs[0], ws.g_outs[0]);
+    }
+
+    #[test]
+    fn faulty_semantics_preserved() {
+        let inst = sample_instance();
+        let ws = Workspace::new(&inst);
+        // mgr inputs: a, b, c, t. f_y = t ^ c.
+        let mut mgr = ws.mgr.clone();
+        mgr.clear_outputs();
+        mgr.add_output("fy", ws.f_outs[0]);
+        mgr.add_output("gy", ws.g_outs[0]);
+        for bits in 0u32..16 {
+            let vals: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let (a, b, c, t) = (vals[0], vals[1], vals[2], vals[3]);
+            let _ = b;
+            let out = mgr.eval(&vals);
+            assert_eq!(out[0], t ^ c, "fy at {vals:?}");
+            assert_eq!(out[1], (a && vals[1]) ^ c, "gy at {vals:?}");
+        }
+    }
+
+    #[test]
+    fn candidates_are_lifted() {
+        let inst = sample_instance();
+        let ws = Workspace::new(&inst);
+        let w_cand = ws.cands.iter().find(|c| c.name == "w").expect("w");
+        assert_eq!(w_cand.weight, 2);
+        // w = a | b in the manager.
+        let mut mgr = ws.mgr.clone();
+        mgr.clear_outputs();
+        mgr.add_output("w", w_cand.lit);
+        assert_eq!(mgr.eval(&[true, false, false, false]), vec![true]);
+        assert_eq!(mgr.eval(&[false, false, true, true]), vec![false]);
+    }
+
+    #[test]
+    fn workspace_from_direct_instance() {
+        // EcoInstance::new path with explicit candidates.
+        let faulty =
+            parse_verilog("module f (a, t, y); input a, t; output y; and g (y, a, t); endmodule")
+                .expect("f");
+        let golden = parse_verilog("module g (a, y); input a; output y; buf g (y, a); endmodule")
+            .expect("g");
+        let fe = eco_netlist::elaborate(&faulty).expect("fe");
+        let ge = eco_netlist::elaborate(&golden).expect("ge");
+        let cand = BaseCandidate {
+            name: "a".into(),
+            lit: fe.net_lits["a"],
+            weight: 3,
+        };
+        let inst =
+            EcoInstance::new("d", fe.aig, ge.aig, vec!["t".into()], vec![cand]).expect("instance");
+        let ws = Workspace::new(&inst);
+        assert_eq!(ws.cands.len(), 1);
+        assert_eq!(ws.x_lit("a"), Some(ws.x[0].1));
+        assert_eq!(ws.x_vars().len(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Union-find with parity (phase) tracking.
+//!
+//! Each element carries a phase bit relative to its parent, so the
+//! structure can represent equivalences of the form `u ≡ v` *and*
+//! `u ≡ ¬v` uniformly — exactly what FRAIG equivalence classes need.
+
+/// A disjoint-set forest where every union records whether the two
+/// elements are equal or complementary.
+#[derive(Clone, Debug, Default)]
+pub struct ParityUnionFind {
+    parent: Vec<u32>,
+    /// Phase relative to parent: `true` means complemented.
+    phase: Vec<bool>,
+    rank: Vec<u8>,
+}
+
+impl ParityUnionFind {
+    /// Creates a structure over `n` elements, each its own class.
+    pub fn new(n: usize) -> Self {
+        ParityUnionFind {
+            parent: (0..n as u32).collect(),
+            phase: vec![false; n],
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds `(root, phase)`: the class representative and the phase of
+    /// `x` relative to it (`true` = complemented).
+    pub fn find(&mut self, x: usize) -> (usize, bool) {
+        let p = self.parent[x] as usize;
+        if p == x {
+            return (x, false);
+        }
+        let (root, p_phase) = self.find(p);
+        self.parent[x] = root as u32;
+        self.phase[x] ^= p_phase;
+        (root, self.phase[x])
+    }
+
+    /// Records `x ≡ y ^ phase`. Returns `false` if this contradicts an
+    /// existing relation (i.e. the classes were already joined with the
+    /// opposite parity).
+    pub fn union(&mut self, x: usize, y: usize, phase: bool) -> bool {
+        let (rx, px) = self.find(x);
+        let (ry, py) = self.find(y);
+        if rx == ry {
+            return px ^ py == phase;
+        }
+        // Phase of ry relative to rx so that x == y ^ phase holds.
+        let link_phase = px ^ py ^ phase;
+        let (child, parent, child_phase) = if self.rank[rx] < self.rank[ry] {
+            (rx, ry, link_phase)
+        } else {
+            if self.rank[rx] == self.rank[ry] {
+                self.rank[rx] += 1;
+            }
+            (ry, rx, link_phase)
+        };
+        self.parent[child] = parent as u32;
+        self.phase[child] = child_phase;
+        true
+    }
+
+    /// Returns `Some(phase)` if `x` and `y` are known related
+    /// (`x ≡ y ^ phase`), else `None`.
+    pub fn related(&mut self, x: usize, y: usize) -> Option<bool> {
+        let (rx, px) = self.find(x);
+        let (ry, py) = self.find(y);
+        (rx == ry).then_some(px ^ py)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_classes() {
+        let mut uf = ParityUnionFind::new(3);
+        assert_eq!(uf.find(0), (0, false));
+        assert_eq!(uf.related(0, 1), None);
+    }
+
+    #[test]
+    fn union_with_positive_phase() {
+        let mut uf = ParityUnionFind::new(4);
+        assert!(uf.union(0, 1, false));
+        assert_eq!(uf.related(0, 1), Some(false));
+    }
+
+    #[test]
+    fn union_with_negative_phase_propagates() {
+        let mut uf = ParityUnionFind::new(4);
+        // 0 == !1, 1 == 2  =>  0 == !2
+        assert!(uf.union(0, 1, true));
+        assert!(uf.union(1, 2, false));
+        assert_eq!(uf.related(0, 2), Some(true));
+        assert_eq!(uf.related(1, 2), Some(false));
+    }
+
+    #[test]
+    fn contradiction_is_reported() {
+        let mut uf = ParityUnionFind::new(3);
+        assert!(uf.union(0, 1, false));
+        assert!(!uf.union(0, 1, true));
+        // Existing relation is untouched.
+        assert_eq!(uf.related(0, 1), Some(false));
+    }
+
+    #[test]
+    fn long_chain_parity() {
+        let n = 64;
+        let mut uf = ParityUnionFind::new(n);
+        for i in 0..n - 1 {
+            assert!(uf.union(i, i + 1, true));
+        }
+        // Phase between 0 and k is parity of k.
+        for k in 1..n {
+            assert_eq!(uf.related(0, k), Some(k % 2 == 1), "k={k}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Gate-level netlist data model (the ICCAD 2017 contest interchange
+//! format is a structural Verilog subset over these primitives).
+
+use std::fmt;
+
+/// Primitive gate types of the contest's structural Verilog subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Identity.
+    Buf,
+    /// Inverter.
+    Not,
+    /// N-ary AND.
+    And,
+    /// N-ary OR.
+    Or,
+    /// N-ary NAND.
+    Nand,
+    /// N-ary NOR.
+    Nor,
+    /// N-ary XOR (odd parity).
+    Xor,
+    /// N-ary XNOR (even parity).
+    Xnor,
+}
+
+impl GateKind {
+    /// Parses a Verilog primitive name.
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        Some(match kw {
+            "buf" => GateKind::Buf,
+            "not" => GateKind::Not,
+            "and" => GateKind::And,
+            "or" => GateKind::Or,
+            "nand" => GateKind::Nand,
+            "nor" => GateKind::Nor,
+            "xor" => GateKind::Xor,
+            "xnor" => GateKind::Xnor,
+            _ => return None,
+        })
+    }
+
+    /// The Verilog keyword for this gate.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A net reference: a named wire or a constant.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NetRef {
+    /// A named net.
+    Named(String),
+    /// The `1'b0` / `1'b1` constant.
+    Const(bool),
+}
+
+impl NetRef {
+    /// Creates a named reference.
+    pub fn named(name: impl Into<String>) -> Self {
+        NetRef::Named(name.into())
+    }
+
+    /// The net name, if named.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            NetRef::Named(n) => Some(n),
+            NetRef::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for NetRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetRef::Named(n) => f.write_str(n),
+            NetRef::Const(false) => f.write_str("1'b0"),
+            NetRef::Const(true) => f.write_str("1'b1"),
+        }
+    }
+}
+
+/// One primitive gate instance: `kind name (output, inputs...)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gate {
+    /// Gate primitive.
+    pub kind: GateKind,
+    /// Optional instance name.
+    pub name: Option<String>,
+    /// Output net (always named).
+    pub output: String,
+    /// Input nets in port order.
+    pub inputs: Vec<NetRef>,
+}
+
+/// A flat gate-level module.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Netlist {
+    /// Module name.
+    pub name: String,
+    /// Declared input nets, in declaration order.
+    pub inputs: Vec<String>,
+    /// Declared output nets, in declaration order.
+    pub outputs: Vec<String>,
+    /// Declared internal wires.
+    pub wires: Vec<String>,
+    /// Gate instances.
+    pub gates: Vec<Gate>,
+}
+
+impl Netlist {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Total number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Iterates over all declared net names (inputs, outputs, wires).
+    pub fn declared_nets(&self) -> impl Iterator<Item = &str> {
+        self.inputs
+            .iter()
+            .chain(&self.outputs)
+            .chain(&self.wires)
+            .map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_kind_keywords_round_trip() {
+        for kw in ["buf", "not", "and", "or", "nand", "nor", "xor", "xnor"] {
+            let k = GateKind::from_keyword(kw).expect("known keyword");
+            assert_eq!(k.keyword(), kw);
+        }
+        assert_eq!(GateKind::from_keyword("dff"), None);
+    }
+
+    #[test]
+    fn netref_display() {
+        assert_eq!(NetRef::named("n1").to_string(), "n1");
+        assert_eq!(NetRef::Const(true).to_string(), "1'b1");
+        assert_eq!(NetRef::Const(false).to_string(), "1'b0");
+        assert_eq!(NetRef::named("x").name(), Some("x"));
+        assert_eq!(NetRef::Const(true).name(), None);
+    }
+
+    #[test]
+    fn declared_nets_covers_all_sections() {
+        let mut n = Netlist::new("m");
+        n.inputs.push("a".into());
+        n.outputs.push("y".into());
+        n.wires.push("w".into());
+        let nets: Vec<&str> = n.declared_nets().collect();
+        assert_eq!(nets, vec!["a", "y", "w"]);
+    }
+}

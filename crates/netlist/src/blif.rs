@@ -1,0 +1,467 @@
+//! BLIF (Berkeley Logic Interchange Format) I/O, combinational subset.
+//!
+//! Supports flat `.model` blocks with `.inputs`/`.outputs`/`.names`
+//! (single-output sum-of-products covers) and `.end`; line continuations
+//! (`\`) and `#` comments are handled. Latches (`.latch`) and hierarchy
+//! (`.subckt`) are rejected — the ECO flow is purely combinational.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use eco_aig::{Aig, Lit, Node, Var};
+
+/// Error produced when BLIF text cannot be parsed or elaborated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBlifError {
+    /// 1-based (logical) line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseBlifError {}
+
+/// A parsed-and-elaborated BLIF model.
+#[derive(Clone, Debug)]
+pub struct BlifModel {
+    /// Model name.
+    pub name: String,
+    /// The elaborated AIG (inputs/outputs in declaration order).
+    pub aig: Aig,
+    /// Literal of every defined net.
+    pub net_lits: HashMap<String, Lit>,
+}
+
+#[derive(Debug)]
+struct SopDef {
+    output: String,
+    inputs: Vec<String>,
+    /// (input pattern, output value); `None` in a pattern = don't care.
+    rows: Vec<(Vec<Option<bool>>, bool)>,
+    line: usize,
+}
+
+/// Parses a combinational BLIF model into an AIG.
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] on unsupported constructs, malformed covers,
+/// undefined nets, cycles, or multiple drivers.
+///
+/// # Examples
+///
+/// ```
+/// let text = ".model m\n.inputs a b c\n.outputs y\n\
+///             .names a b w\n11 1\n.names w c y\n10 1\n01 1\n.end\n";
+/// let model = eco_netlist::parse_blif(text)?;
+/// // y = (a&b) XOR c
+/// assert_eq!(model.aig.eval(&[true, true, false]), vec![true]);
+/// assert_eq!(model.aig.eval(&[true, true, true]), vec![false]);
+/// # Ok::<(), eco_netlist::ParseBlifError>(())
+/// ```
+pub fn parse_blif(text: &str) -> Result<BlifModel, ParseBlifError> {
+    let err = |line: usize, m: &str| ParseBlifError {
+        line,
+        message: m.to_string(),
+    };
+
+    // Logical lines: strip comments, join continuations.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let without_comment = raw.split('#').next().unwrap_or("");
+        let (content, continued) = match without_comment.trim_end().strip_suffix('\\') {
+            Some(rest) => (rest.to_string(), true),
+            None => (without_comment.to_string(), false),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(&content);
+                if continued {
+                    pending = Some((start, acc));
+                } else {
+                    logical.push((start, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((line_no, content));
+                } else if !content.trim().is_empty() {
+                    logical.push((line_no, content));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        logical.push((start, acc));
+    }
+
+    let mut name = String::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut defs: Vec<SopDef> = Vec::new();
+    let mut current: Option<SopDef> = None;
+    let mut ended = false;
+
+    for (line_no, line) in &logical {
+        let line_no = *line_no;
+        let mut toks = line.split_whitespace();
+        let Some(first) = toks.next() else { continue };
+        if ended {
+            break;
+        }
+        match first {
+            ".model" => {
+                if !name.is_empty() {
+                    return Err(err(line_no, "multiple .model blocks are not supported"));
+                }
+                name = toks.next().unwrap_or("top").to_string();
+            }
+            ".inputs" => inputs.extend(toks.map(str::to_string)),
+            ".outputs" => outputs.extend(toks.map(str::to_string)),
+            ".names" => {
+                if let Some(def) = current.take() {
+                    defs.push(def);
+                }
+                let mut nets: Vec<String> = toks.map(str::to_string).collect();
+                let Some(output) = nets.pop() else {
+                    return Err(err(line_no, ".names needs at least an output"));
+                };
+                current = Some(SopDef {
+                    output,
+                    inputs: nets,
+                    rows: Vec::new(),
+                    line: line_no,
+                });
+            }
+            ".latch" => return Err(err(line_no, ".latch is not supported (combinational only)")),
+            ".subckt" | ".gate" => return Err(err(line_no, "hierarchical BLIF is not supported")),
+            ".end" => {
+                ended = true;
+            }
+            tok if tok.starts_with('.') => {
+                return Err(err(line_no, &format!("unsupported directive `{tok}`")))
+            }
+            pattern => {
+                let Some(def) = current.as_mut() else {
+                    return Err(err(line_no, "cover row outside .names"));
+                };
+                let (in_pat, out_val) = if def.inputs.is_empty() {
+                    ("", pattern)
+                } else {
+                    let out = toks
+                        .next()
+                        .ok_or_else(|| err(line_no, "cover row missing output value"))?;
+                    if toks.next().is_some() {
+                        return Err(err(line_no, "trailing tokens in cover row"));
+                    }
+                    (pattern, out)
+                };
+                if in_pat.len() != def.inputs.len() {
+                    return Err(err(line_no, "cover row arity mismatch"));
+                }
+                let bits: Result<Vec<Option<bool>>, ParseBlifError> = in_pat
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(Some(false)),
+                        '1' => Ok(Some(true)),
+                        '-' => Ok(None),
+                        other => Err(err(line_no, &format!("invalid cover bit `{other}`"))),
+                    })
+                    .collect();
+                let out_val = match out_val {
+                    "1" => true,
+                    "0" => false,
+                    other => return Err(err(line_no, &format!("invalid output value `{other}`"))),
+                };
+                def.rows.push((bits?, out_val));
+            }
+        }
+    }
+    if let Some(def) = current.take() {
+        defs.push(def);
+    }
+
+    // Elaborate: DFS over definitions with cycle detection.
+    let mut aig = Aig::new();
+    let mut net_lits: HashMap<String, Lit> = HashMap::new();
+    for n in &inputs {
+        let lit = aig.add_input(n.clone());
+        if net_lits.insert(n.clone(), lit).is_some() {
+            return Err(err(0, &format!("net `{n}` declared twice")));
+        }
+    }
+    let mut driver: HashMap<&str, usize> = HashMap::new();
+    for (i, def) in defs.iter().enumerate() {
+        let n = def.output.as_str();
+        if net_lits.contains_key(n) || driver.insert(n, i).is_some() {
+            return Err(err(def.line, &format!("net `{n}` has multiple drivers")));
+        }
+    }
+
+    #[derive(PartialEq, Clone, Copy)]
+    enum Mark {
+        Visiting,
+        Done,
+    }
+    let mut marks: HashMap<usize, Mark> = HashMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    for start in 0..defs.len() {
+        let mut stack = vec![start];
+        while let Some(&di) = stack.last() {
+            match marks.get(&di) {
+                Some(Mark::Done) => {
+                    stack.pop();
+                }
+                Some(Mark::Visiting) => {
+                    marks.insert(di, Mark::Done);
+                    order.push(di);
+                    stack.pop();
+                }
+                None => {
+                    marks.insert(di, Mark::Visiting);
+                    for n in &defs[di].inputs {
+                        if net_lits.contains_key(n.as_str()) {
+                            continue;
+                        }
+                        let &dep = driver.get(n.as_str()).ok_or_else(|| {
+                            err(defs[di].line, &format!("net `{n}` is never defined"))
+                        })?;
+                        match marks.get(&dep) {
+                            Some(Mark::Visiting) => {
+                                return Err(err(defs[di].line, &format!("cycle through `{n}`")))
+                            }
+                            Some(Mark::Done) => {}
+                            None => stack.push(dep),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // `order` is reverse-dependency order only if we pushed on Done; we
+    // did — dependencies complete before dependents.
+    for di in order {
+        let def = &defs[di];
+        let lit = build_sop(&mut aig, def, &net_lits).map_err(|m| err(def.line, &m))?;
+        net_lits.insert(def.output.clone(), lit);
+    }
+    for n in &outputs {
+        let &lit = net_lits
+            .get(n.as_str())
+            .ok_or_else(|| err(0, &format!("output `{n}` is never defined")))?;
+        aig.add_output(n.clone(), lit);
+    }
+    Ok(BlifModel {
+        name: if name.is_empty() { "top".into() } else { name },
+        aig,
+        net_lits,
+    })
+}
+
+fn build_sop(aig: &mut Aig, def: &SopDef, net_lits: &HashMap<String, Lit>) -> Result<Lit, String> {
+    let in_lits: Result<Vec<Lit>, String> = def
+        .inputs
+        .iter()
+        .map(|n| {
+            net_lits
+                .get(n.as_str())
+                .copied()
+                .ok_or_else(|| format!("net `{n}` undefined"))
+        })
+        .collect();
+    let in_lits = in_lits?;
+    if def.rows.is_empty() {
+        // Empty cover: constant 0.
+        return Ok(Lit::FALSE);
+    }
+    let out_val = def.rows[0].1;
+    if def.rows.iter().any(|(_, v)| *v != out_val) {
+        return Err("mixed on-set and off-set rows in one cover".into());
+    }
+    let cubes: Vec<Lit> = def
+        .rows
+        .iter()
+        .map(|(pattern, _)| {
+            let lits: Vec<Lit> = pattern
+                .iter()
+                .zip(&in_lits)
+                .filter_map(|(bit, &l)| bit.map(|b| l.xor_complement(!b)))
+                .collect();
+            aig.and_many(&lits)
+        })
+        .collect();
+    let union = aig.or_many(&cubes);
+    Ok(union.xor_complement(!out_val))
+}
+
+/// Writes the reachable logic of an AIG as flat BLIF.
+///
+/// AND nodes become two-input covers with complement handling in the
+/// pattern plane; outputs get buffer/inverter covers. Internal nets are
+/// named `n<k>`.
+pub fn write_blif(aig: &Aig, model_name: &str) -> String {
+    use fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, ".model {model_name}");
+    let input_names: Vec<String> = (0..aig.num_inputs())
+        .map(|p| aig.input_name(p).to_owned())
+        .collect();
+    let _ = writeln!(s, ".inputs {}", input_names.join(" "));
+    let out_names: Vec<String> = aig.outputs().iter().map(|o| o.name.clone()).collect();
+    let _ = writeln!(s, ".outputs {}", out_names.join(" "));
+
+    let roots: Vec<Lit> = aig.outputs().iter().map(|o| o.lit).collect();
+    let mut name_of: HashMap<Var, String> = HashMap::new();
+    name_of.insert(Var::CONST, "__const0".to_string());
+    for (p, &v) in aig.inputs().iter().enumerate() {
+        name_of.insert(v, aig.input_name(p).to_owned());
+    }
+    let cone = aig.cone_vars(&roots);
+    let mut const_used = false;
+    for &v in &cone {
+        if let Node::And { fan0, fan1 } = aig.node(v) {
+            let n = format!("n{}", v.index());
+            let p0 = if fan0.is_complement() { '0' } else { '1' };
+            let p1 = if fan1.is_complement() { '0' } else { '1' };
+            let _ = writeln!(
+                s,
+                ".names {} {} {}\n{}{} 1",
+                name_of[&fan0.var()],
+                name_of[&fan1.var()],
+                n,
+                p0,
+                p1
+            );
+            const_used |= fan0.var() == Var::CONST || fan1.var() == Var::CONST;
+            name_of.insert(v, n);
+        }
+    }
+    for out in aig.outputs() {
+        let v = out.lit.var();
+        if v == Var::CONST {
+            // Constant output: empty cover = 0, single `1` row = 1.
+            let _ = writeln!(s, ".names {}", out.name);
+            if out.lit.is_complement() {
+                let _ = writeln!(s, "1");
+            }
+            continue;
+        }
+        let row = if out.lit.is_complement() {
+            "0 1"
+        } else {
+            "1 1"
+        };
+        let _ = writeln!(s, ".names {} {}\n{}", name_of[&v], out.name, row);
+    }
+    if const_used {
+        let _ = writeln!(s, ".names __const0");
+    }
+    s.push_str(".end\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_model() {
+        let text = ".model demo\n.inputs a b c\n.outputs y z\n\
+                    .names a b w\n11 1\n\
+                    .names w c y\n10 1\n01 1\n\
+                    .names c z\n0 1\n.end\n";
+        let m = parse_blif(text).expect("parses");
+        assert_eq!(m.name, "demo");
+        for bits in 0u32..8 {
+            let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let w = vals[0] && vals[1];
+            assert_eq!(m.aig.eval(&vals), vec![w ^ vals[2], !vals[2]], "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn dont_cares_and_offset_rows() {
+        // f defined by off-set rows: f = !(a & !b).
+        let text = ".model m\n.inputs a b\n.outputs f g\n\
+                    .names a b f\n10 0\n\
+                    .names a b g\n-1 1\n.end\n";
+        let m = parse_blif(text).expect("parses");
+        for bits in 0u32..4 {
+            let vals: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
+            let out = m.aig.eval(&vals);
+            assert_eq!(out[0], !vals[0] || vals[1], "f at {vals:?}");
+            assert_eq!(out[1], vals[1], "g at {vals:?}");
+        }
+    }
+
+    #[test]
+    fn constants_and_continuations() {
+        let text = ".model m\n.inputs a\n.outputs one zero pass\n\
+                    .names one\n1\n.names zero\n\
+                    .names a \\\npass\n1 1\n.end\n";
+        let m = parse_blif(text).expect("parses");
+        assert_eq!(m.aig.eval(&[false]), vec![true, false, false]);
+        assert_eq!(m.aig.eval(&[true]), vec![true, false, true]);
+    }
+
+    #[test]
+    fn out_of_order_definitions() {
+        let text = ".model m\n.inputs a b\n.outputs y\n\
+                    .names w a y\n11 1\n\
+                    .names a b w\n01 1\n10 1\n.end\n";
+        let m = parse_blif(text).expect("parses");
+        for bits in 0u32..4 {
+            let vals: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
+            let w = vals[0] ^ vals[1];
+            assert_eq!(m.aig.eval(&vals), vec![w && vals[0]]);
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_and_malformed() {
+        assert!(parse_blif(".model m\n.latch a b\n.end\n").is_err());
+        assert!(parse_blif(".model m\n.subckt foo\n.end\n").is_err());
+        assert!(parse_blif(".model m\n.inputs a\n.outputs y\n11 1\n.end\n").is_err());
+        assert!(parse_blif(".model m\n.inputs a\n.outputs y\n.names a y\n1\n.end\n").is_err());
+        assert!(parse_blif(".model m\n.inputs a\n.outputs y\n.names a y\nx 1\n.end\n").is_err());
+        assert!(
+            parse_blif(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n").is_err()
+        );
+        // Cycle.
+        assert!(parse_blif(
+            ".model m\n.inputs a\n.outputs y\n.names y a w\n11 1\n.names w a y\n11 1\n.end\n"
+        )
+        .is_err());
+        // Undefined output.
+        assert!(parse_blif(".model m\n.inputs a\n.outputs ghost\n.end\n").is_err());
+    }
+
+    #[test]
+    fn write_round_trip() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, !b);
+        let f = aig.xor(ab, c);
+        aig.add_output("f", f);
+        aig.add_output("nf", !f);
+        aig.add_output("k1", Lit::TRUE);
+        let text = write_blif(&aig, "rt");
+        let back = parse_blif(&text).expect("round trip parses");
+        for bits in 0u32..8 {
+            let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(aig.eval(&vals), back.aig.eval(&vals), "{vals:?}");
+        }
+    }
+}

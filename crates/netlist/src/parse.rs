@@ -1,0 +1,452 @@
+//! Parser for the contest's structural Verilog subset.
+//!
+//! Supported grammar (whitespace/newline insensitive, `//` and `/* */`
+//! comments):
+//!
+//! ```text
+//! module <ident> ( <ident> {, <ident>} ) ;
+//! { input  <ident> {, <ident>} ;
+//! | output <ident> {, <ident>} ;
+//! | wire   <ident> {, <ident>} ;
+//! | assign <ident> = <netref> ;
+//! | <gate-kw> [<ident>] ( <ident> , <netref> {, <netref>} ) ; }
+//! endmodule
+//! ```
+//!
+//! `assign y = x;` desugars to a `buf` gate; `1'b0`/`1'b1` are constant
+//! net references. Escaped identifiers (`\foo[3] `) are accepted.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{Gate, GateKind, NetRef, Netlist};
+
+/// Error produced when netlist text cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Const(bool),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Eq,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseNetlistError {
+        ParseNetlistError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src[self.pos..].chars().next()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseNetlistError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    let rest = &self.src[self.pos..];
+                    if rest.starts_with("//") {
+                        while let Some(c) = self.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                    } else if rest.starts_with("/*") {
+                        self.bump();
+                        self.bump();
+                        loop {
+                            match self.bump() {
+                                Some('*') if self.peek() == Some('/') => {
+                                    self.bump();
+                                    break;
+                                }
+                                Some(_) => {}
+                                None => return Err(self.error("unterminated block comment")),
+                            }
+                        }
+                    } else {
+                        return Ok(());
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<(Tok, usize)>, ParseNetlistError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let c = match self.peek() {
+            Some(c) => c,
+            None => return Ok(None),
+        };
+        let tok = match c {
+            '(' => {
+                self.bump();
+                Tok::LParen
+            }
+            ')' => {
+                self.bump();
+                Tok::RParen
+            }
+            ',' => {
+                self.bump();
+                Tok::Comma
+            }
+            ';' => {
+                self.bump();
+                Tok::Semi
+            }
+            '=' => {
+                self.bump();
+                Tok::Eq
+            }
+            '\\' => {
+                // Escaped identifier: up to whitespace.
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_whitespace() {
+                        break;
+                    }
+                    self.bump();
+                }
+                Tok::Ident(self.src[start..self.pos].to_string())
+            }
+            c if c.is_ascii_digit() => {
+                // Expect 1'b0 / 1'b1.
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_alphanumeric() || c == '\'' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                match &self.src[start..self.pos] {
+                    "1'b0" | "1'h0" => Tok::Const(false),
+                    "1'b1" | "1'h1" => Tok::Const(true),
+                    other => return Err(self.error(format!("unsupported literal `{other}`"))),
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_alphanumeric()
+                        || c == '_'
+                        || c == '$'
+                        || c == '['
+                        || c == ']'
+                        || c == '.'
+                    {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(self.src[start..self.pos].to_string())
+            }
+            other => return Err(self.error(format!("unexpected character `{other}`"))),
+        };
+        Ok(Some((tok, line)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    idx: usize,
+}
+
+impl Parser {
+    fn error_at(&self, message: impl Into<String>) -> ParseNetlistError {
+        let line = self
+            .toks
+            .get(self.idx.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |t| t.1);
+        ParseNetlistError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|t| &t.0)
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseNetlistError> {
+        let t = self
+            .toks
+            .get(self.idx)
+            .cloned()
+            .ok_or_else(|| self.error_at("unexpected end of input"))?;
+        self.idx += 1;
+        Ok(t.0)
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseNetlistError> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            self.idx -= 1;
+            Err(self.error_at(format!("expected {want:?}, found {got:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseNetlistError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => {
+                self.idx -= 1;
+                Err(self.error_at(format!("expected identifier, found {other:?}")))
+            }
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseNetlistError> {
+        let mut out = vec![self.ident()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.next()?;
+            out.push(self.ident()?);
+        }
+        self.expect(Tok::Semi)?;
+        Ok(out)
+    }
+
+    fn netref(&mut self) -> Result<NetRef, ParseNetlistError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(NetRef::Named(s)),
+            Tok::Const(b) => Ok(NetRef::Const(b)),
+            other => {
+                self.idx -= 1;
+                Err(self.error_at(format!("expected net, found {other:?}")))
+            }
+        }
+    }
+}
+
+/// Parses one module of the structural Verilog subset.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on lexical errors, grammar violations,
+/// unknown primitives, or gates with missing operands.
+///
+/// # Examples
+///
+/// ```
+/// let src = "module m (a, b, y); input a, b; output y; and g1 (y, a, b); endmodule";
+/// let n = eco_netlist::parse_verilog(src)?;
+/// assert_eq!(n.name, "m");
+/// assert_eq!(n.num_gates(), 1);
+/// # Ok::<(), eco_netlist::ParseNetlistError>(())
+/// ```
+pub fn parse_verilog(src: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lexer.next_tok()? {
+        toks.push(t);
+    }
+    let mut p = Parser { toks, idx: 0 };
+
+    let kw = p.ident()?;
+    if kw != "module" {
+        return Err(p.error_at("expected `module`"));
+    }
+    let mut nl = Netlist::new(p.ident()?);
+    // Port list (names only; direction comes from declarations).
+    p.expect(Tok::LParen)?;
+    if p.peek() != Some(&Tok::RParen) {
+        let _ = p.ident()?;
+        while p.peek() == Some(&Tok::Comma) {
+            p.next()?;
+            let _ = p.ident()?;
+        }
+    }
+    p.expect(Tok::RParen)?;
+    p.expect(Tok::Semi)?;
+
+    loop {
+        let kw = p.ident()?;
+        match kw.as_str() {
+            "endmodule" => break,
+            "input" => nl.inputs.extend(p.ident_list()?),
+            "output" => nl.outputs.extend(p.ident_list()?),
+            "wire" => nl.wires.extend(p.ident_list()?),
+            "assign" => {
+                let lhs = p.ident()?;
+                p.expect(Tok::Eq)?;
+                let rhs = p.netref()?;
+                p.expect(Tok::Semi)?;
+                nl.gates.push(Gate {
+                    kind: GateKind::Buf,
+                    name: None,
+                    output: lhs,
+                    inputs: vec![rhs],
+                });
+            }
+            gate_kw => {
+                let kind = GateKind::from_keyword(gate_kw)
+                    .ok_or_else(|| p.error_at(format!("unknown primitive `{gate_kw}`")))?;
+                // Optional instance name before '('.
+                let name = if matches!(p.peek(), Some(Tok::Ident(_))) {
+                    Some(p.ident()?)
+                } else {
+                    None
+                };
+                p.expect(Tok::LParen)?;
+                let output = p.ident()?;
+                let mut inputs = Vec::new();
+                while p.peek() == Some(&Tok::Comma) {
+                    p.next()?;
+                    inputs.push(p.netref()?);
+                }
+                p.expect(Tok::RParen)?;
+                p.expect(Tok::Semi)?;
+                if inputs.is_empty() {
+                    return Err(p.error_at(format!("gate `{gate_kw}` needs at least one input")));
+                }
+                if matches!(kind, GateKind::Buf | GateKind::Not) && inputs.len() != 1 {
+                    return Err(p.error_at(format!("`{gate_kw}` takes exactly one input")));
+                }
+                nl.gates.push(Gate {
+                    kind,
+                    name,
+                    output,
+                    inputs,
+                });
+            }
+        }
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+// sample circuit
+module top (a, b, c, y, z);
+input a, b;
+input c;
+output y, z;
+wire w1, w2;
+and g1 (w1, a, b);
+xor g2 (w2, w1, c);
+buf g3 (y, w2);
+nor (z, a, 1'b0, c); /* unnamed gate with a constant */
+endmodule
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let n = parse_verilog(SAMPLE).expect("parse");
+        assert_eq!(n.name, "top");
+        assert_eq!(n.inputs, vec!["a", "b", "c"]);
+        assert_eq!(n.outputs, vec!["y", "z"]);
+        assert_eq!(n.wires, vec!["w1", "w2"]);
+        assert_eq!(n.num_gates(), 4);
+        assert_eq!(n.gates[3].kind, GateKind::Nor);
+        assert_eq!(n.gates[3].inputs[1], NetRef::Const(false));
+        assert_eq!(n.gates[0].name.as_deref(), Some("g1"));
+        assert_eq!(n.gates[3].name, None);
+    }
+
+    #[test]
+    fn assign_desugars_to_buf() {
+        let n = parse_verilog("module m (a, y); input a; output y; assign y = a; endmodule")
+            .expect("parse");
+        assert_eq!(n.gates[0].kind, GateKind::Buf);
+        assert_eq!(n.gates[0].output, "y");
+        assert_eq!(n.gates[0].inputs, vec![NetRef::named("a")]);
+    }
+
+    #[test]
+    fn assign_constant() {
+        let n = parse_verilog("module m (y); output y; assign y = 1'b1; endmodule").expect("parse");
+        assert_eq!(n.gates[0].inputs, vec![NetRef::Const(true)]);
+    }
+
+    #[test]
+    fn escaped_identifiers() {
+        let n = parse_verilog(
+            "module m (\\a[0] , y); input \\a[0] ; output y; buf (y, \\a[0] ); endmodule",
+        )
+        .expect("parse");
+        assert_eq!(n.inputs, vec!["a[0]"]);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_verilog("module m (y);\noutput y;\nfoo (y, a);\nendmodule").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("unknown primitive"));
+    }
+
+    #[test]
+    fn rejects_bad_literals_and_arity() {
+        assert!(parse_verilog("module m (y); output y; and g (y, 2'b10); endmodule").is_err());
+        assert!(parse_verilog("module m (y); output y; not g (y, a, b); endmodule").is_err());
+        assert!(parse_verilog("module m (y); output y; and g (y); endmodule").is_err());
+        assert!(parse_verilog("modul m (y); endmodule").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(parse_verilog("module m (y); /* oops").is_err());
+    }
+
+    #[test]
+    fn empty_port_list() {
+        let n = parse_verilog("module m (); endmodule").expect("parse");
+        assert_eq!(n.num_gates(), 0);
+    }
+}

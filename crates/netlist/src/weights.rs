@@ -1,0 +1,181 @@
+//! Weight-file parsing and writing.
+//!
+//! The ICCAD 2017 contest supplies a weight per faulty-circuit signal; the
+//! patch cost is the sum over base signals. The format is one
+//! `<net> <weight>` pair per line; `#` and `//` comments are ignored.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a weight file cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWeightsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseWeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseWeightsError {}
+
+/// Signal weights by net name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WeightTable {
+    weights: HashMap<String, u64>,
+    /// Weight assumed for nets not listed.
+    pub default_weight: u64,
+}
+
+impl WeightTable {
+    /// Creates an empty table with the given default weight.
+    pub fn new(default_weight: u64) -> Self {
+        WeightTable {
+            weights: HashMap::new(),
+            default_weight,
+        }
+    }
+
+    /// Sets the weight of a net.
+    pub fn set(&mut self, net: impl Into<String>, weight: u64) {
+        self.weights.insert(net.into(), weight);
+    }
+
+    /// Returns the weight of `net` (default if unlisted).
+    pub fn weight(&self, net: &str) -> u64 {
+        self.weights
+            .get(net)
+            .copied()
+            .unwrap_or(self.default_weight)
+    }
+
+    /// Number of explicitly listed nets.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` if no net is explicitly listed.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterates `(net, weight)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.weights.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+impl FromIterator<(String, u64)> for WeightTable {
+    fn from_iter<T: IntoIterator<Item = (String, u64)>>(iter: T) -> Self {
+        WeightTable {
+            weights: iter.into_iter().collect(),
+            default_weight: 1,
+        }
+    }
+}
+
+/// Parses a weight file.
+///
+/// # Errors
+///
+/// Returns [`ParseWeightsError`] on malformed lines or duplicate nets.
+///
+/// # Examples
+///
+/// ```
+/// let w = eco_netlist::parse_weights("n1 10\nn2 3\n# comment\n")?;
+/// assert_eq!(w.weight("n1"), 10);
+/// assert_eq!(w.weight("unlisted"), 1);
+/// # Ok::<(), eco_netlist::ParseWeightsError>(())
+/// ```
+pub fn parse_weights(text: &str) -> Result<WeightTable, ParseWeightsError> {
+    let mut table = WeightTable::new(1);
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let net = parts.next().expect("non-empty line");
+        let weight_tok = parts.next().ok_or(ParseWeightsError {
+            line: line_no,
+            message: "expected `<net> <weight>`".into(),
+        })?;
+        if parts.next().is_some() {
+            return Err(ParseWeightsError {
+                line: line_no,
+                message: "trailing tokens".into(),
+            });
+        }
+        let weight: u64 = weight_tok.parse().map_err(|_| ParseWeightsError {
+            line: line_no,
+            message: format!("invalid weight `{weight_tok}`"),
+        })?;
+        if table.weights.insert(net.to_string(), weight).is_some() {
+            return Err(ParseWeightsError {
+                line: line_no,
+                message: format!("duplicate net `{net}`"),
+            });
+        }
+    }
+    Ok(table)
+}
+
+/// Writes a weight table (sorted by net name for determinism).
+pub fn write_weights(table: &WeightTable) -> String {
+    let mut entries: Vec<(&str, u64)> = table.iter().collect();
+    entries.sort();
+    let mut s = String::new();
+    for (net, w) in entries {
+        s.push_str(net);
+        s.push(' ');
+        s.push_str(&w.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basics() {
+        let w = parse_weights("a 1\nb 100\n\n# c 5\n// d 6\n").expect("parse");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.weight("b"), 100);
+        assert_eq!(w.weight("c"), 1);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut w = WeightTable::new(1);
+        w.set("x", 7);
+        w.set("a", 3);
+        let text = write_weights(&w);
+        assert_eq!(text, "a 3\nx 7\n");
+        assert_eq!(parse_weights(&text).expect("parse"), w);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_weights("a\n").is_err());
+        assert!(parse_weights("a b\n").is_err());
+        assert!(parse_weights("a 1 2\n").is_err());
+        assert!(parse_weights("a 1\na 2\n").is_err());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let w: WeightTable = vec![("n".to_string(), 4u64)].into_iter().collect();
+        assert_eq!(w.weight("n"), 4);
+        assert!(!w.is_empty());
+    }
+}

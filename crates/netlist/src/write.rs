@@ -1,0 +1,159 @@
+//! Verilog writer for gate-level netlists.
+
+use std::fmt::Write as _;
+
+use crate::ast::{NetRef, Netlist};
+
+/// Formats a net name as a Verilog identifier, escaping it
+/// (backslash form) when it contains characters outside
+/// `[A-Za-z0-9_$]` or starts with a digit.
+fn ident(name: &str) -> String {
+    let simple = !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$');
+    if simple {
+        name.to_string()
+    } else {
+        format!("\\{name} ")
+    }
+}
+
+fn netref(r: &NetRef) -> String {
+    match r {
+        NetRef::Named(n) => ident(n),
+        c => c.to_string(),
+    }
+}
+
+/// Renders a netlist as structural Verilog in the contest subset.
+///
+/// Net names that are not plain identifiers are emitted in escaped form
+/// (`\name `), which [`parse_verilog`](crate::parse_verilog) reads back.
+/// The output parses to an equal [`Netlist`] modulo gate instance names.
+pub fn write_verilog(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    let ports: Vec<String> = netlist
+        .inputs
+        .iter()
+        .chain(&netlist.outputs)
+        .map(|n| ident(n))
+        .collect();
+    let _ = writeln!(s, "module {} ({});", ident(&netlist.name), ports.join(", "));
+    for (label, nets) in [
+        ("input", &netlist.inputs),
+        ("output", &netlist.outputs),
+        ("wire", &netlist.wires),
+    ] {
+        for chunk in nets.chunks(16) {
+            if !chunk.is_empty() {
+                let names: Vec<String> = chunk.iter().map(|n| ident(n)).collect();
+                let _ = writeln!(s, "  {label} {};", names.join(", "));
+            }
+        }
+    }
+    for (i, g) in netlist.gates.iter().enumerate() {
+        let name = g.name.clone().unwrap_or_else(|| format!("g{i}"));
+        let inputs: Vec<String> = g.inputs.iter().map(netref).collect();
+        let _ = writeln!(
+            s,
+            "  {} {} ({}, {});",
+            g.kind.keyword(),
+            name,
+            ident(&g.output),
+            inputs.join(", ")
+        );
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{elaborate, netlist_from_aig};
+    use crate::parse::parse_verilog;
+
+    #[test]
+    fn writer_output_reparses() {
+        let src = "module m (a, b, c, y); input a, b, c; output y; \
+                   wire w; and g1 (w, a, b); xnor g2 (y, w, c, 1'b1); endmodule";
+        let n1 = parse_verilog(src).expect("parse");
+        let text = write_verilog(&n1);
+        let n2 = parse_verilog(&text).expect("re-parse");
+        assert_eq!(n1.inputs, n2.inputs);
+        assert_eq!(n1.outputs, n2.outputs);
+        assert_eq!(n1.num_gates(), n2.num_gates());
+        for (a, b) in n1.gates.iter().zip(&n2.gates) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.output, b.output);
+            assert_eq!(a.inputs, b.inputs);
+        }
+    }
+
+    #[test]
+    fn full_aig_round_trip_semantics() {
+        let src = "module m (a, b, c, y, z); input a, b, c; output y, z; \
+                   wire w1, w2; nand g1 (w1, a, b); or g2 (w2, w1, c); \
+                   xor g3 (y, w2, a); nor g4 (z, w1, w2); endmodule";
+        let e1 = elaborate(&parse_verilog(src).expect("parse")).expect("elab");
+        let text = write_verilog(&netlist_from_aig(&e1.aig, "rt"));
+        let e2 = elaborate(&parse_verilog(&text).expect("parse2")).expect("elab2");
+        for bits in 0u32..8 {
+            let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(e1.aig.eval(&vals), e2.aig.eval(&vals));
+        }
+    }
+
+    #[test]
+    fn long_declarations_wrap() {
+        let mut n = crate::ast::Netlist::new("wide");
+        for i in 0..40 {
+            n.inputs.push(format!("i{i}"));
+        }
+        n.outputs.push("y".into());
+        n.gates.push(crate::ast::Gate {
+            kind: crate::ast::GateKind::Or,
+            name: None,
+            output: "y".into(),
+            inputs: (0..40)
+                .map(|i| crate::ast::NetRef::named(format!("i{i}")))
+                .collect(),
+        });
+        let text = write_verilog(&n);
+        let n2 = parse_verilog(&text).expect("re-parse");
+        assert_eq!(n2.inputs.len(), 40);
+        assert_eq!(n2.gates[0].inputs.len(), 40);
+    }
+}
+
+#[cfg(test)]
+mod escaping_tests {
+    use super::*;
+    use crate::convert::elaborate;
+    use crate::parse::parse_verilog;
+
+    #[test]
+    fn bus_style_names_round_trip() {
+        let mut n = crate::ast::Netlist::new("esc");
+        n.inputs = vec!["a[0]".into(), "a[1]".into(), "2weird".into()];
+        n.outputs = vec!["y[0]".into()];
+        n.gates.push(crate::ast::Gate {
+            kind: crate::ast::GateKind::And,
+            name: None,
+            output: "y[0]".into(),
+            inputs: vec![
+                crate::ast::NetRef::named("a[0]"),
+                crate::ast::NetRef::named("2weird"),
+            ],
+        });
+        let text = write_verilog(&n);
+        assert!(text.contains("\\a[0] "), "{text}");
+        let back = parse_verilog(&text).expect("escaped output parses");
+        assert_eq!(back.inputs, n.inputs);
+        let e = elaborate(&back).expect("elaborates");
+        assert_eq!(e.aig.eval(&[true, false, true]), vec![true]);
+        assert_eq!(e.aig.eval(&[true, false, false]), vec![false]);
+    }
+}

@@ -1,0 +1,76 @@
+//! `eco-sat`: a minimal DIMACS CNF solver front-end.
+//!
+//! ```text
+//! eco-sat problem.cnf        # or read from stdin with no argument
+//! ```
+//!
+//! Prints `s SATISFIABLE` with a `v` model line, or `s UNSATISFIABLE`,
+//! following the SAT-competition output conventions. Exit code 10 = SAT,
+//! 20 = UNSAT, 1 = error (same convention as MiniSat).
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use eco_sat::{parse_dimacs, LBool, Solver, Var};
+
+fn main() -> ExitCode {
+    let text = match std::env::args().nth(1) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("error: stdin: {e}");
+                return ExitCode::from(1);
+            }
+            buf
+        }
+    };
+    let problem = match parse_dimacs(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut solver = Solver::new();
+    for _ in 0..problem.num_vars {
+        solver.new_var();
+    }
+    for clause in &problem.clauses {
+        solver.add_clause(clause);
+    }
+    match solver.solve(&[]) {
+        Some(true) => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for i in 0..problem.num_vars {
+                let lit = Var::new(i as u32).pos();
+                let val = solver.model_value(lit) != LBool::False;
+                line.push(' ');
+                if !val {
+                    line.push('-');
+                }
+                line.push_str(&(i + 1).to_string());
+            }
+            line.push_str(" 0");
+            println!("{line}");
+            let st = solver.stats();
+            eprintln!(
+                "c conflicts {} decisions {} propagations {}",
+                st.conflicts, st.decisions, st.propagations
+            );
+            ExitCode::from(10)
+        }
+        Some(false) => {
+            println!("s UNSATISFIABLE");
+            ExitCode::from(20)
+        }
+        None => unreachable!("unbounded solve"),
+    }
+}

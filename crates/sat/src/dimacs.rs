@@ -1,0 +1,169 @@
+//! DIMACS CNF parsing and writing (for tests, debugging, and interop).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Lit;
+
+/// Error produced when DIMACS text cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// A parsed DIMACS problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsProblem {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses in order of appearance.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on a malformed header, out-of-range
+/// literals, non-integer tokens, or a clause missing its terminating `0`.
+///
+/// # Examples
+///
+/// ```
+/// let text = "c demo\np cnf 2 2\n1 -2 0\n2 0\n";
+/// let p = eco_sat::parse_dimacs(text)?;
+/// assert_eq!(p.num_vars, 2);
+/// assert_eq!(p.clauses.len(), 2);
+/// # Ok::<(), eco_sat::ParseDimacsError>(())
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<DimacsProblem, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let err = |line: usize, message: &str| ParseDimacsError {
+        line,
+        message: message.to_string(),
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if num_vars.is_some() {
+                return Err(err(line_no, "duplicate problem line"));
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(err(line_no, "expected `p cnf <vars> <clauses>`"));
+            }
+            let nv = parts[1]
+                .parse::<usize>()
+                .map_err(|_| err(line_no, "invalid variable count"))?;
+            num_vars = Some(nv);
+            continue;
+        }
+        let nv = num_vars.ok_or_else(|| err(line_no, "clause before problem line"))?;
+        for tok in line.split_whitespace() {
+            let val: i64 = tok.parse().map_err(|_| err(line_no, "non-integer token"))?;
+            if val == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if val.unsigned_abs() as usize > nv {
+                    return Err(err(line_no, "literal exceeds declared variable count"));
+                }
+                current.push(Lit::from_dimacs(val as i32));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: text.lines().count(),
+            message: "unterminated clause".to_string(),
+        });
+    }
+    Ok(DimacsProblem {
+        num_vars: num_vars.unwrap_or(0),
+        clauses,
+    })
+}
+
+/// Writes a clause list in DIMACS CNF format.
+pub fn write_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    use fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "p cnf {} {}", num_vars, clauses.len());
+    for c in clauses {
+        for l in c {
+            let _ = write!(s, "{} ", l.to_dimacs());
+        }
+        s.push_str("0\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Solver;
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 3 2\n1 -2 0\n-1 3 0\n";
+        let p = parse_dimacs(text).expect("parse");
+        assert_eq!(p.num_vars, 3);
+        assert_eq!(write_dimacs(p.num_vars, &p.clauses), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_dimacs("c hi\n\np cnf 1 1\nc mid\n1 0\n").expect("parse");
+        assert_eq!(p.clauses.len(), 1);
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let p = parse_dimacs("p cnf 3 1\n1 2\n3 0\n").expect("parse");
+        assert_eq!(
+            p.clauses,
+            vec![vec![
+                Lit::from_dimacs(1),
+                Lit::from_dimacs(2),
+                Lit::from_dimacs(3)
+            ]]
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_dimacs("1 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n2 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\nx 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n1\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\np cnf 1 1\n").is_err());
+        assert!(parse_dimacs("p nfc 1 1\n").is_err());
+    }
+
+    #[test]
+    fn parsed_problem_solves() {
+        let p = parse_dimacs("p cnf 2 3\n1 2 0\n-1 0\n-2 1 0\n").expect("parse");
+        let mut s = Solver::new();
+        for _ in 0..p.num_vars {
+            s.new_var();
+        }
+        for c in &p.clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(&[]), Some(false));
+    }
+}

@@ -1,0 +1,162 @@
+//! Indexed max-heap over variables ordered by VSIDS activity.
+
+use crate::Var;
+
+/// A binary max-heap of variables keyed by an external activity array,
+/// supporting `decrease`-free updates via [`VarHeap::bump`] and O(log n)
+/// membership-aware insertion.
+#[derive(Clone, Debug, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each var in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures capacity for variables up to `n - 1`.
+    pub fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+        }
+    }
+
+    /// Returns `true` if `v` is currently in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos
+            .get(v.index() as usize)
+            .is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Inserts `v` (no-op if already present).
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow(v.index() as usize + 1);
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v);
+        self.pos[v.index() as usize] = i;
+        self.sift_up(i, activity);
+    }
+
+    /// Restores heap order after `v`'s activity increased (no-op if absent).
+    pub fn bump(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v.index() as usize) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top.index() as usize] = ABSENT;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index() as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index() as usize] <= act[self.heap[parent].index() as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && act[self.heap[l].index() as usize] > act[self.heap[best].index() as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && act[self.heap[r].index() as usize] > act[self.heap[best].index() as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index() as usize] = i;
+        self.pos[self.heap[j].index() as usize] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = VarHeap::new();
+        for i in 0..5 {
+            h.insert(Var::new(i), &act);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop(&act).map(|v| v.index())).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let act = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(Var::new(1), &act);
+        h.insert(Var::new(1), &act);
+        assert_eq!(h.pop(&act), Some(Var::new(1)));
+        assert_eq!(h.pop(&act), None);
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.insert(Var::new(i), &act);
+        }
+        act[0] = 10.0;
+        h.bump(Var::new(0), &act);
+        assert_eq!(h.pop(&act), Some(Var::new(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let act = vec![1.0];
+        let mut h = VarHeap::new();
+        assert!(!h.contains(Var::new(0)));
+        h.insert(Var::new(0), &act);
+        assert!(h.contains(Var::new(0)));
+        h.pop(&act);
+        assert!(!h.contains(Var::new(0)));
+    }
+}

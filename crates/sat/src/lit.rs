@@ -1,0 +1,225 @@
+//! SAT variables, literals, and the three-valued assignment type.
+
+use std::fmt;
+
+/// A SAT variable (0-based index).
+///
+/// # Examples
+///
+/// ```
+/// use eco_sat::Var;
+/// let v = Var::new(4);
+/// assert_eq!(v.pos().var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Returns the variable index.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Positive literal of this variable.
+    #[inline]
+    pub const fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// Negative literal of this variable.
+    #[inline]
+    pub const fn neg(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// Literal of this variable with explicit sign (`true` = negated).
+    #[inline]
+    pub const fn lit(self, negated: bool) -> Lit {
+        Lit(self.0 << 1 | negated as u32)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A SAT literal: a variable with a sign, encoded as `2*var + sign`.
+///
+/// # Examples
+///
+/// ```
+/// use eco_sat::{Lit, Var};
+/// let l = Var::new(2).pos();
+/// assert_eq!(!l, Var::new(2).neg());
+/// assert!(!l.is_negated());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from its raw `2*var + sign` code.
+    #[inline]
+    pub const fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Returns the raw code.
+    #[inline]
+    pub const fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the underlying variable.
+    #[inline]
+    pub const fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is negated.
+    #[inline]
+    pub const fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Creates a literal from a DIMACS-style signed integer (non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs == 0`.
+    pub fn from_dimacs(dimacs: i32) -> Self {
+        assert!(dimacs != 0, "DIMACS literal must be non-zero");
+        let var = Var::new(dimacs.unsigned_abs() - 1);
+        var.lit(dimacs < 0)
+    }
+
+    /// Converts to a DIMACS-style signed integer.
+    pub fn to_dimacs(self) -> i32 {
+        let v = self.var().index() as i32 + 1;
+        if self.is_negated() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "!x{}", self.var().index())
+        } else {
+            write!(f, "x{}", self.var().index())
+        }
+    }
+}
+
+/// Three-valued assignment: true, false, or unassigned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts from a concrete boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns the concrete value, if assigned.
+    #[inline]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Negation (`Undef` stays `Undef`).
+    #[inline]
+    pub fn negate(self) -> Self {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// XOR with a boolean (`Undef` stays `Undef`).
+    #[inline]
+    pub fn xor(self, b: bool) -> Self {
+        if b {
+            self.negate()
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_round_trips() {
+        let v = Var::new(7);
+        assert_eq!(v.pos().var(), v);
+        assert!(!v.pos().is_negated());
+        assert!(v.neg().is_negated());
+        assert_eq!(!v.pos(), v.neg());
+        assert_eq!(v.lit(true), v.neg());
+    }
+
+    #[test]
+    fn dimacs_conversion() {
+        assert_eq!(Lit::from_dimacs(1), Var::new(0).pos());
+        assert_eq!(Lit::from_dimacs(-3), Var::new(2).neg());
+        assert_eq!(Lit::from_dimacs(-3).to_dimacs(), -3);
+        assert_eq!(Lit::from_dimacs(42).to_dimacs(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_algebra() {
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::True.xor(true), LBool::False);
+        assert_eq!(LBool::False.xor(false), LBool::False);
+        assert_eq!(LBool::True.as_bool(), Some(true));
+        assert_eq!(LBool::Undef.as_bool(), None);
+    }
+}

@@ -1,0 +1,122 @@
+//! A small helper for assembling gate-level netlists programmatically.
+
+use eco_netlist::{Gate, GateKind, NetRef, Netlist};
+
+/// Incrementally builds a [`Netlist`] with automatic wire bookkeeping.
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    netlist: Netlist,
+    next_wire: usize,
+}
+
+impl NetlistBuilder {
+    /// Starts a module.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            netlist: Netlist::new(name),
+            next_wire: 0,
+        }
+    }
+
+    /// Declares an input and returns its name.
+    pub fn input(&mut self, name: impl Into<String>) -> String {
+        let name = name.into();
+        self.netlist.inputs.push(name.clone());
+        name
+    }
+
+    /// Declares `n` inputs named `<prefix>0..<prefix>n-1`.
+    pub fn inputs(&mut self, prefix: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| self.input(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Marks an existing net as a primary output under a new name, via a
+    /// buffer.
+    pub fn output(&mut self, name: impl Into<String>, src: &str) {
+        let name = name.into();
+        self.netlist.outputs.push(name.clone());
+        self.netlist.gates.push(Gate {
+            kind: GateKind::Buf,
+            name: None,
+            output: name,
+            inputs: vec![NetRef::named(src)],
+        });
+    }
+
+    /// Adds a gate driving a fresh wire and returns the wire name.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[&str]) -> String {
+        let out = format!("w{}", self.next_wire);
+        self.next_wire += 1;
+        self.netlist.wires.push(out.clone());
+        self.netlist.gates.push(Gate {
+            kind,
+            name: None,
+            output: out.clone(),
+            inputs: inputs.iter().map(|s| NetRef::named(*s)).collect(),
+        });
+        out
+    }
+
+    /// Convenience binary gates.
+    pub fn and2(&mut self, a: &str, b: &str) -> String {
+        self.gate(GateKind::And, &[a, b])
+    }
+    /// OR of two nets.
+    pub fn or2(&mut self, a: &str, b: &str) -> String {
+        self.gate(GateKind::Or, &[a, b])
+    }
+    /// XOR of two nets.
+    pub fn xor2(&mut self, a: &str, b: &str) -> String {
+        self.gate(GateKind::Xor, &[a, b])
+    }
+    /// Inverter.
+    pub fn not1(&mut self, a: &str) -> String {
+        self.gate(GateKind::Not, &[a])
+    }
+    /// 2:1 mux built from gates: `s ? t : e`.
+    pub fn mux2(&mut self, s: &str, t: &str, e: &str) -> String {
+        let ns = self.not1(s);
+        let on = self.and2(s, t);
+        let off = self.and2(&ns, e);
+        self.or2(&on, &off)
+    }
+
+    /// Finishes the module.
+    pub fn finish(self) -> Netlist {
+        self.netlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_netlist::elaborate;
+
+    #[test]
+    fn builder_produces_valid_netlists() {
+        let mut b = NetlistBuilder::new("m");
+        let ins = b.inputs("i", 2);
+        let w = b.xor2(&ins[0], &ins[1]);
+        b.output("y", &w);
+        let nl = b.finish();
+        let e = elaborate(&nl).expect("elaborates");
+        assert_eq!(e.aig.eval(&[true, false]), vec![true]);
+        assert_eq!(e.aig.eval(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn mux_semantics() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.input("s");
+        let t = b.input("t");
+        let e = b.input("e");
+        let m = b.mux2(&s, &t, &e);
+        b.output("y", &m);
+        let el = elaborate(&b.finish()).expect("elaborates");
+        for bits in 0u32..8 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = if v[0] { v[1] } else { v[2] };
+            assert_eq!(el.aig.eval(&v), vec![expect]);
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Parameterized golden-circuit generators.
+//!
+//! These are the workload families behind the synthetic benchmark suite
+//! (the ICCAD 2017 contest circuits are not public; see DESIGN.md §4).
+//! Every generator returns a plain gate-level [`Netlist`] with
+//! systematically named internal wires, so fault injection can cut any
+//! net and weight files can address every signal.
+
+use eco_netlist::{GateKind, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::NetlistBuilder;
+
+/// An `n`-bit ripple-carry adder: `sum = a + b + cin` (n+1 outputs).
+pub fn ripple_adder(n: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("adder{n}"));
+    let a = b.inputs("a", n);
+    let bb = b.inputs("b", n);
+    let mut carry = b.input("cin");
+    for i in 0..n {
+        let axb = b.xor2(&a[i], &bb[i]);
+        let s = b.xor2(&axb, &carry);
+        let g = b.and2(&a[i], &bb[i]);
+        let p = b.and2(&axb, &carry);
+        carry = b.or2(&g, &p);
+        b.output(format!("s{i}"), &s);
+    }
+    b.output("cout", &carry);
+    b.finish()
+}
+
+/// An `n`-bit two-operand ALU with ops AND/OR/XOR/ADD selected by
+/// `(op1, op0)`.
+pub fn alu(n: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("alu{n}"));
+    let a = b.inputs("a", n);
+    let bb = b.inputs("b", n);
+    let op0 = b.input("op0");
+    let op1 = b.input("op1");
+    // Constant-0 start carry built as op0 & !op0.
+    let nop0 = b.not1(&op0);
+    let mut carry = b.and2(&op0, &nop0);
+    for i in 0..n {
+        let and_i = b.and2(&a[i], &bb[i]);
+        let or_i = b.or2(&a[i], &bb[i]);
+        let xor_i = b.xor2(&a[i], &bb[i]);
+        let sum_i = b.xor2(&xor_i, &carry);
+        let p = b.and2(&xor_i, &carry);
+        carry = b.or2(&and_i, &p);
+        // out = op1 ? (op0 ? add : xor) : (op0 ? or : and)
+        let hi = b.mux2(&op0, &sum_i, &xor_i);
+        let lo = b.mux2(&op0, &or_i, &and_i);
+        let out = b.mux2(&op1, &hi, &lo);
+        b.output(format!("y{i}"), &out);
+    }
+    b.finish()
+}
+
+/// An `n`-bit equality + less-than comparator (`eq`, `lt` outputs).
+pub fn comparator(n: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("cmp{n}"));
+    let a = b.inputs("a", n);
+    let bb = b.inputs("b", n);
+    let mut eq = {
+        let x = b.xor2(&a[0], &bb[0]);
+        b.not1(&x)
+    };
+    let mut lt = {
+        let na = b.not1(&a[0]);
+        b.and2(&na, &bb[0])
+    };
+    for i in 1..n {
+        let x = b.xor2(&a[i], &bb[i]);
+        let eq_i = b.not1(&x);
+        let na = b.not1(&a[i]);
+        let lt_i = b.and2(&na, &bb[i]);
+        // lt = lt_i | (eq_i & lt)
+        let keep = b.and2(&eq_i, &lt);
+        lt = b.or2(&lt_i, &keep);
+        eq = b.and2(&eq, &eq_i);
+    }
+    b.output("eq", &eq);
+    b.output("lt", &lt);
+    b.finish()
+}
+
+/// An `n`-input odd-parity tree.
+pub fn parity(n: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("parity{n}"));
+    let ins = b.inputs("i", n);
+    let mut level: Vec<String> = ins;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.xor2(&pair[0], &pair[1]));
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        level = next;
+    }
+    b.output("p", &level[0]);
+    b.finish()
+}
+
+/// A mux tree selecting one of `2^depth` data inputs.
+pub fn mux_tree(depth: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("mux{depth}"));
+    let data = b.inputs("d", 1 << depth);
+    let sel = b.inputs("s", depth);
+    let mut level = data;
+    for s in &sel {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            next.push(b.mux2(s, &pair[1], &pair[0]));
+        }
+        level = next;
+    }
+    b.output("y", &level[0]);
+    b.finish()
+}
+
+/// A random two-input-gate DAG: `n_gates` gates over `n_inputs` inputs;
+/// the last `n_outputs` gate nets become outputs. Deterministic in `seed`.
+pub fn random_dag(n_inputs: usize, n_gates: usize, n_outputs: usize, seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(format!("rand{n_inputs}x{n_gates}"));
+    let mut nets: Vec<String> = b.inputs("i", n_inputs);
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Xor,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xnor,
+    ];
+    for _ in 0..n_gates {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        // Bias towards recent nets for depth.
+        let pick = |rng: &mut StdRng, nets: &[String]| -> String {
+            let n = nets.len();
+            let lo = n.saturating_sub(24);
+            nets[rng.gen_range(lo..n)].clone()
+        };
+        let x = pick(&mut rng, &nets);
+        let y = pick(&mut rng, &nets);
+        let w = b.gate(kind, &[&x, &y]);
+        nets.push(w);
+    }
+    let n_outputs = n_outputs.min(nets.len());
+    for (k, net) in nets.iter().rev().take(n_outputs).enumerate() {
+        b.output(format!("o{k}"), net);
+    }
+    b.finish()
+}
+
+/// The "difficult unit" family: a wide shared datapath (adder + parity +
+/// comparator over the same operands) feeding a small combiner layer.
+/// Cutting combiner nets forces a PI-only method to replicate the whole
+/// datapath, while localization can tap the shared intermediate buses.
+pub fn shared_datapath(n: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("datapath{n}"));
+    let a = b.inputs("a", n);
+    let bb = b.inputs("b", n);
+    let cin = b.input("cin");
+
+    // Adder bus s0..s(n-1), cout.
+    let mut carry = cin;
+    let mut sums = Vec::new();
+    for i in 0..n {
+        let axb = b.xor2(&a[i], &bb[i]);
+        let s = b.xor2(&axb, &carry);
+        let g = b.and2(&a[i], &bb[i]);
+        let p = b.and2(&axb, &carry);
+        carry = b.or2(&g, &p);
+        sums.push(s);
+    }
+    // Parity of the sum bus.
+    let mut par = sums[0].clone();
+    for s in &sums[1..] {
+        par = b.xor2(&par, s);
+    }
+    // Equality a == b.
+    let mut eq = {
+        let x = b.xor2(&a[0], &bb[0]);
+        b.not1(&x)
+    };
+    for i in 1..n {
+        let x = b.xor2(&a[i], &bb[i]);
+        let e = b.not1(&x);
+        eq = b.and2(&eq, &e);
+    }
+    // Combiner layer: a handful of outputs mixing the shared buses.
+    let k1 = b.and2(&par, &carry);
+    let k2 = b.mux2(&eq, &sums[0], &par);
+    let k3 = b.xor2(&k1, &k2);
+    let k4 = b.or2(&eq, &k1);
+    b.output("combine0", &k3);
+    b.output("combine1", &k4);
+    for (i, s) in sums.iter().enumerate().take(4) {
+        b.output(format!("sum{i}"), s);
+    }
+    b.output("parity", &par);
+    b.output("eq", &eq);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_netlist::elaborate;
+
+    fn eval(nl: &Netlist, bits: &[bool]) -> Vec<bool> {
+        elaborate(nl).expect("elaborates").aig.eval(bits)
+    }
+
+    #[test]
+    fn adder_adds() {
+        let nl = ripple_adder(4);
+        // inputs: a0..3, b0..3, cin
+        for (a, b, cin) in [(3u32, 5u32, 0u32), (15, 15, 1), (9, 6, 1), (0, 0, 0)] {
+            let mut bits = Vec::new();
+            for i in 0..4 {
+                bits.push(a >> i & 1 == 1);
+            }
+            for i in 0..4 {
+                bits.push(b >> i & 1 == 1);
+            }
+            bits.push(cin == 1);
+            let out = eval(&nl, &bits);
+            let total = a + b + cin;
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(o, total >> i & 1 == 1, "bit {i} of {a}+{b}+{cin}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_selects_operations() {
+        let nl = alu(3);
+        // inputs: a0..2, b0..2, op0, op1.
+        let a = 0b101u32;
+        let b = 0b011u32;
+        for (op, expect) in [
+            (0b00u32, a & b),
+            (0b01, a | b),
+            (0b10, a ^ b),
+            (0b11, (a + b) & 0b111),
+        ] {
+            let mut bits = Vec::new();
+            for i in 0..3 {
+                bits.push(a >> i & 1 == 1);
+            }
+            for i in 0..3 {
+                bits.push(b >> i & 1 == 1);
+            }
+            bits.push(op & 1 == 1);
+            bits.push(op >> 1 & 1 == 1);
+            let out = eval(&nl, &bits);
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(o, expect >> i & 1 == 1, "op {op:02b} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let nl = comparator(3);
+        for a in 0u32..8 {
+            for b in 0u32..8 {
+                let mut bits = Vec::new();
+                for i in 0..3 {
+                    bits.push(a >> i & 1 == 1);
+                }
+                for i in 0..3 {
+                    bits.push(b >> i & 1 == 1);
+                }
+                let out = eval(&nl, &bits);
+                assert_eq!(out[0], a == b, "{a} == {b}");
+                assert_eq!(out[1], a < b, "{a} < {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_counts_ones() {
+        let nl = parity(5);
+        for bits_val in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| bits_val >> i & 1 == 1).collect();
+            let ones = bits.iter().filter(|&&x| x).count();
+            assert_eq!(eval(&nl, &bits), vec![ones % 2 == 1]);
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let nl = mux_tree(2);
+        // inputs: d0..3, s0, s1.
+        for sel in 0u32..4 {
+            let mut bits = vec![false; 4];
+            bits[sel as usize] = true;
+            bits.push(sel & 1 == 1);
+            bits.push(sel >> 1 & 1 == 1);
+            assert_eq!(eval(&nl, &bits), vec![true], "sel {sel}");
+        }
+    }
+
+    #[test]
+    fn random_dag_is_deterministic_and_valid() {
+        let n1 = random_dag(6, 40, 4, 7);
+        let n2 = random_dag(6, 40, 4, 7);
+        assert_eq!(n1, n2);
+        let e = elaborate(&n1).expect("elaborates");
+        assert_eq!(e.aig.num_outputs(), 4);
+    }
+
+    #[test]
+    fn shared_datapath_elaborates() {
+        let nl = shared_datapath(6);
+        let e = elaborate(&nl).expect("elaborates");
+        assert!(e.aig.num_ands() > 50);
+        assert_eq!(e.aig.num_outputs(), 8);
+    }
+}
+
+/// An `n`×`n`-bit array multiplier (2n product outputs).
+pub fn multiplier(n: usize) -> Netlist {
+    let mut b = NetlistBuilder::new(format!("mult{n}"));
+    let a = b.inputs("a", n);
+    let bb = b.inputs("b", n);
+    // Partial products, summed row by row with ripple adders.
+    let mut acc: Vec<Option<String>> = vec![None; 2 * n];
+    for (i, ai) in a.iter().enumerate() {
+        // Row i: a_i & b_j at weight i + j.
+        let row: Vec<String> = bb.iter().map(|bj| b.and2(ai, bj)).collect();
+        let mut carry: Option<String> = None;
+        for (j, pp) in row.into_iter().enumerate() {
+            let w = i + j;
+            let mut bits: Vec<String> = vec![pp];
+            if let Some(c) = carry.take() {
+                bits.push(c);
+            }
+            if let Some(prev) = acc[w].take() {
+                bits.push(prev);
+            }
+            // Sum 1-3 bits into (sum, carry).
+            match bits.len() {
+                1 => acc[w] = Some(bits.pop().expect("one bit")),
+                2 => {
+                    let s = b.xor2(&bits[0], &bits[1]);
+                    let c = b.and2(&bits[0], &bits[1]);
+                    acc[w] = Some(s);
+                    carry = Some(c);
+                }
+                _ => {
+                    let x = b.xor2(&bits[0], &bits[1]);
+                    let s = b.xor2(&x, &bits[2]);
+                    let g = b.and2(&bits[0], &bits[1]);
+                    let p = b.and2(&x, &bits[2]);
+                    let c = b.or2(&g, &p);
+                    acc[w] = Some(s);
+                    carry = Some(c);
+                }
+            }
+        }
+        // Propagate the final carry of this row upward.
+        let mut w = i + n;
+        while let Some(c) = carry.take() {
+            match acc[w].take() {
+                None => acc[w] = Some(c),
+                Some(prev) => {
+                    let s = b.xor2(&prev, &c);
+                    let nc = b.and2(&prev, &c);
+                    acc[w] = Some(s);
+                    carry = Some(nc);
+                    w += 1;
+                }
+            }
+        }
+    }
+    for (w, bit) in acc.into_iter().enumerate() {
+        match bit {
+            Some(net) => b.output(format!("p{w}"), &net),
+            None => {
+                // Weight never produced (can happen only for p_{2n-1} of
+                // small n): emit constant 0 via x & !x on a0.
+                let na = b.not1(&a[0]);
+                let zero = b.and2(&a[0], &na);
+                b.output(format!("p{w}"), &zero);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// An `n`-bit logical barrel shifter: `y = d << s` (zero fill), with
+/// `ceil(log2 n)` shift-select inputs.
+pub fn barrel_shifter(n: usize) -> Netlist {
+    let stages = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    let mut b = NetlistBuilder::new(format!("bshift{n}"));
+    let d = b.inputs("d", n);
+    let s = b.inputs("s", stages);
+    // Constant zero for fill.
+    let nd = b.not1(&d[0]);
+    let zero = b.and2(&d[0], &nd);
+    let mut layer = d;
+    for (k, sk) in s.iter().enumerate() {
+        let shift = 1usize << k;
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let shifted = if i >= shift {
+                layer[i - shift].clone()
+            } else {
+                zero.clone()
+            };
+            next.push(b.mux2(sk, &shifted, &layer[i]));
+        }
+        layer = next;
+    }
+    for (i, net) in layer.iter().enumerate() {
+        b.output(format!("y{i}"), net);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use eco_netlist::elaborate;
+
+    #[test]
+    fn multiplier_multiplies() {
+        let nl = multiplier(4);
+        let e = elaborate(&nl).expect("elaborates");
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                let mut bits = Vec::new();
+                for i in 0..4 {
+                    bits.push(a >> i & 1 == 1);
+                }
+                for i in 0..4 {
+                    bits.push(b >> i & 1 == 1);
+                }
+                let out = e.aig.eval(&bits);
+                let product = a * b;
+                for (i, &o) in out.iter().enumerate() {
+                    assert_eq!(o, product >> i & 1 == 1, "{a}*{b} bit {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_shifts() {
+        let nl = barrel_shifter(8);
+        let e = elaborate(&nl).expect("elaborates");
+        for d in [0b1011_0010u32, 0b0000_0001, 0b1111_1111] {
+            for s in 0u32..8 {
+                let mut bits = Vec::new();
+                for i in 0..8 {
+                    bits.push(d >> i & 1 == 1);
+                }
+                for i in 0..3 {
+                    bits.push(s >> i & 1 == 1);
+                }
+                let out = e.aig.eval(&bits);
+                let expect = (d << s) & 0xff;
+                for (i, &o) in out.iter().enumerate() {
+                    assert_eq!(o, expect >> i & 1 == 1, "{d:#010b} << {s} bit {i}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Fault injection: turning a golden netlist into a contest-style ECO
+//! instance by cutting target nets, optionally scrambling the dangling
+//! logic, and assigning signal weights.
+
+use eco_netlist::{GateKind, Netlist, WeightTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How weights are assigned to faulty-circuit signals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightProfile {
+    /// All signals weigh 1.
+    Unit,
+    /// Uniform random in `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// Primary inputs are expensive (`pi`), internal nets cheap (`wire`) —
+    /// the regime where intermediate-signal patches shine.
+    CheapWires {
+        /// Weight of each primary input.
+        pi: u64,
+        /// Weight of each internal wire.
+        wire: u64,
+    },
+}
+
+/// Cuts the drivers of `targets` out of `golden`, producing the faulty
+/// circuit with those nets floating as pseudo-primary-inputs.
+///
+/// The cut gates' fanin logic is retained (it may dangle), exactly like
+/// contest instances where the obsolete logic stays in the design as
+/// reusable spare structure. Rectifiability is guaranteed by construction:
+/// reconnecting each target to its original function restores the golden
+/// circuit.
+///
+/// # Panics
+///
+/// Panics if a target is not an internal wire or output of `golden`, or
+/// is driven by no gate.
+pub fn cut_targets(golden: &Netlist, targets: &[String]) -> Netlist {
+    let mut faulty = golden.clone();
+    faulty.name = format!("{}_faulty", golden.name);
+    for t in targets {
+        let gi = faulty
+            .gates
+            .iter()
+            .position(|g| g.output == *t)
+            .unwrap_or_else(|| panic!("target `{t}` has no driver"));
+        faulty.gates.remove(gi);
+        faulty.wires.retain(|w| w != t);
+        assert!(
+            !faulty.inputs.contains(t),
+            "target `{t}` is already an input"
+        );
+        faulty.inputs.push(t.clone());
+    }
+    faulty
+}
+
+/// Scrambles gates that became dangling after the cut (their outputs no
+/// longer reach any primary output): flips gate kinds pseudo-randomly.
+/// This models leftover erroneous logic in the faulty design without
+/// affecting rectifiability, and diversifies the candidate signal pool.
+pub fn scramble_dangling(faulty: &mut Netlist, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Nets transitively reaching an output.
+    let mut live: std::collections::HashSet<&str> =
+        faulty.outputs.iter().map(String::as_str).collect();
+    loop {
+        let before = live.len();
+        for g in &faulty.gates {
+            if live.contains(g.output.as_str()) {
+                for i in &g.inputs {
+                    if let Some(n) = i.name() {
+                        live.insert(n);
+                    }
+                }
+            }
+        }
+        if live.len() == before {
+            break;
+        }
+    }
+    let live_nets: std::collections::HashSet<String> = live.iter().map(|s| s.to_string()).collect();
+    let swaps = [
+        (GateKind::And, GateKind::Nand),
+        (GateKind::Or, GateKind::Nor),
+        (GateKind::Xor, GateKind::Xnor),
+    ];
+    let mut flipped = 0;
+    for g in &mut faulty.gates {
+        if live_nets.contains(&g.output) || !rng.gen_bool(0.5) {
+            continue;
+        }
+        for (a, bk) in swaps {
+            if g.kind == a {
+                g.kind = bk;
+                flipped += 1;
+                break;
+            } else if g.kind == bk {
+                g.kind = a;
+                flipped += 1;
+                break;
+            }
+        }
+    }
+    flipped
+}
+
+/// Assigns weights to every named net of `faulty` per the profile.
+pub fn assign_weights(faulty: &Netlist, profile: WeightProfile, seed: u64) -> WeightTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = WeightTable::new(1);
+    for net in faulty.declared_nets() {
+        let w = match profile {
+            WeightProfile::Unit => 1,
+            WeightProfile::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            WeightProfile::CheapWires { pi, wire } => {
+                if faulty.inputs.iter().any(|i| i == net) {
+                    pi
+                } else {
+                    wire
+                }
+            }
+        };
+        table.set(net, w);
+    }
+    table
+}
+
+/// Makes a cut instance *unrectifiable* by flipping one gate that feeds a
+/// primary output outside every target's fanout cone. Returns the mutated
+/// gate's output net, or `None` if no suitable gate exists (every live
+/// gate reaches a target-dependent output).
+///
+/// The guarantee: the flipped gate changes the function of at least one
+/// output that no patch can influence, so `∀X ∃T. F = G` is false.
+pub fn break_untouched_output(
+    faulty: &mut Netlist,
+    golden: &Netlist,
+    targets: &[String],
+    seed: u64,
+) -> Option<String> {
+    use eco_netlist::elaborate;
+    let gold = elaborate(golden).ok()?;
+    let fault = elaborate(faulty).ok()?;
+
+    // Outputs whose faulty cone contains no target.
+    let untouched: Vec<String> = faulty
+        .outputs
+        .iter()
+        .filter(|o| {
+            let lit = fault.net_lits[o.as_str()];
+            let sup = fault.aig.support(&[lit]);
+            !targets
+                .iter()
+                .any(|t| fault.aig.find_input(t).is_some_and(|tv| sup.contains(&tv)))
+        })
+        .cloned()
+        .collect();
+    if untouched.is_empty() {
+        return None;
+    }
+
+    // Candidate gates: drive a net in some untouched output's cone and in
+    // no target-dependent output's cone (so the flip cannot be patched
+    // around), with a flippable kind.
+    let mut untouched_cone: std::collections::HashSet<eco_aig::Var> = Default::default();
+    for o in &untouched {
+        let lit = fault.net_lits[o.as_str()];
+        untouched_cone.extend(fault.aig.cone_vars(&[lit]));
+    }
+    let mut touched_cone: std::collections::HashSet<eco_aig::Var> = Default::default();
+    for o in &faulty.outputs {
+        if untouched.contains(o) {
+            continue;
+        }
+        let lit = fault.net_lits[o.as_str()];
+        touched_cone.extend(fault.aig.cone_vars(&[lit]));
+    }
+
+    let flippable = [
+        (GateKind::And, GateKind::Nand),
+        (GateKind::Nand, GateKind::And),
+        (GateKind::Or, GateKind::Nor),
+        (GateKind::Nor, GateKind::Or),
+        (GateKind::Xor, GateKind::Xnor),
+        (GateKind::Xnor, GateKind::Xor),
+        (GateKind::Buf, GateKind::Not),
+        (GateKind::Not, GateKind::Buf),
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..faulty.gates.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for gi in order {
+        let g = &faulty.gates[gi];
+        let Some(&lit) = fault.net_lits.get(&g.output) else {
+            continue;
+        };
+        let v = lit.var();
+        if !untouched_cone.contains(&v) || touched_cone.contains(&v) {
+            continue;
+        }
+        let from = g.kind;
+        let Some(&(_, to)) = flippable.iter().find(|(f, _)| *f == from) else {
+            continue;
+        };
+        // Flip and confirm the untouched outputs actually change (the flip
+        // could be masked downstream).
+        let out = g.output.clone();
+        faulty.gates[gi].kind = to;
+        let mutated = match elaborate(faulty) {
+            Ok(m) => m,
+            Err(_) => {
+                faulty.gates[gi].kind = from;
+                continue;
+            }
+        };
+        let differs = untouched.iter().any(|o| {
+            let ml = mutated.net_lits[o.as_str()];
+            let gl = gold.net_lits[o.as_str()];
+            // Random-simulation difference check (cheap and sufficient:
+            // if it differs on any sampled pattern, it differs).
+            (0..256u32).any(|k| {
+                let bits: Vec<bool> = (0..mutated.aig.num_inputs())
+                    .map(|i| (k.wrapping_mul(2654435761).wrapping_add(i as u32 * 97)) & 1 == 1)
+                    .collect();
+                let gbits: Vec<bool> = (0..gold.aig.num_inputs())
+                    .map(|i| {
+                        let name = gold.aig.input_name(i);
+                        (0..mutated.aig.num_inputs())
+                            .find(|&p| mutated.aig.input_name(p) == name)
+                            .map(|p| bits[p])
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                mutated.aig.eval_lit(ml, &bits) != gold.aig.eval_lit(gl, &gbits)
+            })
+        });
+        if differs {
+            return Some(out);
+        }
+        // Masked: revert and try another gate.
+        faulty.gates[gi].kind = from;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::ripple_adder;
+    use eco_netlist::elaborate;
+
+    #[test]
+    fn cut_moves_net_to_inputs() {
+        let golden = ripple_adder(3);
+        let faulty = cut_targets(&golden, &["w1".into()]);
+        assert!(faulty.inputs.contains(&"w1".to_string()));
+        assert!(!faulty.wires.contains(&"w1".to_string()));
+        assert_eq!(faulty.num_gates(), golden.num_gates() - 1);
+        // Still elaborates (w1's old fanins may dangle).
+        elaborate(&faulty).expect("elaborates");
+    }
+
+    #[test]
+    #[should_panic(expected = "no driver")]
+    fn cutting_an_input_panics() {
+        let golden = ripple_adder(2);
+        let _ = cut_targets(&golden, &["a0".into()]);
+    }
+
+    #[test]
+    fn scramble_touches_only_dangling_logic() {
+        let golden = ripple_adder(4);
+        // Cut the final carry OR: its fanins (g, p gates) dangle... they
+        // actually still feed sum logic; cut an xor used only by one sum.
+        let mut faulty = cut_targets(&golden, &["w13".into(), "w1".into()]);
+        let before = elaborate(&faulty).expect("elab before");
+        let _ = scramble_dangling(&mut faulty, 9);
+        let after = elaborate(&faulty).expect("elab after");
+        // Live outputs unchanged for all assignments of the (now larger)
+        // input space: compare on matching input names.
+        assert_eq!(before.aig.num_inputs(), after.aig.num_inputs());
+        for trial in 0..64u64 {
+            let bits: Vec<bool> = (0..before.aig.num_inputs())
+                .map(|i| trial.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64) % 3 == 0)
+                .collect();
+            assert_eq!(before.aig.eval(&bits), after.aig.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn weight_profiles() {
+        let golden = ripple_adder(2);
+        let faulty = cut_targets(&golden, &["w0".into()]);
+        let unit = assign_weights(&faulty, WeightProfile::Unit, 1);
+        assert_eq!(unit.weight("a0"), 1);
+        let uni = assign_weights(&faulty, WeightProfile::Uniform { lo: 5, hi: 9 }, 1);
+        for net in faulty.declared_nets() {
+            let w = uni.weight(net);
+            assert!((5..=9).contains(&w), "{net} weight {w}");
+        }
+        let cw = assign_weights(&faulty, WeightProfile::CheapWires { pi: 40, wire: 2 }, 1);
+        assert_eq!(cw.weight("a0"), 40);
+        assert_eq!(cw.weight("w1"), 2);
+        // The cut target is now an input.
+        assert_eq!(cw.weight("w0"), 40);
+    }
+
+    #[test]
+    fn weights_are_deterministic() {
+        let golden = ripple_adder(2);
+        let faulty = cut_targets(&golden, &["w0".into()]);
+        let w1 = assign_weights(&faulty, WeightProfile::Uniform { lo: 1, hi: 100 }, 42);
+        let w2 = assign_weights(&faulty, WeightProfile::Uniform { lo: 1, hi: 100 }, 42);
+        assert_eq!(w1, w2);
+    }
+}

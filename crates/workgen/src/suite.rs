@@ -1,0 +1,559 @@
+//! The fixed 20-unit benchmark suite.
+//!
+//! Mirrors the knob spread of the ICCAD 2017 contest suite used in the
+//! paper's Table 2 (the contest circuits themselves are not public):
+//! target counts from 1 to 12, several circuit families, and four
+//! *difficult* units (6, 10, 11, 19) built on the [`shared_datapath`]
+//! family with deep targets and cheap internal wires — the regime where
+//! the paper reports its largest wins over the PI-support baseline.
+
+use eco_core::{EcoError, EcoInstance};
+use eco_netlist::{Netlist, WeightTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuits::{
+    alu, barrel_shifter, comparator, multiplier, mux_tree, parity, random_dag, ripple_adder,
+    shared_datapath,
+};
+use crate::fault::{assign_weights, cut_targets, scramble_dangling, WeightProfile};
+
+/// A golden-circuit family with its size parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// [`ripple_adder`] of the given width.
+    Adder(usize),
+    /// [`alu`] of the given width.
+    Alu(usize),
+    /// [`comparator`] of the given width.
+    Comparator(usize),
+    /// [`parity`] over the given inputs.
+    Parity(usize),
+    /// [`mux_tree`] of the given depth.
+    MuxTree(usize),
+    /// [`random_dag`] with `(inputs, gates, outputs, seed)`.
+    RandomDag(usize, usize, usize, u64),
+    /// [`shared_datapath`] of the given width (the difficult family).
+    Datapath(usize),
+    /// [`multiplier`] of the given operand width.
+    Multiplier(usize),
+    /// [`barrel_shifter`] of the given data width.
+    BarrelShifter(usize),
+}
+
+impl Family {
+    /// Builds the golden netlist.
+    pub fn build(self) -> Netlist {
+        match self {
+            Family::Adder(n) => ripple_adder(n),
+            Family::Alu(n) => alu(n),
+            Family::Comparator(n) => comparator(n),
+            Family::Parity(n) => parity(n),
+            Family::MuxTree(d) => mux_tree(d),
+            Family::RandomDag(i, g, o, s) => random_dag(i, g, o, s),
+            Family::Datapath(n) => shared_datapath(n),
+            Family::Multiplier(n) => multiplier(n),
+            Family::BarrelShifter(n) => barrel_shifter(n),
+        }
+    }
+}
+
+/// Where targets are picked from the (topologically ordered) live wires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetBias {
+    /// Early wires (close to the inputs).
+    Shallow,
+    /// The middle of the netlist.
+    Mid,
+    /// Late wires (close to the outputs) — patches there need the most
+    /// reconstructed logic, making localization matter.
+    Deep,
+}
+
+/// The full specification of one benchmark unit.
+#[derive(Clone, Debug)]
+pub struct UnitSpec {
+    /// Unit name (`unit01` .. `unit20`).
+    pub name: String,
+    /// Golden-circuit family.
+    pub family: Family,
+    /// Number of targets α.
+    pub n_targets: usize,
+    /// Target picking bias.
+    pub bias: TargetBias,
+    /// Weight assignment profile.
+    pub weights: WeightProfile,
+    /// Marked difficult in the Table-2 sense.
+    pub difficult: bool,
+    /// Seed for target picking, scrambling, and weights.
+    pub seed: u64,
+}
+
+/// A fully materialized unit.
+#[derive(Clone, Debug)]
+pub struct SuiteUnit {
+    /// The specification this unit was built from.
+    pub spec: UnitSpec,
+    /// Golden netlist.
+    pub golden: Netlist,
+    /// Faulty netlist (targets floating, dangling logic scrambled).
+    pub faulty: Netlist,
+    /// Target net names.
+    pub targets: Vec<String>,
+    /// Signal weights.
+    pub weights: WeightTable,
+}
+
+impl SuiteUnit {
+    /// Builds the validated [`EcoInstance`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EcoInstance::from_netlists`] validation failures
+    /// (which indicate a generator bug, not user error).
+    pub fn instance(&self) -> Result<EcoInstance, EcoError> {
+        EcoInstance::from_netlists(
+            self.spec.name.clone(),
+            &self.faulty,
+            &self.golden,
+            self.targets.clone(),
+            &self.weights,
+        )
+    }
+}
+
+/// Wires of `netlist` that transitively reach a primary output, in
+/// declaration (≈ topological) order.
+fn live_wires(netlist: &Netlist) -> Vec<String> {
+    let mut live: std::collections::HashSet<&str> =
+        netlist.outputs.iter().map(String::as_str).collect();
+    loop {
+        let before = live.len();
+        for g in &netlist.gates {
+            if live.contains(g.output.as_str()) {
+                for i in &g.inputs {
+                    if let Some(n) = i.name() {
+                        live.insert(n);
+                    }
+                }
+            }
+        }
+        if live.len() == before {
+            break;
+        }
+    }
+    netlist
+        .wires
+        .iter()
+        .filter(|w| live.contains(w.as_str()))
+        .cloned()
+        .collect()
+}
+
+/// Picks `n` distinct live wires in the requested band.
+fn pick_targets(netlist: &Netlist, n: usize, bias: TargetBias, seed: u64) -> Vec<String> {
+    let wires = live_wires(netlist);
+    assert!(wires.len() >= n, "{} live wires < {n} targets", wires.len());
+    let (lo, hi) = match bias {
+        TargetBias::Shallow => (0.0, 0.35),
+        TargetBias::Mid => (0.30, 0.75),
+        TargetBias::Deep => (0.70, 1.0),
+    };
+    let lo = (wires.len() as f64 * lo) as usize;
+    let hi = ((wires.len() as f64 * hi) as usize)
+        .max(lo + n)
+        .min(wires.len());
+    let band = &wires[lo..hi];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked: Vec<String> = Vec::new();
+    let mut guard = 0;
+    while picked.len() < n {
+        let w = band[rng.gen_range(0..band.len())].clone();
+        if !picked.contains(&w) {
+            picked.push(w);
+        }
+        guard += 1;
+        assert!(guard < 10_000, "target picking failed to converge");
+    }
+    picked.sort();
+    picked
+}
+
+/// Materializes one unit from its spec.
+pub fn build_unit(spec: &UnitSpec) -> SuiteUnit {
+    let golden = spec.family.build();
+    let targets = pick_targets(&golden, spec.n_targets, spec.bias, spec.seed);
+    let mut faulty = cut_targets(&golden, &targets);
+    let _ = scramble_dangling(&mut faulty, spec.seed ^ 0x5c4a_6b1e);
+    let weights = assign_weights(&faulty, spec.weights, spec.seed ^ 0x77a0_11d3);
+    SuiteUnit {
+        spec: spec.clone(),
+        golden,
+        faulty,
+        targets,
+        weights,
+    }
+}
+
+/// The 20 unit specifications (see module docs).
+pub fn suite_specs() -> Vec<UnitSpec> {
+    use Family::*;
+    use TargetBias::*;
+    use WeightProfile::*;
+    let spec = |name: &str,
+                family: Family,
+                n_targets: usize,
+                bias: TargetBias,
+                weights: WeightProfile,
+                difficult: bool,
+                seed: u64| UnitSpec {
+        name: name.to_string(),
+        family,
+        n_targets,
+        bias,
+        weights,
+        difficult,
+        seed,
+    };
+    vec![
+        spec("unit01", Parity(8), 1, Mid, Unit, false, 101),
+        spec(
+            "unit02",
+            MuxTree(3),
+            1,
+            Mid,
+            Uniform { lo: 1, hi: 20 },
+            false,
+            102,
+        ),
+        spec(
+            "unit03",
+            Comparator(8),
+            1,
+            Shallow,
+            Uniform { lo: 1, hi: 50 },
+            false,
+            103,
+        ),
+        spec(
+            "unit04",
+            Adder(6),
+            1,
+            Mid,
+            CheapWires { pi: 30, wire: 3 },
+            false,
+            104,
+        ),
+        spec(
+            "unit05",
+            Adder(8),
+            2,
+            Mid,
+            Uniform { lo: 1, hi: 30 },
+            false,
+            105,
+        ),
+        spec(
+            "unit06",
+            Datapath(10),
+            2,
+            Deep,
+            CheapWires { pi: 60, wire: 2 },
+            true,
+            106,
+        ),
+        spec(
+            "unit07",
+            RandomDag(10, 120, 6, 701),
+            1,
+            Mid,
+            Uniform { lo: 1, hi: 40 },
+            false,
+            107,
+        ),
+        spec(
+            "unit08",
+            Alu(5),
+            1,
+            Mid,
+            Uniform { lo: 1, hi: 40 },
+            false,
+            108,
+        ),
+        spec(
+            "unit09",
+            Parity(12),
+            4,
+            Mid,
+            Uniform { lo: 1, hi: 20 },
+            false,
+            109,
+        ),
+        spec(
+            "unit10",
+            Datapath(8),
+            2,
+            Deep,
+            CheapWires { pi: 50, wire: 2 },
+            true,
+            110,
+        ),
+        spec(
+            "unit11",
+            Datapath(12),
+            8,
+            Deep,
+            CheapWires { pi: 80, wire: 3 },
+            true,
+            111,
+        ),
+        spec(
+            "unit12",
+            Comparator(10),
+            1,
+            Mid,
+            Uniform { lo: 1, hi: 100 },
+            false,
+            112,
+        ),
+        spec(
+            "unit13",
+            RandomDag(12, 200, 8, 1301),
+            1,
+            Deep,
+            Uniform { lo: 50, hi: 200 },
+            false,
+            113,
+        ),
+        spec(
+            "unit14",
+            Alu(6),
+            12,
+            Mid,
+            Uniform { lo: 1, hi: 20 },
+            false,
+            114,
+        ),
+        spec(
+            "unit15",
+            Adder(10),
+            1,
+            Deep,
+            CheapWires { pi: 25, wire: 4 },
+            false,
+            115,
+        ),
+        spec(
+            "unit16",
+            MuxTree(4),
+            2,
+            Mid,
+            Uniform { lo: 1, hi: 60 },
+            false,
+            116,
+        ),
+        spec(
+            "unit17",
+            RandomDag(12, 160, 8, 1701),
+            8,
+            Mid,
+            Uniform { lo: 1, hi: 30 },
+            false,
+            117,
+        ),
+        spec(
+            "unit18",
+            Alu(4),
+            1,
+            Shallow,
+            Uniform { lo: 1, hi: 10 },
+            false,
+            118,
+        ),
+        spec(
+            "unit19",
+            Datapath(14),
+            4,
+            Deep,
+            CheapWires { pi: 100, wire: 2 },
+            true,
+            119,
+        ),
+        spec(
+            "unit20",
+            Adder(8),
+            4,
+            Mid,
+            Uniform { lo: 1, hi: 30 },
+            false,
+            120,
+        ),
+    ]
+}
+
+/// Builds the full 20-unit suite.
+pub fn contest_suite() -> Vec<SuiteUnit> {
+    suite_specs().iter().map(build_unit).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twenty_valid_units() {
+        let suite = contest_suite();
+        assert_eq!(suite.len(), 20);
+        for unit in &suite {
+            let inst = unit.instance().expect("valid instance");
+            assert_eq!(
+                inst.num_targets(),
+                unit.spec.n_targets,
+                "{}",
+                unit.spec.name
+            );
+            assert!(!inst.candidates.is_empty(), "{}", unit.spec.name);
+        }
+    }
+
+    #[test]
+    fn difficult_units_match_paper_slots() {
+        let specs = suite_specs();
+        let difficult: Vec<&str> = specs
+            .iter()
+            .filter(|s| s.difficult)
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(difficult, vec!["unit06", "unit10", "unit11", "unit19"]);
+    }
+
+    #[test]
+    fn units_are_deterministic() {
+        let a = build_unit(&suite_specs()[5]);
+        let b = build_unit(&suite_specs()[5]);
+        assert_eq!(a.faulty, b.faulty);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn target_counts_match_table2_spread() {
+        let counts: Vec<usize> = suite_specs().iter().map(|s| s.n_targets).collect();
+        assert_eq!(
+            counts,
+            vec![1, 1, 1, 1, 2, 2, 1, 1, 4, 2, 8, 1, 1, 12, 1, 2, 8, 1, 4, 4]
+        );
+    }
+
+    #[test]
+    fn targets_are_live_wires() {
+        for unit in contest_suite() {
+            for t in &unit.targets {
+                assert!(
+                    unit.golden.wires.contains(t),
+                    "{}: target {t} must be a golden wire",
+                    unit.spec.name
+                );
+                assert!(
+                    unit.faulty.inputs.contains(t),
+                    "{}: target {t} must float in faulty",
+                    unit.spec.name
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod extended_family_tests {
+    use super::*;
+
+    #[test]
+    fn extra_families_build_units() {
+        for family in [Family::Multiplier(3), Family::BarrelShifter(4)] {
+            let spec = UnitSpec {
+                name: format!("{family:?}"),
+                family,
+                n_targets: 2,
+                bias: TargetBias::Mid,
+                weights: WeightProfile::Uniform { lo: 1, hi: 20 },
+                difficult: false,
+                seed: 77,
+            };
+            let unit = build_unit(&spec);
+            let inst = unit.instance().expect("valid instance");
+            assert_eq!(inst.num_targets(), 2);
+        }
+    }
+}
+
+/// Six heavier units beyond the Table-2 suite, exercising the extra
+/// circuit families at larger sizes. Used by `table2 --stress` and the
+/// stress tests; not part of the paper reproduction proper.
+pub fn stress_specs() -> Vec<UnitSpec> {
+    use Family::*;
+    use TargetBias::*;
+    use WeightProfile::*;
+    let spec = |name: &str,
+                family: Family,
+                n_targets: usize,
+                bias: TargetBias,
+                weights: WeightProfile,
+                seed: u64| UnitSpec {
+        name: name.to_string(),
+        family,
+        n_targets,
+        bias,
+        weights,
+        difficult: true,
+        seed,
+    };
+    vec![
+        spec(
+            "stress01",
+            Multiplier(5),
+            2,
+            Deep,
+            CheapWires { pi: 80, wire: 2 },
+            201,
+        ),
+        spec(
+            "stress02",
+            BarrelShifter(8),
+            2,
+            Mid,
+            Uniform { lo: 1, hi: 40 },
+            202,
+        ),
+        spec(
+            "stress03",
+            Datapath(16),
+            6,
+            Deep,
+            CheapWires { pi: 120, wire: 2 },
+            203,
+        ),
+        spec("stress04", Alu(8), 4, Mid, Uniform { lo: 1, hi: 30 }, 204),
+        spec(
+            "stress05",
+            Adder(12),
+            3,
+            Deep,
+            CheapWires { pi: 40, wire: 3 },
+            205,
+        ),
+        spec(
+            "stress06",
+            RandomDag(14, 300, 8, 2077),
+            3,
+            Mid,
+            Uniform { lo: 1, hi: 50 },
+            206,
+        ),
+    ]
+}
+
+/// Builds the stress suite.
+pub fn stress_suite() -> Vec<SuiteUnit> {
+    stress_specs().iter().map(build_unit).collect()
+}

@@ -1,0 +1,57 @@
+//! Quickstart: patch a single floating target so a faulty circuit matches
+//! its golden specification.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use eco::core::{EcoEngine, EcoInstance, EcoOptions};
+use eco::netlist::{netlist_from_aig, parse_verilog, write_verilog, WeightTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The faulty design: the logic that should drive `t` was ripped out by
+    // the ECO, leaving `t` floating as a pseudo-primary-input.
+    let faulty = parse_verilog(
+        "module faulty (a, b, c, t, y);
+           input a, b, c, t;
+           output y;
+           xor g1 (y, t, c);
+         endmodule",
+    )?;
+
+    // The golden specification the design must now implement.
+    let golden = parse_verilog(
+        "module golden (a, b, c, y);
+           input a, b, c;
+           output y;
+           wire w;
+           and g1 (w, a, b);
+           xor g2 (y, w, c);
+         endmodule",
+    )?;
+
+    // Every faulty signal has a tap cost (here: flat 3 per signal).
+    let weights = WeightTable::new(3);
+
+    let instance =
+        EcoInstance::from_netlists("quickstart", &faulty, &golden, vec!["t".into()], &weights)?;
+    let result = EcoEngine::new(instance, EcoOptions::default()).run()?;
+
+    println!(
+        "patched {} target(s): cost = {}, size = {} AND gates",
+        result.patches.len(),
+        result.cost,
+        result.size
+    );
+    for patch in &result.patches {
+        println!(
+            "  {} <- f({})   [{} gates]",
+            patch.target,
+            patch.base.join(", "),
+            patch.size
+        );
+    }
+    println!(
+        "\npatch netlist:\n{}",
+        write_verilog(&netlist_from_aig(&result.patch_aig, "patch"))
+    );
+    Ok(())
+}

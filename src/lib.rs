@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # eco — cost-aware ECO patch generation
+//!
+//! Facade crate for the `eco` workspace: a from-scratch Rust
+//! implementation of *"Cost-Aware Patch Generation for Multi-Target
+//! Function Rectification of Engineering Change Orders"* (Zhang & Jiang,
+//! DAC 2018), including every substrate the algorithm needs — an AIG
+//! package, a CDCL SAT solver with Craig interpolation, FRAIG sweeping,
+//! contest-format netlist I/O, and a synthetic benchmark generator.
+//!
+//! Most users want [`core::EcoEngine`]; see the crate-level docs of each
+//! member for the details:
+//!
+//! * [`aig`] — And-Inverter Graphs (structural hashing, cofactors,
+//!   substitution, simulation).
+//! * [`sat`] — CDCL solving, assumptions/cores, interpolation.
+//! * [`fraig`] — simulation + SAT sweeping equivalence classes.
+//! * [`netlist`] — structural Verilog subset and weight files.
+//! * [`core`] — the paper's algorithm (flow of Fig. 1).
+//! * [`workgen`] — synthetic ICCAD-2017-style ECO instances.
+//!
+//! # Examples
+//!
+//! ```
+//! use eco::core::{EcoEngine, EcoInstance, EcoOptions};
+//! use eco::netlist::{parse_verilog, WeightTable};
+//!
+//! let faulty = parse_verilog(
+//!     "module f (a, b, c, t, y); input a, b, c, t; output y;
+//!      xor g1 (y, t, c); endmodule",
+//! )?;
+//! let golden = parse_verilog(
+//!     "module g (a, b, c, y); input a, b, c; output y;
+//!      wire w; and g1 (w, a, b); xor g2 (y, w, c); endmodule",
+//! )?;
+//! let inst = EcoInstance::from_netlists(
+//!     "demo", &faulty, &golden, vec!["t".into()], &WeightTable::new(1),
+//! )?;
+//! let result = EcoEngine::new(inst, EcoOptions::default()).run()?;
+//! assert!(result.size >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use eco_aig as aig;
+pub use eco_core as core;
+pub use eco_fraig as fraig;
+pub use eco_netlist as netlist;
+pub use eco_sat as sat;
+pub use eco_workgen as workgen;

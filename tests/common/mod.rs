@@ -1,0 +1,115 @@
+//! Shared helpers for integration tests: independent end-to-end patch
+//! validation that goes through the emitted netlist artifact rather than
+//! the engine's internal workspace.
+
+use eco::aig::Aig;
+use eco::core::EcoResult;
+use eco::netlist::{netlist_from_aig, parse_verilog, write_verilog, Gate, NetRef, Netlist};
+
+/// Splices the engine's patch into the faulty netlist *textually*: targets
+/// stop being inputs and are driven by the patch's output gates; patch
+/// wires are prefixed to avoid collisions.
+pub fn splice_patch(faulty: &Netlist, result: &EcoResult) -> Netlist {
+    // Round-trip the patch through the Verilog writer/parser so the test
+    // exercises the emitted artifact.
+    let patch_text = write_verilog(&netlist_from_aig(&result.patch_aig, "patch"));
+    let patch = parse_verilog(&patch_text).expect("emitted patch parses");
+
+    let mut combined = faulty.clone();
+    combined.name = format!("{}_patched", faulty.name);
+    let targets: Vec<String> = patch.outputs.clone();
+    combined.inputs.retain(|i| !targets.contains(i));
+    combined.wires.extend(targets.iter().cloned());
+
+    let rename = |n: &str| -> String {
+        if patch.wires.iter().any(|w| w == n) {
+            format!("p_{n}")
+        } else {
+            n.to_string()
+        }
+    };
+    for w in &patch.wires {
+        combined.wires.push(format!("p_{w}"));
+    }
+    for g in &patch.gates {
+        combined.gates.push(Gate {
+            kind: g.kind,
+            name: None,
+            output: rename(&g.output),
+            inputs: g
+                .inputs
+                .iter()
+                .map(|r| match r {
+                    NetRef::Named(n) => NetRef::Named(rename(n)),
+                    c => c.clone(),
+                })
+                .collect(),
+        });
+    }
+    combined
+}
+
+/// Exhaustively checks (up to 12 inputs) or randomly samples that the
+/// patched faulty netlist equals the golden netlist.
+pub fn assert_patched_equals_golden(faulty: &Netlist, golden: &Netlist, result: &EcoResult) {
+    let combined = splice_patch(faulty, result);
+    let patched = eco::netlist::elaborate(&combined).expect("patched elaborates");
+    let gold = eco::netlist::elaborate(golden).expect("golden elaborates");
+
+    // Align inputs by name (patched may have extra dangling inputs).
+    let eval_named = |aig: &Aig, assign: &dyn Fn(&str) -> bool| -> Vec<bool> {
+        let vals: Vec<bool> = (0..aig.num_inputs())
+            .map(|p| assign(aig.input_name(p)))
+            .collect();
+        let mut by_name: Vec<(String, bool)> = Vec::new();
+        for (j, out) in aig.outputs().iter().enumerate() {
+            by_name.push((out.name.clone(), aig.eval(&vals)[j]));
+        }
+        by_name.sort();
+        by_name.into_iter().map(|(_, v)| v).collect()
+    };
+
+    let n = gold.aig.num_inputs().max(patched.aig.num_inputs());
+    if n <= 12 {
+        // Exhaustive over the golden inputs; extra faulty-only inputs
+        // (dangling nets) get a derived value and must not matter.
+        for bits in 0u64..1 << gold.aig.num_inputs() {
+            let names: Vec<String> = (0..gold.aig.num_inputs())
+                .map(|p| gold.aig.input_name(p).to_string())
+                .collect();
+            let assign = |name: &str| -> bool {
+                names
+                    .iter()
+                    .position(|x| x == name)
+                    .map(|i| bits >> i & 1 == 1)
+                    .unwrap_or(bits.count_ones() % 2 == 1)
+            };
+            assert_eq!(
+                eval_named(&patched.aig, &assign),
+                eval_named(&gold.aig, &assign),
+                "mismatch at assignment {bits:#b}"
+            );
+        }
+    } else {
+        // Random sampling for larger instances.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..512 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let seed = state;
+            let assign = |name: &str| -> bool {
+                let mut h = seed;
+                for b in name.bytes() {
+                    h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+                }
+                h.count_ones() % 2 == 1
+            };
+            assert_eq!(
+                eval_named(&patched.aig, &assign),
+                eval_named(&gold.aig, &assign),
+                "mismatch at sampled assignment"
+            );
+        }
+    }
+}

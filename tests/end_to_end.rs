@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: the full flow from netlist text to a
+//! spliced, re-elaborated, exhaustively checked patch.
+
+mod common;
+
+use eco::core::{EcoEngine, EcoError, EcoInstance, EcoOptions, InitialPatchKind};
+use eco::netlist::{parse_verilog, Netlist, WeightTable};
+
+fn pair(faulty: &str, golden: &str) -> (Netlist, Netlist) {
+    (
+        parse_verilog(faulty).expect("faulty"),
+        parse_verilog(golden).expect("golden"),
+    )
+}
+
+fn run_and_check(
+    faulty: &Netlist,
+    golden: &Netlist,
+    targets: &[&str],
+    weights: &WeightTable,
+    options: EcoOptions,
+) -> eco::core::EcoResult {
+    let instance = EcoInstance::from_netlists(
+        "it",
+        faulty,
+        golden,
+        targets.iter().map(|s| s.to_string()).collect(),
+        weights,
+    )
+    .expect("valid instance");
+    let result = EcoEngine::new(instance, options)
+        .run()
+        .expect("rectifiable");
+    common::assert_patched_equals_golden(faulty, golden, &result);
+    result
+}
+
+/// All four option combinations on a single-target instance.
+#[test]
+fn option_matrix_single_target() {
+    let (faulty, golden) = pair(
+        "module f (a, b, c, d, t, y, z); input a, b, c, d, t; output y, z; \
+         wire m; or g0 (m, c, d); xor g1 (y, t, m); nand g2 (z, a, m); endmodule",
+        "module g (a, b, c, d, y, z); input a, b, c, d; output y, z; \
+         wire m, w; or g0 (m, c, d); and g1 (w, a, b); xor g2 (y, w, m); \
+         nand g3 (z, a, m); endmodule",
+    );
+    let weights = WeightTable::new(4);
+    for localization in [false, true] {
+        for optimize in [false, true] {
+            for initial in [
+                InitialPatchKind::OnSet,
+                InitialPatchKind::NegOffSet,
+                InitialPatchKind::Interpolant,
+            ] {
+                let options = EcoOptions {
+                    localization,
+                    optimize,
+                    initial_patch: initial,
+                    ..Default::default()
+                };
+                let r = run_and_check(&faulty, &golden, &["t"], &weights, options);
+                assert_eq!(r.patches.len(), 1, "loc={localization} opt={optimize}");
+            }
+        }
+    }
+}
+
+/// Three targets in one cluster plus one independent target.
+#[test]
+fn mixed_clusters_multi_target() {
+    let (faulty, golden) = pair(
+        "module f (a, b, c, t1, t2, t3, o1, o2, o3); \
+         input a, b, c, t1, t2, t3; output o1, o2, o3; \
+         and g1 (o1, t1, t2); or g2 (o2, t2, a); xor g3 (o3, t3, c); endmodule",
+        "module g (a, b, c, o1, o2, o3); input a, b, c; output o1, o2, o3; \
+         wire ab, bc; and g0 (ab, a, b); and g4 (bc, b, c); \
+         and g1 (o1, ab, bc); or g2 (o2, bc, a); xor g3 (o3, ab, c); endmodule",
+    );
+    let r = run_and_check(
+        &faulty,
+        &golden,
+        &["t1", "t2", "t3"],
+        &WeightTable::new(2),
+        EcoOptions::default(),
+    );
+    assert_eq!(r.patches.len(), 3);
+}
+
+/// The patch must reuse an existing cheap net when PIs are expensive.
+#[test]
+fn cost_aware_patch_reuses_intermediate_signal() {
+    let (faulty, golden) = pair(
+        "module f (a, b, c, t, y, u); input a, b, c, t; output y, u; \
+         wire w; and g0 (w, a, b); xor g1 (y, t, c); buf g2 (u, w); endmodule",
+        "module g (a, b, c, y, u); input a, b, c; output y, u; \
+         wire w; and g0 (w, a, b); xor g1 (y, w, c); buf g2 (u, w); endmodule",
+    );
+    let mut weights = WeightTable::new(100);
+    weights.set("w", 1);
+    let r = run_and_check(&faulty, &golden, &["t"], &weights, EcoOptions::default());
+    assert_eq!(r.cost, 1);
+    assert_eq!(r.patches[0].base, vec!["w"]);
+
+    let baseline = {
+        let instance =
+            EcoInstance::from_netlists("it-base", &faulty, &golden, vec!["t".into()], &weights)
+                .expect("valid instance");
+        EcoEngine::new(instance, EcoOptions::baseline())
+            .run()
+            .expect("rectifiable")
+    };
+    common::assert_patched_equals_golden(&faulty, &golden, &baseline);
+    assert!(baseline.cost > r.cost);
+}
+
+/// Unrectifiable: an output outside every target cone disagrees.
+#[test]
+fn unrectifiable_instances_error_cleanly() {
+    let (faulty, golden) = pair(
+        "module f (a, t, y, z); input a, t; output y, z; \
+         buf g1 (y, t); buf g2 (z, a); endmodule",
+        "module g (a, y, z); input a; output y, z; \
+         buf g1 (y, a); not g2 (z, a); endmodule",
+    );
+    let instance = EcoInstance::from_netlists(
+        "bad",
+        &faulty,
+        &golden,
+        vec!["t".into()],
+        &WeightTable::new(1),
+    )
+    .expect("valid instance");
+    for options in [EcoOptions::default(), EcoOptions::baseline()] {
+        let err = EcoEngine::new(instance.clone(), options).run().unwrap_err();
+        assert!(matches!(err, EcoError::Unrectifiable(_)), "{err}");
+    }
+}
+
+/// Constant patches: a target whose golden function is constant.
+#[test]
+fn constant_function_target() {
+    let (faulty, golden) = pair(
+        "module f (a, t, y); input a, t; output y; or g1 (y, t, a); endmodule",
+        "module g (a, y); input a; output y; \
+         wire na, one; not g0 (na, a); or g1 (one, a, na); buf g2 (y, one); endmodule",
+    );
+    // Golden y = 1; patch t = 1 works (cost 0 after optimization).
+    let r = run_and_check(
+        &faulty,
+        &golden,
+        &["t"],
+        &WeightTable::new(7),
+        EcoOptions::default(),
+    );
+    assert_eq!(r.cost, 0);
+    assert_eq!(r.size, 0);
+}
+
+/// A target that is also directly a primary output driver.
+#[test]
+fn target_driving_output_directly() {
+    let (faulty, golden) = pair(
+        "module f (a, b, t, y); input a, b, t; output y; buf g1 (y, t); endmodule",
+        "module g (a, b, y); input a, b; output y; xnor g1 (y, a, b); endmodule",
+    );
+    let r = run_and_check(
+        &faulty,
+        &golden,
+        &["t"],
+        &WeightTable::new(1),
+        EcoOptions::default(),
+    );
+    assert_eq!(r.patches.len(), 1);
+    assert!(r.size >= 1);
+}
+
+/// Identical circuits: zero-diff instance still succeeds with a trivial
+/// patch for the floating target.
+#[test]
+fn zero_diff_instance() {
+    let (faulty, golden) = pair(
+        "module f (a, b, t, y, u); input a, b, t; output y, u; \
+         and g1 (y, a, b); buf g2 (u, t); endmodule",
+        "module g (a, b, y, u); input a, b; output y, u; \
+         and g1 (y, a, b); or g2 (u, a, b); endmodule",
+    );
+    let r = run_and_check(
+        &faulty,
+        &golden,
+        &["t"],
+        &WeightTable::new(1),
+        EcoOptions::default(),
+    );
+    assert_eq!(r.patches.len(), 1);
+}
