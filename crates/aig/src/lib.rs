@@ -44,6 +44,7 @@ mod cone;
 mod dot;
 mod lit;
 mod node;
+mod rng;
 mod sim;
 mod transform;
 
@@ -53,4 +54,5 @@ pub use crate::aiger::{
 };
 pub use crate::lit::{Lit, Var};
 pub use crate::node::Node;
+pub use crate::rng::SplitMix64;
 pub use crate::sim::SimVectors;

@@ -1,0 +1,148 @@
+//! A tiny vendored PRNG (SplitMix64) so the workspace needs no external
+//! `rand` dependency.
+//!
+//! Used by FRAIG simulation-pattern generation and the `eco-workgen`
+//! instance generator. Not cryptographic; the only requirements are
+//! determinism for a given seed and decent statistical mixing, both of
+//! which SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) provides in four
+//! lines.
+
+/// Deterministic 64-bit PRNG with a single `u64` of state.
+///
+/// ```
+/// use eco_aig::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)` via Lemire-style widening multiply (slightly
+    /// biased for astronomically large `n`, irrelevant here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "inverted range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            xs.swap(i, self.index(i + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SplitMix64::new(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.below(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit");
+    }
+
+    #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut rng = SplitMix64::new(2);
+        let (mut lo_hit, mut hi_hit) = (false, false);
+        for _ in 0..300 {
+            let v = rng.range_inclusive(3, 6);
+            assert!((3..=6).contains(&v));
+            lo_hit |= v == 3;
+            hi_hit |= v == 6;
+        }
+        assert!(lo_hit && hi_hit);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SplitMix64::new(3);
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(0.0));
+        let heads = (0..1000).filter(|_| rng.chance(0.5)).count();
+        assert!((300..=700).contains(&heads), "p=0.5 gave {heads}/1000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(4);
+        let mut xs: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "seed 4 should not yield identity");
+    }
+}

@@ -70,6 +70,23 @@ impl Aig {
         roots: &[Lit],
         input_map: &HashMap<Var, Lit>,
     ) -> Vec<Lit> {
+        self.import_map(other, roots, input_map).0
+    }
+
+    /// Like [`Aig::import`], but also returns the full translation map
+    /// from every cone variable of `other` to its literal in `self`, so
+    /// callers can relocate auxiliary per-node data (e.g. cut node maps)
+    /// alongside the imported logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cone input of `other` has no entry in `input_map`.
+    pub fn import_map(
+        &mut self,
+        other: &Aig,
+        roots: &[Lit],
+        input_map: &HashMap<Var, Lit>,
+    ) -> (Vec<Lit>, HashMap<Var, Lit>) {
         let mut cache: HashMap<Var, Lit> = HashMap::new();
         cache.insert(Var::CONST, Lit::FALSE);
         for v in other.cone_vars(roots) {
@@ -86,10 +103,11 @@ impl Aig {
             };
             cache.insert(v, new_lit);
         }
-        roots
+        let out = roots
             .iter()
             .map(|&r| cache[&r.var()].xor_complement(r.is_complement()))
-            .collect()
+            .collect();
+        (out, cache)
     }
 
     /// Extracts the cones of `roots` into a fresh AIG whose inputs are the

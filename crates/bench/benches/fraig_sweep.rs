@@ -1,11 +1,11 @@
-//! Criterion bench for the FRAIG stage (step 1 of the Fig.-1 flow).
+//! Bench for the FRAIG stage (step 1 of the Fig.-1 flow).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::Bench;
 use eco_core::{EcoInstance, Workspace};
 use eco_fraig::{fraig_classes, FraigOptions};
 use eco_workgen::{assign_weights, cut_targets, WeightProfile};
 
-fn bench_fraig(c: &mut Criterion) {
+fn main() {
     // A combined faulty+golden workspace like the engine builds.
     let golden = eco_workgen::circuits::shared_datapath(10);
     let target = golden.wires.last().expect("wires").clone();
@@ -15,20 +15,16 @@ fn bench_fraig(c: &mut Criterion) {
         .expect("valid");
     let ws = Workspace::new(&inst);
 
-    let mut group = c.benchmark_group("fraig");
-    group.sample_size(20);
-    group.bench_function("classes/datapath10_combined", |b| {
-        b.iter(|| std::hint::black_box(fraig_classes(&ws.mgr, &FraigOptions::default())));
+    let mut bench = Bench::from_env();
+    bench.run("fraig/classes/datapath10_combined", || {
+        fraig_classes(&ws.mgr, &FraigOptions::default())
     });
-    group.bench_function("classes/fewer_sim_words", |b| {
-        let opts = FraigOptions {
-            sim_words: 2,
-            ..Default::default()
-        };
-        b.iter(|| std::hint::black_box(fraig_classes(&ws.mgr, &opts)));
+    let opts = FraigOptions {
+        sim_words: 2,
+        ..Default::default()
+    };
+    bench.run("fraig/classes/fewer_sim_words", || {
+        fraig_classes(&ws.mgr, &opts)
     });
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_fraig);
-criterion_main!(benches);

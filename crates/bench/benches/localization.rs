@@ -1,39 +1,31 @@
-//! Criterion bench for Ablation A: the localization stage's effect on
-//! end-to-end runtime on a difficult unit (§5 of the paper).
+//! Bench for Ablation A: the localization stage's effect on end-to-end
+//! runtime on a difficult unit (§5 of the paper).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::Bench;
 use eco_core::{EcoEngine, EcoOptions};
 use eco_workgen::contest_suite;
 
-fn bench_localization(c: &mut Criterion) {
+fn main() {
     let unit = contest_suite()
         .into_iter()
         .find(|u| u.spec.name == "unit10")
         .expect("unit10 exists");
     let inst = unit.instance().expect("valid");
 
-    let mut group = c.benchmark_group("localization/unit10");
-    group.sample_size(10);
-    group.bench_function("with_localization", |b| {
-        b.iter(|| {
-            EcoEngine::new(inst.clone(), EcoOptions::default())
-                .run()
-                .expect("rectifiable")
-        });
+    let mut bench = Bench::from_env();
+    bench.run("localization/unit10/with", || {
+        EcoEngine::new(inst.clone(), EcoOptions::default())
+            .run()
+            .expect("rectifiable")
     });
-    group.bench_function("without_localization", |b| {
-        let opts = EcoOptions {
-            localization: false,
-            ..Default::default()
-        };
-        b.iter(|| {
-            EcoEngine::new(inst.clone(), opts.clone())
-                .run()
-                .expect("rectifiable")
-        });
+    let opts = EcoOptions {
+        localization: false,
+        ..Default::default()
+    };
+    bench.run("localization/unit10/without", || {
+        EcoEngine::new(inst.clone(), opts.clone())
+            .run()
+            .expect("rectifiable")
     });
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_localization);
-criterion_main!(benches);

@@ -1,13 +1,15 @@
-//! Criterion benches regenerating the Table-2 timing series: full engine
-//! runs (ours and baseline) per representative unit.
+//! Benches regenerating the Table-2 timing series: full engine runs
+//! (ours and baseline) per representative unit, plus sequential vs.
+//! parallel (`jobs = 4`) cluster scheduling on multi-cluster units.
+//!
+//! `cargo bench -p eco-bench --bench patch_generation -- --json BENCH_patchgen.json`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eco_bench::Bench;
 use eco_core::{EcoEngine, EcoOptions};
 use eco_workgen::contest_suite;
 
-fn bench_units(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
+fn main() {
+    let mut bench = Bench::from_env();
     for unit in contest_suite() {
         // Representative subset: easy, medium, difficult.
         if !matches!(
@@ -17,31 +19,38 @@ fn bench_units(c: &mut Criterion) {
             continue;
         }
         let inst = unit.instance().expect("valid");
-        group.bench_with_input(
-            BenchmarkId::new("ours", &unit.spec.name),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    EcoEngine::new(inst.clone(), EcoOptions::default())
-                        .run()
-                        .expect("rectifiable")
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("baseline", &unit.spec.name),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    EcoEngine::new(inst.clone(), EcoOptions::baseline())
-                        .run()
-                        .expect("rectifiable")
-                });
-            },
-        );
+        bench.run(&format!("table2/ours/{}", unit.spec.name), || {
+            EcoEngine::new(inst.clone(), EcoOptions::default())
+                .run()
+                .expect("rectifiable")
+        });
+        bench.run(&format!("table2/baseline/{}", unit.spec.name), || {
+            EcoEngine::new(inst.clone(), EcoOptions::baseline())
+                .run()
+                .expect("rectifiable")
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_units);
-criterion_main!(benches);
+    // Cluster-parallel scheduling: the suite units whose clustering yields
+    // several independent groups (unit11: 2, unit14: 4, unit20: 4),
+    // sequential vs. four workers. On a single-core host the jobs=4
+    // variant measures pure scheduling overhead, not speedup.
+    for unit in contest_suite() {
+        if !matches!(unit.spec.name.as_str(), "unit11" | "unit14" | "unit20") {
+            continue;
+        }
+        let inst = unit.instance().expect("valid");
+        for jobs in [1usize, 4] {
+            let opts = EcoOptions {
+                jobs,
+                ..Default::default()
+            };
+            bench.run(&format!("jobs{}/{}", jobs, unit.spec.name), || {
+                EcoEngine::new(inst.clone(), opts.clone())
+                    .run()
+                    .expect("rectifiable")
+            });
+        }
+    }
+    bench.finish();
+}

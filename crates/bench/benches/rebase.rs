@@ -1,7 +1,7 @@
-//! Criterion benches for the Eq.-12 rebasing machinery (Fig. 3): query
+//! Benches for the Eq.-12 rebasing machinery (Fig. 3): query
 //! construction, feasibility checks, and full base selection.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::Bench;
 use eco_core::{on_off_sets, select_base, BaseSelectOptions, EcoInstance, RebaseQuery, Workspace};
 use eco_workgen::{assign_weights, cut_targets, WeightProfile};
 
@@ -23,38 +23,33 @@ fn setup() -> (Workspace, eco_aig::Lit, eco_aig::Lit, Vec<usize>) {
     (ws, onoff.on, onoff.off, pool)
 }
 
-fn bench_rebase(c: &mut Criterion) {
+fn main() {
     let (ws, on, off, pool) = setup();
 
-    c.bench_function("rebase/query_construction", |b| {
-        b.iter(|| std::hint::black_box(RebaseQuery::new(&ws, on, off, pool.clone())));
+    let mut bench = Bench::from_env();
+    bench.run("rebase/query_construction", || {
+        RebaseQuery::new(&ws, on, off, pool.clone())
     });
 
-    c.bench_function("rebase/feasibility_sweep", |b| {
+    let mut q = RebaseQuery::new(&ws, on, off, pool.clone());
+    bench.run("rebase/feasibility_sweep", || {
+        for k in 1..pool.len().min(12) {
+            let base: Vec<usize> = (0..k).collect();
+            std::hint::black_box(q.feasible(&base, 100_000));
+        }
+    });
+
+    bench.run("rebase/select_base_full", || {
         let mut q = RebaseQuery::new(&ws, on, off, pool.clone());
-        b.iter(|| {
-            for k in 1..pool.len().min(12) {
-                let base: Vec<usize> = (0..k).collect();
-                std::hint::black_box(q.feasible(&base, 100_000));
-            }
-        });
+        let full: Vec<usize> = (0..pool.len()).collect();
+        if q.feasible(&full, 100_000) == Some(true) {
+            std::hint::black_box(select_base(
+                &ws,
+                &mut q,
+                &full,
+                &BaseSelectOptions::default(),
+            ));
+        }
     });
-
-    c.bench_function("rebase/select_base_full", |b| {
-        b.iter(|| {
-            let mut q = RebaseQuery::new(&ws, on, off, pool.clone());
-            let full: Vec<usize> = (0..pool.len()).collect();
-            if q.feasible(&full, 100_000) == Some(true) {
-                std::hint::black_box(select_base(
-                    &ws,
-                    &mut q,
-                    &full,
-                    &BaseSelectOptions::default(),
-                ));
-            }
-        });
-    });
+    bench.finish();
 }
-
-criterion_group!(benches, bench_rebase);
-criterion_main!(benches);

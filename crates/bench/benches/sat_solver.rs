@@ -1,6 +1,6 @@
-//! Criterion benches for the CDCL core and interpolation engine.
+//! Benches for the CDCL core and interpolation engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::Bench;
 use eco_sat::{ClauseLabel, ItpSolver, Lit, Solver, Var};
 
 fn random_3sat(n: usize, m: usize, seed: u64) -> Vec<Vec<Lit>> {
@@ -37,70 +37,62 @@ fn pigeonhole(n: u32) -> (usize, Vec<Vec<Lit>>) {
     ((n * h) as usize, clauses)
 }
 
-fn bench_sat(c: &mut Criterion) {
-    c.bench_function("sat/random3sat_100v_420c", |b| {
-        let clauses = random_3sat(100, 420, 0xfeed);
-        b.iter(|| {
-            let mut s = Solver::new();
-            for _ in 0..100 {
-                s.new_var();
-            }
-            for cl in &clauses {
-                s.add_clause(cl);
-            }
-            std::hint::black_box(s.solve(&[]))
-        });
-    });
+fn main() {
+    let mut bench = Bench::from_env();
 
-    c.bench_function("sat/pigeonhole_8_into_7", |b| {
-        let (nv, clauses) = pigeonhole(8);
-        b.iter(|| {
-            let mut s = Solver::new();
-            for _ in 0..nv {
-                s.new_var();
-            }
-            for cl in &clauses {
-                s.add_clause(cl);
-            }
-            std::hint::black_box(s.solve(&[]))
-        });
-    });
-
-    c.bench_function("sat/incremental_assumptions", |b| {
-        // One solver, many assumption queries.
-        let clauses = random_3sat(80, 280, 0xabcd);
+    let clauses = random_3sat(100, 420, 0xfeed);
+    bench.run("sat/random3sat_100v_420c", || {
         let mut s = Solver::new();
-        for _ in 0..80 {
+        for _ in 0..100 {
             s.new_var();
         }
         for cl in &clauses {
             s.add_clause(cl);
         }
-        b.iter(|| {
-            for k in 0..16u32 {
-                let a = Var::new(k).lit(k % 2 == 0);
-                std::hint::black_box(s.solve(&[a]));
-            }
-        });
+        s.solve(&[])
     });
 
-    c.bench_function("sat/interpolant_implication_chain", |b| {
-        b.iter(|| {
-            // x0 -> x1 -> ... -> x39, A = first half, B = second + !x39.
-            let mut q = ItpSolver::new();
-            let vars: Vec<Var> = (0..40).map(|_| q.new_var()).collect();
-            q.add_clause(&[vars[0].pos()], ClauseLabel::A);
-            for w in vars.windows(2).take(20) {
-                q.add_clause(&[w[0].neg(), w[1].pos()], ClauseLabel::A);
-            }
-            for w in vars.windows(2).skip(20) {
-                q.add_clause(&[w[0].neg(), w[1].pos()], ClauseLabel::B);
-            }
-            q.add_clause(&[vars[39].neg()], ClauseLabel::B);
-            std::hint::black_box(q.solve().into_interpolant())
-        });
+    let (nv, clauses) = pigeonhole(8);
+    bench.run("sat/pigeonhole_8_into_7", || {
+        let mut s = Solver::new();
+        for _ in 0..nv {
+            s.new_var();
+        }
+        for cl in &clauses {
+            s.add_clause(cl);
+        }
+        s.solve(&[])
     });
+
+    // One solver, many assumption queries.
+    let clauses = random_3sat(80, 280, 0xabcd);
+    let mut s = Solver::new();
+    for _ in 0..80 {
+        s.new_var();
+    }
+    for cl in &clauses {
+        s.add_clause(cl);
+    }
+    bench.run("sat/incremental_assumptions", || {
+        for k in 0..16u32 {
+            let a = Var::new(k).lit(k % 2 == 0);
+            std::hint::black_box(s.solve(&[a]));
+        }
+    });
+
+    bench.run("sat/interpolant_implication_chain", || {
+        // x0 -> x1 -> ... -> x39, A = first half, B = second + !x39.
+        let mut q = ItpSolver::new();
+        let vars: Vec<Var> = (0..40).map(|_| q.new_var()).collect();
+        q.add_clause(&[vars[0].pos()], ClauseLabel::A);
+        for w in vars.windows(2).take(20) {
+            q.add_clause(&[w[0].neg(), w[1].pos()], ClauseLabel::A);
+        }
+        for w in vars.windows(2).skip(20) {
+            q.add_clause(&[w[0].neg(), w[1].pos()], ClauseLabel::B);
+        }
+        q.add_clause(&[vars[39].neg()], ClauseLabel::B);
+        q.solve().into_interpolant()
+    });
+    bench.finish();
 }
-
-criterion_group!(benches, bench_sat);
-criterion_main!(benches);

@@ -10,6 +10,12 @@
 //! whose inputs are existing faulty nets and whose outputs drive the
 //! targets. Exit code 0 = patched and verified; 2 = unrectifiable;
 //! 1 = usage or I/O error.
+//!
+//! `--jobs N` sets the worker-thread count for the per-cluster
+//! patch-generation stage (0 = all cores; results are identical for any
+//! value). `--stats` prints run telemetry (per-stage wall times, SAT and
+//! FRAIG counters, flow events) to stderr; `--stats=json` emits the same
+//! as a single JSON object, keeping stdout clean for the patch netlist.
 
 use std::process::ExitCode;
 
@@ -20,6 +26,14 @@ use eco_netlist::{
     netlist_from_aig, parse_blif, parse_verilog, parse_weights, write_verilog, WeightTable,
 };
 
+/// How `--stats` renders the run telemetry on stderr.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StatsFormat {
+    Off,
+    Text,
+    Json,
+}
+
 struct Args {
     faulty: String,
     golden: String,
@@ -29,12 +43,14 @@ struct Args {
     localization: bool,
     optimize: bool,
     initial: InitialPatchKind,
+    jobs: usize,
+    stats: StatsFormat,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: eco-patch -f <faulty.{v,blif}> -g <golden.{v,blif}> -t <t1,t2,...> \
 [-w <weights.txt>] [-o <patch.v>] [--no-localization] [--no-optimize] \
-[--initial onset|negoff|interpolant] [-q]";
+[--initial onset|negoff|interpolant] [--jobs N] [--stats[=json]] [-q]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -46,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
         localization: true,
         optimize: true,
         initial: InitialPatchKind::OnSet,
+        jobs: 0,
+        stats: StatsFormat::Off,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -69,6 +87,15 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown initial patch kind `{other}`")),
                 }
             }
+            "-j" | "--jobs" => {
+                let v = value("--jobs")?;
+                args.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
+            }
+            "--stats" => args.stats = StatsFormat::Text,
+            "--stats=json" => args.stats = StatsFormat::Json,
+            "--stats=text" => args.stats = StatsFormat::Text,
             "-q" | "--quiet" => args.quiet = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
@@ -135,6 +162,7 @@ fn run(args: &Args) -> Result<i32, String> {
         localization: args.localization,
         optimize: args.optimize,
         initial_patch: args.initial,
+        jobs: args.jobs,
         ..Default::default()
     };
     let result = match EcoEngine::new(instance, options).run() {
@@ -148,6 +176,11 @@ fn run(args: &Args) -> Result<i32, String> {
 
     if !args.quiet {
         eprint!("{}", eco_core::Report(&result));
+    }
+    match args.stats {
+        StatsFormat::Off => {}
+        StatsFormat::Text => eprint!("{}", result.telemetry),
+        StatsFormat::Json => eprintln!("{}", result.telemetry.to_json()),
     }
     let text = write_verilog(&netlist_from_aig(&result.patch_aig, "patch"));
     match &args.output {

@@ -1,24 +1,37 @@
-//! The top-level ECO engine: the full Fig.-1 flow.
+//! The top-level ECO engine: the full Fig.-1 flow as a staged pipeline.
 //!
 //! `FRAIG → clustering → localization → patch generation → cost
 //! optimization → verification`, with a completeness fallback: if a
-//! localized run fails final verification, the engine silently retries
-//! without localization before declaring the instance unrectifiable.
+//! localized run fails final verification, the engine retries without
+//! localization (recorded as a telemetry event) before declaring the
+//! instance unrectifiable.
+//!
+//! Clusters rectify independently (Fig. 2), so stages 1+3+4 run *per
+//! cluster* against an isolated sub-workspace ([`Workspace::for_cluster`])
+//! and — when [`EcoOptions::jobs`] allows — in parallel on scoped worker
+//! threads. Results are merged back into the shared manager in cluster
+//! order, which keeps the flow deterministic: any `jobs` value produces
+//! byte-identical patches.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use eco_aig::{Aig, Lit, Var};
-use eco_fraig::{fraig_classes, fraig_reduce, FraigOptions};
+use eco_fraig::{fraig_classes_stats, fraig_reduce, FraigOptions};
 
-use crate::cluster::cluster_targets;
-use crate::localize::{Cut, TapMap};
+use crate::cluster::{cluster_targets, TargetCluster};
+use crate::localize::{Cut, CutSignal, TapMap};
 use crate::optimize::{optimize_patches, total_cost, OptimizeOptions};
-use crate::patchgen::{extract_patch_aig, generate_group_patches, PatchFn, PatchGenOptions};
+use crate::patchgen::{
+    extract_patch_aig, generate_group_patches, GroupPatches, PatchFn, PatchGenOptions,
+};
 use crate::rectifiable::{check_rectifiable, Rectifiability};
 use crate::sizeopt::{reduce_patch_sizes, SizeOptOptions};
 use crate::synth::InitialPatchKind;
-use crate::verify::{check_equivalence, VerifyOutcome};
+use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
+use crate::verify::{check_equivalence_stats, VerifyOutcome};
 use crate::{EcoError, EcoInstance, Workspace};
 
 /// Engine configuration.
@@ -49,6 +62,11 @@ pub struct EcoOptions {
     pub size_optimize: bool,
     /// Knobs for the size reduction pass.
     pub size_opts: SizeOptOptions,
+    /// Worker threads for the per-cluster patch-generation stage:
+    /// `0` = use [`std::thread::available_parallelism`], `1` = run
+    /// sequentially (same code path, so results are identical for every
+    /// value). Never more threads than clusters are spawned.
+    pub jobs: usize,
 }
 
 impl Default for EcoOptions {
@@ -64,6 +82,7 @@ impl Default for EcoOptions {
             precheck_rectifiability: false,
             size_optimize: true,
             size_opts: SizeOptOptions::default(),
+            jobs: 0,
         }
     }
 }
@@ -81,14 +100,20 @@ impl EcoOptions {
     }
 }
 
-/// Wall-clock time per flow stage (Fig. 1).
+/// Wall-clock time per flow stage (Fig. 1) — the classic five-slot view;
+/// the full picture (plus the assembly stage and aggregated solver
+/// counters) lives in [`EcoResult::telemetry`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StageTimes {
-    /// FRAIG sweeping.
+    /// FRAIG sweeping, summed over the per-cluster sub-workspaces. The
+    /// sweeps run *inside* the patch-generation stage (and overlap it
+    /// when `jobs > 1`), so this slot is CPU time that [`StageTimes::total`]
+    /// counts a second time.
     pub fraig: Duration,
     /// Clustering + localization bookkeeping.
     pub clustering: Duration,
-    /// Initial patch generation (Alg. 1).
+    /// Initial patch generation (Alg. 1): wall time of the (possibly
+    /// parallel) per-cluster section plus the deterministic merge.
     pub patchgen: Duration,
     /// Cost optimization (§6).
     pub optimize: Duration,
@@ -97,7 +122,8 @@ pub struct StageTimes {
 }
 
 impl StageTimes {
-    /// Total across stages.
+    /// Total across stages (an upper bound on flow wall time, since the
+    /// `fraig` slot overlaps `patchgen`).
     pub fn total(&self) -> Duration {
         self.fraig + self.clustering + self.patchgen + self.optimize + self.verify
     }
@@ -127,7 +153,7 @@ pub struct EcoResult {
     pub cost: u64,
     /// Total patch size in AND gates (shared logic counted once).
     pub size: usize,
-    /// Stage wall-clock times.
+    /// Stage wall-clock times of the successful attempt.
     pub stage_times: StageTimes,
     /// `true` if the localized attempt failed verification and the engine
     /// fell back to an unlocalized run.
@@ -136,6 +162,9 @@ pub struct EcoResult {
     pub interpolation_fallbacks: usize,
     /// Cost before/after the optimization stage.
     pub optimize_delta: (u64, u64),
+    /// Full run telemetry (both attempts when the fallback fired):
+    /// per-stage wall times, aggregated SAT/FRAIG counters, events.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// The cost-aware multi-target ECO patch generator.
@@ -166,6 +195,15 @@ pub struct EcoEngine {
     options: EcoOptions,
 }
 
+/// Everything one cluster's isolated rectification produced: the
+/// sub-workspace (whose manager holds the patch cones), the generated
+/// group, and the sweep time spent.
+struct ClusterOutcome {
+    sub: Workspace,
+    group: GroupPatches,
+    fraig_time: Duration,
+}
+
 impl EcoEngine {
     /// Creates an engine over a validated instance.
     pub fn new(instance: EcoInstance, options: EcoOptions) -> Self {
@@ -186,46 +224,90 @@ impl EcoEngine {
     /// verification of the complete, unlocalized derivation), and
     /// [`EcoError::ResourceLimit`] when verification exhausts its budget.
     pub fn run(&self) -> Result<EcoResult, EcoError> {
-        match self.attempt(self.options.localization)? {
-            Ok(result) => Ok(result),
-            Err(_cex) if self.options.localization => {
+        let tel = Telemetry::new();
+        let mut result = match self.attempt(self.options.localization, &tel)? {
+            Ok(result) => result,
+            Err(cex) if self.options.localization => {
                 // Completeness fallback: retry without localization.
-                match self.attempt(false)? {
+                tel.add_localization_fallback();
+                tel.event(
+                    Stage::Verify,
+                    "localization_fallback",
+                    format!(
+                        "localized attempt failed final verification ({}); \
+                         retrying without localization",
+                        cex_summary(&cex)
+                    ),
+                );
+                match self.attempt(false, &tel)? {
                     Ok(mut result) => {
                         result.localization_fallback = true;
-                        Ok(result)
+                        result
                     }
-                    Err(cex) => Err(EcoError::Unrectifiable(format!(
-                        "verification counterexample: {cex}"
-                    ))),
+                    Err(cex) => {
+                        return Err(EcoError::Unrectifiable(format!(
+                            "verification counterexample: {}",
+                            cex_summary(&cex)
+                        )))
+                    }
                 }
             }
-            Err(cex) => Err(EcoError::Unrectifiable(format!(
-                "verification counterexample: {cex}"
-            ))),
+            Err(cex) => {
+                return Err(EcoError::Unrectifiable(format!(
+                    "verification counterexample: {}",
+                    cex_summary(&cex)
+                )))
+            }
+        };
+        result.telemetry = tel.snapshot();
+        Ok(result)
+    }
+
+    /// Rectifies one cluster against its own sub-workspace: FRAIG + tap
+    /// map (when localizing) and Alg.-1 patch generation, all without
+    /// touching the shared manager. Safe to call from worker threads.
+    fn rectify_cluster(
+        &self,
+        ws: &Workspace,
+        cluster: &TargetCluster,
+        localization: bool,
+        pg_opts: &PatchGenOptions,
+        tel: &Telemetry,
+    ) -> ClusterOutcome {
+        let (mut sub, local) = ws.for_cluster(cluster);
+        let t0 = Instant::now();
+        let tap = if localization {
+            let (classes, sweep) = fraig_classes_stats(&sub.mgr, &self.options.fraig);
+            tel.record_sweep(&sweep);
+            TapMap::build(&sub, &classes)
+        } else {
+            TapMap::empty()
+        };
+        let fraig_time = t0.elapsed();
+        tel.add_stage(Stage::Fraig, fraig_time);
+        let group = generate_group_patches(&mut sub, &tap, &local, pg_opts, tel);
+        ClusterOutcome {
+            sub,
+            group,
+            fraig_time,
         }
     }
 
     /// One flow attempt; `Ok(Err(cex))` = verification failed.
-    fn attempt(&self, localization: bool) -> Result<Result<EcoResult, String>, EcoError> {
+    fn attempt(
+        &self,
+        localization: bool,
+        tel: &Telemetry,
+    ) -> Result<Result<EcoResult, Vec<(String, bool)>>, EcoError> {
         let opts = &self.options;
         let mut times = StageTimes::default();
         let mut ws = Workspace::new(&self.instance);
 
-        // Stage 1: FRAIG (only needed for localization taps).
-        let t0 = Instant::now();
-        let tap = if localization {
-            let classes = fraig_classes(&ws.mgr, &opts.fraig);
-            TapMap::build(&ws, &classes)
-        } else {
-            TapMap::empty()
-        };
-        times.fraig = t0.elapsed();
-
-        // Stage 2: clustering.
+        // Stage 2: clustering (stage 1, FRAIG, now runs per cluster below).
         let t0 = Instant::now();
         let clustering = cluster_targets(&ws);
         times.clustering = t0.elapsed();
+        tel.add_stage(Stage::Clustering, times.clustering);
 
         if opts.precheck_rectifiability {
             match check_rectifiable(&mut ws, 256, opts.verify_budget) {
@@ -249,7 +331,13 @@ impl EcoEngine {
                 .iter()
                 .map(|&j| (ws.f_outs[j], ws.g_outs[j]))
                 .collect();
-            match check_equivalence(&mut ws.mgr, &pairs, opts.verify_budget) {
+            let t0 = Instant::now();
+            let (verdict, stats) = check_equivalence_stats(&mut ws.mgr, &pairs, opts.verify_budget);
+            tel.record_solver(&stats);
+            let spent = t0.elapsed();
+            times.verify += spent;
+            tel.add_stage(Stage::Verify, spent);
+            match verdict {
                 VerifyOutcome::Equivalent => {}
                 VerifyOutcome::Counterexample(cex) => {
                     let at = if cex.is_empty() {
@@ -269,19 +357,56 @@ impl EcoEngine {
             }
         }
 
-        // Stage 3+4: localization-aware patch generation per cluster.
+        // Stages 1+3+4: per-cluster FRAIG, localization, and patch
+        // generation against isolated sub-workspaces — in parallel when
+        // `jobs` allows — then a deterministic merge in cluster order.
         let t0 = Instant::now();
-        let mut patches: Vec<PatchFn> = Vec::new();
-        let mut interpolation_fallbacks = 0;
         let pg_opts = PatchGenOptions {
             kind: opts.initial_patch,
             conflict_budget: opts.synth_budget,
             ..Default::default()
         };
-        for cluster in &clustering.clusters {
-            let group = generate_group_patches(&mut ws, &tap, cluster, &pg_opts);
-            interpolation_fallbacks += group.fallbacks;
-            patches.extend(group.patches);
+        let clusters = &clustering.clusters;
+        let jobs = resolve_jobs(opts.jobs, clusters.len());
+        tel.add_clusters(clusters.len() as u64);
+        tel.set_jobs(jobs as u64);
+        let outcomes: Vec<ClusterOutcome> = if jobs <= 1 {
+            clusters
+                .iter()
+                .map(|c| self.rectify_cluster(&ws, c, localization, &pg_opts, tel))
+                .collect()
+        } else {
+            let slots: Vec<Mutex<Option<ClusterOutcome>>> =
+                clusters.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= clusters.len() {
+                            break;
+                        }
+                        let out =
+                            self.rectify_cluster(&ws, &clusters[i], localization, &pg_opts, tel);
+                        *slots[i].lock().expect("cluster slot") = Some(out);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("cluster slot lock")
+                        .expect("worker filled every slot")
+                })
+                .collect()
+        };
+        let mut patches: Vec<PatchFn> = Vec::new();
+        let mut interpolation_fallbacks = 0;
+        for out in outcomes {
+            times.fraig += out.fraig_time;
+            interpolation_fallbacks += out.group.fallbacks;
+            patches.extend(adopt_group(&mut ws, &out.sub, &out.group));
         }
         for &k in &clustering.dead_targets {
             patches.push(PatchFn {
@@ -291,20 +416,22 @@ impl EcoEngine {
             });
         }
         times.patchgen = t0.elapsed();
+        tel.add_stage(Stage::PatchGen, times.patchgen);
 
         // Stage 5: cost optimization.
         let t0 = Instant::now();
         let optimize_delta = if opts.optimize {
-            let stats = optimize_patches(&mut ws, &mut patches, &opts.optimize_opts);
+            let stats = optimize_patches(&mut ws, &mut patches, &opts.optimize_opts, tel);
             (stats.cost_before, stats.cost_after)
         } else {
             let c = total_cost(&ws, &patches);
             (c, c)
         };
         if opts.size_optimize {
-            let _ = reduce_patch_sizes(&mut ws, &mut patches, &opts.size_opts);
+            let _ = reduce_patch_sizes(&mut ws, &mut patches, &opts.size_opts, tel);
         }
         times.optimize = t0.elapsed();
+        tel.add_stage(Stage::Optimize, times.optimize);
 
         // Stage 6: verification.
         let t0 = Instant::now();
@@ -315,11 +442,14 @@ impl EcoEngine {
         let f_outs = ws.f_outs.clone();
         let patched = ws.mgr.substitute(&f_outs, &map);
         let pairs: Vec<(Lit, Lit)> = patched.into_iter().zip(ws.g_outs.clone()).collect();
-        let verdict = check_equivalence(&mut ws.mgr, &pairs, opts.verify_budget);
-        times.verify = t0.elapsed();
+        let (verdict, stats) = check_equivalence_stats(&mut ws.mgr, &pairs, opts.verify_budget);
+        tel.record_solver(&stats);
+        let spent = t0.elapsed();
+        times.verify += spent;
+        tel.add_stage(Stage::Verify, spent);
         match verdict {
             VerifyOutcome::Equivalent => {}
-            VerifyOutcome::Counterexample(cex) => return Ok(Err(format!("{cex:?}"))),
+            VerifyOutcome::Counterexample(cex) => return Ok(Err(cex)),
             VerifyOutcome::Unknown => {
                 return Err(EcoError::ResourceLimit("verification budget".into()))
             }
@@ -328,51 +458,152 @@ impl EcoEngine {
         // Assemble the result: order patches by target index, extract the
         // combined patch AIG over the merged cut, prune unused inputs, and
         // FRAIG-reduce the patch itself.
-        patches.sort_by_key(|p| p.target);
-        let merged = Cut::merge(patches.iter().map(|p| &p.cut));
-        let roots: Vec<Lit> = patches.iter().map(|p| p.lit).collect();
-        let (mut patch_aig, outs) = extract_patch_aig(&ws.mgr, &ws.target_vars, &roots, &merged);
-        for (p, &o) in patches.iter().zip(&outs) {
-            patch_aig.add_output(self.instance.targets[p.target].clone(), o);
-        }
-        let patch_aig = prune_unused_inputs(&patch_aig);
-        let patch_aig = {
-            let classes = fraig_classes(&patch_aig, &opts.fraig);
-            fraig_reduce(&patch_aig, &classes).compact()
-        };
+        let result = tel.time(Stage::Assemble, || {
+            patches.sort_by_key(|p| p.target);
+            let merged = Cut::merge(patches.iter().map(|p| &p.cut));
+            let roots: Vec<Lit> = patches.iter().map(|p| p.lit).collect();
+            let (mut patch_aig, outs) =
+                extract_patch_aig(&ws.mgr, &ws.target_vars, &roots, &merged);
+            for (p, &o) in patches.iter().zip(&outs) {
+                patch_aig.add_output(self.instance.targets[p.target].clone(), o);
+            }
+            let patch_aig = prune_unused_inputs(&patch_aig);
+            let patch_aig = {
+                let (classes, sweep) = fraig_classes_stats(&patch_aig, &opts.fraig);
+                tel.record_sweep(&sweep);
+                fraig_reduce(&patch_aig, &classes).compact()
+            };
 
-        let cost = total_cost(&ws, &patches);
-        let all_roots: Vec<Lit> = patch_aig.outputs().iter().map(|o| o.lit).collect();
-        let size = patch_aig.count_cone_ands(&all_roots);
-        let target_patches: Vec<TargetPatch> = patch_aig
-            .outputs()
-            .iter()
-            .map(|o| TargetPatch {
-                target: o.name.clone(),
-                base: patch_aig
-                    .support(&[o.lit])
-                    .iter()
-                    .map(|&v| {
-                        patch_aig
-                            .input_name(patch_aig.input_pos(v).expect("support is inputs"))
-                            .to_owned()
-                    })
-                    .collect(),
-                size: patch_aig.count_cone_ands(&[o.lit]),
-            })
-            .collect();
+            let cost = total_cost(&ws, &patches);
+            let all_roots: Vec<Lit> = patch_aig.outputs().iter().map(|o| o.lit).collect();
+            let size = patch_aig.count_cone_ands(&all_roots);
+            let target_patches: Vec<TargetPatch> = patch_aig
+                .outputs()
+                .iter()
+                .map(|o| TargetPatch {
+                    target: o.name.clone(),
+                    base: patch_aig
+                        .support(&[o.lit])
+                        .iter()
+                        .map(|&v| {
+                            patch_aig
+                                .input_name(patch_aig.input_pos(v).expect("support is inputs"))
+                                .to_owned()
+                        })
+                        .collect(),
+                    size: patch_aig.count_cone_ands(&[o.lit]),
+                })
+                .collect();
 
-        Ok(Ok(EcoResult {
-            patches: target_patches,
-            patch_aig,
-            cost,
-            size,
-            stage_times: times,
-            localization_fallback: false,
-            interpolation_fallbacks,
-            optimize_delta,
-        }))
+            EcoResult {
+                patches: target_patches,
+                patch_aig,
+                cost,
+                size,
+                stage_times: times,
+                localization_fallback: false,
+                interpolation_fallbacks,
+                optimize_delta,
+                telemetry: TelemetrySnapshot::default(),
+            }
+        });
+        Ok(Ok(result))
     }
+}
+
+/// Resolves the effective worker count: `0` = available parallelism,
+/// clamped to the cluster count (and at least 1).
+fn resolve_jobs(requested: usize, clusters: usize) -> usize {
+    let jobs = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    jobs.min(clusters).max(1)
+}
+
+/// Compact, human-readable counterexample summary (first few assignments).
+fn cex_summary(cex: &[(String, bool)]) -> String {
+    if cex.is_empty() {
+        return "counterexample with no free inputs".to_string();
+    }
+    let shown: Vec<String> = cex
+        .iter()
+        .take(8)
+        .map(|(n, v)| format!("{n}={}", u8::from(*v)))
+        .collect();
+    let extra = cex.len().saturating_sub(8);
+    if extra > 0 {
+        format!("cex {} …(+{extra} more)", shown.join(" "))
+    } else {
+        format!("cex {}", shown.join(" "))
+    }
+}
+
+/// Imports one cluster's generated patches from its sub-workspace into the
+/// shared manager, relocating each patch cut alongside via the import
+/// translation cache. Purely structural, so merging in cluster order makes
+/// the parallel path byte-identical to the sequential one.
+fn adopt_group(ws: &mut Workspace, sub: &Workspace, group: &GroupPatches) -> Vec<PatchFn> {
+    let mut imap: HashMap<Var, Lit> = HashMap::new();
+    for ((_, sl), (_, ml)) in sub.x.iter().zip(&ws.x) {
+        imap.insert(sl.var(), *ml);
+    }
+    for (&sv, &mv) in sub.target_vars.iter().zip(&ws.target_vars) {
+        imap.insert(sv, mv.pos());
+    }
+    let roots: Vec<Lit> = group.patches.iter().map(|p| p.lit).collect();
+    let (lits, cache) = ws.mgr.import_map(&sub.mgr, &roots, &imap);
+    group
+        .patches
+        .iter()
+        .zip(&lits)
+        .map(|(p, &lit)| PatchFn {
+            target: p.target,
+            lit,
+            cut: translate_cut(ws, &p.cut, &cache),
+        })
+        .collect()
+}
+
+/// Re-expresses a sub-workspace cut over the shared manager: signal
+/// literals relocate by candidate index (or `X` input name), frontier
+/// nodes through the import cache with phase composition. Entries are
+/// visited in variable order so collisions resolve deterministically.
+fn translate_cut(ws: &Workspace, sub_cut: &Cut, cache: &HashMap<Var, Lit>) -> Cut {
+    let mut out = Cut {
+        signals: Vec::with_capacity(sub_cut.signals.len()),
+        node_map: HashMap::new(),
+        targets: sub_cut.targets.clone(),
+    };
+    for s in &sub_cut.signals {
+        let lit = match s.cand_idx {
+            Some(i) => ws.cands[i].lit,
+            None => ws.x_lit(&s.name).expect("cut signal is an X input"),
+        };
+        out.signals.push(CutSignal {
+            name: s.name.clone(),
+            lit,
+            weight: s.weight,
+            cand_idx: s.cand_idx,
+        });
+    }
+    let mut entries: Vec<(Var, (usize, bool))> =
+        sub_cut.node_map.iter().map(|(&v, &e)| (v, e)).collect();
+    entries.sort_unstable_by_key(|(v, _)| v.index());
+    for (v, (sig, phase)) in entries {
+        // Frontier nodes outside the imported patch cones have no cache
+        // entry; they cannot be reached from the patch either, so they are
+        // safe to drop.
+        if let Some(&l) = cache.get(&v) {
+            out.node_map
+                .entry(l.var())
+                .or_insert((sig, phase ^ l.is_complement()));
+        }
+    }
+    out
 }
 
 /// Rebuilds `aig` keeping only inputs in the support of its outputs.
@@ -586,5 +817,50 @@ mod tests {
             .expect("ok");
         // total() sums the stages; just ensure it is consistent.
         assert!(result.stage_times.total() >= result.stage_times.patchgen);
+        // The telemetry compat view mirrors the patchgen slot order.
+        assert!(result.telemetry.stage_nanos(Stage::PatchGen) > 0);
+        assert!(result.telemetry.clusters >= 1);
+        assert!(result.telemetry.jobs >= 1);
+    }
+
+    /// Two independent single-output clusters: any `jobs` value must give
+    /// byte-identical patches, costs, and sizes.
+    #[test]
+    fn parallel_jobs_match_sequential() {
+        let inst = instance(
+            "module f (a, b, c, d, t1, t2, y, z); input a, b, c, d, t1, t2; output y, z; \
+             xor g1 (y, t1, c); or g2 (z, t2, d); endmodule",
+            "module g (a, b, c, d, y, z); input a, b, c, d; output y, z; \
+             wire w1, w2; and g1 (w1, a, b); xor g2 (y, w1, c); \
+             xor g3 (w2, a, d); or g4 (z, w2, d); endmodule",
+            &["t1", "t2"],
+            &WeightTable::new(2),
+        );
+        let run = |jobs: usize| {
+            EcoEngine::new(
+                inst.clone(),
+                EcoOptions {
+                    jobs,
+                    ..Default::default()
+                },
+            )
+            .run()
+            .expect("rectifiable")
+        };
+        let seq = run(1);
+        let par = run(4);
+        check_result(&inst, &seq);
+        assert_eq!(seq.cost, par.cost);
+        assert_eq!(seq.size, par.size);
+        for (a, b) in seq.patches.iter().zip(&par.patches) {
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.base, b.base, "base sets differ for {}", a.target);
+            assert_eq!(a.size, b.size);
+        }
+        assert_eq!(
+            format!("{:?}", seq.patch_aig),
+            format!("{:?}", par.patch_aig),
+            "patch AIGs must be byte-identical"
+        );
     }
 }

@@ -69,6 +69,7 @@ mod rectifiable;
 mod report;
 mod sizeopt;
 mod synth;
+mod telemetry;
 mod verify;
 mod workspace;
 
@@ -89,5 +90,8 @@ pub use crate::rectifiable::{check_rectifiable, Rectifiability};
 pub use crate::report::Report;
 pub use crate::sizeopt::{reduce_patch_sizes, SizeOptOptions, SizeOptStats};
 pub use crate::synth::{synthesize_patch, InitialPatchKind, SynthOutcome};
-pub use crate::verify::{check_equivalence, VerifyOutcome};
+pub use crate::telemetry::{
+    SatTotals, Stage, SweepTotals, Telemetry, TelemetryEvent, TelemetrySnapshot,
+};
+pub use crate::verify::{check_equivalence, check_equivalence_stats, VerifyOutcome};
 pub use crate::workspace::{Workspace, WsCandidate};

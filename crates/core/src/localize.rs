@@ -215,12 +215,19 @@ impl Cut {
     /// Merges several cuts: signals dedup by name; on frontier-node
     /// conflicts the earliest mapping wins (the signals are provably equal,
     /// so either is correct).
+    ///
+    /// Frontier entries are visited in variable order, not hash order, so
+    /// the merged signal numbering — and everything downstream of it, like
+    /// patch-AIG input order — is deterministic.
     pub fn merge<'a>(cuts: impl IntoIterator<Item = &'a Cut>) -> Cut {
         let mut out = Cut::default();
         let mut sig_by_name: HashMap<String, usize> = HashMap::new();
         let mut targets_seen: HashSet<usize> = HashSet::new();
         for cut in cuts {
-            for (&v, &(sig, phase)) in &cut.node_map {
+            let mut entries: Vec<(Var, (usize, bool))> =
+                cut.node_map.iter().map(|(&v, &e)| (v, e)).collect();
+            entries.sort_unstable_by_key(|(v, _)| v.index());
+            for (v, (sig, phase)) in entries {
                 if out.node_map.contains_key(&v) {
                     continue;
                 }

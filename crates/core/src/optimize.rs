@@ -81,6 +81,7 @@ pub fn optimize_patches(
     ws: &mut Workspace,
     patches: &mut [PatchFn],
     opts: &OptimizeOptions,
+    tel: &crate::Telemetry,
 ) -> OptimizeStats {
     let mut stats = OptimizeStats {
         cost_before: total_cost(ws, patches),
@@ -166,6 +167,7 @@ pub fn optimize_patches(
                 .map(|c| pool.iter().position(|x| x == c).expect("base in pool"))
                 .collect();
             if q.feasible(&initial, opts.conflict_budget) != Some(true) {
+                tel.record_solver(&q.stats());
                 continue;
             }
             // Cheap pruning via the final-conflict core before selection.
@@ -178,6 +180,7 @@ pub fn optimize_patches(
                 }
             };
             let sel = select_base(ws, &mut q, &start, &opts.base_select);
+            tel.record_solver(&q.stats());
             // Pre-filter on the per-patch cost; the binding acceptance test
             // below is on the *union* cost (the contest metric), because a
             // locally cheaper base can destroy sharing with other patches.
@@ -187,9 +190,14 @@ pub fn optimize_patches(
                 continue;
             }
             let base_cands: Vec<usize> = sel.base.iter().map(|&i| pool[i]).collect();
-            if let Some(new_lit) =
-                resynthesize(ws, onoff.on, onoff.off, &base_cands, opts.conflict_budget)
-            {
+            if let Some(new_lit) = resynthesize(
+                ws,
+                onoff.on,
+                onoff.off,
+                &base_cands,
+                opts.conflict_budget,
+                tel,
+            ) {
                 patches[p].lit = new_lit;
                 patches[p].cut = Cut::from_candidates(ws, &base_cands);
                 stats.improvements += 1;
@@ -245,9 +253,15 @@ mod tests {
             &tap,
             &clustering.clusters[0],
             &crate::PatchGenOptions::default(),
+            &crate::Telemetry::new(),
         );
         let mut patches = group.patches;
-        let stats = optimize_patches(&mut ws, &mut patches, &OptimizeOptions::default());
+        let stats = optimize_patches(
+            &mut ws,
+            &mut patches,
+            &OptimizeOptions::default(),
+            &crate::Telemetry::new(),
+        );
         assert!(stats.cost_after < stats.cost_before, "stats {stats:?}");
         assert_eq!(stats.cost_after, 2);
         // Patch is still correct: equals a & b.
@@ -287,9 +301,15 @@ mod tests {
             &tap,
             &clustering.clusters[0],
             &crate::PatchGenOptions::default(),
+            &crate::Telemetry::new(),
         );
         let mut patches = group.patches;
-        let stats = optimize_patches(&mut ws, &mut patches, &OptimizeOptions::default());
+        let stats = optimize_patches(
+            &mut ws,
+            &mut patches,
+            &OptimizeOptions::default(),
+            &crate::Telemetry::new(),
+        );
         assert_eq!(patches[0].lit, Lit::FALSE);
         assert_eq!(stats.cost_after, 0);
     }

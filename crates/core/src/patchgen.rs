@@ -74,6 +74,7 @@ pub fn generate_group_patches(
     tap: &TapMap,
     cluster: &TargetCluster,
     opts: &PatchGenOptions,
+    tel: &crate::Telemetry,
 ) -> GroupPatches {
     let PatchGenOptions {
         kind,
@@ -99,7 +100,7 @@ pub fn generate_group_patches(
         } else {
             kind
         };
-        let mut outcome = synthesize_patch(ws, onoff, &cut, effective_kind, conflict_budget);
+        let mut outcome = synthesize_patch(ws, onoff, &cut, effective_kind, conflict_budget, tel);
         if outcome.fallback && effective_kind == InitialPatchKind::Interpolant {
             // §4.3 conflict (on ∧ off satisfiable): retry over the exact
             // relation-determinization sets, which are disjoint by
@@ -112,6 +113,7 @@ pub fn generate_group_patches(
                 &exact_cut,
                 InitialPatchKind::Interpolant,
                 conflict_budget,
+                tel,
             );
             if retry.interpolated {
                 outcome = retry;
@@ -124,6 +126,13 @@ pub fn generate_group_patches(
         } = outcome;
         fallbacks += usize::from(fallback);
         interpolated += usize::from(used_itp);
+        if fallback {
+            tel.event(
+                crate::Stage::PatchGen,
+                "interpolation_fallback",
+                format!("target {k} fell back to the on-set circuit"),
+            );
+        }
         // F' <- F'|t_k = p'_k
         let mut map = HashMap::new();
         map.insert(t, lit);
@@ -151,6 +160,8 @@ pub fn generate_group_patches(
             cut: Cut::frontier(ws, tap, &[lit]),
         })
         .collect();
+    tel.add_interpolated(interpolated as u64);
+    tel.add_interpolation_fallbacks(fallbacks as u64);
     GroupPatches {
         patches,
         fallbacks,
@@ -282,6 +293,7 @@ mod tests {
             &TapMap::empty(),
             &clustering.clusters[0],
             &PatchGenOptions::default(),
+            &crate::Telemetry::new(),
         );
         assert_eq!(got.patches.len(), 2);
         patched_outputs_match(&mut ws, &got.patches);
@@ -299,6 +311,7 @@ mod tests {
                 kind: InitialPatchKind::Interpolant,
                 ..Default::default()
             },
+            &crate::Telemetry::new(),
         );
         patched_outputs_match(&mut ws, &got.patches);
     }
@@ -312,6 +325,7 @@ mod tests {
             &TapMap::empty(),
             &clustering.clusters[0],
             &PatchGenOptions::default(),
+            &crate::Telemetry::new(),
         );
         for p in &got.patches {
             let sup = ws.mgr.support(&[p.lit]);
@@ -330,6 +344,7 @@ mod tests {
             &TapMap::empty(),
             &clustering.clusters[0],
             &PatchGenOptions::default(),
+            &crate::Telemetry::new(),
         );
         let roots: Vec<Lit> = got.patches.iter().map(|p| p.lit).collect();
         let cut = Cut::merge(got.patches.iter().map(|p| &p.cut));

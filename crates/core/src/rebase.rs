@@ -85,6 +85,12 @@ impl RebaseQuery {
         &self.pool
     }
 
+    /// The incremental solver's statistics so far (cumulative over every
+    /// [`RebaseQuery::feasible`] call), for telemetry aggregation.
+    pub fn stats(&self) -> eco_sat::SolverStats {
+        self.solver.stats()
+    }
+
     /// Tests whether selecting the pool entries `base` (indices into the
     /// *pool*) suffices to realize the patch. `Some(true)` = feasible;
     /// `None` = budget exhausted.
@@ -127,6 +133,7 @@ pub fn resynthesize(
     off: ALit,
     base: &[usize],
     conflict_budget: u64,
+    tel: &crate::Telemetry,
 ) -> Option<ALit> {
     let mut q = ItpSolver::new();
     let ys: Vec<SLit> = base.iter().map(|_| q.new_var().pos()).collect();
@@ -158,7 +165,9 @@ pub fn resynthesize(
     }
 
     q.set_conflict_budget(conflict_budget);
-    let itp = match q.solve_limited()? {
+    let solved = q.solve_limited();
+    tel.record_solver(&q.last_stats());
+    let itp = match solved? {
         ItpOutcome::Unsat(itp) => itp,
         ItpOutcome::Sat(_) => return None,
     };
@@ -248,7 +257,9 @@ mod tests {
     fn resynthesize_builds_correct_patch() {
         let (mut ws, on, off, pool) = fixture();
         let w = pool_idx(&ws, &pool, "w");
-        let patch = resynthesize(&mut ws, on, off, &[pool[w]], 1 << 20).expect("feasible");
+        let tel = crate::Telemetry::new();
+        let patch = resynthesize(&mut ws, on, off, &[pool[w]], 1 << 20, &tel).expect("feasible");
+        assert!(tel.snapshot().sat.solvers >= 1, "resynthesis recorded");
         // patch must equal w = a & b on all X.
         let mut mgr = ws.mgr.clone();
         mgr.clear_outputs();
@@ -263,6 +274,10 @@ mod tests {
     fn resynthesize_infeasible_base_returns_none() {
         let (mut ws, on, off, pool) = fixture();
         let a = pool_idx(&ws, &pool, "a");
-        assert_eq!(resynthesize(&mut ws, on, off, &[pool[a]], 1 << 20), None);
+        let tel = crate::Telemetry::new();
+        assert_eq!(
+            resynthesize(&mut ws, on, off, &[pool[a]], 1 << 20, &tel),
+            None
+        );
     }
 }

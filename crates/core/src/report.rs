@@ -57,7 +57,24 @@ impl fmt::Display for Report<'_> {
             f,
             "stages: fraig {:.1?}, cluster {:.1?}, patchgen {:.1?}, optimize {:.1?} (cost {} -> {}), verify {:.1?}",
             t.fraig, t.clustering, t.patchgen, t.optimize, r.optimize_delta.0, r.optimize_delta.1, t.verify
-        )
+        )?;
+        let tel = &r.telemetry;
+        writeln!(
+            f,
+            "flow: {} cluster(s) x {} job(s), sat {} solver(s) / {} conflicts / {} propagations, \
+             fraig {} sweep(s) / {} sat calls",
+            tel.clusters,
+            tel.jobs,
+            tel.sat.solvers,
+            tel.sat.conflicts,
+            tel.sat.propagations,
+            tel.sweep.sweeps,
+            tel.sweep.sat_calls
+        )?;
+        for e in &tel.events {
+            writeln!(f, "event [{}] {}: {}", e.stage, e.label, e.detail)?;
+        }
+        Ok(())
     }
 }
 

@@ -62,6 +62,7 @@ fn patch_is_valid(
     off: Lit,
     candidate: Lit,
     conflict_budget: u64,
+    tel: &crate::Telemetry,
 ) -> Option<bool> {
     let viol = {
         let mgr = &mut ws.mgr;
@@ -76,7 +77,9 @@ fn patch_is_valid(
     let mut map: HashMap<Var, SLit> = HashMap::new();
     let roots = encode_cone(&ws.mgr, &[viol], &mut map, &mut solver);
     solver.add_clause(&[roots[0]]);
-    solver.solve_limited(&[], conflict_budget).map(|sat| !sat)
+    let solved = solver.solve_limited(&[], conflict_budget);
+    tel.record_solver(&solver.stats());
+    solved.map(|sat| !sat)
 }
 
 /// Shrinks each patch cone in place using the ECO don't cares.
@@ -89,6 +92,7 @@ pub fn reduce_patch_sizes(
     ws: &mut Workspace,
     patches: &mut [PatchFn],
     opts: &SizeOptOptions,
+    tel: &crate::Telemetry,
 ) -> SizeOptStats {
     let mut stats = SizeOptStats::default();
     for p in 0..patches.len() {
@@ -148,8 +152,14 @@ pub fn reduce_patch_sizes(
                     }
                     trials_left -= 1;
                     stats.trials += 1;
-                    if patch_is_valid(ws, onoff.on, onoff.off, candidate, opts.conflict_budget)
-                        == Some(true)
+                    if patch_is_valid(
+                        ws,
+                        onoff.on,
+                        onoff.off,
+                        candidate,
+                        opts.conflict_budget,
+                        tel,
+                    ) == Some(true)
                     {
                         patches[p].lit = candidate;
                         stats.accepted += 1;
@@ -203,9 +213,15 @@ mod tests {
             &tap,
             &clustering.clusters[0],
             &PatchGenOptions::default(),
+            &crate::Telemetry::new(),
         );
         let mut patches = group.patches;
-        let stats = reduce_patch_sizes(&mut ws, &mut patches, &SizeOptOptions::default());
+        let stats = reduce_patch_sizes(
+            &mut ws,
+            &mut patches,
+            &SizeOptOptions::default(),
+            &crate::Telemetry::new(),
+        );
         assert!(stats.size_after <= stats.size_before, "{stats:?}");
         // The patch still equals a & b everywhere.
         let mut mgr = ws.mgr.clone();
@@ -241,10 +257,16 @@ mod tests {
             &tap,
             &clustering.clusters[0],
             &PatchGenOptions::default(),
+            &crate::Telemetry::new(),
         );
         let mut patches = group.patches;
         let before = patches[0].lit;
-        let stats = reduce_patch_sizes(&mut ws, &mut patches, &SizeOptOptions::default());
+        let stats = reduce_patch_sizes(
+            &mut ws,
+            &mut patches,
+            &SizeOptOptions::default(),
+            &crate::Telemetry::new(),
+        );
         assert_eq!(stats.size_after, stats.size_before);
         // A wire patch has no AND nodes at all; nothing to try.
         let _ = Cut::frontier(&ws, &tap, &[before]);

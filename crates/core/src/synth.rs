@@ -52,6 +52,7 @@ pub fn synthesize_patch(
     cut: &Cut,
     kind: InitialPatchKind,
     conflict_budget: u64,
+    tel: &crate::Telemetry,
 ) -> SynthOutcome {
     match kind {
         InitialPatchKind::OnSet => SynthOutcome {
@@ -64,18 +65,20 @@ pub fn synthesize_patch(
             interpolated: false,
             fallback: false,
         },
-        InitialPatchKind::Interpolant => match try_interpolate(ws, onoff, cut, conflict_budget) {
-            Some(lit) => SynthOutcome {
-                lit,
-                interpolated: true,
-                fallback: false,
-            },
-            None => SynthOutcome {
-                lit: onoff.on,
-                interpolated: false,
-                fallback: true,
-            },
-        },
+        InitialPatchKind::Interpolant => {
+            match try_interpolate(ws, onoff, cut, conflict_budget, tel) {
+                Some(lit) => SynthOutcome {
+                    lit,
+                    interpolated: true,
+                    fallback: false,
+                },
+                None => SynthOutcome {
+                    lit: onoff.on,
+                    interpolated: false,
+                    fallback: true,
+                },
+            }
+        }
     }
 }
 
@@ -84,6 +87,7 @@ fn try_interpolate(
     onoff: OnOff,
     cut: &Cut,
     conflict_budget: u64,
+    tel: &crate::Telemetry,
 ) -> Option<Lit> {
     let mut q = ItpSolver::new();
 
@@ -120,7 +124,9 @@ fn try_interpolate(
     }
 
     q.set_conflict_budget(conflict_budget);
-    let itp = match q.solve_limited()? {
+    let solved = q.solve_limited();
+    tel.record_solver(&q.last_stats());
+    let itp = match solved? {
         ItpOutcome::Unsat(itp) => itp,
         ItpOutcome::Sat(_) => return None,
     };
@@ -155,6 +161,10 @@ mod tests {
     use crate::localize::TapMap;
     use crate::EcoInstance;
     use eco_netlist::{parse_verilog, WeightTable};
+
+    fn tel() -> crate::Telemetry {
+        crate::Telemetry::new()
+    }
 
     fn xor_instance() -> (EcoInstance, Workspace) {
         // F: y = t ^ c (target t). G: y = (a & b) ^ c. Patch must be a & b.
@@ -197,7 +207,14 @@ mod tests {
         let t = ws.target_vars[0];
         let onoff = on_off_sets(&mut ws.mgr, &ws.f_outs.clone(), &ws.g_outs.clone(), t);
         let cut = Cut::frontier(&ws, &TapMap::empty(), &[onoff.on, onoff.off]);
-        let got = synthesize_patch(&mut ws, onoff, &cut, InitialPatchKind::OnSet, 1 << 20);
+        let got = synthesize_patch(
+            &mut ws,
+            onoff,
+            &cut,
+            InitialPatchKind::OnSet,
+            1 << 20,
+            &tel(),
+        );
         assert!(!got.interpolated && !got.fallback);
         check_patch_semantics(&ws, got.lit);
     }
@@ -208,7 +225,14 @@ mod tests {
         let t = ws.target_vars[0];
         let onoff = on_off_sets(&mut ws.mgr, &ws.f_outs.clone(), &ws.g_outs.clone(), t);
         let cut = Cut::frontier(&ws, &TapMap::empty(), &[onoff.on, onoff.off]);
-        let got = synthesize_patch(&mut ws, onoff, &cut, InitialPatchKind::NegOffSet, 1 << 20);
+        let got = synthesize_patch(
+            &mut ws,
+            onoff,
+            &cut,
+            InitialPatchKind::NegOffSet,
+            1 << 20,
+            &tel(),
+        );
         check_patch_semantics(&ws, got.lit);
     }
 
@@ -218,7 +242,14 @@ mod tests {
         let t = ws.target_vars[0];
         let onoff = on_off_sets(&mut ws.mgr, &ws.f_outs.clone(), &ws.g_outs.clone(), t);
         let cut = Cut::frontier(&ws, &TapMap::empty(), &[onoff.on, onoff.off]);
-        let got = synthesize_patch(&mut ws, onoff, &cut, InitialPatchKind::Interpolant, 1 << 20);
+        let got = synthesize_patch(
+            &mut ws,
+            onoff,
+            &cut,
+            InitialPatchKind::Interpolant,
+            1 << 20,
+            &tel(),
+        );
         assert!(got.interpolated && !got.fallback);
         check_patch_semantics(&ws, got.lit);
     }
@@ -249,7 +280,14 @@ mod tests {
         let onoff = on_off_sets(&mut ws.mgr, &ws.f_outs.clone(), &ws.g_outs.clone(), t);
         let got = {
             let cut = Cut::frontier(&ws, &TapMap::empty(), &[onoff.on, onoff.off]);
-            synthesize_patch(&mut ws, onoff, &cut, InitialPatchKind::Interpolant, 1 << 20)
+            synthesize_patch(
+                &mut ws,
+                onoff,
+                &cut,
+                InitialPatchKind::Interpolant,
+                1 << 20,
+                &tel(),
+            )
         };
         assert!(got.fallback);
         assert_eq!(got.lit, onoff.on);

@@ -1,0 +1,493 @@
+//! End-to-end run telemetry: per-stage timers, aggregated SAT / FRAIG
+//! counters, and structured events.
+//!
+//! One [`Telemetry`] instance lives for a whole [`crate::EcoEngine::run`]
+//! (both the localized attempt and, if it fails verification, the
+//! unlocalized fallback). It is `Sync` — counters are atomics and events
+//! sit behind a mutex — so the scoped worker threads of the parallel
+//! patch-generation stage record into it directly. The immutable
+//! [`TelemetrySnapshot`] taken at the end is what [`crate::EcoResult`]
+//! carries and what the CLI renders for `--stats[=json]`.
+//!
+//! [`StageTimes`] remains the compatibility view of the per-stage wall
+//! clocks; [`TelemetrySnapshot::stage_times`] derives one from a snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use eco_fraig::SweepStats;
+use eco_sat::SolverStats;
+
+use crate::StageTimes;
+
+/// A flow stage (Fig. 1), as a telemetry key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// FRAIG sweeping (summed across per-cluster sub-workspaces; with
+    /// `jobs > 1` the sweeps overlap the `PatchGen` wall clock).
+    Fraig,
+    /// Target clustering.
+    Clustering,
+    /// Patch generation (Alg. 1), wall clock of the whole — possibly
+    /// parallel — per-cluster section plus the deterministic merge.
+    PatchGen,
+    /// Cost optimization and size reduction (§6, §2.4).
+    Optimize,
+    /// Equivalence verification (untouched outputs + final check).
+    Verify,
+    /// Result assembly: patch extraction, pruning, patch-side FRAIG.
+    Assemble,
+}
+
+impl Stage {
+    /// All stages, in flow order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Fraig,
+        Stage::Clustering,
+        Stage::PatchGen,
+        Stage::Optimize,
+        Stage::Verify,
+        Stage::Assemble,
+    ];
+
+    /// Stable lowercase name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Fraig => "fraig",
+            Stage::Clustering => "clustering",
+            Stage::PatchGen => "patchgen",
+            Stage::Optimize => "optimize",
+            Stage::Verify => "verify",
+            Stage::Assemble => "assemble",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Aggregated CDCL solver totals across every SAT instance of a run
+/// (synthesis, interpolation, rebasing, size reduction, verification, and
+/// the solvers inside FRAIG sweeps).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SatTotals {
+    /// Solver instances whose stats were folded in.
+    pub solvers: u64,
+    /// Total conflicts.
+    pub conflicts: u64,
+    /// Total branching decisions.
+    pub decisions: u64,
+    /// Total propagated literals.
+    pub propagations: u64,
+    /// Total restarts.
+    pub restarts: u64,
+    /// Total learned clauses.
+    pub learned: u64,
+}
+
+/// Aggregated FRAIG sweep totals across every sweep of a run (one per
+/// cluster sub-workspace, plus the final patch-AIG reduction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepTotals {
+    /// Sweeps folded in.
+    pub sweeps: u64,
+    /// Refinement rounds.
+    pub rounds: u64,
+    /// SAT equivalence queries issued.
+    pub sat_calls: u64,
+    /// Candidate pairs proven equivalent.
+    pub proven: u64,
+    /// Candidate pairs disproved by a counterexample.
+    pub disproved: u64,
+    /// Queries abandoned on the conflict budget.
+    pub budgeted_out: u64,
+    /// Counterexample patterns fed back into simulation.
+    pub cex_patterns: u64,
+}
+
+/// One structured event (e.g. a fallback firing), with a human-readable
+/// detail string.
+#[derive(Clone, Debug)]
+pub struct TelemetryEvent {
+    /// Stage the event belongs to.
+    pub stage: &'static str,
+    /// Stable machine-readable label, e.g. `localization_fallback`.
+    pub label: String,
+    /// Free-form detail (counterexample summary, target index, …).
+    pub detail: String,
+}
+
+/// Immutable copy of all telemetry of one run.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Nanoseconds per stage, indexed like [`Stage::ALL`].
+    pub stage_ns: [u64; 6],
+    /// Aggregated SAT solver totals.
+    pub sat: SatTotals,
+    /// Aggregated FRAIG sweep totals.
+    pub sweep: SweepTotals,
+    /// Target clusters processed (summed over attempts).
+    pub clusters: u64,
+    /// Worker threads used by the patch-generation stage.
+    pub jobs: u64,
+    /// Patches synthesized by interpolation.
+    pub interpolated: u64,
+    /// Interpolation attempts that fell back to the on-set.
+    pub interpolation_fallbacks: u64,
+    /// Localized attempts that failed verification and were retried
+    /// without localization.
+    pub localization_fallbacks: u64,
+    /// Structured events, in recording order.
+    pub events: Vec<TelemetryEvent>,
+}
+
+impl TelemetrySnapshot {
+    /// Nanoseconds recorded for `stage`.
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.stage_ns[stage.index()]
+    }
+
+    /// The classic five-stage compatibility view ([`Stage::Assemble`] has
+    /// no slot there and is reported only here).
+    pub fn stage_times(&self) -> StageTimes {
+        StageTimes {
+            fraig: Duration::from_nanos(self.stage_nanos(Stage::Fraig)),
+            clustering: Duration::from_nanos(self.stage_nanos(Stage::Clustering)),
+            patchgen: Duration::from_nanos(self.stage_nanos(Stage::PatchGen)),
+            optimize: Duration::from_nanos(self.stage_nanos(Stage::Optimize)),
+            verify: Duration::from_nanos(self.stage_nanos(Stage::Verify)),
+        }
+    }
+
+    /// Hand-rolled JSON rendering (stable keys, no external deps).
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = Stage::ALL
+            .iter()
+            .map(|s| format!("\"{}_ns\": {}", s.name(), self.stage_nanos(*s)))
+            .collect();
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"stage\": \"{}\", \"label\": \"{}\", \"detail\": \"{}\"}}",
+                    e.stage,
+                    json_escape(&e.label),
+                    json_escape(&e.detail)
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"stages\": {{{}}},\n  \"sat\": {{\"solvers\": {}, \"conflicts\": {}, \
+             \"decisions\": {}, \"propagations\": {}, \"restarts\": {}, \"learned\": {}}},\n  \
+             \"fraig\": {{\"sweeps\": {}, \"rounds\": {}, \"sat_calls\": {}, \"proven\": {}, \
+             \"disproved\": {}, \"budgeted_out\": {}, \"cex_patterns\": {}}},\n  \
+             \"clusters\": {}, \"jobs\": {}, \"interpolated\": {}, \
+             \"interpolation_fallbacks\": {}, \"localization_fallbacks\": {},\n  \
+             \"events\": [{}]\n}}\n",
+            stages.join(", "),
+            self.sat.solvers,
+            self.sat.conflicts,
+            self.sat.decisions,
+            self.sat.propagations,
+            self.sat.restarts,
+            self.sat.learned,
+            self.sweep.sweeps,
+            self.sweep.rounds,
+            self.sweep.sat_calls,
+            self.sweep.proven,
+            self.sweep.disproved,
+            self.sweep.budgeted_out,
+            self.sweep.cex_patterns,
+            self.clusters,
+            self.jobs,
+            self.interpolated,
+            self.interpolation_fallbacks,
+            self.localization_fallbacks,
+            events.join(", ")
+        )
+    }
+}
+
+impl std::fmt::Display for TelemetrySnapshot {
+    /// Human-readable multi-line summary (what `--stats` prints).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in Stage::ALL {
+            writeln!(
+                f,
+                "stage {:<10} {:>12.3} ms",
+                s.name(),
+                self.stage_nanos(s) as f64 / 1e6
+            )?;
+        }
+        writeln!(
+            f,
+            "sat: {} solvers, {} conflicts, {} decisions, {} propagations, {} restarts, {} learned",
+            self.sat.solvers,
+            self.sat.conflicts,
+            self.sat.decisions,
+            self.sat.propagations,
+            self.sat.restarts,
+            self.sat.learned
+        )?;
+        writeln!(
+            f,
+            "fraig: {} sweeps, {} rounds, {} sat calls, {} proven, {} disproved, \
+             {} budgeted out, {} cex patterns",
+            self.sweep.sweeps,
+            self.sweep.rounds,
+            self.sweep.sat_calls,
+            self.sweep.proven,
+            self.sweep.disproved,
+            self.sweep.budgeted_out,
+            self.sweep.cex_patterns
+        )?;
+        writeln!(
+            f,
+            "flow: {} clusters, {} jobs, {} interpolated, {} interpolation fallbacks, \
+             {} localization fallbacks",
+            self.clusters,
+            self.jobs,
+            self.interpolated,
+            self.interpolation_fallbacks,
+            self.localization_fallbacks
+        )?;
+        for e in &self.events {
+            writeln!(f, "event [{}] {}: {}", e.stage, e.label, e.detail)?;
+        }
+        Ok(())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Shared, thread-safe telemetry accumulator for one engine run.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    stage_ns: [AtomicU64; 6],
+    solvers: AtomicU64,
+    conflicts: AtomicU64,
+    decisions: AtomicU64,
+    propagations: AtomicU64,
+    restarts: AtomicU64,
+    learned: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_rounds: AtomicU64,
+    sweep_sat_calls: AtomicU64,
+    sweep_proven: AtomicU64,
+    sweep_disproved: AtomicU64,
+    sweep_budgeted_out: AtomicU64,
+    sweep_cex_patterns: AtomicU64,
+    clusters: AtomicU64,
+    jobs: AtomicU64,
+    interpolated: AtomicU64,
+    interpolation_fallbacks: AtomicU64,
+    localization_fallbacks: AtomicU64,
+    events: Mutex<Vec<TelemetryEvent>>,
+}
+
+impl Telemetry {
+    /// Fresh, all-zero telemetry.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Adds `d` to the accumulated time of `stage`.
+    pub fn add_stage(&self, stage: Stage, d: Duration) {
+        self.stage_ns[stage.index()].fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Runs `f`, charging its wall time to `stage`.
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        self.add_stage(stage, t0.elapsed());
+        out
+    }
+
+    /// Folds one solver's final statistics into the SAT totals.
+    pub fn record_solver(&self, s: &SolverStats) {
+        self.solvers.fetch_add(1, Ordering::Relaxed);
+        self.conflicts.fetch_add(s.conflicts, Ordering::Relaxed);
+        self.decisions.fetch_add(s.decisions, Ordering::Relaxed);
+        self.propagations
+            .fetch_add(s.propagations, Ordering::Relaxed);
+        self.restarts.fetch_add(s.restarts, Ordering::Relaxed);
+        self.learned.fetch_add(s.learned, Ordering::Relaxed);
+    }
+
+    /// Folds one FRAIG sweep into the sweep totals (its internal solver
+    /// is also folded into the SAT totals).
+    pub fn record_sweep(&self, s: &SweepStats) {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.sweep_rounds
+            .fetch_add(s.rounds as u64, Ordering::Relaxed);
+        self.sweep_sat_calls
+            .fetch_add(s.sat_calls, Ordering::Relaxed);
+        self.sweep_proven.fetch_add(s.proven, Ordering::Relaxed);
+        self.sweep_disproved
+            .fetch_add(s.disproved, Ordering::Relaxed);
+        self.sweep_budgeted_out
+            .fetch_add(s.budgeted_out, Ordering::Relaxed);
+        self.sweep_cex_patterns
+            .fetch_add(s.cex_patterns, Ordering::Relaxed);
+        self.record_solver(&s.sat);
+    }
+
+    /// Counts `n` processed target clusters.
+    pub fn add_clusters(&self, n: u64) {
+        self.clusters.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records the worker-thread count of the patch-generation stage.
+    pub fn set_jobs(&self, n: u64) {
+        self.jobs.store(n, Ordering::Relaxed);
+    }
+
+    /// Counts interpolation-synthesized patches.
+    pub fn add_interpolated(&self, n: u64) {
+        self.interpolated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts interpolation → on-set fallbacks.
+    pub fn add_interpolation_fallbacks(&self, n: u64) {
+        self.interpolation_fallbacks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts a localized-attempt verification failure that triggered the
+    /// unlocalized retry.
+    pub fn add_localization_fallback(&self) {
+        self.localization_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends a structured event.
+    pub fn event(&self, stage: Stage, label: &str, detail: String) {
+        self.events
+            .lock()
+            .expect("telemetry event lock")
+            .push(TelemetryEvent {
+                stage: stage.name(),
+                label: label.to_string(),
+                detail,
+            });
+    }
+
+    /// Copies everything into an immutable snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut stage_ns = [0u64; 6];
+        for (slot, a) in stage_ns.iter_mut().zip(&self.stage_ns) {
+            *slot = load(a);
+        }
+        TelemetrySnapshot {
+            stage_ns,
+            sat: SatTotals {
+                solvers: load(&self.solvers),
+                conflicts: load(&self.conflicts),
+                decisions: load(&self.decisions),
+                propagations: load(&self.propagations),
+                restarts: load(&self.restarts),
+                learned: load(&self.learned),
+            },
+            sweep: SweepTotals {
+                sweeps: load(&self.sweeps),
+                rounds: load(&self.sweep_rounds),
+                sat_calls: load(&self.sweep_sat_calls),
+                proven: load(&self.sweep_proven),
+                disproved: load(&self.sweep_disproved),
+                budgeted_out: load(&self.sweep_budgeted_out),
+                cex_patterns: load(&self.sweep_cex_patterns),
+            },
+            clusters: load(&self.clusters),
+            jobs: load(&self.jobs),
+            interpolated: load(&self.interpolated),
+            interpolation_fallbacks: load(&self.interpolation_fallbacks),
+            localization_fallbacks: load(&self.localization_fallbacks),
+            events: self.events.lock().expect("telemetry event lock").clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let tel = Telemetry::new();
+        tel.add_stage(Stage::PatchGen, Duration::from_millis(2));
+        tel.add_stage(Stage::PatchGen, Duration::from_millis(3));
+        tel.record_solver(&SolverStats {
+            conflicts: 5,
+            propagations: 100,
+            ..Default::default()
+        });
+        tel.record_sweep(&SweepStats {
+            sat_calls: 7,
+            proven: 4,
+            sat: SolverStats {
+                conflicts: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        tel.add_clusters(3);
+        tel.set_jobs(4);
+        tel.event(Stage::Verify, "localization_fallback", "cex a=1".into());
+
+        let snap = tel.snapshot();
+        assert_eq!(snap.stage_nanos(Stage::PatchGen), 5_000_000);
+        assert_eq!(snap.sat.solvers, 2); // explicit + sweep-internal
+        assert_eq!(snap.sat.conflicts, 7);
+        assert_eq!(snap.sweep.sat_calls, 7);
+        assert_eq!(snap.clusters, 3);
+        assert_eq!(snap.jobs, 4);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(
+            snap.stage_times().patchgen,
+            Duration::from_millis(5),
+            "compat view mirrors the patchgen slot"
+        );
+    }
+
+    #[test]
+    fn telemetry_is_sync_across_scoped_threads() {
+        let tel = Telemetry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        tel.add_clusters(1);
+                        tel.record_solver(&SolverStats::default());
+                    }
+                });
+            }
+        });
+        let snap = tel.snapshot();
+        assert_eq!(snap.clusters, 400);
+        assert_eq!(snap.sat.solvers, 400);
+    }
+
+    #[test]
+    fn json_has_required_keys() {
+        let tel = Telemetry::new();
+        tel.event(Stage::Fraig, "x", "say \"hi\"".into());
+        let js = tel.snapshot().to_json();
+        for key in [
+            "\"fraig_ns\"",
+            "\"patchgen_ns\"",
+            "\"conflicts\"",
+            "\"propagations\"",
+            "\"sat_calls\"",
+            "\"proven\"",
+            "\"events\"",
+            "\\\"hi\\\"",
+        ] {
+            assert!(js.contains(key), "missing {key} in {js}");
+        }
+    }
+}

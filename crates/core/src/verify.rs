@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use eco_aig::{Aig, Lit, Var};
-use eco_sat::{encode_cone, LBool, Solver};
+use eco_sat::{encode_cone, LBool, Solver, SolverStats};
 
 /// Outcome of an equivalence check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,16 +34,29 @@ pub fn check_equivalence(
     pairs: &[(Lit, Lit)],
     conflict_budget: u64,
 ) -> VerifyOutcome {
+    check_equivalence_stats(mgr, pairs, conflict_budget).0
+}
+
+/// Like [`check_equivalence`], but also returns the verification solver's
+/// final statistics (all zero when structural hashing short-circuits the
+/// check before any SAT call), for telemetry aggregation.
+pub fn check_equivalence_stats(
+    mgr: &mut Aig,
+    pairs: &[(Lit, Lit)],
+    conflict_budget: u64,
+) -> (VerifyOutcome, SolverStats) {
     let xors: Vec<Lit> = pairs.iter().map(|&(a, b)| mgr.xor(a, b)).collect();
     let miter = mgr.or_many(&xors);
     if miter == Lit::FALSE {
-        return VerifyOutcome::Equivalent;
+        return (VerifyOutcome::Equivalent, SolverStats::default());
     }
     let mut solver = Solver::new();
     let mut map: HashMap<Var, eco_sat::Lit> = HashMap::new();
     let roots = encode_cone(mgr, &[miter], &mut map, &mut solver);
     solver.add_clause(&[roots[0]]);
-    match solver.solve_limited(&[], conflict_budget) {
+    let solved = solver.solve_limited(&[], conflict_budget);
+    let stats = solver.stats();
+    let outcome = match solved {
         Some(false) => VerifyOutcome::Equivalent,
         None => VerifyOutcome::Unknown,
         Some(true) => {
@@ -57,7 +70,8 @@ pub fn check_equivalence(
             cex.sort();
             VerifyOutcome::Counterexample(cex)
         }
-    }
+    };
+    (outcome, stats)
 }
 
 #[cfg(test)]

@@ -161,6 +161,102 @@ impl Workspace {
         }
     }
 
+    /// Extracts a self-contained sub-workspace for one target cluster.
+    ///
+    /// The sub-workspace keeps *all* `X` inputs, target pseudo-inputs, and
+    /// base candidates — in the same order, so candidate indices, target
+    /// indices, and [`Workspace::input_cand`] keys translate one-to-one —
+    /// but imports only the faulty/golden output cones of `cluster` (plus
+    /// every candidate cone). Patch generation for the cluster can then
+    /// run against the sub-manager without mutating the shared one, which
+    /// is what lets clusters rectify on scoped worker threads.
+    ///
+    /// Returns the sub-workspace and the cluster re-indexed to its output
+    /// space (`outputs` become `0..n`; `targets` keep their global
+    /// indices, since `target_vars` is carried in full).
+    pub fn for_cluster(&self, cluster: &crate::TargetCluster) -> (Workspace, crate::TargetCluster) {
+        let mut mgr = Aig::new();
+        let mut map: HashMap<Var, Lit> = HashMap::new();
+        let mut x = Vec::with_capacity(self.x.len());
+        for (name, lit) in &self.x {
+            let nl = mgr.add_input(name.clone());
+            map.insert(lit.var(), nl);
+            x.push((name.clone(), nl));
+        }
+        let mut target_vars = Vec::with_capacity(self.target_vars.len());
+        for &tv in &self.target_vars {
+            let pos = self.mgr.input_pos(tv).expect("target is an input");
+            let nl = mgr.add_input(self.mgr.input_name(pos).to_owned());
+            map.insert(tv, nl);
+            target_vars.push(nl.var());
+        }
+
+        // One import pass: cluster f cones, cluster g cones, all candidates.
+        let n = cluster.outputs.len();
+        let mut roots: Vec<Lit> = cluster.outputs.iter().map(|&j| self.f_outs[j]).collect();
+        roots.extend(cluster.outputs.iter().map(|&j| self.g_outs[j]));
+        roots.extend(self.cands.iter().map(|c| c.lit));
+        let imported = mgr.import(&self.mgr, &roots, &map);
+        let f_outs: Vec<Lit> = imported[..n].to_vec();
+        let g_outs: Vec<Lit> = imported[n..2 * n].to_vec();
+        let cands: Vec<WsCandidate> = self
+            .cands
+            .iter()
+            .zip(&imported[2 * n..])
+            .map(|(c, &lit)| WsCandidate {
+                name: c.name.clone(),
+                lit,
+                weight: c.weight,
+            })
+            .collect();
+
+        // Same output registration layout as `new`, for FRAIG coverage.
+        let out_names: Vec<String> = cluster
+            .outputs
+            .iter()
+            .map(|&j| self.out_names[j].clone())
+            .collect();
+        for (name, &lit) in out_names.iter().zip(&f_outs) {
+            mgr.add_output(name.clone(), lit);
+        }
+        for (name, &lit) in out_names.iter().zip(&g_outs) {
+            mgr.add_output(format!("__g__{name}"), lit);
+        }
+        for c in &cands {
+            mgr.add_output(format!("__c__{}", c.name), c.lit);
+        }
+
+        let mut input_cand: HashMap<Var, usize> = HashMap::new();
+        for (idx, c) in cands.iter().enumerate() {
+            if c.lit.is_complement() || !mgr.node(c.lit.var()).is_input() {
+                continue;
+            }
+            match input_cand.get(&c.lit.var()) {
+                Some(&old) if cands[old].weight <= c.weight => {}
+                _ => {
+                    input_cand.insert(c.lit.var(), idx);
+                }
+            }
+        }
+        let local = crate::TargetCluster {
+            targets: cluster.targets.clone(),
+            outputs: (0..n).collect(),
+        };
+        (
+            Workspace {
+                mgr,
+                x,
+                target_vars,
+                out_names,
+                f_outs,
+                g_outs,
+                cands,
+                input_cand,
+            },
+            local,
+        )
+    }
+
     /// Number of primary outputs `m`.
     pub fn num_outputs(&self) -> usize {
         self.f_outs.len()

@@ -34,5 +34,8 @@
 mod sweep;
 mod uf;
 
-pub use crate::sweep::{fraig_classes, fraig_reduce, EquivClass, EquivClasses, FraigOptions};
+pub use crate::sweep::{
+    fraig_classes, fraig_classes_stats, fraig_reduce, EquivClass, EquivClasses, FraigOptions,
+    SweepStats,
+};
 pub use crate::uf::ParityUnionFind;

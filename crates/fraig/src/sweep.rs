@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use eco_aig::{Aig, Lit as ALit, Var as AVar};
-use eco_sat::{encode_cone, LBool, Lit as SLit, Solver};
+use eco_sat::{encode_cone, LBool, Lit as SLit, Solver, SolverStats};
 
 use crate::uf::ParityUnionFind;
 
@@ -78,6 +78,29 @@ impl EquivClasses {
     }
 }
 
+/// Counters describing one FRAIG sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepStats {
+    /// Refine/verify rounds executed.
+    pub rounds: usize,
+    /// SAT equivalence queries issued.
+    pub sat_calls: u64,
+    /// Queries proven (pair merged into a class).
+    pub proven: u64,
+    /// Queries disproven by a counterexample.
+    pub disproved: u64,
+    /// Queries abandoned at the conflict budget (left unproven).
+    pub budgeted_out: u64,
+    /// Counterexample patterns fed back into simulation.
+    pub cex_patterns: u64,
+    /// Non-trivial classes in the final result.
+    pub classes: usize,
+    /// Total members across those classes.
+    pub class_members: usize,
+    /// Aggregated search statistics of the sweep's SAT solver.
+    pub sat: SolverStats,
+}
+
 /// Runs simulation-guided SAT sweeping over the cones of all outputs of
 /// `aig` and returns the proven equivalence classes.
 ///
@@ -89,6 +112,13 @@ impl EquivClasses {
 /// Only *proven* equivalences are reported, so the result is sound even
 /// when the per-query conflict budget truncates verification.
 pub fn fraig_classes(aig: &Aig, opts: &FraigOptions) -> EquivClasses {
+    fraig_classes_stats(aig, opts).0
+}
+
+/// Like [`fraig_classes`], additionally returning [`SweepStats`] counters
+/// for telemetry.
+pub fn fraig_classes_stats(aig: &Aig, opts: &FraigOptions) -> (EquivClasses, SweepStats) {
+    let mut stats = SweepStats::default();
     let roots: Vec<ALit> = aig.outputs().iter().map(|o| o.lit).collect();
     let mut nodes = aig.cone_vars(&roots);
     if !nodes.contains(&AVar::CONST) {
@@ -112,6 +142,7 @@ pub fn fraig_classes(aig: &Aig, opts: &FraigOptions) -> EquivClasses {
     let mut disproved: HashMap<(AVar, AVar), ()> = HashMap::new();
 
     for _round in 0..opts.max_rounds {
+        stats.rounds += 1;
         let patterns = merge_patterns(&base_patterns, &cex_bits);
         let sim = aig.simulate(&patterns);
 
@@ -121,9 +152,16 @@ pub fn fraig_classes(aig: &Aig, opts: &FraigOptions) -> EquivClasses {
             let (sig, _) = sim.signature(v.pos());
             buckets.entry(sig).or_default().push(v);
         }
+        // Fix the query order (HashMap iteration is randomized): nodes are
+        // topologically ordered and each occurs in exactly one bucket, so
+        // the first member gives a deterministic total order. Query order
+        // feeds counterexample patterns back into simulation, so without
+        // this the sweep — and everything downstream — varies run to run.
+        let mut ordered: Vec<&Vec<AVar>> = buckets.values().collect();
+        ordered.sort_by_key(|members| members[0].index());
 
         let mut new_cex = 0usize;
-        for (_, members) in buckets.iter() {
+        for members in ordered {
             if members.len() < 2 {
                 continue;
             }
@@ -147,8 +185,10 @@ pub fn fraig_classes(aig: &Aig, opts: &FraigOptions) -> EquivClasses {
                 let act = solver.new_var().pos();
                 solver.add_clause(&[!act, lr, lm]);
                 solver.add_clause(&[!act, !lr, !lm]);
+                stats.sat_calls += 1;
                 match solver.solve_limited(&[act], opts.conflict_budget) {
                     Some(false) => {
+                        stats.proven += 1;
                         uf.union(repr.index() as usize, m.index() as usize, phase);
                     }
                     Some(true) => {
@@ -163,15 +203,18 @@ pub fn fraig_classes(aig: &Aig, opts: &FraigOptions) -> EquivClasses {
                             .collect();
                         cex_bits.push(bits);
                         disproved.insert((repr, m), ());
+                        stats.disproved += 1;
                         new_cex += 1;
                     }
                     None => {
                         // Budget exhausted: treat as unproven.
                         disproved.insert((repr, m), ());
+                        stats.budgeted_out += 1;
                     }
                 }
             }
         }
+        stats.cex_patterns += new_cex as u64;
         if new_cex == 0 {
             break;
         }
@@ -207,7 +250,10 @@ pub fn fraig_classes(aig: &Aig, opts: &FraigOptions) -> EquivClasses {
         classes.push(EquivClass { repr, members });
     }
     classes.sort_by_key(|c| c.repr.index());
-    EquivClasses { classes, repr_of }
+    stats.classes = classes.len();
+    stats.class_members = classes.iter().map(|c| c.members.len()).sum();
+    stats.sat = solver.stats();
+    (EquivClasses { classes, repr_of }, stats)
 }
 
 /// Rebuilds `aig` with every class member replaced by its representative,

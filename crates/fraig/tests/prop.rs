@@ -1,3 +1,7 @@
+// Needs the external `proptest` crate; compiled out by default so the
+// workspace builds offline. Enable with `--features proptest` (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for FRAIG sweeping: soundness of reported
 //! equivalence classes and semantics preservation of reduction.
 

@@ -9,7 +9,7 @@
 
 use eco_aig::{Aig, Lit as ALit};
 
-use crate::{ClauseLabel, LBool, Lit, Solver, Var};
+use crate::{ClauseLabel, LBool, Lit, Solver, SolverStats, Var};
 
 /// A Craig interpolant represented as an AIG over shared variables.
 #[derive(Clone, Debug)]
@@ -98,6 +98,7 @@ pub struct ItpSolver {
     clauses: Vec<(Vec<Lit>, ClauseLabel)>,
     max_conflicts: u64,
     reduce_db_threshold: Option<usize>,
+    last_stats: std::cell::Cell<SolverStats>,
 }
 
 impl ItpSolver {
@@ -108,7 +109,14 @@ impl ItpSolver {
             clauses: Vec::new(),
             max_conflicts: u64::MAX,
             reduce_db_threshold: None,
+            last_stats: std::cell::Cell::default(),
         }
+    }
+
+    /// Search statistics of the most recent [`ItpSolver::solve`] /
+    /// [`ItpSolver::solve_limited`] call (zeroed before any solve).
+    pub fn last_stats(&self) -> SolverStats {
+        self.last_stats.get()
     }
 
     /// Allocates a fresh variable.
@@ -199,7 +207,9 @@ impl ItpSolver {
                 break;
             }
         }
-        match solver.solve_limited(&[], max_conflicts)? {
+        let solved = solver.solve_limited(&[], max_conflicts);
+        self.last_stats.set(solver.stats());
+        match solved? {
             true => {
                 let model = (0..self.n_vars)
                     .map(|i| solver.model_value(Var::new(i).pos()))

@@ -49,6 +49,18 @@ pub struct SolverStats {
     pub minimized: u64,
 }
 
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.conflicts += rhs.conflicts;
+        self.decisions += rhs.decisions;
+        self.propagations += rhs.propagations;
+        self.restarts += rhs.restarts;
+        self.learned += rhs.learned;
+        self.deleted += rhs.deleted;
+        self.minimized += rhs.minimized;
+    }
+}
+
 #[derive(Clone, Copy)]
 struct Watcher {
     cref: u32,

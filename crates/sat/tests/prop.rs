@@ -1,3 +1,7 @@
+// Needs the external `proptest` crate; compiled out by default so the
+// workspace builds offline. Enable with `--features proptest` (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the SAT solver: agreement with brute force,
 //! assumption semantics, unsat-core soundness, and the full interpolant
 //! contract.

@@ -6,9 +6,8 @@
 //! systematically named internal wires, so fault injection can cut any
 //! net and weight files can address every signal.
 
+use eco_aig::SplitMix64;
 use eco_netlist::{GateKind, Netlist};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::builder::NetlistBuilder;
 
@@ -125,7 +124,7 @@ pub fn mux_tree(depth: usize) -> Netlist {
 /// A random two-input-gate DAG: `n_gates` gates over `n_inputs` inputs;
 /// the last `n_outputs` gate nets become outputs. Deterministic in `seed`.
 pub fn random_dag(n_inputs: usize, n_gates: usize, n_outputs: usize, seed: u64) -> Netlist {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = NetlistBuilder::new(format!("rand{n_inputs}x{n_gates}"));
     let mut nets: Vec<String> = b.inputs("i", n_inputs);
     let kinds = [
@@ -137,12 +136,12 @@ pub fn random_dag(n_inputs: usize, n_gates: usize, n_outputs: usize, seed: u64) 
         GateKind::Xnor,
     ];
     for _ in 0..n_gates {
-        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let kind = kinds[rng.index(kinds.len())];
         // Bias towards recent nets for depth.
-        let pick = |rng: &mut StdRng, nets: &[String]| -> String {
+        let pick = |rng: &mut SplitMix64, nets: &[String]| -> String {
             let n = nets.len();
             let lo = n.saturating_sub(24);
-            nets[rng.gen_range(lo..n)].clone()
+            nets[lo + rng.index(n - lo)].clone()
         };
         let x = pick(&mut rng, &nets);
         let y = pick(&mut rng, &nets);

@@ -2,9 +2,8 @@
 //! instance by cutting target nets, optionally scrambling the dangling
 //! logic, and assigning signal weights.
 
+use eco_aig::SplitMix64;
 use eco_netlist::{GateKind, Netlist, WeightTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// How weights are assigned to faulty-circuit signals.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,7 +65,7 @@ pub fn cut_targets(golden: &Netlist, targets: &[String]) -> Netlist {
 /// This models leftover erroneous logic in the faulty design without
 /// affecting rectifiability, and diversifies the candidate signal pool.
 pub fn scramble_dangling(faulty: &mut Netlist, seed: u64) -> usize {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // Nets transitively reaching an output.
     let mut live: std::collections::HashSet<&str> =
         faulty.outputs.iter().map(String::as_str).collect();
@@ -93,7 +92,7 @@ pub fn scramble_dangling(faulty: &mut Netlist, seed: u64) -> usize {
     ];
     let mut flipped = 0;
     for g in &mut faulty.gates {
-        if live_nets.contains(&g.output) || !rng.gen_bool(0.5) {
+        if live_nets.contains(&g.output) || !rng.chance(0.5) {
             continue;
         }
         for (a, bk) in swaps {
@@ -113,12 +112,12 @@ pub fn scramble_dangling(faulty: &mut Netlist, seed: u64) -> usize {
 
 /// Assigns weights to every named net of `faulty` per the profile.
 pub fn assign_weights(faulty: &Netlist, profile: WeightProfile, seed: u64) -> WeightTable {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut table = WeightTable::new(1);
     for net in faulty.declared_nets() {
         let w = match profile {
             WeightProfile::Unit => 1,
-            WeightProfile::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            WeightProfile::Uniform { lo, hi } => rng.range_inclusive(lo, hi),
             WeightProfile::CheapWires { pi, wire } => {
                 if faulty.inputs.iter().any(|i| i == net) {
                     pi
@@ -193,11 +192,9 @@ pub fn break_untouched_output(
         (GateKind::Buf, GateKind::Not),
         (GateKind::Not, GateKind::Buf),
     ];
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut order: Vec<usize> = (0..faulty.gates.len()).collect();
-    for i in (1..order.len()).rev() {
-        order.swap(i, rng.gen_range(0..=i));
-    }
+    rng.shuffle(&mut order);
     for gi in order {
         let g = &faulty.gates[gi];
         let Some(&lit) = fault.net_lits.get(&g.output) else {

@@ -7,10 +7,9 @@
 //! family with deep targets and cheap internal wires — the regime where
 //! the paper reports its largest wins over the PI-support baseline.
 
+use eco_aig::SplitMix64;
 use eco_core::{EcoError, EcoInstance};
 use eco_netlist::{Netlist, WeightTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::circuits::{
     alu, barrel_shifter, comparator, multiplier, mux_tree, parity, random_dag, ripple_adder,
@@ -164,11 +163,11 @@ fn pick_targets(netlist: &Netlist, n: usize, bias: TargetBias, seed: u64) -> Vec
         .max(lo + n)
         .min(wires.len());
     let band = &wires[lo..hi];
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut picked: Vec<String> = Vec::new();
     let mut guard = 0;
     while picked.len() < n {
-        let w = band[rng.gen_range(0..band.len())].clone();
+        let w = band[rng.index(band.len())].clone();
         if !picked.contains(&w) {
             picked.push(w);
         }

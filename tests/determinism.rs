@@ -1,0 +1,83 @@
+//! Determinism regression: the per-cluster patch-generation stage runs on
+//! scoped worker threads when `jobs > 1`, but merges in cluster order, so
+//! every `jobs` value must produce *identical* results — same cost, same
+//! size, same per-target base sets, byte-identical patch AIG.
+
+mod common;
+
+use eco::core::{EcoEngine, EcoOptions, EcoResult};
+use eco::workgen::contest_suite;
+
+fn run_with_jobs(inst: &eco::core::EcoInstance, jobs: usize) -> EcoResult {
+    EcoEngine::new(
+        inst.clone(),
+        EcoOptions {
+            jobs,
+            ..Default::default()
+        },
+    )
+    .run()
+    .expect("rectifiable")
+}
+
+fn assert_identical(unit: &str, seq: &EcoResult, par: &EcoResult) {
+    assert_eq!(seq.cost, par.cost, "{unit}: cost differs");
+    assert_eq!(seq.size, par.size, "{unit}: size differs");
+    assert_eq!(
+        seq.patches.len(),
+        par.patches.len(),
+        "{unit}: patch count differs"
+    );
+    for (a, b) in seq.patches.iter().zip(&par.patches) {
+        assert_eq!(a.target, b.target, "{unit}: target order differs");
+        assert_eq!(a.base, b.base, "{unit}: base set differs for {}", a.target);
+        assert_eq!(
+            a.size, b.size,
+            "{unit}: patch size differs for {}",
+            a.target
+        );
+    }
+    assert_eq!(
+        format!("{:?}", seq.patch_aig),
+        format!("{:?}", par.patch_aig),
+        "{unit}: patch AIG differs structurally"
+    );
+}
+
+/// Multi-cluster units from the synthetic contest suite, jobs=1 vs jobs=4.
+#[test]
+fn parallel_patchgen_is_deterministic() {
+    let subset = ["unit02", "unit04", "unit06", "unit10", "unit12"];
+    let mut checked = 0;
+    for unit in contest_suite() {
+        if !subset.contains(&unit.spec.name.as_str()) {
+            continue;
+        }
+        let inst = unit.instance().expect("valid instance");
+        let seq = run_with_jobs(&inst, 1);
+        let par = run_with_jobs(&inst, 4);
+        common::assert_patched_equals_golden(&unit.faulty, &unit.golden, &par);
+        assert_identical(&unit.spec.name, &seq, &par);
+        assert!(
+            par.telemetry.jobs >= 1 && par.telemetry.clusters >= 1,
+            "{}: telemetry must record the flow shape",
+            unit.spec.name
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, subset.len(), "suite units went missing");
+}
+
+/// `jobs: 0` (auto) must agree with explicit sequential execution too.
+#[test]
+fn auto_jobs_matches_sequential() {
+    for unit in contest_suite() {
+        if unit.spec.name != "unit06" {
+            continue;
+        }
+        let inst = unit.instance().expect("valid instance");
+        let seq = run_with_jobs(&inst, 1);
+        let auto = run_with_jobs(&inst, 0);
+        assert_identical(&unit.spec.name, &seq, &auto);
+    }
+}

@@ -1,3 +1,7 @@
+// Needs the external `proptest` crate; compiled out by default so the
+// workspace builds offline. Enable with `--features proptest` (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests over the whole stack (proptest).
 
 mod common;
