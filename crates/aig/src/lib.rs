@@ -15,7 +15,9 @@
 //!   cross-AIG import, and cut-based cone extraction
 //!   ([`Aig::cofactor`], [`Aig::substitute`], [`Aig::import`],
 //!   [`Aig::extract_cone`]);
-//! * 64-way parallel simulation ([`Aig::simulate`]) for FRAIG signatures;
+//! * 64-way parallel simulation ([`Aig::simulate`]) for FRAIG signatures,
+//!   with an arena-backed incremental engine ([`IncrementalSim`]) that
+//!   appends counterexample columns and re-simulates only what changed;
 //! * Graphviz export ([`Aig::to_dot`]) and AIGER interchange
 //!   ([`parse_aiger_ascii`], [`write_aiger_binary`], ...).
 //!
@@ -55,4 +57,4 @@ pub use crate::aiger::{
 pub use crate::lit::{Lit, Var};
 pub use crate::node::Node;
 pub use crate::rng::SplitMix64;
-pub use crate::sim::SimVectors;
+pub use crate::sim::{IncrementalSim, SimVectors};

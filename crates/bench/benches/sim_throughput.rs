@@ -1,0 +1,56 @@
+//! Simulation-engine throughput: the costs the FRAIG refine loop pays.
+//!
+//! `full_resim` is what a non-incremental engine pays per refine round
+//! (re-simulate every column); `incremental_column` is what the
+//! incremental engine pays (one appended column). `fingerprint` vs
+//! `signature_hashmap_key` compares the allocation-free 128-bit bucketing
+//! key against what the old bucketing paid per node: materializing a
+//! `Vec<u64>` signature and SipHashing it as a `HashMap` key.
+
+use eco_aig::{Aig, IncrementalSim, SplitMix64};
+use eco_bench::Bench;
+use eco_netlist::elaborate;
+use eco_workgen::circuits;
+
+fn random_patterns(n_inputs: usize, words: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n_inputs)
+        .map(|_| (0..words).map(|_| rng.next_u64()).collect())
+        .collect()
+}
+
+fn main() {
+    let aig: Aig = elaborate(&circuits::shared_datapath(16))
+        .expect("elaborates")
+        .aig;
+    let words = 16;
+    let patterns = random_patterns(aig.num_inputs(), words, 7);
+
+    let mut bench = Bench::from_env();
+    bench.run("sim/full_resim/datapath16", || aig.simulate(&patterns));
+
+    // Headroom so appends never re-layout mid-measurement; each sample
+    // pays exactly one new column, like one FRAIG refine round.
+    let mut isim = IncrementalSim::with_capacity(&aig, &patterns, words + 64);
+    let mut rng = SplitMix64::new(11);
+    bench.run("sim/incremental_column/datapath16", || {
+        isim.append_random_column(&aig, &mut rng);
+        isim.resimulate(&aig)
+    });
+
+    let sim = aig.simulate(&patterns);
+    let vars: Vec<eco_aig::Var> = (0..aig.len() as u32).map(eco_aig::Var::new).collect();
+    bench.run("sim/fingerprint/datapath16", || {
+        vars.iter()
+            .map(|v| sim.fingerprint(v.pos()).0)
+            .fold(0u128, u128::wrapping_add)
+    });
+    bench.run("sim/signature_hashmap_key/datapath16", || {
+        use std::hash::{BuildHasher, RandomState};
+        let hasher = RandomState::new();
+        vars.iter()
+            .map(|v| hasher.hash_one(sim.signature(v.pos()).0))
+            .fold(0u64, u64::wrapping_add)
+    });
+    bench.finish();
+}

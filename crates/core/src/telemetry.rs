@@ -105,6 +105,12 @@ pub struct SweepTotals {
     pub budgeted_out: u64,
     /// Counterexample patterns fed back into simulation.
     pub cex_patterns: u64,
+    /// Activation literals retired with a level-0 unit after their query.
+    pub retired_activations: u64,
+    /// Simulation word-columns actually computed.
+    pub resim_columns: u64,
+    /// Simulation word-columns skipped by incremental re-simulation.
+    pub resim_columns_saved: u64,
 }
 
 /// One structured event (e.g. a fallback firing), with a human-readable
@@ -183,7 +189,9 @@ impl TelemetrySnapshot {
             "{{\n  \"stages\": {{{}}},\n  \"sat\": {{\"solvers\": {}, \"conflicts\": {}, \
              \"decisions\": {}, \"propagations\": {}, \"restarts\": {}, \"learned\": {}}},\n  \
              \"fraig\": {{\"sweeps\": {}, \"rounds\": {}, \"sat_calls\": {}, \"proven\": {}, \
-             \"disproved\": {}, \"budgeted_out\": {}, \"cex_patterns\": {}}},\n  \
+             \"disproved\": {}, \"budgeted_out\": {}, \"cex_patterns\": {}, \
+             \"retired_activations\": {}, \"resim_columns\": {}, \
+             \"resim_columns_saved\": {}}},\n  \
              \"clusters\": {}, \"jobs\": {}, \"interpolated\": {}, \
              \"interpolation_fallbacks\": {}, \"localization_fallbacks\": {},\n  \
              \"events\": [{}]\n}}\n",
@@ -201,6 +209,9 @@ impl TelemetrySnapshot {
             self.sweep.disproved,
             self.sweep.budgeted_out,
             self.sweep.cex_patterns,
+            self.sweep.retired_activations,
+            self.sweep.resim_columns,
+            self.sweep.resim_columns_saved,
             self.clusters,
             self.jobs,
             self.interpolated,
@@ -235,14 +246,20 @@ impl std::fmt::Display for TelemetrySnapshot {
         writeln!(
             f,
             "fraig: {} sweeps, {} rounds, {} sat calls, {} proven, {} disproved, \
-             {} budgeted out, {} cex patterns",
+             {} budgeted out, {} cex patterns, {} activations retired",
             self.sweep.sweeps,
             self.sweep.rounds,
             self.sweep.sat_calls,
             self.sweep.proven,
             self.sweep.disproved,
             self.sweep.budgeted_out,
-            self.sweep.cex_patterns
+            self.sweep.cex_patterns,
+            self.sweep.retired_activations
+        )?;
+        writeln!(
+            f,
+            "sim: {} word-columns computed, {} saved by incremental resimulation",
+            self.sweep.resim_columns, self.sweep.resim_columns_saved
         )?;
         writeln!(
             f,
@@ -282,6 +299,9 @@ pub struct Telemetry {
     sweep_disproved: AtomicU64,
     sweep_budgeted_out: AtomicU64,
     sweep_cex_patterns: AtomicU64,
+    sweep_retired_activations: AtomicU64,
+    sweep_resim_columns: AtomicU64,
+    sweep_resim_columns_saved: AtomicU64,
     clusters: AtomicU64,
     jobs: AtomicU64,
     interpolated: AtomicU64,
@@ -335,6 +355,12 @@ impl Telemetry {
             .fetch_add(s.budgeted_out, Ordering::Relaxed);
         self.sweep_cex_patterns
             .fetch_add(s.cex_patterns, Ordering::Relaxed);
+        self.sweep_retired_activations
+            .fetch_add(s.retired_activations, Ordering::Relaxed);
+        self.sweep_resim_columns
+            .fetch_add(s.resim_columns, Ordering::Relaxed);
+        self.sweep_resim_columns_saved
+            .fetch_add(s.resim_columns_saved, Ordering::Relaxed);
         self.record_solver(&s.sat);
     }
 
@@ -401,6 +427,9 @@ impl Telemetry {
                 disproved: load(&self.sweep_disproved),
                 budgeted_out: load(&self.sweep_budgeted_out),
                 cex_patterns: load(&self.sweep_cex_patterns),
+                retired_activations: load(&self.sweep_retired_activations),
+                resim_columns: load(&self.sweep_resim_columns),
+                resim_columns_saved: load(&self.sweep_resim_columns_saved),
             },
             clusters: load(&self.clusters),
             jobs: load(&self.jobs),
@@ -484,6 +513,8 @@ mod tests {
             "\"propagations\"",
             "\"sat_calls\"",
             "\"proven\"",
+            "\"retired_activations\"",
+            "\"resim_columns_saved\"",
             "\"events\"",
             "\\\"hi\\\"",
         ] {

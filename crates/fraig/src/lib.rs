@@ -3,8 +3,11 @@
 //!
 //! Detects functionally equivalent (or complementary) nodes in an
 //! [`eco_aig::Aig`] the FRAIG way [Mishchenko et al., 2005]: random
-//! simulation buckets nodes by signature, a SAT solver verifies candidate
-//! pairs, and counterexamples refine the buckets until a fixpoint.
+//! simulation buckets nodes by a 128-bit canonical-word fingerprint (full
+//! words compared only on collision), a SAT solver verifies candidate
+//! pairs, and counterexamples are appended to an incremental simulation
+//! arena ([`eco_aig::IncrementalSim`]) — re-simulating only the new
+//! stimulus columns — until a fixpoint.
 //!
 //! The ECO flow (Fig. 1 of the paper) uses [`fraig_classes`] for two
 //! purposes: identifying *shared equivalent signals* between the faulty and

@@ -1,8 +1,15 @@
 //! Simulation-guided SAT sweeping: the FRAIG equivalence-class engine.
+//!
+//! The hot path is built on the allocation-free simulation engine of
+//! `eco-aig`: candidate classes are bucketed by 128-bit canonical-word
+//! [fingerprints](SimVectors::fingerprint) (full-word comparison only on
+//! fingerprint collision), and counterexamples from failed SAT queries are
+//! appended to an [`IncrementalSim`] arena so each refine round
+//! re-simulates only the new stimulus columns.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use eco_aig::{Aig, Lit as ALit, Var as AVar};
+use eco_aig::{Aig, IncrementalSim, Lit as ALit, SimVectors, SplitMix64, Var as AVar};
 use eco_sat::{encode_cone, LBool, Lit as SLit, Solver, SolverStats};
 
 use crate::uf::ParityUnionFind;
@@ -10,7 +17,7 @@ use crate::uf::ParityUnionFind;
 /// Knobs for the sweeping loop.
 #[derive(Clone, Debug)]
 pub struct FraigOptions {
-    /// 64-pattern words of random stimulus per round.
+    /// 64-pattern words of random base stimulus.
     pub sim_words: usize,
     /// Seed for the deterministic stimulus generator.
     pub seed: u64,
@@ -93,6 +100,14 @@ pub struct SweepStats {
     pub budgeted_out: u64,
     /// Counterexample patterns fed back into simulation.
     pub cex_patterns: u64,
+    /// Activation literals retired (level-0 unit added after the query so
+    /// `simplify` can drop the query clauses instead of leaking them).
+    pub retired_activations: u64,
+    /// Word-columns the simulation engine actually computed.
+    pub resim_columns: u64,
+    /// Word-columns skipped by incremental re-simulation (vs a full
+    /// per-round re-simulation of every column).
+    pub resim_columns_saved: u64,
     /// Non-trivial classes in the final result.
     pub classes: usize,
     /// Total members across those classes.
@@ -104,10 +119,10 @@ pub struct SweepStats {
 /// Runs simulation-guided SAT sweeping over the cones of all outputs of
 /// `aig` and returns the proven equivalence classes.
 ///
-/// The loop alternates (a) hashing nodes by canonical simulation signature
-/// into candidate classes and (b) SAT-verifying candidates against their
-/// class representative; counterexamples are fed back as new simulation
-/// patterns, splitting spurious candidates in the next round.
+/// The loop alternates (a) hashing nodes by canonical simulation
+/// fingerprint into candidate classes and (b) SAT-verifying candidates
+/// against their class representative; counterexamples are appended as new
+/// simulation columns, splitting spurious candidates in the next round.
 ///
 /// Only *proven* equivalences are reported, so the result is sound even
 /// when the per-query conflict budget truncates verification.
@@ -134,39 +149,40 @@ pub fn fraig_classes_stats(aig: &Aig, opts: &FraigOptions) -> (EquivClasses, Swe
         encode_cone(aig, &[ALit::FALSE], &mut map, &mut solver);
     }
 
-    // Stimulus: random base plus counterexample patterns (packed).
-    let mut base_patterns = random_patterns(aig.num_inputs(), opts.sim_words, opts.seed);
-    let mut cex_bits: Vec<Vec<bool>> = Vec::new();
+    // Stimulus: a fixed random base; counterexamples and one fresh random
+    // diversity column per round are appended incrementally.
+    let base_patterns = random_patterns(aig.num_inputs(), opts.sim_words, opts.seed);
+    let mut isim = IncrementalSim::new(aig, &base_patterns);
+    let mut diversity = SplitMix64::new(opts.seed ^ 0x9e37_79b9_7f4a_7c15);
 
     let mut uf = ParityUnionFind::new(aig.len());
-    let mut disproved: HashMap<(AVar, AVar), ()> = HashMap::new();
+    let mut disproved: HashSet<(AVar, AVar)> = HashSet::new();
+
+    // Reused bucketing scratch: no per-node heap allocation in the loop.
+    let mut sig_buf: Vec<(u128, u32)> = Vec::new();
+    let mut flat: Vec<AVar> = Vec::new();
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut round_cex: Vec<Vec<bool>> = Vec::new();
 
     for _round in 0..opts.max_rounds {
         stats.rounds += 1;
-        let patterns = merge_patterns(&base_patterns, &cex_bits);
-        let sim = aig.simulate(&patterns);
+        isim.resimulate(aig);
+        let sim = isim.vectors();
 
-        // Candidate classes by canonical signature.
-        let mut buckets: HashMap<Vec<u64>, Vec<AVar>> = HashMap::new();
-        for &v in &nodes {
-            let (sig, _) = sim.signature(v.pos());
-            buckets.entry(sig).or_default().push(v);
-        }
-        // Fix the query order (HashMap iteration is randomized): nodes are
-        // topologically ordered and each occurs in exactly one bucket, so
-        // the first member gives a deterministic total order. Query order
-        // feeds counterexample patterns back into simulation, so without
-        // this the sweep — and everything downstream — varies run to run.
-        let mut ordered: Vec<&Vec<AVar>> = buckets.values().collect();
-        ordered.sort_by_key(|members| members[0].index());
+        candidate_groups(
+            sim,
+            &nodes,
+            |s, l| s.fingerprint(l).0,
+            &mut sig_buf,
+            &mut flat,
+            &mut ranges,
+        );
 
         let mut new_cex = 0usize;
-        for members in ordered {
-            if members.len() < 2 {
-                continue;
-            }
+        for &(start, len) in &ranges {
+            let members = &flat[start as usize..(start + len) as usize];
             let repr = members[0];
-            let (_, repr_phase) = sim.signature(repr.pos());
+            let repr_phase = sim.phase(repr);
             for &m in &members[1..] {
                 if uf
                     .related(repr.index() as usize, m.index() as usize)
@@ -174,11 +190,10 @@ pub fn fraig_classes_stats(aig: &Aig, opts: &FraigOptions) -> (EquivClasses, Swe
                 {
                     continue;
                 }
-                if disproved.contains_key(&(repr, m)) {
+                if disproved.contains(&(repr, m)) {
                     continue;
                 }
-                let (_, m_phase) = sim.signature(m.pos());
-                let phase = repr_phase ^ m_phase;
+                let phase = repr_phase ^ sim.phase(m);
                 // Query: repr != (m ^ phase) — i.e. the XOR is satisfiable?
                 let lr = map[&repr];
                 let lm = if phase { !map[&m] } else { map[&m] };
@@ -201,30 +216,38 @@ pub fn fraig_classes_stats(aig: &Aig, opts: &FraigOptions) -> (EquivClasses, Swe
                                     .unwrap_or(false)
                             })
                             .collect();
-                        cex_bits.push(bits);
-                        disproved.insert((repr, m), ());
+                        round_cex.push(bits);
+                        disproved.insert((repr, m));
                         stats.disproved += 1;
                         new_cex += 1;
                     }
                     None => {
                         // Budget exhausted: treat as unproven.
-                        disproved.insert((repr, m), ());
+                        disproved.insert((repr, m));
                         stats.budgeted_out += 1;
                     }
                 }
+                // Retire the activation: the query clauses are satisfied by
+                // the level-0 unit and get dropped by the round-end
+                // simplify instead of accumulating forever.
+                solver.add_clause(&[!act]);
+                stats.retired_activations += 1;
             }
         }
         stats.cex_patterns += new_cex as u64;
+        // Garbage-collect the retired query clauses.
+        solver.simplify();
         if new_cex == 0 {
             break;
         }
+        for bits in round_cex.drain(..) {
+            isim.append_pattern(aig, &bits);
+        }
         // Extra random diversity each round.
-        base_patterns = random_patterns(
-            aig.num_inputs(),
-            opts.sim_words,
-            opts.seed.wrapping_add(new_cex as u64),
-        );
+        isim.append_random_column(aig, &mut diversity);
     }
+    stats.resim_columns = isim.resim_columns();
+    stats.resim_columns_saved = isim.resim_columns_saved();
 
     // Materialize classes from the union-find.
     let mut groups: HashMap<usize, Vec<(AVar, bool)>> = HashMap::new();
@@ -254,6 +277,92 @@ pub fn fraig_classes_stats(aig: &Aig, opts: &FraigOptions) -> (EquivClasses, Swe
     stats.class_members = classes.iter().map(|c| c.members.len()).sum();
     stats.sat = solver.stats();
     (EquivClasses { classes, repr_of }, stats)
+}
+
+/// Buckets `nodes` into candidate equivalence groups keyed by `fp`
+/// (normally the 128-bit canonical-word fingerprint), confirming every
+/// bucket with a full canonical-word comparison so that a colliding — or
+/// even deliberately weak — `fp` only costs speed, never soundness.
+///
+/// Only groups with at least two members are emitted, as disjoint
+/// `(start, len)` ranges into `flat`, ordered by their head (lowest,
+/// topologically earliest) var; that ordering is what makes the SAT query
+/// order — and everything downstream of the counterexample feedback —
+/// deterministic. All three buffers are caller-owned scratch reused
+/// across rounds, so steady-state bucketing does no per-node allocation.
+fn candidate_groups(
+    sim: &SimVectors,
+    nodes: &[AVar],
+    fp: impl Fn(&SimVectors, ALit) -> u128,
+    sig_buf: &mut Vec<(u128, u32)>,
+    flat: &mut Vec<AVar>,
+    ranges: &mut Vec<(u32, u32)>,
+) {
+    sig_buf.clear();
+    flat.clear();
+    ranges.clear();
+    sig_buf.extend(nodes.iter().map(|&v| (fp(sim, v.pos()), v.index())));
+    sig_buf.sort_unstable();
+    let mut i = 0;
+    while i < sig_buf.len() {
+        let mut j = i + 1;
+        while j < sig_buf.len() && sig_buf[j].0 == sig_buf[i].0 {
+            j += 1;
+        }
+        if j - i >= 2 {
+            split_run(sim, &sig_buf[i..j], flat, ranges);
+        }
+        i = j;
+    }
+    ranges.sort_unstable_by_key(|&(start, _)| flat[start as usize].index());
+}
+
+/// Emits the true candidate groups of one equal-fingerprint run. The fast
+/// path — no collision, every member canon-equal to the head — is
+/// allocation-free; a genuine collision partitions the run by full
+/// canonical words.
+fn split_run(
+    sim: &SimVectors,
+    run: &[(u128, u32)],
+    flat: &mut Vec<AVar>,
+    ranges: &mut Vec<(u32, u32)>,
+) {
+    let head = AVar::new(run[0].1);
+    if run[1..]
+        .iter()
+        .all(|&(_, vi)| sim.canon_eq(head.pos(), AVar::new(vi).pos()))
+    {
+        let start = flat.len() as u32;
+        flat.extend(run.iter().map(|&(_, vi)| AVar::new(vi)));
+        ranges.push((start, run.len() as u32));
+        return;
+    }
+    let mut assigned = vec![false; run.len()];
+    for k in 0..run.len() {
+        if assigned[k] {
+            continue;
+        }
+        let head = AVar::new(run[k].1);
+        let start = flat.len() as u32;
+        flat.push(head);
+        assigned[k] = true;
+        for (l, slot) in assigned.iter_mut().enumerate().skip(k + 1) {
+            if !*slot {
+                let m = AVar::new(run[l].1);
+                if sim.canon_eq(head.pos(), m.pos()) {
+                    flat.push(m);
+                    *slot = true;
+                }
+            }
+        }
+        let len = flat.len() as u32 - start;
+        if len >= 2 {
+            ranges.push((start, len));
+        } else {
+            // Collision-only singleton: not a candidate.
+            flat.truncate(start as usize);
+        }
+    }
 }
 
 /// Rebuilds `aig` with every class member replaced by its representative,
@@ -303,36 +412,9 @@ fn rebuild(aig: &Aig, new: &mut Aig, cache: &HashMap<AVar, ALit>, v: AVar) -> AL
 }
 
 fn random_patterns(n_inputs: usize, words: usize, seed: u64) -> Vec<Vec<u64>> {
-    let mut state = seed | 1;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
+    let mut rng = SplitMix64::new(seed);
     (0..n_inputs)
-        .map(|_| (0..words).map(|_| next()).collect())
-        .collect()
-}
-
-fn merge_patterns(base: &[Vec<u64>], cex: &[Vec<bool>]) -> Vec<Vec<u64>> {
-    let extra_words = cex.len().div_ceil(64);
-    base.iter()
-        .enumerate()
-        .map(|(pos, row)| {
-            let mut row = row.clone();
-            for w in 0..extra_words {
-                let mut word = 0u64;
-                for b in 0..64 {
-                    let idx = w * 64 + b;
-                    if idx < cex.len() && cex[idx].get(pos).copied().unwrap_or(false) {
-                        word |= 1 << b;
-                    }
-                }
-                row.push(word);
-            }
-            row
-        })
+        .map(|_| (0..words).map(|_| rng.next_u64()).collect())
         .collect()
 }
 
@@ -443,5 +525,98 @@ mod tests {
         aig.add_output("maj2", maj2);
         let classes = fraig_classes(&aig, &FraigOptions::default());
         assert_eq!(classes.equivalent(maj1.var(), maj2.var()), Some(false));
+    }
+
+    #[test]
+    fn sweep_counts_retired_activations_and_saved_columns() {
+        // Force at least one disproof (spurious candidate under 1 word of
+        // stimulus is likely across rounds) and check the new counters.
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f1 = aig.and(a, b);
+        let a_or_b = aig.or(a, b);
+        let f2 = aig.and(f1, a_or_b);
+        aig.add_output("f1", f1);
+        aig.add_output("f2", f2);
+        let (classes, stats) = fraig_classes_stats(&aig, &FraigOptions::default());
+        assert_eq!(classes.equivalent(f1.var(), f2.var()), Some(false));
+        assert_eq!(
+            stats.retired_activations, stats.sat_calls,
+            "every query's activation literal must be retired"
+        );
+        assert!(stats.resim_columns >= FraigOptions::default().sim_words as u64);
+    }
+
+    /// A deliberately colliding fingerprint must not corrupt candidate
+    /// grouping: the full-word fallback still separates distinct functions.
+    #[test]
+    fn fingerprint_collision_falls_back_to_full_words() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f1 = aig.and(a, b);
+        let a_or_b = aig.or(a, b);
+        let f2 = aig.and(f1, a_or_b); // == a & b, distinct node
+        aig.add_output("f1", f1);
+        aig.add_output("f2", f2);
+        aig.add_output("or", a_or_b);
+
+        let roots: Vec<ALit> = aig.outputs().iter().map(|o| o.lit).collect();
+        let mut nodes = aig.cone_vars(&roots);
+        if !nodes.contains(&AVar::CONST) {
+            nodes.insert(0, AVar::CONST);
+        }
+        // Exhaustive 4 patterns: every node's words are its truth table.
+        let sim = aig.simulate(&[vec![0b1010], vec![0b1100]]);
+
+        let (mut sig_buf, mut flat, mut ranges) = (Vec::new(), Vec::new(), Vec::new());
+        // Constant-zero fingerprint: every node collides into one run.
+        candidate_groups(
+            &sim,
+            &nodes,
+            |_, _| 0u128,
+            &mut sig_buf,
+            &mut flat,
+            &mut ranges,
+        );
+        // Every emitted group is internally canon-equal...
+        for &(start, len) in &ranges {
+            let members = &flat[start as usize..(start + len) as usize];
+            for &m in &members[1..] {
+                assert!(
+                    sim.canon_eq(members[0].pos(), m.pos()),
+                    "group mixes distinct functions"
+                );
+            }
+        }
+        // ...f1/f2 still share a group, and no group contains both f1 and
+        // the or-node (different truth tables).
+        let group_of = |v: AVar| {
+            ranges
+                .iter()
+                .position(|&(s, l)| flat[s as usize..(s + l) as usize].contains(&v))
+        };
+        assert_eq!(group_of(f1.var()), group_of(f2.var()));
+        assert!(group_of(f1.var()).is_some());
+        assert_ne!(group_of(f1.var()), group_of(a_or_b.var()));
+
+        // The real fingerprint produces the same candidate grouping.
+        let (mut s2, mut f2_, mut r2) = (Vec::new(), Vec::new(), Vec::new());
+        candidate_groups(
+            &sim,
+            &nodes,
+            |s, l| s.fingerprint(l).0,
+            &mut s2,
+            &mut f2_,
+            &mut r2,
+        );
+        let canon = |flat: &[AVar], ranges: &[(u32, u32)]| {
+            ranges
+                .iter()
+                .map(|&(s, l)| flat[s as usize..(s + l) as usize].to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(canon(&flat, &ranges), canon(&f2_, &r2));
     }
 }

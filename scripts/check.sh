@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
 # Repo gate: formatting, lints, and the tier-1 test suite.
 # Run from anywhere; operates on the workspace root.
+#
+# --bench-smoke additionally runs the simulation and FRAIG-sweep benches
+# with a single sample each, so hot-path regressions (a bench that panics,
+# an accidental O(n^2) blowup) fail fast without the cost of a real
+# measurement run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+bench_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) bench_smoke=1 ;;
+    *) echo "usage: $0 [--bench-smoke]" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check"
 cargo fmt --check
@@ -15,5 +28,12 @@ cargo build --release
 
 echo "== cargo test -q"
 cargo test -q --workspace
+
+if [ "$bench_smoke" -eq 1 ]; then
+  echo "== bench smoke (1 sample): sim_throughput"
+  ECO_BENCH_SAMPLES=1 cargo bench -p eco-bench --bench sim_throughput
+  echo "== bench smoke (1 sample): fraig_sweep"
+  ECO_BENCH_SAMPLES=1 cargo bench -p eco-bench --bench fraig_sweep
+fi
 
 echo "all checks passed"
