@@ -435,6 +435,83 @@ mod tests {
         assert!(parse_aiger_binary(b"no newline").is_err());
     }
 
+    /// Seeded random AIGs round-trip through both formats: write → parse
+    /// is a semantic identity, names survive, and both encodings agree.
+    /// Always-on complement to the feature-gated proptest version.
+    #[test]
+    fn random_aigs_round_trip_both_formats() {
+        for seed in 0..30u64 {
+            let mut rng = crate::SplitMix64::new(seed);
+            let mut aig = Aig::new();
+            let n_inputs = rng.range_inclusive(1, 8) as usize;
+            let mut lits: Vec<Lit> = (0..n_inputs)
+                .map(|i| aig.add_input(format!("x{i}")))
+                .collect();
+            lits.push(Lit::FALSE);
+            for _ in 0..rng.range_inclusive(1, 60) {
+                let mut a = lits[rng.index(lits.len())];
+                let mut b = lits[rng.index(lits.len())];
+                if rng.chance(0.5) {
+                    a = !a;
+                }
+                if rng.chance(0.5) {
+                    b = !b;
+                }
+                lits.push(aig.and(a, b));
+            }
+            for k in 0..rng.range_inclusive(1, 4) {
+                let mut o = lits[rng.index(lits.len())];
+                if rng.chance(0.5) {
+                    o = !o;
+                }
+                aig.add_output(format!("y{k}"), o);
+            }
+            let text = write_aiger_ascii(&aig);
+            let bytes = write_aiger_binary(&aig);
+            let from_ascii = parse_aiger_ascii(&text).expect("ascii parses");
+            let from_bin = parse_aiger_binary(&bytes).expect("binary parses");
+            // Write → parse → write is a fixpoint: the parsed AIG is
+            // already in AIGER order, so re-emission is byte-identical.
+            assert_eq!(write_aiger_ascii(&from_ascii), text, "seed {seed}");
+            assert_eq!(write_aiger_binary(&from_bin), bytes, "seed {seed}");
+            for pos in 0..aig.num_inputs() {
+                assert_eq!(from_ascii.input_name(pos), aig.input_name(pos));
+                assert_eq!(from_bin.input_name(pos), aig.input_name(pos));
+            }
+            for (j, out) in aig.outputs().iter().enumerate() {
+                assert_eq!(from_ascii.outputs()[j].name, out.name);
+                assert_eq!(from_bin.outputs()[j].name, out.name);
+            }
+            check_equal(&aig, &from_ascii);
+            check_equal(&aig, &from_bin);
+        }
+    }
+
+    /// A deep AND chain forces multi-byte varint deltas in the binary
+    /// encoding (the final gate's fanin spans the whole chain).
+    #[test]
+    fn binary_round_trip_with_multibyte_varints() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        // Each chain node's second fanin reaches all the way back to `a`,
+        // so the encoded delta grows to ~40k (three varint bytes). The
+        // strash never collapses these: every (prev, a) pair is fresh.
+        let mut acc = aig.and(a, b);
+        for _ in 0..20_000 {
+            acc = aig.and(acc, a);
+        }
+        let far = aig.and(b, acc);
+        aig.add_output("f", far);
+        aig.add_output("g", !acc);
+        let back = parse_aiger_binary(&write_aiger_binary(&aig)).expect("parses");
+        assert_eq!(back.num_inputs(), 2);
+        for bits in 0u32..4 {
+            let vals = vec![bits & 1 == 1, bits >> 1 == 1];
+            assert_eq!(back.eval(&vals), aig.eval(&vals), "at {vals:?}");
+        }
+    }
+
     #[test]
     fn external_handwritten_file() {
         // A 2-input mux written by hand: y = s ? d1 : d0, as

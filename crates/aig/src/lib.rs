@@ -58,3 +58,4 @@ pub use crate::lit::{Lit, Var};
 pub use crate::node::Node;
 pub use crate::rng::SplitMix64;
 pub use crate::sim::{IncrementalSim, SimVectors};
+pub use crate::transform::TransformError;

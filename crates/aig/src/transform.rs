@@ -2,8 +2,52 @@
 //! cone extraction against a cut, and compaction.
 
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 
 use crate::{Aig, Lit, Node, Var};
+
+/// Error produced by cone-walking transforms when the provided mapping or
+/// cut does not cover every leaf the cone reaches.
+///
+/// These used to be panics; they are typed so pipelines fed untrusted or
+/// generated circuits (the fuzzer, CLI assembly) can surface them as
+/// ordinary errors instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// [`Aig::import`]/[`Aig::import_map`] reached a cone input of the
+    /// source AIG that has no entry in `input_map`. Carries the input
+    /// name (or a `Var` debug rendering for unnamed variables).
+    UnmappedInput(String),
+    /// [`Aig::extract_cone`] reached a cone leaf (input) that is not
+    /// listed in the cut. Carries the input name.
+    InputNotInCut(String),
+    /// [`Aig::extract_cone`] was called with `cut.len() != cut_names.len()`.
+    CutArityMismatch {
+        /// Number of cut variables.
+        cut: usize,
+        /// Number of cut names.
+        names: usize,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::UnmappedInput(n) => {
+                write!(f, "import: cone input `{n}` has no mapping")
+            }
+            TransformError::InputNotInCut(n) => {
+                write!(f, "extract_cone: input `{n}` not in cut")
+            }
+            TransformError::CutArityMismatch { cut, names } => {
+                write!(f, "extract_cone: {cut} cut vars but {names} names")
+            }
+        }
+    }
+}
+
+impl Error for TransformError {}
 
 impl Aig {
     /// Rebuilds the cones of `roots` with each variable in `map` replaced by
@@ -59,18 +103,15 @@ impl Aig {
     ///
     /// `input_map` gives, for every input position of `other` that occurs in
     /// the cones, the literal in `self` it maps to. Returns the imported
-    /// root literals.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a cone input of `other` has no entry in `input_map`.
+    /// root literals, or [`TransformError::UnmappedInput`] if a cone input
+    /// of `other` has no entry in `input_map`.
     pub fn import(
         &mut self,
         other: &Aig,
         roots: &[Lit],
         input_map: &HashMap<Var, Lit>,
-    ) -> Vec<Lit> {
-        self.import_map(other, roots, input_map).0
+    ) -> Result<Vec<Lit>, TransformError> {
+        Ok(self.import_map(other, roots, input_map)?.0)
     }
 
     /// Like [`Aig::import`], but also returns the full translation map
@@ -78,23 +119,24 @@ impl Aig {
     /// callers can relocate auxiliary per-node data (e.g. cut node maps)
     /// alongside the imported logic.
     ///
-    /// # Panics
-    ///
-    /// Panics if a cone input of `other` has no entry in `input_map`.
+    /// Errors with [`TransformError::UnmappedInput`] if a cone input of
+    /// `other` has no entry in `input_map`. The destination may already
+    /// contain some imported nodes when an error is returned; they are
+    /// dangling and harmless (a later [`Aig::compact`] drops them).
     pub fn import_map(
         &mut self,
         other: &Aig,
         roots: &[Lit],
         input_map: &HashMap<Var, Lit>,
-    ) -> (Vec<Lit>, HashMap<Var, Lit>) {
+    ) -> Result<(Vec<Lit>, HashMap<Var, Lit>), TransformError> {
         let mut cache: HashMap<Var, Lit> = HashMap::new();
         cache.insert(Var::CONST, Lit::FALSE);
         for v in other.cone_vars(roots) {
             let new_lit = match other.node(v) {
                 Node::Constant => Lit::FALSE,
-                Node::Input { .. } => *input_map
-                    .get(&v)
-                    .unwrap_or_else(|| panic!("import: unmapped input {v:?}")),
+                Node::Input { pos } => *input_map.get(&v).ok_or_else(|| {
+                    TransformError::UnmappedInput(other.input_name(pos as usize).to_owned())
+                })?,
                 Node::And { fan0, fan1 } => {
                     let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
                     let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
@@ -107,27 +149,29 @@ impl Aig {
             .iter()
             .map(|&r| cache[&r.var()].xor_complement(r.is_complement()))
             .collect();
-        (out, cache)
+        Ok((out, cache))
     }
 
     /// Extracts the cones of `roots` into a fresh AIG whose inputs are the
     /// `cut` variables (in the given order, named by `cut_names`).
     ///
     /// Traversal stops at cut variables; any non-cut input reached must also
-    /// be listed in `cut`, otherwise this panics. Returns the new AIG and
-    /// the root literals within it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a cone leaf (input) is reached that is not in `cut`, or if
-    /// `cut.len() != cut_names.len()`.
+    /// be listed in `cut`, otherwise [`TransformError::InputNotInCut`] is
+    /// returned ([`TransformError::CutArityMismatch`] if `cut.len() !=
+    /// cut_names.len()`). Returns the new AIG and the root literals within
+    /// it.
     pub fn extract_cone(
         &self,
         roots: &[Lit],
         cut: &[Var],
         cut_names: &[String],
-    ) -> (Aig, Vec<Lit>) {
-        assert_eq!(cut.len(), cut_names.len(), "cut/name arity mismatch");
+    ) -> Result<(Aig, Vec<Lit>), TransformError> {
+        if cut.len() != cut_names.len() {
+            return Err(TransformError::CutArityMismatch {
+                cut: cut.len(),
+                names: cut_names.len(),
+            });
+        }
         let mut new = Aig::new();
         let mut cache: HashMap<Var, Lit> = HashMap::new();
         cache.insert(Var::CONST, Lit::FALSE);
@@ -142,7 +186,11 @@ impl Aig {
             }
             let new_lit = match self.node(v) {
                 Node::Constant => Lit::FALSE,
-                Node::Input { .. } => panic!("extract_cone: input {v:?} not in cut"),
+                Node::Input { pos } => {
+                    return Err(TransformError::InputNotInCut(
+                        self.input_name(pos as usize).to_owned(),
+                    ))
+                }
                 Node::And { fan0, fan1 } => {
                     let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
                     let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
@@ -155,7 +203,7 @@ impl Aig {
             .iter()
             .map(|&r| cache[&r.var()].xor_complement(r.is_complement()))
             .collect();
-        (new, new_roots)
+        Ok((new, new_roots))
     }
 
     /// Returns a compacted copy containing only the logic reachable from the
@@ -262,7 +310,7 @@ mod tests {
         let mut map = HashMap::new();
         map.insert(x.var(), pq);
         map.insert(y.var(), !p);
-        let g2 = dst.import(&src, &[g], &map)[0];
+        let g2 = dst.import(&src, &[g], &map).expect("inputs mapped")[0];
         dst.add_output("g2", g2);
         for pat in 0u32..4 {
             let bits: Vec<bool> = (0..2).map(|i| pat >> i & 1 == 1).collect();
@@ -280,7 +328,9 @@ mod tests {
         let c = aig.add_input("c");
         let m = aig.and(a, b);
         let h = aig.xor(m, c);
-        let (sub, roots) = aig.extract_cone(&[h], &[m.var(), c.var()], &["m".into(), "c".into()]);
+        let (sub, roots) = aig
+            .extract_cone(&[h], &[m.var(), c.var()], &["m".into(), "c".into()])
+            .expect("cut covers cone");
         assert_eq!(sub.num_inputs(), 2);
         let mut sub = sub;
         sub.add_output("h", roots[0]);
@@ -291,13 +341,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not in cut")]
-    fn extract_cone_missing_cut_panics() {
+    fn extract_cone_missing_cut_is_typed_error() {
         let mut aig = Aig::new();
         let a = aig.add_input("a");
         let b = aig.add_input("b");
         let f = aig.and(a, b);
-        let _ = aig.extract_cone(&[f], &[a.var()], &["a".into()]);
+        let err = aig
+            .extract_cone(&[f], &[a.var()], &["a".into()])
+            .expect_err("b is outside the cut");
+        assert_eq!(err, TransformError::InputNotInCut("b".into()));
+        assert!(err.to_string().contains("not in cut"));
+    }
+
+    #[test]
+    fn extract_cone_arity_mismatch_is_typed_error() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f = aig.and(a, b);
+        let err = aig
+            .extract_cone(&[f], &[a.var(), b.var()], &["a".into()])
+            .expect_err("one name for two cut vars");
+        assert_eq!(err, TransformError::CutArityMismatch { cut: 2, names: 1 });
+    }
+
+    #[test]
+    fn import_unmapped_input_is_typed_error() {
+        let mut src = Aig::new();
+        let x = src.add_input("x");
+        let y = src.add_input("y");
+        let g = src.xor(x, y);
+
+        let mut dst = Aig::new();
+        let p = dst.add_input("p");
+        let mut map = HashMap::new();
+        map.insert(x.var(), p);
+        let err = dst.import(&src, &[g], &map).expect_err("y is not mapped");
+        assert_eq!(err, TransformError::UnmappedInput("y".into()));
+        assert!(err.to_string().contains("no mapping"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn combined(golden: &Netlist, n_cuts: usize) -> Workspace {
         .take(n_cuts)
         .cloned()
         .collect();
-    let faulty = cut_targets(golden, &targets);
+    let faulty = cut_targets(golden, &targets).expect("targets are driven");
     let weights = assign_weights(&faulty, WeightProfile::Unit, 1);
     let inst = EcoInstance::from_netlists("bench", &faulty, golden, targets, &weights)
         .expect("valid instance");

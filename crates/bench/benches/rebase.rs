@@ -8,7 +8,7 @@ use eco_workgen::{assign_weights, cut_targets, WeightProfile};
 fn setup() -> (Workspace, eco_aig::Lit, eco_aig::Lit, Vec<usize>) {
     let golden = eco_workgen::circuits::shared_datapath(8);
     let target = golden.wires.last().expect("wires").clone();
-    let faulty = cut_targets(&golden, std::slice::from_ref(&target));
+    let faulty = cut_targets(&golden, std::slice::from_ref(&target)).expect("target is driven");
     let weights = assign_weights(&faulty, WeightProfile::CheapWires { pi: 50, wire: 2 }, 3);
     let inst = EcoInstance::from_netlists("bench", &faulty, &golden, vec![target], &weights)
         .expect("valid");

@@ -1,0 +1,183 @@
+//! `eco-fuzz`: differential fuzzing of the ECO pipeline.
+//!
+//! ```text
+//! eco-fuzz --iters 500 --seed 1 --shrink            # fuzz campaign
+//! eco-fuzz --replay tests/corpus                    # replay a corpus
+//! eco-fuzz --iters 1000 --corpus tests/corpus       # save shrunk failures
+//! ```
+//!
+//! Each iteration generates a seeded random golden circuit with
+//! contest-style faults, runs the full patch-generation pipeline, and
+//! checks the result with an independent oracle (emitted-Verilog
+//! round trip, fresh SAT miter, random-simulation cross-check). With
+//! `--shrink`, failures are greedily reduced before reporting; with
+//! `--corpus <dir>`, each (shrunk) failure is written there as a
+//! `.case` file for the regression replay test.
+//!
+//! Exit codes: 0 — clean; 1 — usage or I/O error; 3 — failures found.
+
+use std::process::ExitCode;
+
+use eco_workgen::fuzz::{gen_case, run_campaign, run_case, CaseOutcome, FuzzCase, FuzzConfig};
+
+const USAGE: &str = "usage: eco-fuzz [--iters <n>] [--seed <s>] [--shrink] \
+                     [--corpus <dir>] [--replay <file-or-dir>] [--case <seed>]";
+
+fn replay(path: &str, cfg: &FuzzConfig) -> Result<u64, String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut files: Vec<String> = if meta.is_dir() {
+        let mut v: Vec<String> = std::fs::read_dir(path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path().to_string_lossy().into_owned())
+            .filter(|p| p.ends_with(".case"))
+            .collect();
+        v.sort();
+        v
+    } else {
+        vec![path.to_owned()]
+    };
+    if files.is_empty() {
+        eprintln!("{path}: no .case files");
+    }
+    let mut failures = 0;
+    for f in files.drain(..) {
+        let text = std::fs::read_to_string(&f).map_err(|e| format!("{f}: {e}"))?;
+        let case = FuzzCase::from_text(&text).map_err(|e| format!("{f}: {e}"))?;
+        match run_case(&case, cfg) {
+            CaseOutcome::Pass => println!("{f}: pass"),
+            CaseOutcome::Skip(why) => println!("{f}: skip ({why})"),
+            CaseOutcome::Fail(fail) => {
+                failures += 1;
+                println!("{f}: FAIL at {} — {}", fail.stage, fail.detail);
+            }
+        }
+    }
+    Ok(failures)
+}
+
+fn run_one(seed: u64, cfg: &FuzzConfig) -> Result<u64, String> {
+    let case = gen_case(seed, cfg).ok_or_else(|| format!("seed {seed} yields no case"))?;
+    print!("{}", case.to_text());
+    match run_case(&case, cfg) {
+        CaseOutcome::Pass => {
+            eprintln!("seed {seed}: pass");
+            Ok(0)
+        }
+        CaseOutcome::Skip(why) => {
+            eprintln!("seed {seed}: skip ({why})");
+            Ok(0)
+        }
+        CaseOutcome::Fail(f) => {
+            eprintln!("seed {seed}: FAIL at {} — {}", f.stage, f.detail);
+            Ok(1)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut iters: u64 = 500;
+    let mut seed: u64 = 1;
+    let mut shrink = false;
+    let mut corpus: Option<String> = None;
+    let mut replay_path: Option<String> = None;
+    let mut one_case: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    let mut bad = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => iters = v,
+                None => bad = true,
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => bad = true,
+            },
+            "--shrink" => shrink = true,
+            "--corpus" => corpus = args.next(),
+            "--replay" => replay_path = args.next(),
+            "--case" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => one_case = Some(v),
+                None => bad = true,
+            },
+            "-h" | "--help" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if bad {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    }
+
+    let cfg = FuzzConfig::default();
+
+    if let Some(path) = replay_path {
+        return match replay(&path, &cfg) {
+            Ok(0) => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::from(3),
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    if let Some(s) = one_case {
+        return match run_one(s, &cfg) {
+            Ok(0) => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::from(3),
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let (stats, failures) = run_campaign(iters, seed, &cfg, shrink, |done, s| {
+        if done % 100 == 0 {
+            eprintln!(
+                "{done}/{iters}: {} passed, {} skipped, {} failed",
+                s.passes, s.skips, s.failures
+            );
+        }
+    });
+    println!(
+        "cases {}  passes {}  skips {}  failures {}  shrink-steps {}  shrink-accepted {}",
+        stats.cases,
+        stats.passes,
+        stats.skips,
+        stats.failures,
+        stats.shrink_steps,
+        stats.shrink_accepted
+    );
+    for (i, f) in failures.iter().enumerate() {
+        eprintln!(
+            "failure {i}: seed {:x} at {} — {} ({} gates golden)",
+            f.case.seed,
+            f.failure.stage,
+            f.failure.detail,
+            f.case.golden.num_gates()
+        );
+        if let Some(dir) = &corpus {
+            let path = format!("{dir}/fail_{:016x}.case", f.case.seed);
+            if let Err(e) =
+                std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, f.case.to_text()))
+            {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(1);
+            }
+            eprintln!("  wrote {path}");
+        }
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}

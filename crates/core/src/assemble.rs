@@ -1,0 +1,178 @@
+//! Patch assembly: splicing a generated patch AIG back into the faulty
+//! gate-level netlist.
+//!
+//! The engine's [`EcoResult`](crate::EcoResult) carries the patch as a
+//! standalone AIG whose inputs name existing nets of the faulty circuit
+//! and whose outputs name the rectification targets. [`splice_patch`]
+//! produces the patched netlist: targets stop being pseudo-inputs and are
+//! driven by the patch logic instead. All name resolution is validated —
+//! a patch that references a net the circuit does not have surfaces as
+//! [`EcoError::UnknownPatchInput`] instead of a panic, so generated or
+//! hand-edited patches can never abort the process.
+
+use std::collections::HashSet;
+
+use eco_aig::Aig;
+use eco_netlist::{netlist_from_aig, Gate, NetRef, Netlist};
+
+use crate::EcoError;
+
+/// Splices `patch` into `faulty`, returning the patched netlist.
+///
+/// Requirements checked up front:
+///
+/// * every patch *output* names an input of `faulty` (the floating target
+///   pseudo-inputs) — otherwise [`EcoError::UnknownTarget`];
+/// * every patch *input* names an existing net of `faulty` (declared or
+///   gate-driven) that is not itself a target — otherwise
+///   [`EcoError::UnknownPatchInput`] (a patch reading a target would form
+///   a combinational cycle through itself).
+///
+/// The returned module is `<faulty.name>_patched`: targets move from the
+/// input list to the wire list, patch-internal wires are prefixed with a
+/// collision-free prefix, and the patch gates are appended.
+pub fn splice_patch(faulty: &Netlist, patch: &Aig) -> Result<Netlist, EcoError> {
+    let patch_nl = netlist_from_aig(patch, "patch");
+    let targets: HashSet<&str> = patch_nl.outputs.iter().map(String::as_str).collect();
+
+    for t in &patch_nl.outputs {
+        if !faulty.inputs.contains(t) {
+            return Err(EcoError::UnknownTarget(t.clone()));
+        }
+    }
+    let known: HashSet<&str> = faulty
+        .declared_nets()
+        .chain(faulty.gates.iter().map(|g| g.output.as_str()))
+        .collect();
+    for i in &patch_nl.inputs {
+        if targets.contains(i.as_str()) || !known.contains(i.as_str()) {
+            return Err(EcoError::UnknownPatchInput(i.clone()));
+        }
+    }
+
+    // A wire prefix no existing net uses, so patch internals cannot
+    // collide with (or double-drive) faulty nets.
+    let mut prefix = String::from("eco_");
+    while known.iter().any(|n| n.starts_with(&prefix)) {
+        prefix.insert(0, '_');
+    }
+
+    let mut combined = faulty.clone();
+    combined.name = format!("{}_patched", faulty.name);
+    combined.inputs.retain(|i| !targets.contains(i.as_str()));
+    combined.wires.extend(patch_nl.outputs.iter().cloned());
+
+    let rename = |n: &str| -> String {
+        if patch_nl.wires.iter().any(|w| w == n) {
+            format!("{prefix}{n}")
+        } else {
+            n.to_string()
+        }
+    };
+    for w in &patch_nl.wires {
+        combined.wires.push(format!("{prefix}{w}"));
+    }
+    for g in &patch_nl.gates {
+        combined.gates.push(Gate {
+            kind: g.kind,
+            name: None,
+            output: rename(&g.output),
+            inputs: g
+                .inputs
+                .iter()
+                .map(|r| match r {
+                    NetRef::Named(n) => NetRef::Named(rename(n)),
+                    c => c.clone(),
+                })
+                .collect(),
+        });
+    }
+    Ok(combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_netlist::{elaborate, parse_verilog};
+
+    fn faulty() -> Netlist {
+        parse_verilog(
+            "module f (a, b, c, t, y); input a, b, c, t; output y; \
+             wire u; and g0 (u, a, b); xor g1 (y, t, c); endmodule",
+        )
+        .expect("faulty parses")
+    }
+
+    /// Patch t = a & b; the patched circuit computes (a&b) ^ c.
+    #[test]
+    fn splice_drives_target_with_patch_logic() {
+        let mut patch = Aig::new();
+        let a = patch.add_input("a");
+        let b = patch.add_input("b");
+        let ab = patch.and(a, b);
+        patch.add_output("t", ab);
+
+        let combined = splice_patch(&faulty(), &patch).expect("valid patch");
+        assert!(!combined.inputs.contains(&"t".to_string()));
+        assert!(combined.wires.contains(&"t".to_string()));
+        let e = elaborate(&combined).expect("patched elaborates");
+        for bits in 0u32..8 {
+            let vals: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let want = (vals[0] && vals[1]) ^ vals[2];
+            let pv: Vec<bool> = (0..e.aig.num_inputs())
+                .map(|p| match e.aig.input_name(p) {
+                    "a" => vals[0],
+                    "b" => vals[1],
+                    "c" => vals[2],
+                    other => panic!("unexpected input {other}"),
+                })
+                .collect();
+            assert_eq!(e.aig.eval(&pv), vec![want]);
+        }
+    }
+
+    /// Patch wires that shadow faulty nets are renamed, not double-driven.
+    #[test]
+    fn splice_renames_colliding_patch_wires() {
+        let mut patch = Aig::new();
+        let a = patch.add_input("a");
+        let c = patch.add_input("c");
+        let n = patch.and(a, c);
+        let m = patch.and(!n, a);
+        patch.add_output("t", m);
+        let combined = splice_patch(&faulty(), &patch).expect("valid patch");
+        // Every net is driven at most once.
+        let mut seen = HashSet::new();
+        for g in &combined.gates {
+            assert!(seen.insert(g.output.clone()), "double-driven {}", g.output);
+        }
+        assert!(elaborate(&combined).is_ok());
+    }
+
+    #[test]
+    fn unknown_patch_input_is_typed_error() {
+        let mut patch = Aig::new();
+        let q = patch.add_input("no_such_net");
+        patch.add_output("t", q);
+        let err = splice_patch(&faulty(), &patch).expect_err("bogus input");
+        assert_eq!(err, EcoError::UnknownPatchInput("no_such_net".into()));
+    }
+
+    #[test]
+    fn patch_reading_its_own_target_is_rejected() {
+        let mut patch = Aig::new();
+        let t = patch.add_input("t");
+        patch.add_output("t", !t);
+        let err = splice_patch(&faulty(), &patch).expect_err("cyclic patch");
+        assert_eq!(err, EcoError::UnknownPatchInput("t".into()));
+    }
+
+    #[test]
+    fn unknown_target_is_typed_error() {
+        let mut patch = Aig::new();
+        let a = patch.add_input("a");
+        patch.add_output("zz", a);
+        let err = splice_patch(&faulty(), &patch).expect_err("zz is not an input");
+        assert_eq!(err, EcoError::UnknownTarget("zz".into()));
+    }
+}

@@ -406,7 +406,7 @@ impl EcoEngine {
         for out in outcomes {
             times.fraig += out.fraig_time;
             interpolation_fallbacks += out.group.fallbacks;
-            patches.extend(adopt_group(&mut ws, &out.sub, &out.group));
+            patches.extend(adopt_group(&mut ws, &out.sub, &out.group)?);
         }
         for &k in &clustering.dead_targets {
             patches.push(PatchFn {
@@ -458,12 +458,12 @@ impl EcoEngine {
         // Assemble the result: order patches by target index, extract the
         // combined patch AIG over the merged cut, prune unused inputs, and
         // FRAIG-reduce the patch itself.
-        let result = tel.time(Stage::Assemble, || {
+        let result = tel.time(Stage::Assemble, || -> Result<EcoResult, EcoError> {
             patches.sort_by_key(|p| p.target);
             let merged = Cut::merge(patches.iter().map(|p| &p.cut));
             let roots: Vec<Lit> = patches.iter().map(|p| p.lit).collect();
             let (mut patch_aig, outs) =
-                extract_patch_aig(&ws.mgr, &ws.target_vars, &roots, &merged);
+                extract_patch_aig(&ws.mgr, &ws.target_vars, &roots, &merged)?;
             for (p, &o) in patches.iter().zip(&outs) {
                 patch_aig.add_output(self.instance.targets[p.target].clone(), o);
             }
@@ -495,7 +495,7 @@ impl EcoEngine {
                 })
                 .collect();
 
-            EcoResult {
+            Ok(EcoResult {
                 patches: target_patches,
                 patch_aig,
                 cost,
@@ -505,8 +505,8 @@ impl EcoEngine {
                 interpolation_fallbacks,
                 optimize_delta,
                 telemetry: TelemetrySnapshot::default(),
-            }
-        });
+            })
+        })?;
         Ok(Ok(result))
     }
 }
@@ -546,7 +546,11 @@ fn cex_summary(cex: &[(String, bool)]) -> String {
 /// shared manager, relocating each patch cut alongside via the import
 /// translation cache. Purely structural, so merging in cluster order makes
 /// the parallel path byte-identical to the sequential one.
-fn adopt_group(ws: &mut Workspace, sub: &Workspace, group: &GroupPatches) -> Vec<PatchFn> {
+fn adopt_group(
+    ws: &mut Workspace,
+    sub: &Workspace,
+    group: &GroupPatches,
+) -> Result<Vec<PatchFn>, EcoError> {
     let mut imap: HashMap<Var, Lit> = HashMap::new();
     for ((_, sl), (_, ml)) in sub.x.iter().zip(&ws.x) {
         imap.insert(sl.var(), *ml);
@@ -555,8 +559,8 @@ fn adopt_group(ws: &mut Workspace, sub: &Workspace, group: &GroupPatches) -> Vec
         imap.insert(sv, mv.pos());
     }
     let roots: Vec<Lit> = group.patches.iter().map(|p| p.lit).collect();
-    let (lits, cache) = ws.mgr.import_map(&sub.mgr, &roots, &imap);
-    group
+    let (lits, cache) = ws.mgr.import_map(&sub.mgr, &roots, &imap)?;
+    Ok(group
         .patches
         .iter()
         .zip(&lits)
@@ -565,7 +569,7 @@ fn adopt_group(ws: &mut Workspace, sub: &Workspace, group: &GroupPatches) -> Vec
             lit,
             cut: translate_cut(ws, &p.cut, &cache),
         })
-        .collect()
+        .collect())
 }
 
 /// Re-expresses a sub-workspace cut over the shared manager: signal
@@ -616,7 +620,9 @@ fn prune_unused_inputs(aig: &Aig) -> Aig {
         let pos = aig.input_pos(v).expect("support is inputs");
         map.insert(v, new.add_input(aig.input_name(pos).to_owned()));
     }
-    let outs = new.import(aig, &roots, &map);
+    let outs = new
+        .import(aig, &roots, &map)
+        .expect("support covers every cone input");
     for (o, &lit) in aig.outputs().iter().zip(&outs) {
         new.add_output(o.name.clone(), lit);
     }
@@ -666,11 +672,14 @@ mod tests {
                 .find(|c| c.name == name)
                 .map(|c| c.lit)
                 .or_else(|| ws.x_lit(name))
-                .unwrap_or_else(|| panic!("patch input `{name}` not found"));
+                .ok_or_else(|| EcoError::UnknownPatchInput(name.to_owned()))
+                .expect("engine emitted a patch over existing nets");
             imap.insert(result.patch_aig.input_var(pos), lit);
         }
         let proots: Vec<Lit> = result.patch_aig.outputs().iter().map(|o| o.lit).collect();
-        let plits = mgr.import(&result.patch_aig, &proots, &imap);
+        let plits = mgr
+            .import(&result.patch_aig, &proots, &imap)
+            .expect("patch inputs are fully mapped");
         let tmap: HashMap<Var, Lit> = result
             .patch_aig
             .outputs()

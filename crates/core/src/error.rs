@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use eco_aig::TransformError;
+
 /// Errors reported by instance construction and patch generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EcoError {
@@ -16,6 +18,12 @@ pub enum EcoError {
     Unrectifiable(String),
     /// A configured resource budget was exhausted.
     ResourceLimit(String),
+    /// A patch names an input net that does not exist in the circuit it is
+    /// being spliced into (or that is itself a rectification target).
+    UnknownPatchInput(String),
+    /// An AIG transform (import / cone extraction) failed while assembling
+    /// or extracting a patch — the base set did not cover the patch cone.
+    Transform(TransformError),
 }
 
 impl fmt::Display for EcoError {
@@ -32,7 +40,17 @@ impl fmt::Display for EcoError {
             }
             EcoError::Unrectifiable(why) => write!(f, "instance is not rectifiable: {why}"),
             EcoError::ResourceLimit(what) => write!(f, "resource limit exhausted: {what}"),
+            EcoError::UnknownPatchInput(n) => {
+                write!(f, "patch input `{n}` is not a net of the patched circuit")
+            }
+            EcoError::Transform(e) => write!(f, "patch transform failed: {e}"),
         }
+    }
+}
+
+impl From<TransformError> for EcoError {
+    fn from(e: TransformError) -> Self {
+        EcoError::Transform(e)
     }
 }
 
@@ -59,5 +77,10 @@ mod tests {
         assert!(EcoError::ResourceLimit("sat".into())
             .to_string()
             .contains("sat"));
+        assert!(EcoError::UnknownPatchInput("w3".into())
+            .to_string()
+            .contains("`w3`"));
+        let e: EcoError = TransformError::UnmappedInput("x".into()).into();
+        assert!(e.to_string().contains("`x`"));
     }
 }

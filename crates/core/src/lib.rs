@@ -54,6 +54,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod assemble;
 mod baseselect;
 mod carediff;
 mod cexenum;
@@ -73,6 +74,7 @@ mod telemetry;
 mod verify;
 mod workspace;
 
+pub use crate::assemble::splice_patch;
 pub use crate::baseselect::{select_base, BaseSelectOptions, SelectedBase};
 pub use crate::carediff::{diff_set, exact_on_off_sets, on_off_sets, OnOff};
 pub use crate::cexenum::{enumerate_cex, enumerate_cex_capped, CexSet};

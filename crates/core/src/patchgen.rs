@@ -9,7 +9,7 @@ use eco_aig::{Aig, Lit, Var};
 use crate::carediff::{exact_on_off_sets, on_off_sets};
 use crate::localize::{Cut, TapMap};
 use crate::synth::{synthesize_patch, InitialPatchKind, SynthOutcome};
-use crate::{TargetCluster, Workspace};
+use crate::{EcoError, TargetCluster, Workspace};
 
 /// Knobs for one `DependentPatchGen` run.
 #[derive(Clone, Copy, Debug)]
@@ -176,16 +176,15 @@ pub fn generate_group_patches(
 /// signal (via FRAIG equivalence) share one input. Returns the patch AIG
 /// and the root literals within it; `cut` lists the frontier.
 ///
-/// # Panics
-///
-/// Panics if a root cone reaches a target variable (run phase 2 first) or
-/// an unmapped input.
+/// Errors if a root cone reaches a target variable (phase-2 dependent
+/// resubstitution incomplete) or an input the cut does not cover — a bad
+/// base set surfaces as [`EcoError`] instead of aborting the process.
 pub fn extract_patch_aig(
     mgr: &Aig,
     ws_targets: &[Var],
     roots: &[Lit],
     cut: &Cut,
-) -> (Aig, Vec<Lit>) {
+) -> Result<(Aig, Vec<Lit>), EcoError> {
     let mut patch = Aig::new();
     let mut cache: HashMap<Var, Lit> = HashMap::new();
     cache.insert(Var::CONST, Lit::FALSE);
@@ -203,14 +202,17 @@ pub fn extract_patch_aig(
         if cache.contains_key(&v) {
             continue;
         }
-        assert!(
-            !ws_targets.contains(&v),
-            "patch extraction reached target {v:?}; phase 2 incomplete"
-        );
         match mgr.node(v) {
             eco_aig::Node::Constant => {}
-            eco_aig::Node::Input { .. } => {
-                panic!("patch extraction reached unmapped input {v:?}")
+            eco_aig::Node::Input { pos } => {
+                let name = mgr.input_name(pos as usize).to_owned();
+                return Err(if ws_targets.contains(&v) {
+                    EcoError::Unrectifiable(format!(
+                        "patch cone reached target `{name}`; dependent resubstitution incomplete"
+                    ))
+                } else {
+                    EcoError::Transform(eco_aig::TransformError::InputNotInCut(name))
+                });
             }
             eco_aig::Node::And { fan0, fan1 } => {
                 let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
@@ -224,7 +226,7 @@ pub fn extract_patch_aig(
         .iter()
         .map(|&r| cache[&r.var()].xor_complement(r.is_complement()))
         .collect();
-    (patch, out)
+    Ok((patch, out))
 }
 
 #[cfg(test)]
@@ -348,7 +350,8 @@ mod tests {
         );
         let roots: Vec<Lit> = got.patches.iter().map(|p| p.lit).collect();
         let cut = Cut::merge(got.patches.iter().map(|p| &p.cut));
-        let (patch, outs) = extract_patch_aig(&ws.mgr, &ws.target_vars, &roots, &cut);
+        let (patch, outs) =
+            extract_patch_aig(&ws.mgr, &ws.target_vars, &roots, &cut).expect("cut covers cones");
         assert_eq!(outs.len(), 2);
         // Standalone patch evaluates like the manager cones.
         let mut patch = patch;
@@ -375,6 +378,26 @@ mod tests {
                 })
                 .collect();
             assert_eq!(patch.eval(&pvals), want, "at {vals:?}");
+        }
+    }
+
+    /// A cut that does not cover the patch cone surfaces as a typed
+    /// `EcoError` (previously a panic) — both for plain inputs and for
+    /// target pseudo-inputs the cone reaches.
+    #[test]
+    fn extraction_with_uncovered_cut_is_typed_error() {
+        let (_i, ws) = two_target_instance();
+        // Patch "function" that is just the faulty output cone: it reaches
+        // the X inputs, which an empty cut does not cover.
+        let roots = vec![ws.f_outs[0]];
+        let err = extract_patch_aig(&ws.mgr, &ws.target_vars, &roots, &Cut::default())
+            .expect_err("empty cut cannot cover the cone");
+        match err {
+            EcoError::Unrectifiable(msg) => assert!(msg.contains("target"), "{msg}"),
+            EcoError::Transform(e) => {
+                assert!(matches!(e, eco_aig::TransformError::InputNotInCut(_)))
+            }
+            other => panic!("unexpected error {other:?}"),
         }
     }
 }

@@ -179,7 +179,11 @@ pub fn resynthesize(
             .expect("interpolant inputs are y variables");
         input_map.insert(itp.aig.input_var(i), cand_lits[pos]);
     }
-    Some(ws.mgr.import(&itp.aig, &[itp.root], &input_map)[0])
+    Some(
+        ws.mgr
+            .import(&itp.aig, &[itp.root], &input_map)
+            .expect("interpolant inputs are fully mapped")[0],
+    )
 }
 
 #[cfg(test)]

@@ -148,7 +148,11 @@ fn try_interpolate(
             .expect("shared var maps to a cut signal or target");
         input_map.insert(itp.aig.input_var(i), mgr_lit);
     }
-    Some(ws.mgr.import(&itp.aig, &[itp.root], &input_map)[0])
+    Some(
+        ws.mgr
+            .import(&itp.aig, &[itp.root], &input_map)
+            .expect("interpolant inputs are fully mapped")[0],
+    )
 }
 
 // `LabeledSink` needs `ClauseSink` in scope for `sink_clause`.

@@ -86,7 +86,9 @@ impl Workspace {
         let mut roots: Vec<Lit> = instance.faulty.outputs().iter().map(|o| o.lit).collect();
         let n_outs = roots.len();
         roots.extend(instance.candidates.iter().map(|c| c.lit));
-        let imported = mgr.import(&instance.faulty, &roots, &faulty_map);
+        let imported = mgr
+            .import(&instance.faulty, &roots, &faulty_map)
+            .expect("validated instance maps every faulty input");
         let f_outs: Vec<Lit> = imported[..n_outs].to_vec();
         let cands: Vec<WsCandidate> = instance
             .candidates
@@ -123,7 +125,9 @@ impl Workspace {
                 instance.golden.output_lit(idx)
             })
             .collect();
-        let g_outs = mgr.import(&instance.golden, &g_roots, &golden_map);
+        let g_outs = mgr
+            .import(&instance.golden, &g_roots, &golden_map)
+            .expect("validated instance maps every golden input");
 
         // Register outputs for FRAIG coverage.
         for (name, &lit) in out_names.iter().zip(&f_outs) {
@@ -196,7 +200,9 @@ impl Workspace {
         let mut roots: Vec<Lit> = cluster.outputs.iter().map(|&j| self.f_outs[j]).collect();
         roots.extend(cluster.outputs.iter().map(|&j| self.g_outs[j]));
         roots.extend(self.cands.iter().map(|c| c.lit));
-        let imported = mgr.import(&self.mgr, &roots, &map);
+        let imported = mgr
+            .import(&self.mgr, &roots, &map)
+            .expect("cluster cones reach only X and target inputs");
         let f_outs: Vec<Lit> = imported[..n].to_vec();
         let g_outs: Vec<Lit> = imported[n..2 * n].to_vec();
         let cands: Vec<WsCandidate> = self

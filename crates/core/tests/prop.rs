@@ -34,7 +34,8 @@ fn random_query(
         return None;
     }
     let target = live[live.len() / 2].clone();
-    let faulty = eco_workgen::cut_targets(&golden, std::slice::from_ref(&target));
+    let faulty =
+        eco_workgen::cut_targets(&golden, std::slice::from_ref(&target)).expect("target is driven");
     let weights = eco_workgen::assign_weights(
         &faulty,
         eco_workgen::WeightProfile::Uniform { lo: 1, hi: 9 },
@@ -127,7 +128,7 @@ proptest! {
         prop_assume!(live.len() >= 2);
         let targets: Vec<String> = vec![live[live.len() / 3].clone(), live[2 * live.len() / 3].clone()];
         prop_assume!(targets[0] != targets[1]);
-        let faulty = eco_workgen::cut_targets(&golden, &targets);
+        let faulty = eco_workgen::cut_targets(&golden, &targets).expect("targets are driven");
         let weights = eco_workgen::assign_weights(
             &faulty,
             eco_workgen::WeightProfile::Uniform { lo: 1, hi: 20 },
@@ -182,7 +183,7 @@ proptest! {
         };
         prop_assume!(!live.is_empty());
         let targets = vec![live[live.len() / 2].clone()];
-        let faulty = eco_workgen::cut_targets(&golden, &targets);
+        let faulty = eco_workgen::cut_targets(&golden, &targets).expect("targets are driven");
         let weights = eco_workgen::assign_weights(
             &faulty,
             eco_workgen::WeightProfile::Unit,

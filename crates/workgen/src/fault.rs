@@ -2,8 +2,35 @@
 //! instance by cutting target nets, optionally scrambling the dangling
 //! logic, and assigning signal weights.
 
+use std::error::Error;
+use std::fmt;
+
 use eco_aig::SplitMix64;
 use eco_netlist::{GateKind, Netlist, WeightTable};
+
+/// Error from [`cut_targets`]: the requested target cannot be cut.
+///
+/// Deterministic and typed so callers that generate targets freely (the
+/// fuzzer, user-supplied target lists) can skip or report bad picks
+/// instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// No gate of the golden netlist drives the target net.
+    NoDriver(String),
+    /// The target is already a primary input (cutting it is meaningless).
+    TargetIsInput(String),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::NoDriver(t) => write!(f, "target `{t}` has no driver"),
+            FaultError::TargetIsInput(t) => write!(f, "target `{t}` is already an input"),
+        }
+    }
+}
+
+impl Error for FaultError {}
 
 /// How weights are assigned to faulty-circuit signals.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,28 +63,25 @@ pub enum WeightProfile {
 /// reconnecting each target to its original function restores the golden
 /// circuit.
 ///
-/// # Panics
-///
-/// Panics if a target is not an internal wire or output of `golden`, or
-/// is driven by no gate.
-pub fn cut_targets(golden: &Netlist, targets: &[String]) -> Netlist {
+/// Errors with [`FaultError`] if a target is already a primary input or is
+/// driven by no gate; the golden netlist is never partially mutated.
+pub fn cut_targets(golden: &Netlist, targets: &[String]) -> Result<Netlist, FaultError> {
     let mut faulty = golden.clone();
     faulty.name = format!("{}_faulty", golden.name);
     for t in targets {
+        if faulty.inputs.contains(t) {
+            return Err(FaultError::TargetIsInput(t.clone()));
+        }
         let gi = faulty
             .gates
             .iter()
             .position(|g| g.output == *t)
-            .unwrap_or_else(|| panic!("target `{t}` has no driver"));
+            .ok_or_else(|| FaultError::NoDriver(t.clone()))?;
         faulty.gates.remove(gi);
         faulty.wires.retain(|w| w != t);
-        assert!(
-            !faulty.inputs.contains(t),
-            "target `{t}` is already an input"
-        );
         faulty.inputs.push(t.clone());
     }
-    faulty
+    Ok(faulty)
 }
 
 /// Scrambles gates that became dangling after the cut (their outputs no
@@ -258,7 +282,7 @@ mod tests {
     #[test]
     fn cut_moves_net_to_inputs() {
         let golden = ripple_adder(3);
-        let faulty = cut_targets(&golden, &["w1".into()]);
+        let faulty = cut_targets(&golden, &["w1".into()]).expect("w1 is driven");
         assert!(faulty.inputs.contains(&"w1".to_string()));
         assert!(!faulty.wires.contains(&"w1".to_string()));
         assert_eq!(faulty.num_gates(), golden.num_gates() - 1);
@@ -267,10 +291,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no driver")]
-    fn cutting_an_input_panics() {
+    fn cutting_an_input_is_typed_error() {
         let golden = ripple_adder(2);
-        let _ = cut_targets(&golden, &["a0".into()]);
+        let err = cut_targets(&golden, &["a0".into()]).expect_err("a0 is an input");
+        assert_eq!(err, FaultError::TargetIsInput("a0".into()));
+    }
+
+    #[test]
+    fn cutting_an_unknown_net_is_typed_error() {
+        let golden = ripple_adder(2);
+        let err = cut_targets(&golden, &["nope".into()]).expect_err("no such net");
+        assert_eq!(err, FaultError::NoDriver("nope".into()));
+        assert!(err.to_string().contains("no driver"));
     }
 
     #[test]
@@ -278,7 +310,8 @@ mod tests {
         let golden = ripple_adder(4);
         // Cut the final carry OR: its fanins (g, p gates) dangle... they
         // actually still feed sum logic; cut an xor used only by one sum.
-        let mut faulty = cut_targets(&golden, &["w13".into(), "w1".into()]);
+        let mut faulty =
+            cut_targets(&golden, &["w13".into(), "w1".into()]).expect("wires are driven");
         let before = elaborate(&faulty).expect("elab before");
         let _ = scramble_dangling(&mut faulty, 9);
         let after = elaborate(&faulty).expect("elab after");
@@ -296,7 +329,7 @@ mod tests {
     #[test]
     fn weight_profiles() {
         let golden = ripple_adder(2);
-        let faulty = cut_targets(&golden, &["w0".into()]);
+        let faulty = cut_targets(&golden, &["w0".into()]).expect("w0 is driven");
         let unit = assign_weights(&faulty, WeightProfile::Unit, 1);
         assert_eq!(unit.weight("a0"), 1);
         let uni = assign_weights(&faulty, WeightProfile::Uniform { lo: 5, hi: 9 }, 1);
@@ -314,7 +347,7 @@ mod tests {
     #[test]
     fn weights_are_deterministic() {
         let golden = ripple_adder(2);
-        let faulty = cut_targets(&golden, &["w0".into()]);
+        let faulty = cut_targets(&golden, &["w0".into()]).expect("w0 is driven");
         let w1 = assign_weights(&faulty, WeightProfile::Uniform { lo: 1, hi: 100 }, 42);
         let w2 = assign_weights(&faulty, WeightProfile::Uniform { lo: 1, hi: 100 }, 42);
         assert_eq!(w1, w2);

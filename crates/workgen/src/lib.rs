@@ -28,11 +28,13 @@
 mod builder;
 pub mod circuits;
 mod fault;
+pub mod fuzz;
 mod suite;
 
 pub use crate::builder::NetlistBuilder;
 pub use crate::fault::{
-    assign_weights, break_untouched_output, cut_targets, scramble_dangling, WeightProfile,
+    assign_weights, break_untouched_output, cut_targets, scramble_dangling, FaultError,
+    WeightProfile,
 };
 pub use crate::suite::{
     build_unit, contest_suite, stress_specs, stress_suite, suite_specs, Family, SuiteUnit,

@@ -182,7 +182,7 @@ fn pick_targets(netlist: &Netlist, n: usize, bias: TargetBias, seed: u64) -> Vec
 pub fn build_unit(spec: &UnitSpec) -> SuiteUnit {
     let golden = spec.family.build();
     let targets = pick_targets(&golden, spec.n_targets, spec.bias, spec.seed);
-    let mut faulty = cut_targets(&golden, &targets);
+    let mut faulty = cut_targets(&golden, &targets).expect("targets are driven live wires");
     let _ = scramble_dangling(&mut faulty, spec.seed ^ 0x5c4a_6b1e);
     let weights = assign_weights(&faulty, spec.weights, spec.seed ^ 0x77a0_11d3);
     SuiteUnit {

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .to_string()
     };
     let targets = vec![combiner_net("combine0"), combiner_net("combine1")];
-    let faulty = cut_targets(&golden, &targets);
+    let faulty = cut_targets(&golden, &targets).expect("targets are driven");
 
     // Primary inputs are expensive (long routes), internal wires cheap.
     let weights = assign_weights(&faulty, WeightProfile::CheapWires { pi: 60, wire: 2 }, 1);

@@ -6,14 +6,21 @@
 # with a single sample each, so hot-path regressions (a bench that panics,
 # an accidental O(n^2) blowup) fail fast without the cost of a real
 # measurement run.
+#
+# --fuzz-smoke additionally replays the tests/corpus regression set and
+# runs a short differential fuzzing campaign (200 fixed-seed cases with
+# shrinking) through the eco-fuzz binary; any oracle failure fails the
+# gate with the shrunk case printed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench_smoke=0
+fuzz_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
-    *) echo "usage: $0 [--bench-smoke]" >&2; exit 2 ;;
+    --fuzz-smoke) fuzz_smoke=1 ;;
+    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -34,6 +41,13 @@ if [ "$bench_smoke" -eq 1 ]; then
   ECO_BENCH_SAMPLES=1 cargo bench -p eco-bench --bench sim_throughput
   echo "== bench smoke (1 sample): fraig_sweep"
   ECO_BENCH_SAMPLES=1 cargo bench -p eco-bench --bench fraig_sweep
+fi
+
+if [ "$fuzz_smoke" -eq 1 ]; then
+  echo "== fuzz smoke: corpus replay"
+  target/release/eco-fuzz --replay tests/corpus
+  echo "== fuzz smoke: 200-case campaign (seed 1)"
+  target/release/eco-fuzz --iters 200 --seed 1 --shrink
 fi
 
 echo "all checks passed"

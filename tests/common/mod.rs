@@ -4,49 +4,16 @@
 
 use eco::aig::Aig;
 use eco::core::EcoResult;
-use eco::netlist::{netlist_from_aig, parse_verilog, write_verilog, Gate, NetRef, Netlist};
+use eco::netlist::{elaborate, netlist_from_aig, parse_verilog, write_verilog, Netlist};
 
-/// Splices the engine's patch into the faulty netlist *textually*: targets
-/// stop being inputs and are driven by the patch's output gates; patch
-/// wires are prefixed to avoid collisions.
+/// Splices the engine's patch into the faulty netlist via the production
+/// assembly API, after round-tripping the patch through the Verilog
+/// writer/parser so the test exercises the emitted artifact.
 pub fn splice_patch(faulty: &Netlist, result: &EcoResult) -> Netlist {
-    // Round-trip the patch through the Verilog writer/parser so the test
-    // exercises the emitted artifact.
     let patch_text = write_verilog(&netlist_from_aig(&result.patch_aig, "patch"));
     let patch = parse_verilog(&patch_text).expect("emitted patch parses");
-
-    let mut combined = faulty.clone();
-    combined.name = format!("{}_patched", faulty.name);
-    let targets: Vec<String> = patch.outputs.clone();
-    combined.inputs.retain(|i| !targets.contains(i));
-    combined.wires.extend(targets.iter().cloned());
-
-    let rename = |n: &str| -> String {
-        if patch.wires.iter().any(|w| w == n) {
-            format!("p_{n}")
-        } else {
-            n.to_string()
-        }
-    };
-    for w in &patch.wires {
-        combined.wires.push(format!("p_{w}"));
-    }
-    for g in &patch.gates {
-        combined.gates.push(Gate {
-            kind: g.kind,
-            name: None,
-            output: rename(&g.output),
-            inputs: g
-                .inputs
-                .iter()
-                .map(|r| match r {
-                    NetRef::Named(n) => NetRef::Named(rename(n)),
-                    c => c.clone(),
-                })
-                .collect(),
-        });
-    }
-    combined
+    let patch_aig = elaborate(&patch).expect("emitted patch elaborates").aig;
+    eco::core::splice_patch(faulty, &patch_aig).expect("patch splices")
 }
 
 /// Exhaustively checks (up to 12 inputs) or randomly samples that the

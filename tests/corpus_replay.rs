@@ -1,0 +1,60 @@
+//! Replays the `tests/corpus/` regression set through the differential
+//! fuzzing oracle, plus a small fixed-seed fuzz smoke campaign.
+//!
+//! Corpus cases are shapes that once exposed (or are prone to exposing)
+//! pipeline bugs — multi-target clusters, constant cones, degenerate
+//! weights, output-polarity traps. Every case must pass the independent
+//! oracle: full engine run, patched-netlist Verilog round trip, fresh
+//! SAT miter against the golden circuit, and a random-simulation
+//! cross-check. New failures found by `eco-fuzz` get shrunk and dropped
+//! into `tests/corpus/` as `.case` files; this test picks them up
+//! automatically.
+
+use eco::workgen::fuzz::{run_campaign, run_case, CaseOutcome, FuzzCase, FuzzConfig};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_cases_all_pass_the_oracle() {
+    let cfg = FuzzConfig::default();
+    let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "corpus must not be empty");
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("case readable");
+        let case = FuzzCase::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        match run_case(&case, &cfg) {
+            CaseOutcome::Pass => {}
+            CaseOutcome::Skip(why) => {
+                panic!(
+                    "{}: skipped ({why}) — corpus cases must be cheap",
+                    path.display()
+                )
+            }
+            CaseOutcome::Fail(f) => {
+                panic!("{}: FAIL at {} — {}", path.display(), f.stage, f.detail)
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_seed_fuzz_smoke_is_clean() {
+    let cfg = FuzzConfig::default();
+    let (stats, failures) = run_campaign(25, 0xec0f, &cfg, true, |_, _| {});
+    assert_eq!(stats.cases, 25);
+    assert!(
+        failures.is_empty(),
+        "fuzz smoke found {} failure(s); first: {} at {}",
+        failures.len(),
+        failures[0].case.seed,
+        failures[0].failure.stage
+    );
+}

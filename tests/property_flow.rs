@@ -190,7 +190,7 @@ proptest! {
         prop_assume!(live.len() >= n_targets);
         let step = (live.len() / n_targets).max(1);
         let targets: Vec<String> = live.iter().step_by(step).take(n_targets).cloned().collect();
-        let faulty = cut_targets(&golden, &targets);
+        let faulty = cut_targets(&golden, &targets).expect("targets are driven");
         let weights = assign_weights(&faulty, WeightProfile::Uniform { lo: 1, hi: 30 }, seed);
         let instance = EcoInstance::from_netlists(
             "prop", &faulty, &golden, targets, &weights,
@@ -224,7 +224,7 @@ proptest! {
         };
         prop_assume!(!live.is_empty());
         let targets = vec![live[live.len() / 2].clone()];
-        let mut faulty = cut_targets(&golden, &targets);
+        let mut faulty = cut_targets(&golden, &targets).expect("targets are driven");
         let broke = eco::workgen::break_untouched_output(&mut faulty, &golden, &targets, seed);
         prop_assume!(broke.is_some());
         let weights = assign_weights(&faulty, WeightProfile::Unit, seed);
