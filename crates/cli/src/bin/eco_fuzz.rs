@@ -14,14 +14,23 @@
 //! `--corpus <dir>`, each (shrunk) failure is written there as a
 //! `.case` file for the regression replay test.
 //!
+//! `--budget-campaign` instead drives every case through the *governed*
+//! pipeline under a seeded starvation budget (tiny per-cluster conflict
+//! allowances, occasional zero deadlines): each case must either
+//! complete and pass the full oracle or degrade to a well-formed
+//! partial result — never panic, hang, or emit a malformed netlist.
+//!
 //! Exit codes: 0 — clean; 1 — usage or I/O error; 3 — failures found.
 
 use std::process::ExitCode;
 
-use eco_workgen::fuzz::{gen_case, run_campaign, run_case, CaseOutcome, FuzzCase, FuzzConfig};
+use eco_workgen::fuzz::{
+    gen_case, run_budget_campaign, run_campaign, run_case, CaseOutcome, FuzzCase, FuzzConfig,
+};
 
 const USAGE: &str = "usage: eco-fuzz [--iters <n>] [--seed <s>] [--shrink] \
-                     [--corpus <dir>] [--replay <file-or-dir>] [--case <seed>]";
+                     [--corpus <dir>] [--replay <file-or-dir>] [--case <seed>] \
+                     [--budget-campaign]";
 
 fn replay(path: &str, cfg: &FuzzConfig) -> Result<u64, String> {
     let meta = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
@@ -82,10 +91,12 @@ fn main() -> ExitCode {
     let mut corpus: Option<String> = None;
     let mut replay_path: Option<String> = None;
     let mut one_case: Option<u64> = None;
+    let mut budget_campaign = false;
     let mut args = std::env::args().skip(1);
     let mut bad = false;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--budget-campaign" => budget_campaign = true,
             "--iters" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => iters = v,
                 None => bad = true,
@@ -136,6 +147,32 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}");
                 ExitCode::from(1)
             }
+        };
+    }
+
+    if budget_campaign {
+        let (stats, failures) = run_budget_campaign(iters, seed, &cfg, |done, s| {
+            if done % 100 == 0 {
+                eprintln!(
+                    "{done}/{iters}: {} completed, {} partial, {} skipped, {} failed",
+                    s.completes, s.partials, s.skips, s.failures
+                );
+            }
+        });
+        println!(
+            "cases {}  completes {}  partials {}  skips {}  failures {}",
+            stats.cases, stats.completes, stats.partials, stats.skips, stats.failures
+        );
+        for (i, f) in failures.iter().enumerate() {
+            eprintln!(
+                "failure {i}: seed {:x} at {} — {}",
+                f.case.seed, f.failure.stage, f.failure.detail
+            );
+        }
+        return if failures.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(3)
         };
     }
 

@@ -9,19 +9,25 @@
 //! circuit, and a weight file; writes the patch as structural Verilog
 //! whose inputs are existing faulty nets and whose outputs drive the
 //! targets. Exit code 0 = patched and verified; 2 = unrectifiable;
-//! 1 = usage or I/O error.
+//! 4 = governed run degraded to a partial result; 1 = usage or I/O error.
 //!
 //! `--jobs N` sets the worker-thread count for the per-cluster
 //! patch-generation stage (0 = all cores; results are identical for any
 //! value). `--stats` prints run telemetry (per-stage wall times, SAT and
 //! FRAIG counters, flow events) to stderr; `--stats=json` emits the same
 //! as a single JSON object, keeping stdout clean for the patch netlist.
+//!
+//! `--timeout SECS` and `--conflict-budget N` enable the run-wide resource
+//! governor: when a limit cuts the run short, the process exits with code
+//! 4 and reports every cluster's diagnosis; `--allow-partial`
+//! additionally writes the completed (unverified) patches to the output.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use std::collections::HashMap;
 
-use eco_core::{EcoEngine, EcoInstance, EcoOptions, InitialPatchKind};
+use eco_core::{BudgetOptions, EcoEngine, EcoInstance, EcoOptions, EcoOutcome, InitialPatchKind};
 use eco_netlist::{
     netlist_from_aig, parse_blif, parse_verilog, parse_weights, write_verilog, WeightTable,
 };
@@ -46,11 +52,15 @@ struct Args {
     jobs: usize,
     stats: StatsFormat,
     quiet: bool,
+    timeout: Option<Duration>,
+    conflict_budget: Option<u64>,
+    allow_partial: bool,
 }
 
 const USAGE: &str = "usage: eco-patch -f <faulty.{v,blif}> -g <golden.{v,blif}> -t <t1,t2,...> \
 [-w <weights.txt>] [-o <patch.v>] [--no-localization] [--no-optimize] \
-[--initial onset|negoff|interpolant] [--jobs N] [--stats[=json]] [-q]";
+[--initial onset|negoff|interpolant] [--jobs N] [--stats[=json]] [-q] \
+[--timeout SECS] [--conflict-budget N] [--allow-partial]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -65,6 +75,9 @@ fn parse_args() -> Result<Args, String> {
         jobs: 0,
         stats: StatsFormat::Off,
         quiet: false,
+        timeout: None,
+        conflict_budget: None,
+        allow_partial: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -93,6 +106,24 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
             }
+            "--timeout" => {
+                let v = value("--timeout")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--timeout expects seconds, got `{v}`"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("--timeout expects non-negative seconds, got `{v}`"));
+                }
+                args.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--conflict-budget" => {
+                let v = value("--conflict-budget")?;
+                args.conflict_budget = Some(
+                    v.parse()
+                        .map_err(|_| format!("--conflict-budget expects a number, got `{v}`"))?,
+                );
+            }
+            "--allow-partial" => args.allow_partial = true,
             "--stats" => args.stats = StatsFormat::Text,
             "--stats=json" => args.stats = StatsFormat::Json,
             "--stats=text" => args.stats = StatsFormat::Text,
@@ -163,15 +194,41 @@ fn run(args: &Args) -> Result<i32, String> {
         optimize: args.optimize,
         initial_patch: args.initial,
         jobs: args.jobs,
+        budget: BudgetOptions {
+            timeout: args.timeout,
+            cluster_conflicts: args.conflict_budget,
+        },
         ..Default::default()
     };
-    let result = match EcoEngine::new(instance, options).run() {
-        Ok(r) => r,
+    let outcome = match EcoEngine::new(instance, options).run_governed() {
+        Ok(o) => o,
         Err(eco_core::EcoError::Unrectifiable(why)) => {
             eprintln!("unrectifiable: {why}");
             return Ok(2);
         }
         Err(e) => return Err(e.to_string()),
+    };
+
+    let result = match outcome {
+        EcoOutcome::Complete(result) => result,
+        EcoOutcome::Partial(partial) => {
+            if !args.quiet {
+                eprint!("{}", eco_core::PartialReport(&partial));
+            }
+            match args.stats {
+                StatsFormat::Off => {}
+                StatsFormat::Text => eprint!("{}", partial.telemetry),
+                StatsFormat::Json => eprintln!("{}", partial.telemetry.to_json()),
+            }
+            if args.allow_partial {
+                let text = write_verilog(&netlist_from_aig(&partial.patch_aig, "patch"));
+                match &args.output {
+                    Some(p) => std::fs::write(p, text).map_err(|e| format!("{p}: {e}"))?,
+                    None => print!("{text}"),
+                }
+            }
+            return Ok(4);
+        }
     };
 
     if !args.quiet {

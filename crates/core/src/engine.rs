@@ -14,6 +14,7 @@
 //! byte-identical patches.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -22,16 +23,17 @@ use eco_aig::{Aig, Lit, Var};
 use eco_fraig::{fraig_classes_stats, fraig_reduce, FraigOptions};
 
 use crate::cluster::{cluster_targets, TargetCluster};
+use crate::govern::{Budget, BudgetOptions, ClusterDiagnosis, ClusterReport};
 use crate::localize::{Cut, CutSignal, TapMap};
-use crate::optimize::{optimize_patches, total_cost, OptimizeOptions};
+use crate::optimize::{optimize_patches_governed, total_cost, OptimizeOptions};
 use crate::patchgen::{
-    extract_patch_aig, generate_group_patches, GroupPatches, PatchFn, PatchGenOptions,
+    extract_patch_aig, generate_group_patches_governed, GroupPatches, PatchFn, PatchGenOptions,
 };
 use crate::rectifiable::{check_rectifiable, Rectifiability};
-use crate::sizeopt::{reduce_patch_sizes, SizeOptOptions};
+use crate::sizeopt::{reduce_patch_sizes_governed, SizeOptOptions};
 use crate::synth::InitialPatchKind;
 use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
-use crate::verify::{check_equivalence_stats, VerifyOutcome};
+use crate::verify::{check_equivalence_ctl, VerifyOutcome};
 use crate::{EcoError, EcoInstance, Workspace};
 
 /// Engine configuration.
@@ -67,6 +69,11 @@ pub struct EcoOptions {
     /// sequentially (same code path, so results are identical for every
     /// value). Never more threads than clusters are spawned.
     pub jobs: usize,
+    /// Run-wide resource governor: wall-clock deadline and per-cluster
+    /// conflict allowance. Unlimited by default; when unlimited, every
+    /// governed code path collapses to the ungoverned one, so results are
+    /// identical to a run without the governor.
+    pub budget: BudgetOptions,
 }
 
 impl Default for EcoOptions {
@@ -83,6 +90,7 @@ impl Default for EcoOptions {
             size_optimize: true,
             size_opts: SizeOptOptions::default(),
             jobs: 0,
+            budget: BudgetOptions::default(),
         }
     }
 }
@@ -167,6 +175,52 @@ pub struct EcoResult {
     pub telemetry: TelemetrySnapshot,
 }
 
+/// A governed run's outcome: either the full flow finished, or the
+/// resource governor degraded it to a partial result.
+#[derive(Clone, Debug)]
+pub enum EcoOutcome {
+    /// Every cluster was patched and the result verified.
+    Complete(EcoResult),
+    /// The run hit its deadline or conflict budget (or a cluster worker
+    /// panicked); whatever completed is reported with per-cluster
+    /// diagnoses.
+    Partial(PartialResult),
+}
+
+/// Graceful-degradation result: the patches that *did* complete plus a
+/// per-cluster diagnosis of what happened to the rest.
+///
+/// The completed patches are individually correct for their own clusters,
+/// but the combined result has **not** passed final verification — it is a
+/// best-effort artifact for triage, not a drop-in rectification.
+#[derive(Clone, Debug)]
+pub struct PartialResult {
+    /// Why the run degraded (first binding limit).
+    pub reason: String,
+    /// Patches from clusters that completed before the limit hit.
+    pub patches: Vec<TargetPatch>,
+    /// Combined patch circuit over the completed clusters (empty when none
+    /// completed or partial assembly itself failed).
+    pub patch_aig: Aig,
+    /// Base cost over the completed patches.
+    pub cost: u64,
+    /// AND-gate count of the completed patch circuit.
+    pub size: usize,
+    /// One report per target cluster, in cluster order.
+    pub clusters: Vec<ClusterReport>,
+    /// Stage wall-clock times up to the point of degradation.
+    pub stage_times: StageTimes,
+    /// Full run telemetry, including the governor counters.
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// One flow attempt's outcome (internal).
+enum AttemptOutcome {
+    Done(EcoResult),
+    Cex(Vec<(String, bool)>),
+    Degraded(PartialResult),
+}
+
 /// The cost-aware multi-target ECO patch generator.
 ///
 /// # Examples
@@ -222,12 +276,41 @@ impl EcoEngine {
     /// [`EcoError::Unrectifiable`] when no patch over the given targets can
     /// make the circuits equivalent (witnessed by a failed final
     /// verification of the complete, unlocalized derivation), and
-    /// [`EcoError::ResourceLimit`] when verification exhausts its budget.
+    /// [`EcoError::ResourceLimit`] when verification exhausts its budget
+    /// or the [`EcoOptions::budget`] governor degrades the run (use
+    /// [`EcoEngine::run_governed`] to receive the partial result instead).
     pub fn run(&self) -> Result<EcoResult, EcoError> {
+        match self.run_governed()? {
+            EcoOutcome::Complete(result) => Ok(result),
+            EcoOutcome::Partial(partial) => Err(EcoError::ResourceLimit(format!(
+                "run degraded to a partial result: {}",
+                partial.reason
+            ))),
+        }
+    }
+
+    /// Runs the full flow under the [`EcoOptions::budget`] governor,
+    /// returning a graceful [`EcoOutcome::Partial`] instead of an error
+    /// when the deadline or conflict budget cuts the run short.
+    ///
+    /// With an unlimited budget this behaves exactly like [`run`] (modulo
+    /// the return type): the only way to see `Partial` is a panicking
+    /// cluster worker, which the engine isolates and reports instead of
+    /// aborting the process.
+    ///
+    /// [`run`]: EcoEngine::run
+    ///
+    /// # Errors
+    ///
+    /// As [`EcoEngine::run`], except budget-driven degradation is a
+    /// successful `Partial` outcome rather than an error.
+    pub fn run_governed(&self) -> Result<EcoOutcome, EcoError> {
+        let budget = Budget::new(&self.options.budget);
         let tel = Telemetry::new();
-        let mut result = match self.attempt(self.options.localization, &tel)? {
-            Ok(result) => result,
-            Err(cex) if self.options.localization => {
+        let outcome = match self.attempt(self.options.localization, &budget, &tel)? {
+            AttemptOutcome::Done(result) => EcoOutcome::Complete(result),
+            AttemptOutcome::Degraded(partial) => EcoOutcome::Partial(partial),
+            AttemptOutcome::Cex(cex) if self.options.localization => {
                 // Completeness fallback: retry without localization.
                 tel.add_localization_fallback();
                 tel.event(
@@ -239,12 +322,13 @@ impl EcoEngine {
                         cex_summary(&cex)
                     ),
                 );
-                match self.attempt(false, &tel)? {
-                    Ok(mut result) => {
+                match self.attempt(false, &budget, &tel)? {
+                    AttemptOutcome::Done(mut result) => {
                         result.localization_fallback = true;
-                        result
+                        EcoOutcome::Complete(result)
                     }
-                    Err(cex) => {
+                    AttemptOutcome::Degraded(partial) => EcoOutcome::Partial(partial),
+                    AttemptOutcome::Cex(cex) => {
                         return Err(EcoError::Unrectifiable(format!(
                             "verification counterexample: {}",
                             cex_summary(&cex)
@@ -252,54 +336,115 @@ impl EcoEngine {
                     }
                 }
             }
-            Err(cex) => {
+            AttemptOutcome::Cex(cex) => {
                 return Err(EcoError::Unrectifiable(format!(
                     "verification counterexample: {}",
                     cex_summary(&cex)
                 )))
             }
         };
-        result.telemetry = tel.snapshot();
-        Ok(result)
+        Ok(match outcome {
+            EcoOutcome::Complete(mut result) => {
+                result.telemetry = tel.snapshot();
+                EcoOutcome::Complete(result)
+            }
+            EcoOutcome::Partial(mut partial) => {
+                partial.telemetry = tel.snapshot();
+                EcoOutcome::Partial(partial)
+            }
+        })
     }
 
-    /// Rectifies one cluster against its own sub-workspace: FRAIG + tap
-    /// map (when localizing) and Alg.-1 patch generation, all without
-    /// touching the shared manager. Safe to call from worker threads.
-    fn rectify_cluster(
+    /// Rectifies one cluster against its own sub-workspace with panic
+    /// isolation: a worker that panics (a solver bug, a pathological
+    /// input) is reported as a per-cluster diagnosis instead of tearing
+    /// the whole run down. Safe to call from worker threads.
+    fn rectify_cluster_governed(
         &self,
         ws: &Workspace,
         cluster: &TargetCluster,
         localization: bool,
         pg_opts: &PatchGenOptions,
+        budget: &Budget,
         tel: &Telemetry,
-    ) -> ClusterOutcome {
+    ) -> Result<ClusterOutcome, ClusterDiagnosis> {
+        if budget.expired() {
+            return Err(ClusterDiagnosis::Deadline);
+        }
+        catch_unwind(AssertUnwindSafe(|| {
+            self.rectify_cluster_metered(ws, cluster, localization, pg_opts, budget, tel)
+        }))
+        .unwrap_or_else(|payload| Err(ClusterDiagnosis::Panicked(panic_message(&*payload))))
+    }
+
+    /// The cluster flow proper: FRAIG + tap map (when localizing) and
+    /// Alg.-1 patch generation, all without touching the shared manager.
+    ///
+    /// Conflict accounting is strictly worker-local: the cluster draws a
+    /// fresh [`ConflictMeter`](crate::ConflictMeter) from the budget and
+    /// charges it with deterministic SAT conflict counts, so whether a
+    /// cluster degrades never depends on how many workers run beside it.
+    fn rectify_cluster_metered(
+        &self,
+        ws: &Workspace,
+        cluster: &TargetCluster,
+        localization: bool,
+        pg_opts: &PatchGenOptions,
+        budget: &Budget,
+        tel: &Telemetry,
+    ) -> Result<ClusterOutcome, ClusterDiagnosis> {
+        let mut meter = budget.meter();
+        if meter.exhausted() {
+            return Err(ClusterDiagnosis::BudgetExhausted);
+        }
         let (mut sub, local) = ws.for_cluster(cluster);
         let t0 = Instant::now();
         let tap = if localization {
-            let (classes, sweep) = fraig_classes_stats(&sub.mgr, &self.options.fraig);
+            let mut fraig_opts = self.options.fraig.clone();
+            if let Some(remaining) = meter.remaining() {
+                // The sweep shares the cluster's allowance: cap its total
+                // spend at what remains and keep per-query budgets inside
+                // that (at least 1 so the option stays meaningful).
+                fraig_opts.max_total_conflicts = remaining;
+                fraig_opts.conflict_budget = fraig_opts.conflict_budget.min(remaining.max(1));
+            }
+            if !budget.is_unlimited() {
+                fraig_opts.ctl = budget.ctl();
+            }
+            let (classes, sweep) = fraig_classes_stats(&sub.mgr, &fraig_opts);
             tel.record_sweep(&sweep);
+            meter.charge(sweep.sat.conflicts);
             TapMap::build(&sub, &classes)
         } else {
             TapMap::empty()
         };
         let fraig_time = t0.elapsed();
         tel.add_stage(Stage::Fraig, fraig_time);
-        let group = generate_group_patches(&mut sub, &tap, &local, pg_opts, tel);
-        ClusterOutcome {
+        if budget.expired() {
+            return Err(ClusterDiagnosis::Deadline);
+        }
+        if meter.exhausted() {
+            return Err(ClusterDiagnosis::BudgetExhausted);
+        }
+        let group = generate_group_patches_governed(
+            &mut sub, &tap, &local, pg_opts, budget, &mut meter, tel,
+        )?;
+        Ok(ClusterOutcome {
             sub,
             group,
             fraig_time,
-        }
+        })
     }
 
-    /// One flow attempt; `Ok(Err(cex))` = verification failed.
+    /// One flow attempt.
     fn attempt(
         &self,
         localization: bool,
+        budget: &Budget,
         tel: &Telemetry,
-    ) -> Result<Result<EcoResult, Vec<(String, bool)>>, EcoError> {
+    ) -> Result<AttemptOutcome, EcoError> {
         let opts = &self.options;
+        let governed = !budget.is_unlimited();
         let mut times = StageTimes::default();
         let mut ws = Workspace::new(&self.instance);
 
@@ -309,13 +454,49 @@ impl EcoEngine {
         times.clustering = t0.elapsed();
         tel.add_stage(Stage::Clustering, times.clustering);
 
+        if governed && budget.expired() {
+            tel.event(
+                Stage::Clustering,
+                "run_degraded",
+                "deadline expired before patch generation".to_string(),
+            );
+            return Ok(self.degrade_all_clusters(
+                &ws,
+                &clustering.clusters,
+                ClusterDiagnosis::Deadline,
+                "deadline expired before patch generation",
+                times,
+                tel,
+            ));
+        }
+
         if opts.precheck_rectifiability {
-            match check_rectifiable(&mut ws, 256, opts.verify_budget) {
+            match check_rectifiable(&mut ws, 256, budget.cap(opts.verify_budget)) {
                 Rectifiability::Rectifiable => {}
                 Rectifiability::Counterexample(cex) => {
                     return Err(EcoError::Unrectifiable(format!(
                         "Eq. (2) counterexample: no target assignment works at {cex:?}"
                     )))
+                }
+                Rectifiability::Unknown if governed => {
+                    let diag = if budget.expired() {
+                        ClusterDiagnosis::Deadline
+                    } else {
+                        ClusterDiagnosis::BudgetExhausted
+                    };
+                    tel.event(
+                        Stage::Verify,
+                        "run_degraded",
+                        "rectifiability precheck budget exhausted".to_string(),
+                    );
+                    return Ok(self.degrade_all_clusters(
+                        &ws,
+                        &clustering.clusters,
+                        diag,
+                        "rectifiability precheck budget exhausted",
+                        times,
+                        tel,
+                    ));
                 }
                 Rectifiability::Unknown => {
                     return Err(EcoError::ResourceLimit("rectifiability precheck".into()))
@@ -332,7 +513,12 @@ impl EcoEngine {
                 .map(|&j| (ws.f_outs[j], ws.g_outs[j]))
                 .collect();
             let t0 = Instant::now();
-            let (verdict, stats) = check_equivalence_stats(&mut ws.mgr, &pairs, opts.verify_budget);
+            let (verdict, stats) = check_equivalence_ctl(
+                &mut ws.mgr,
+                &pairs,
+                budget.cap(opts.verify_budget),
+                &budget.ctl(),
+            );
             tel.record_solver(&stats);
             let spent = t0.elapsed();
             times.verify += spent;
@@ -348,6 +534,26 @@ impl EcoEngine {
                     return Err(EcoError::Unrectifiable(format!(
                         "output outside all target fanout cones differs {at}"
                     )));
+                }
+                VerifyOutcome::Unknown if governed => {
+                    let diag = if budget.expired() {
+                        ClusterDiagnosis::Deadline
+                    } else {
+                        ClusterDiagnosis::BudgetExhausted
+                    };
+                    tel.event(
+                        Stage::Verify,
+                        "run_degraded",
+                        "verification budget exhausted on untouched outputs".to_string(),
+                    );
+                    return Ok(self.degrade_all_clusters(
+                        &ws,
+                        &clustering.clusters,
+                        diag,
+                        "verification budget exhausted on untouched outputs",
+                        times,
+                        tel,
+                    ));
                 }
                 VerifyOutcome::Unknown => {
                     return Err(EcoError::ResourceLimit(
@@ -370,13 +576,14 @@ impl EcoEngine {
         let jobs = resolve_jobs(opts.jobs, clusters.len());
         tel.add_clusters(clusters.len() as u64);
         tel.set_jobs(jobs as u64);
-        let outcomes: Vec<ClusterOutcome> = if jobs <= 1 {
+        type ClusterSlot = Result<ClusterOutcome, ClusterDiagnosis>;
+        let outcomes: Vec<ClusterSlot> = if jobs <= 1 {
             clusters
                 .iter()
-                .map(|c| self.rectify_cluster(&ws, c, localization, &pg_opts, tel))
+                .map(|c| self.rectify_cluster_governed(&ws, c, localization, &pg_opts, budget, tel))
                 .collect()
         } else {
-            let slots: Vec<Mutex<Option<ClusterOutcome>>> =
+            let slots: Vec<Mutex<Option<ClusterSlot>>> =
                 clusters.iter().map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
@@ -386,8 +593,14 @@ impl EcoEngine {
                         if i >= clusters.len() {
                             break;
                         }
-                        let out =
-                            self.rectify_cluster(&ws, &clusters[i], localization, &pg_opts, tel);
+                        let out = self.rectify_cluster_governed(
+                            &ws,
+                            &clusters[i],
+                            localization,
+                            &pg_opts,
+                            budget,
+                            tel,
+                        );
                         *slots[i].lock().expect("cluster slot") = Some(out);
                     });
                 }
@@ -403,10 +616,37 @@ impl EcoEngine {
         };
         let mut patches: Vec<PatchFn> = Vec::new();
         let mut interpolation_fallbacks = 0;
-        for out in outcomes {
-            times.fraig += out.fraig_time;
-            interpolation_fallbacks += out.group.fallbacks;
-            patches.extend(adopt_group(&mut ws, &out.sub, &out.group)?);
+        let mut cluster_reports: Vec<ClusterReport> = Vec::with_capacity(clusters.len());
+        let mut failed = 0usize;
+        for (cluster, out) in clusters.iter().zip(outcomes) {
+            let targets: Vec<String> = cluster
+                .targets
+                .iter()
+                .map(|&k| self.instance.targets[k].clone())
+                .collect();
+            match out {
+                Ok(out) => {
+                    times.fraig += out.fraig_time;
+                    interpolation_fallbacks += out.group.fallbacks;
+                    patches.extend(adopt_group(&mut ws, &out.sub, &out.group)?);
+                    cluster_reports.push(ClusterReport {
+                        targets,
+                        diagnosis: ClusterDiagnosis::Patched,
+                    });
+                }
+                Err(diagnosis) => {
+                    failed += 1;
+                    tel.event(
+                        Stage::PatchGen,
+                        "cluster_degraded",
+                        format!("cluster [{}]: {diagnosis}", targets.join(", ")),
+                    );
+                    cluster_reports.push(ClusterReport { targets, diagnosis });
+                }
+            }
+        }
+        for report in &cluster_reports {
+            tel.add_cluster_diagnosis(&report.diagnosis);
         }
         for &k in &clustering.dead_targets {
             patches.push(PatchFn {
@@ -418,17 +658,34 @@ impl EcoEngine {
         times.patchgen = t0.elapsed();
         tel.add_stage(Stage::PatchGen, times.patchgen);
 
+        if failed > 0 {
+            // Graceful degradation: report what completed; skip the
+            // optimization and final-verification stages (their results
+            // would describe an incomplete patch set anyway).
+            let reason = format!("{failed} of {} clusters degraded", clusters.len());
+            return Ok(AttemptOutcome::Degraded(self.assemble_partial(
+                &ws,
+                patches,
+                cluster_reports,
+                reason,
+                times,
+                tel,
+            )));
+        }
+
         // Stage 5: cost optimization.
         let t0 = Instant::now();
         let optimize_delta = if opts.optimize {
-            let stats = optimize_patches(&mut ws, &mut patches, &opts.optimize_opts, tel);
+            let stats =
+                optimize_patches_governed(&mut ws, &mut patches, &opts.optimize_opts, budget, tel);
             (stats.cost_before, stats.cost_after)
         } else {
             let c = total_cost(&ws, &patches);
             (c, c)
         };
         if opts.size_optimize {
-            let _ = reduce_patch_sizes(&mut ws, &mut patches, &opts.size_opts, tel);
+            let _ =
+                reduce_patch_sizes_governed(&mut ws, &mut patches, &opts.size_opts, budget, tel);
         }
         times.optimize = t0.elapsed();
         tel.add_stage(Stage::Optimize, times.optimize);
@@ -442,14 +699,34 @@ impl EcoEngine {
         let f_outs = ws.f_outs.clone();
         let patched = ws.mgr.substitute(&f_outs, &map);
         let pairs: Vec<(Lit, Lit)> = patched.into_iter().zip(ws.g_outs.clone()).collect();
-        let (verdict, stats) = check_equivalence_stats(&mut ws.mgr, &pairs, opts.verify_budget);
+        let (verdict, stats) = check_equivalence_ctl(
+            &mut ws.mgr,
+            &pairs,
+            budget.cap(opts.verify_budget),
+            &budget.ctl(),
+        );
         tel.record_solver(&stats);
         let spent = t0.elapsed();
         times.verify += spent;
         tel.add_stage(Stage::Verify, spent);
         match verdict {
             VerifyOutcome::Equivalent => {}
-            VerifyOutcome::Counterexample(cex) => return Ok(Err(cex)),
+            VerifyOutcome::Counterexample(cex) => return Ok(AttemptOutcome::Cex(cex)),
+            VerifyOutcome::Unknown if governed => {
+                tel.event(
+                    Stage::Verify,
+                    "run_degraded",
+                    "final verification budget exhausted; patches are unverified".to_string(),
+                );
+                return Ok(AttemptOutcome::Degraded(self.assemble_partial(
+                    &ws,
+                    patches,
+                    cluster_reports,
+                    "final verification budget exhausted".to_string(),
+                    times,
+                    tel,
+                )));
+            }
             VerifyOutcome::Unknown => {
                 return Err(EcoError::ResourceLimit("verification budget".into()))
             }
@@ -459,42 +736,8 @@ impl EcoEngine {
         // combined patch AIG over the merged cut, prune unused inputs, and
         // FRAIG-reduce the patch itself.
         let result = tel.time(Stage::Assemble, || -> Result<EcoResult, EcoError> {
-            patches.sort_by_key(|p| p.target);
-            let merged = Cut::merge(patches.iter().map(|p| &p.cut));
-            let roots: Vec<Lit> = patches.iter().map(|p| p.lit).collect();
-            let (mut patch_aig, outs) =
-                extract_patch_aig(&ws.mgr, &ws.target_vars, &roots, &merged)?;
-            for (p, &o) in patches.iter().zip(&outs) {
-                patch_aig.add_output(self.instance.targets[p.target].clone(), o);
-            }
-            let patch_aig = prune_unused_inputs(&patch_aig);
-            let patch_aig = {
-                let (classes, sweep) = fraig_classes_stats(&patch_aig, &opts.fraig);
-                tel.record_sweep(&sweep);
-                fraig_reduce(&patch_aig, &classes).compact()
-            };
-
-            let cost = total_cost(&ws, &patches);
-            let all_roots: Vec<Lit> = patch_aig.outputs().iter().map(|o| o.lit).collect();
-            let size = patch_aig.count_cone_ands(&all_roots);
-            let target_patches: Vec<TargetPatch> = patch_aig
-                .outputs()
-                .iter()
-                .map(|o| TargetPatch {
-                    target: o.name.clone(),
-                    base: patch_aig
-                        .support(&[o.lit])
-                        .iter()
-                        .map(|&v| {
-                            patch_aig
-                                .input_name(patch_aig.input_pos(v).expect("support is inputs"))
-                                .to_owned()
-                        })
-                        .collect(),
-                    size: patch_aig.count_cone_ands(&[o.lit]),
-                })
-                .collect();
-
+            let (target_patches, patch_aig, cost, size) =
+                self.assemble_patches(&ws, &mut patches, tel)?;
             Ok(EcoResult {
                 patches: target_patches,
                 patch_aig,
@@ -507,7 +750,138 @@ impl EcoEngine {
                 telemetry: TelemetrySnapshot::default(),
             })
         })?;
-        Ok(Ok(result))
+        Ok(AttemptOutcome::Done(result))
+    }
+
+    /// Orders the patches by target index, extracts the combined patch AIG
+    /// over the merged cut, prunes unused inputs, FRAIG-reduces the patch,
+    /// and computes the cost/size summary. Shared by the complete and
+    /// partial assembly paths.
+    fn assemble_patches(
+        &self,
+        ws: &Workspace,
+        patches: &mut [PatchFn],
+        tel: &Telemetry,
+    ) -> Result<(Vec<TargetPatch>, Aig, u64, usize), EcoError> {
+        patches.sort_by_key(|p| p.target);
+        let merged = Cut::merge(patches.iter().map(|p| &p.cut));
+        let roots: Vec<Lit> = patches.iter().map(|p| p.lit).collect();
+        let (mut patch_aig, outs) = extract_patch_aig(&ws.mgr, &ws.target_vars, &roots, &merged)?;
+        for (p, &o) in patches.iter().zip(&outs) {
+            patch_aig.add_output(self.instance.targets[p.target].clone(), o);
+        }
+        let patch_aig = prune_unused_inputs(&patch_aig);
+        let patch_aig = {
+            let (classes, sweep) = fraig_classes_stats(&patch_aig, &self.options.fraig);
+            tel.record_sweep(&sweep);
+            fraig_reduce(&patch_aig, &classes).compact()
+        };
+
+        let cost = total_cost(ws, patches);
+        let all_roots: Vec<Lit> = patch_aig.outputs().iter().map(|o| o.lit).collect();
+        let size = patch_aig.count_cone_ands(&all_roots);
+        let target_patches: Vec<TargetPatch> = patch_aig
+            .outputs()
+            .iter()
+            .map(|o| TargetPatch {
+                target: o.name.clone(),
+                base: patch_aig
+                    .support(&[o.lit])
+                    .iter()
+                    .map(|&v| {
+                        patch_aig
+                            .input_name(patch_aig.input_pos(v).expect("support is inputs"))
+                            .to_owned()
+                    })
+                    .collect(),
+                size: patch_aig.count_cone_ands(&[o.lit]),
+            })
+            .collect();
+        Ok((target_patches, patch_aig, cost, size))
+    }
+
+    /// Builds a [`PartialResult`] from whatever patches completed. Assembly
+    /// failures degrade further to an empty patch set (recorded as a
+    /// telemetry event) — a partial result never turns into a hard error.
+    fn assemble_partial(
+        &self,
+        ws: &Workspace,
+        mut patches: Vec<PatchFn>,
+        clusters: Vec<ClusterReport>,
+        reason: String,
+        times: StageTimes,
+        tel: &Telemetry,
+    ) -> PartialResult {
+        let assembled = tel.time(Stage::Assemble, || {
+            self.assemble_patches(ws, &mut patches, tel)
+        });
+        let (target_patches, patch_aig, cost, size) = match assembled {
+            Ok(parts) => parts,
+            Err(e) => {
+                tel.event(
+                    Stage::Assemble,
+                    "partial_assembly_failed",
+                    format!("completed patches could not be assembled: {e}"),
+                );
+                (Vec::new(), Aig::new(), 0, 0)
+            }
+        };
+        PartialResult {
+            reason,
+            patches: target_patches,
+            patch_aig,
+            cost,
+            size,
+            clusters,
+            stage_times: times,
+            telemetry: TelemetrySnapshot::default(),
+        }
+    }
+
+    /// Degrades every cluster with the same diagnosis (used when a serial
+    /// stage ahead of patch generation hits a limit).
+    fn degrade_all_clusters(
+        &self,
+        ws: &Workspace,
+        clusters: &[TargetCluster],
+        diagnosis: ClusterDiagnosis,
+        reason: &str,
+        times: StageTimes,
+        tel: &Telemetry,
+    ) -> AttemptOutcome {
+        let reports: Vec<ClusterReport> = clusters
+            .iter()
+            .map(|c| ClusterReport {
+                targets: c
+                    .targets
+                    .iter()
+                    .map(|&k| self.instance.targets[k].clone())
+                    .collect(),
+                diagnosis: diagnosis.clone(),
+            })
+            .collect();
+        for report in &reports {
+            tel.add_cluster_diagnosis(&report.diagnosis);
+        }
+        AttemptOutcome::Degraded(self.assemble_partial(
+            ws,
+            Vec::new(),
+            reports,
+            reason.to_string(),
+            times,
+            tel,
+        ))
+    }
+}
+
+/// Best-effort human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -830,6 +1204,102 @@ mod tests {
         assert!(result.telemetry.stage_nanos(Stage::PatchGen) > 0);
         assert!(result.telemetry.clusters >= 1);
         assert!(result.telemetry.jobs >= 1);
+    }
+
+    /// The two-cluster instance used by the governor tests below.
+    fn two_cluster_instance() -> EcoInstance {
+        instance(
+            "module f (a, b, c, d, t1, t2, y, z); input a, b, c, d, t1, t2; output y, z; \
+             xor g1 (y, t1, c); or g2 (z, t2, d); endmodule",
+            "module g (a, b, c, d, y, z); input a, b, c, d; output y, z; \
+             wire w1, w2; and g1 (w1, a, b); xor g2 (y, w1, c); \
+             xor g3 (w2, a, d); or g4 (z, w2, d); endmodule",
+            &["t1", "t2"],
+            &WeightTable::new(2),
+        )
+    }
+
+    #[test]
+    fn zero_conflict_budget_degrades_to_partial() {
+        let options = EcoOptions {
+            budget: BudgetOptions {
+                timeout: None,
+                cluster_conflicts: Some(0),
+            },
+            ..Default::default()
+        };
+        match EcoEngine::new(two_cluster_instance(), options)
+            .run_governed()
+            .expect("degradation is not a hard error")
+        {
+            EcoOutcome::Partial(p) => {
+                assert_eq!(p.clusters.len(), 2, "{p:?}");
+                for c in &p.clusters {
+                    assert_eq!(c.diagnosis, ClusterDiagnosis::BudgetExhausted, "{c:?}");
+                }
+                assert_eq!(p.telemetry.clusters_budget_exhausted, 2);
+                assert_eq!(p.telemetry.clusters_patched, 0);
+                assert!(p.patches.is_empty());
+            }
+            EcoOutcome::Complete(r) => panic!("expected partial, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_timeout_reports_deadline_for_every_cluster() {
+        let options = EcoOptions {
+            budget: BudgetOptions {
+                timeout: Some(Duration::ZERO),
+                cluster_conflicts: None,
+            },
+            ..Default::default()
+        };
+        match EcoEngine::new(two_cluster_instance(), options)
+            .run_governed()
+            .expect("degradation is not a hard error")
+        {
+            EcoOutcome::Partial(p) => {
+                assert_eq!(p.clusters.len(), 2);
+                for c in &p.clusters {
+                    assert_eq!(c.diagnosis, ClusterDiagnosis::Deadline, "{c:?}");
+                }
+                assert_eq!(p.telemetry.clusters_deadline, 2);
+                assert!(p.reason.contains("deadline"), "{}", p.reason);
+            }
+            EcoOutcome::Complete(r) => panic!("expected partial, got {r:?}"),
+        }
+    }
+
+    /// A generous conflict allowance completes, and the governed result is
+    /// byte-identical to the ungoverned one.
+    #[test]
+    fn generous_budget_matches_ungoverned_run() {
+        let inst = two_cluster_instance();
+        let plain = EcoEngine::new(inst.clone(), EcoOptions::default())
+            .run()
+            .expect("rectifiable");
+        let options = EcoOptions {
+            budget: BudgetOptions {
+                timeout: None,
+                cluster_conflicts: Some(1 << 30),
+            },
+            ..Default::default()
+        };
+        match EcoEngine::new(inst, options)
+            .run_governed()
+            .expect("rectifiable")
+        {
+            EcoOutcome::Complete(governed) => {
+                assert_eq!(governed.cost, plain.cost);
+                assert_eq!(governed.size, plain.size);
+                assert_eq!(
+                    format!("{:?}", governed.patch_aig),
+                    format!("{:?}", plain.patch_aig)
+                );
+                assert_eq!(governed.telemetry.clusters_patched, 2);
+            }
+            EcoOutcome::Partial(p) => panic!("expected complete, got partial: {}", p.reason),
+        }
     }
 
     /// Two independent single-output clusters: any `jobs` value must give

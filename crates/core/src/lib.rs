@@ -61,6 +61,7 @@ mod cexenum;
 mod cluster;
 mod engine;
 mod error;
+mod govern;
 mod instance;
 mod localize;
 mod optimize;
@@ -79,8 +80,11 @@ pub use crate::baseselect::{select_base, BaseSelectOptions, SelectedBase};
 pub use crate::carediff::{diff_set, exact_on_off_sets, on_off_sets, OnOff};
 pub use crate::cexenum::{enumerate_cex, enumerate_cex_capped, CexSet};
 pub use crate::cluster::{cluster_targets, Clustering, TargetCluster};
-pub use crate::engine::{EcoEngine, EcoOptions, EcoResult, StageTimes, TargetPatch};
+pub use crate::engine::{
+    EcoEngine, EcoOptions, EcoOutcome, EcoResult, PartialResult, StageTimes, TargetPatch,
+};
 pub use crate::error::EcoError;
+pub use crate::govern::{Budget, BudgetOptions, ClusterDiagnosis, ClusterReport, ConflictMeter};
 pub use crate::instance::{BaseCandidate, EcoInstance};
 pub use crate::localize::{Cut, CutSignal, TapMap};
 pub use crate::optimize::{optimize_patches, total_cost, OptimizeOptions, OptimizeStats};
@@ -89,11 +93,13 @@ pub use crate::patchgen::{
 };
 pub use crate::rebase::{resynthesize, RebaseQuery};
 pub use crate::rectifiable::{check_rectifiable, Rectifiability};
-pub use crate::report::Report;
+pub use crate::report::{PartialReport, Report};
 pub use crate::sizeopt::{reduce_patch_sizes, SizeOptOptions, SizeOptStats};
 pub use crate::synth::{synthesize_patch, InitialPatchKind, SynthOutcome};
 pub use crate::telemetry::{
     SatTotals, Stage, SweepTotals, Telemetry, TelemetryEvent, TelemetrySnapshot,
 };
-pub use crate::verify::{check_equivalence, check_equivalence_stats, VerifyOutcome};
+pub use crate::verify::{
+    check_equivalence, check_equivalence_ctl, check_equivalence_stats, VerifyOutcome,
+};
 pub use crate::workspace::{Workspace, WsCandidate};

@@ -7,9 +7,10 @@ use eco_aig::{Lit, Var};
 
 use crate::baseselect::{select_base, BaseSelectOptions};
 use crate::carediff::on_off_sets;
+use crate::govern::Budget;
 use crate::localize::Cut;
 use crate::patchgen::PatchFn;
-use crate::rebase::{resynthesize, RebaseQuery};
+use crate::rebase::{resynthesize_ctl, RebaseQuery};
 use crate::Workspace;
 
 /// Knobs for the optimization stage.
@@ -83,6 +84,24 @@ pub fn optimize_patches(
     opts: &OptimizeOptions,
     tel: &crate::Telemetry,
 ) -> OptimizeStats {
+    optimize_patches_governed(ws, patches, opts, &Budget::unlimited(), tel)
+}
+
+/// [`optimize_patches`] under a resource governor: the per-query conflict
+/// budget is capped by the governor's cluster allowance, every rebase
+/// query is enrolled in the deadline/cancellation control block, and the
+/// stage stops between targets once the deadline fires. Degrading here is
+/// always sound — the incoming patches are already correct; optimization
+/// only ever swaps them for cheaper equivalents.
+pub(crate) fn optimize_patches_governed(
+    ws: &mut Workspace,
+    patches: &mut [PatchFn],
+    opts: &OptimizeOptions,
+    budget: &Budget,
+    tel: &crate::Telemetry,
+) -> OptimizeStats {
+    let conflict_budget = budget.cap(opts.conflict_budget);
+    let ctl = budget.ctl();
     let mut stats = OptimizeStats {
         cost_before: total_cost(ws, patches),
         ..Default::default()
@@ -94,10 +113,13 @@ pub fn optimize_patches(
     // end, so the stage as a whole never regresses the contest metric.
     let mut best: Vec<PatchFn> = patches.to_vec();
     let mut best_total = stats.cost_before;
-    for _round in 0..opts.max_rounds {
+    'rounds: for _round in 0..opts.max_rounds {
         stats.rounds += 1;
         let mut improved_this_round = false;
         for p in 0..patches.len() {
+            if budget.expired() {
+                break 'rounds;
+            }
             let k = patches[p].target;
             let cur_lit = patches[p].lit;
             let t = ws.target_vars[k];
@@ -162,18 +184,21 @@ pub fn optimize_patches(
             }
 
             let mut q = RebaseQuery::new(ws, onoff.on, onoff.off, pool.clone());
+            if !ctl.is_unlimited() {
+                q.set_ctl(&ctl);
+            }
             let initial: Vec<usize> = cur_base
                 .iter()
                 .map(|c| pool.iter().position(|x| x == c).expect("base in pool"))
                 .collect();
-            if q.feasible(&initial, opts.conflict_budget) != Some(true) {
+            if q.feasible(&initial, conflict_budget) != Some(true) {
                 tel.record_solver(&q.stats());
                 continue;
             }
             // Cheap pruning via the final-conflict core before selection.
             let start = {
                 let core = q.feasible_core();
-                if !core.is_empty() && q.feasible(&core, opts.conflict_budget) == Some(true) {
+                if !core.is_empty() && q.feasible(&core, conflict_budget) == Some(true) {
                     core
                 } else {
                     initial
@@ -190,12 +215,13 @@ pub fn optimize_patches(
                 continue;
             }
             let base_cands: Vec<usize> = sel.base.iter().map(|&i| pool[i]).collect();
-            if let Some(new_lit) = resynthesize(
+            if let Some(new_lit) = resynthesize_ctl(
                 ws,
                 onoff.on,
                 onoff.off,
                 &base_cands,
-                opts.conflict_budget,
+                conflict_budget,
+                &ctl,
                 tel,
             ) {
                 patches[p].lit = new_lit;

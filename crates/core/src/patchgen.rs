@@ -7,8 +7,9 @@ use std::collections::HashMap;
 use eco_aig::{Aig, Lit, Var};
 
 use crate::carediff::{exact_on_off_sets, on_off_sets};
+use crate::govern::{Budget, ClusterDiagnosis, ConflictMeter};
 use crate::localize::{Cut, TapMap};
-use crate::synth::{synthesize_patch, InitialPatchKind, SynthOutcome};
+use crate::synth::{synthesize_patch_governed, InitialPatchKind, SynthOutcome};
 use crate::{EcoError, TargetCluster, Workspace};
 
 /// Knobs for one `DependentPatchGen` run.
@@ -76,6 +77,32 @@ pub fn generate_group_patches(
     opts: &PatchGenOptions,
     tel: &crate::Telemetry,
 ) -> GroupPatches {
+    generate_group_patches_governed(
+        ws,
+        tap,
+        cluster,
+        opts,
+        &Budget::unlimited(),
+        &mut ConflictMeter::unlimited(),
+        tel,
+    )
+    .expect("unlimited budget never degrades")
+}
+
+/// [`generate_group_patches`] under a resource governor: each target's
+/// synthesis runs the escalation ladder against `meter`, every SAT query
+/// is enrolled in the budget's control block, and the walk stops with a
+/// [`ClusterDiagnosis`] when the deadline fires or the cluster's conflict
+/// allowance runs dry between targets.
+pub(crate) fn generate_group_patches_governed(
+    ws: &mut Workspace,
+    tap: &TapMap,
+    cluster: &TargetCluster,
+    opts: &PatchGenOptions,
+    budget: &Budget,
+    meter: &mut ConflictMeter,
+    tel: &crate::Telemetry,
+) -> Result<GroupPatches, ClusterDiagnosis> {
     let PatchGenOptions {
         kind,
         conflict_budget,
@@ -90,6 +117,12 @@ pub fn generate_group_patches(
 
     // Phase 1: target-variable dependent patches.
     for &k in &cluster.targets {
+        if budget.expired() {
+            return Err(ClusterDiagnosis::Deadline);
+        }
+        if meter.exhausted() {
+            return Err(ClusterDiagnosis::BudgetExhausted);
+        }
         let t = ws.target_vars[k];
         let onoff = on_off_sets(&mut ws.mgr, &f_cur, &g_cur, t);
         let cut = Cut::frontier(ws, tap, &[onoff.on, onoff.off]);
@@ -100,19 +133,35 @@ pub fn generate_group_patches(
         } else {
             kind
         };
-        let mut outcome = synthesize_patch(ws, onoff, &cut, effective_kind, conflict_budget, tel);
-        if outcome.fallback && effective_kind == InitialPatchKind::Interpolant {
+        let ctl = budget.ctl();
+        let mut outcome = synthesize_patch_governed(
+            ws,
+            onoff,
+            &cut,
+            effective_kind,
+            conflict_budget,
+            &ctl,
+            meter,
+            tel,
+        );
+        if outcome.fallback
+            && effective_kind == InitialPatchKind::Interpolant
+            && !budget.expired()
+            && !meter.exhausted()
+        {
             // §4.3 conflict (on ∧ off satisfiable): retry over the exact
             // relation-determinization sets, which are disjoint by
             // construction, before accepting the (possibly huge) on-set.
             let exact = exact_on_off_sets(&mut ws.mgr, &f_cur, &g_cur, t);
             let exact_cut = Cut::frontier(ws, tap, &[exact.on, exact.off]);
-            let retry = synthesize_patch(
+            let retry = synthesize_patch_governed(
                 ws,
                 exact,
                 &exact_cut,
                 InitialPatchKind::Interpolant,
                 conflict_budget,
+                &ctl,
+                meter,
                 tel,
             );
             if retry.interpolated {
@@ -123,6 +172,7 @@ pub fn generate_group_patches(
             lit,
             interpolated: used_itp,
             fallback,
+            escalated: _,
         } = outcome;
         fallbacks += usize::from(fallback);
         interpolated += usize::from(used_itp);
@@ -162,11 +212,11 @@ pub fn generate_group_patches(
         .collect();
     tel.add_interpolated(interpolated as u64);
     tel.add_interpolation_fallbacks(fallbacks as u64);
-    GroupPatches {
+    Ok(GroupPatches {
         patches,
         fallbacks,
         interpolated,
-    }
+    })
 }
 
 /// Extracts the cones of `roots` into a standalone patch AIG whose inputs

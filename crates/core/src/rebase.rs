@@ -91,6 +91,13 @@ impl RebaseQuery {
         self.solver.stats()
     }
 
+    /// Enrolls the query's solver in a governor control block: a fired
+    /// deadline or cancellation flag makes every later feasibility or
+    /// enumeration call answer `None` (budget exhausted).
+    pub fn set_ctl(&mut self, ctl: &eco_sat::SolveCtl) {
+        self.solver.set_ctl(ctl);
+    }
+
     /// Tests whether selecting the pool entries `base` (indices into the
     /// *pool*) suffices to realize the patch. `Some(true)` = feasible;
     /// `None` = budget exhausted.
@@ -135,7 +142,32 @@ pub fn resynthesize(
     conflict_budget: u64,
     tel: &crate::Telemetry,
 ) -> Option<ALit> {
+    resynthesize_ctl(
+        ws,
+        on,
+        off,
+        base,
+        conflict_budget,
+        &eco_sat::SolveCtl::unlimited(),
+        tel,
+    )
+}
+
+/// [`resynthesize`] with the interpolation solver enrolled in a governor
+/// control block (deadline / cooperative cancellation).
+pub(crate) fn resynthesize_ctl(
+    ws: &mut Workspace,
+    on: ALit,
+    off: ALit,
+    base: &[usize],
+    conflict_budget: u64,
+    ctl: &eco_sat::SolveCtl,
+    tel: &crate::Telemetry,
+) -> Option<ALit> {
     let mut q = ItpSolver::new();
+    if !ctl.is_unlimited() {
+        q.set_ctl(ctl.clone());
+    }
     let ys: Vec<SLit> = base.iter().map(|_| q.new_var().pos()).collect();
     let cand_lits: Vec<ALit> = base.iter().map(|&i| ws.cands[i].lit).collect();
 

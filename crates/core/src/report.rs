@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::EcoResult;
+use crate::{EcoResult, PartialResult};
 
 /// A displayable summary of an [`EcoResult`] (one line per patch plus
 /// stage timings), used by the CLI and the benchmark harnesses.
@@ -70,6 +70,62 @@ impl fmt::Display for Report<'_> {
             tel.sat.propagations,
             tel.sweep.sweeps,
             tel.sweep.sat_calls
+        )?;
+        for e in &tel.events {
+            writeln!(f, "event [{}] {}: {}", e.stage, e.label, e.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// A displayable summary of a degraded run's [`PartialResult`]: the
+/// binding limit, one line per cluster with its diagnosis, and the
+/// patches that did complete.
+pub struct PartialReport<'a>(pub &'a PartialResult);
+
+impl fmt::Display for PartialReport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.0;
+        writeln!(f, "PARTIAL result: {}", p.reason)?;
+        for (i, c) in p.clusters.iter().enumerate() {
+            writeln!(
+                f,
+                "  cluster {i} [{}]: {}",
+                c.targets.join(", "),
+                c.diagnosis
+            )?;
+        }
+        writeln!(
+            f,
+            "completed {} patch(es): cost {}, size {} AND gates (unverified)",
+            p.patches.len(),
+            p.cost,
+            p.size
+        )?;
+        for patch in &p.patches {
+            writeln!(
+                f,
+                "  {} <- f({})  [{} gates]",
+                patch.target,
+                patch.base.join(", "),
+                patch.size
+            )?;
+        }
+        let t = p.stage_times;
+        writeln!(
+            f,
+            "stages: fraig {:.1?}, cluster {:.1?}, patchgen {:.1?}, optimize {:.1?}, verify {:.1?}",
+            t.fraig, t.clustering, t.patchgen, t.optimize, t.verify
+        )?;
+        let tel = &p.telemetry;
+        writeln!(
+            f,
+            "governor: {} patched, {} budget-exhausted, {} deadline, {} panicked, {} escalations",
+            tel.clusters_patched,
+            tel.clusters_budget_exhausted,
+            tel.clusters_deadline,
+            tel.clusters_panicked,
+            tel.escalations
         )?;
         for e in &tel.events {
             writeln!(f, "event [{}] {}: {}", e.stage, e.label, e.detail)?;

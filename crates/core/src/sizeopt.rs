@@ -12,9 +12,10 @@
 use std::collections::HashMap;
 
 use eco_aig::{Lit, Node, Var};
-use eco_sat::{encode_cone, Lit as SLit, Solver};
+use eco_sat::{encode_cone, Lit as SLit, SolveCtl, Solver};
 
 use crate::carediff::on_off_sets;
+use crate::govern::Budget;
 use crate::patchgen::PatchFn;
 use crate::Workspace;
 
@@ -62,6 +63,7 @@ fn patch_is_valid(
     off: Lit,
     candidate: Lit,
     conflict_budget: u64,
+    ctl: &SolveCtl,
     tel: &crate::Telemetry,
 ) -> Option<bool> {
     let viol = {
@@ -74,6 +76,9 @@ fn patch_is_valid(
         return Some(true);
     }
     let mut solver = Solver::new();
+    if !ctl.is_unlimited() {
+        solver.set_ctl(ctl);
+    }
     let mut map: HashMap<Var, SLit> = HashMap::new();
     let roots = encode_cone(&ws.mgr, &[viol], &mut map, &mut solver);
     solver.add_clause(&[roots[0]]);
@@ -94,8 +99,33 @@ pub fn reduce_patch_sizes(
     opts: &SizeOptOptions,
     tel: &crate::Telemetry,
 ) -> SizeOptStats {
+    reduce_patch_sizes_governed(ws, patches, opts, &Budget::unlimited(), tel)
+}
+
+/// [`reduce_patch_sizes`] under a resource governor: per-check budgets are
+/// capped by the governor's conflict allowance, each validity solver is
+/// enrolled in the deadline/cancellation control block, and remaining
+/// patches are skipped once the deadline fires. Like cost optimization,
+/// stopping early is always sound — the incoming patches stay valid.
+pub(crate) fn reduce_patch_sizes_governed(
+    ws: &mut Workspace,
+    patches: &mut [PatchFn],
+    opts: &SizeOptOptions,
+    budget: &Budget,
+    tel: &crate::Telemetry,
+) -> SizeOptStats {
+    let conflict_budget = budget.cap(opts.conflict_budget);
+    let ctl = budget.ctl();
     let mut stats = SizeOptStats::default();
     for p in 0..patches.len() {
+        if budget.expired() {
+            // Count the untouched cones so before/after stay comparable.
+            let frontier = patches[p].cut.frontier_vars();
+            let n = ws.mgr.count_cone_ands_to_cut(&[patches[p].lit], &frontier);
+            stats.size_before += n;
+            stats.size_after += n;
+            continue;
+        }
         let k = patches[p].target;
         let frontier = patches[p].cut.frontier_vars();
         let cone_size = |ws: &Workspace, lit: Lit, frontier: &std::collections::HashSet<Var>| {
@@ -157,7 +187,8 @@ pub fn reduce_patch_sizes(
                         onoff.on,
                         onoff.off,
                         candidate,
-                        opts.conflict_budget,
+                        conflict_budget,
+                        &ctl,
                         tel,
                     ) == Some(true)
                     {

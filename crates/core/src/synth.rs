@@ -4,9 +4,10 @@
 use std::collections::HashMap;
 
 use eco_aig::{Lit, Var};
-use eco_sat::{ClauseLabel, ItpOutcome, ItpSolver, LabeledSink, Lit as SLit};
+use eco_sat::{ClauseLabel, ItpOutcome, ItpSolver, LabeledSink, Lit as SLit, SolveCtl};
 
 use crate::carediff::OnOff;
+use crate::govern::ConflictMeter;
 use crate::localize::Cut;
 use crate::Workspace;
 
@@ -36,6 +37,9 @@ pub struct SynthOutcome {
     /// `true` if interpolation was requested but failed (satisfiable
     /// overlap or budget), triggering the on-set fallback.
     pub fallback: bool,
+    /// `true` if the budget-escalation ladder took its second (full
+    /// remaining allowance) interpolation attempt.
+    pub escalated: bool,
 }
 
 /// Synthesizes `p'_k` from its on/off sets over the cut `C_d` and the
@@ -54,32 +58,103 @@ pub fn synthesize_patch(
     conflict_budget: u64,
     tel: &crate::Telemetry,
 ) -> SynthOutcome {
+    synthesize_patch_governed(
+        ws,
+        onoff,
+        cut,
+        kind,
+        conflict_budget,
+        &SolveCtl::unlimited(),
+        &mut ConflictMeter::unlimited(),
+        tel,
+    )
+}
+
+/// Fewest conflicts worth spending on the ladder's cheap first tier; below
+/// this the attempt is pure overhead and the ladder escalates directly.
+const MIN_CHEAP_TIER: u64 = 64;
+
+/// [`synthesize_patch`] under a governor: interpolation attempts charge
+/// the cluster's [`ConflictMeter`] and enroll in `ctl`, and — when the
+/// meter is finite — run as a budget-escalation ladder: a cheap attempt at
+/// an eighth of the remaining allowance, an escalated attempt at the full
+/// remainder, and finally the structural on-set fallback (which always
+/// succeeds). With an unlimited meter the ladder collapses to exactly one
+/// attempt at `conflict_budget`, preserving ungoverned behavior.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn synthesize_patch_governed(
+    ws: &mut Workspace,
+    onoff: OnOff,
+    cut: &Cut,
+    kind: InitialPatchKind,
+    conflict_budget: u64,
+    ctl: &SolveCtl,
+    meter: &mut ConflictMeter,
+    tel: &crate::Telemetry,
+) -> SynthOutcome {
+    let plain = |lit: Lit| SynthOutcome {
+        lit,
+        interpolated: false,
+        fallback: false,
+        escalated: false,
+    };
     match kind {
-        InitialPatchKind::OnSet => SynthOutcome {
-            lit: onoff.on,
-            interpolated: false,
-            fallback: false,
-        },
-        InitialPatchKind::NegOffSet => SynthOutcome {
-            lit: !onoff.off,
-            interpolated: false,
-            fallback: false,
-        },
+        InitialPatchKind::OnSet => plain(onoff.on),
+        InitialPatchKind::NegOffSet => plain(!onoff.off),
         InitialPatchKind::Interpolant => {
-            match try_interpolate(ws, onoff, cut, conflict_budget, tel) {
-                Some(lit) => SynthOutcome {
-                    lit,
-                    interpolated: true,
-                    fallback: false,
-                },
-                None => SynthOutcome {
-                    lit: onoff.on,
-                    interpolated: false,
-                    fallback: true,
-                },
+            let interpolated = |lit: Lit, escalated: bool| SynthOutcome {
+                lit,
+                interpolated: true,
+                fallback: false,
+                escalated,
+            };
+            let fallback = |escalated: bool| SynthOutcome {
+                lit: onoff.on,
+                interpolated: false,
+                fallback: true,
+                escalated,
+            };
+            let Some(remaining) = meter.remaining() else {
+                // Unlimited meter: the single pre-governor attempt.
+                return match try_interpolate(ws, onoff, cut, conflict_budget, ctl, meter, tel) {
+                    ItpAttempt::Done(lit) => interpolated(lit, false),
+                    ItpAttempt::Overlap | ItpAttempt::Exhausted => fallback(false),
+                };
+            };
+            // Tier 1: cheap probe at an eighth of the allowance.
+            let cheap = (remaining / 8).min(conflict_budget);
+            if cheap >= MIN_CHEAP_TIER {
+                match try_interpolate(ws, onoff, cut, cheap, ctl, meter, tel) {
+                    ItpAttempt::Done(lit) => return interpolated(lit, false),
+                    // A satisfiable overlap is definitive: more budget
+                    // cannot change a found model.
+                    ItpAttempt::Overlap => return fallback(false),
+                    ItpAttempt::Exhausted => {}
+                }
+            }
+            // Tier 2: escalate to everything the meter still allows.
+            let escalated_budget = meter.cap(conflict_budget);
+            if meter.exhausted() || escalated_budget == 0 || ctl.expired() {
+                return fallback(false);
+            }
+            tel.add_escalations(1);
+            match try_interpolate(ws, onoff, cut, escalated_budget, ctl, meter, tel) {
+                ItpAttempt::Done(lit) => interpolated(lit, true),
+                // Tier 3: the structural on-set fallback.
+                ItpAttempt::Overlap | ItpAttempt::Exhausted => fallback(true),
             }
         }
     }
+}
+
+/// Outcome of a single interpolation attempt.
+enum ItpAttempt {
+    /// Interpolant found and imported.
+    Done(Lit),
+    /// `on ∧ off` is satisfiable — definitive, retrying cannot help.
+    Overlap,
+    /// Conflict budget spent or the control block fired.
+    Exhausted,
 }
 
 fn try_interpolate(
@@ -87,9 +162,14 @@ fn try_interpolate(
     onoff: OnOff,
     cut: &Cut,
     conflict_budget: u64,
+    ctl: &SolveCtl,
+    meter: &mut ConflictMeter,
     tel: &crate::Telemetry,
-) -> Option<Lit> {
+) -> ItpAttempt {
     let mut q = ItpSolver::new();
+    if !ctl.is_unlimited() {
+        q.set_ctl(ctl.clone());
+    }
 
     // Shared variables: one per cut signal, one per frontier target.
     let sig_sat: Vec<SLit> = cut.signals.iter().map(|_| q.new_var().pos()).collect();
@@ -125,10 +205,13 @@ fn try_interpolate(
 
     q.set_conflict_budget(conflict_budget);
     let solved = q.solve_limited();
-    tel.record_solver(&q.last_stats());
-    let itp = match solved? {
-        ItpOutcome::Unsat(itp) => itp,
-        ItpOutcome::Sat(_) => return None,
+    let stats = q.last_stats();
+    tel.record_solver(&stats);
+    meter.charge(stats.conflicts);
+    let itp = match solved {
+        None => return ItpAttempt::Exhausted,
+        Some(ItpOutcome::Unsat(itp)) => itp,
+        Some(ItpOutcome::Sat(_)) => return ItpAttempt::Overlap,
     };
 
     // Import the interpolant into the manager: map its inputs (shared SAT
@@ -148,7 +231,7 @@ fn try_interpolate(
             .expect("shared var maps to a cut signal or target");
         input_map.insert(itp.aig.input_var(i), mgr_lit);
     }
-    Some(
+    ItpAttempt::Done(
         ws.mgr
             .import(&itp.aig, &[itp.root], &input_map)
             .expect("interpolant inputs are fully mapped")[0],
@@ -256,6 +339,62 @@ mod tests {
         );
         assert!(got.interpolated && !got.fallback);
         check_patch_semantics(&ws, got.lit);
+    }
+
+    #[test]
+    fn governed_ladder_escalates_then_interpolates() {
+        let (_i, mut ws) = xor_instance();
+        let t = ws.target_vars[0];
+        let onoff = on_off_sets(&mut ws.mgr, &ws.f_outs.clone(), &ws.g_outs.clone(), t);
+        let cut = Cut::frontier(&ws, &TapMap::empty(), &[onoff.on, onoff.off]);
+        // Allowance 100: the cheap tier (100/8 = 12 < MIN_CHEAP_TIER) is
+        // skipped, so the ladder goes straight to the escalated attempt.
+        let budget = crate::Budget::new(&crate::BudgetOptions {
+            timeout: None,
+            cluster_conflicts: Some(100),
+        });
+        let mut meter = budget.meter();
+        let tel = tel();
+        let got = synthesize_patch_governed(
+            &mut ws,
+            onoff,
+            &cut,
+            InitialPatchKind::Interpolant,
+            1 << 20,
+            &budget.ctl(),
+            &mut meter,
+            &tel,
+        );
+        assert!(got.interpolated && got.escalated, "{got:?}");
+        assert_eq!(tel.snapshot().escalations, 1);
+        check_patch_semantics(&ws, got.lit);
+    }
+
+    #[test]
+    fn exhausted_meter_falls_back_to_onset() {
+        let (_i, mut ws) = xor_instance();
+        let t = ws.target_vars[0];
+        let onoff = on_off_sets(&mut ws.mgr, &ws.f_outs.clone(), &ws.g_outs.clone(), t);
+        let cut = Cut::frontier(&ws, &TapMap::empty(), &[onoff.on, onoff.off]);
+        let budget = crate::Budget::new(&crate::BudgetOptions {
+            timeout: None,
+            cluster_conflicts: Some(0),
+        });
+        let mut meter = budget.meter();
+        let tel = tel();
+        let got = synthesize_patch_governed(
+            &mut ws,
+            onoff,
+            &cut,
+            InitialPatchKind::Interpolant,
+            1 << 20,
+            &budget.ctl(),
+            &mut meter,
+            &tel,
+        );
+        assert!(got.fallback && !got.interpolated && !got.escalated);
+        assert_eq!(got.lit, onoff.on);
+        assert_eq!(tel.snapshot().escalations, 0);
     }
 
     #[test]

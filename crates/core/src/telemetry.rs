@@ -145,6 +145,16 @@ pub struct TelemetrySnapshot {
     /// Localized attempts that failed verification and were retried
     /// without localization.
     pub localization_fallbacks: u64,
+    /// Clusters that completed all their patches.
+    pub clusters_patched: u64,
+    /// Clusters whose conflict allowance ran out mid-synthesis.
+    pub clusters_budget_exhausted: u64,
+    /// Clusters stopped by the run deadline (or an external cancel).
+    pub clusters_deadline: u64,
+    /// Clusters whose worker panicked (isolated, not fatal).
+    pub clusters_panicked: u64,
+    /// Budget-escalation retries taken by the synthesis ladder.
+    pub escalations: u64,
     /// Structured events, in recording order.
     pub events: Vec<TelemetryEvent>,
 }
@@ -194,6 +204,8 @@ impl TelemetrySnapshot {
              \"resim_columns_saved\": {}}},\n  \
              \"clusters\": {}, \"jobs\": {}, \"interpolated\": {}, \
              \"interpolation_fallbacks\": {}, \"localization_fallbacks\": {},\n  \
+             \"governor\": {{\"clusters_patched\": {}, \"clusters_budget_exhausted\": {}, \
+             \"clusters_deadline\": {}, \"clusters_panicked\": {}, \"escalations\": {}}},\n  \
              \"events\": [{}]\n}}\n",
             stages.join(", "),
             self.sat.solvers,
@@ -217,6 +229,11 @@ impl TelemetrySnapshot {
             self.interpolated,
             self.interpolation_fallbacks,
             self.localization_fallbacks,
+            self.clusters_patched,
+            self.clusters_budget_exhausted,
+            self.clusters_deadline,
+            self.clusters_panicked,
+            self.escalations,
             events.join(", ")
         )
     }
@@ -271,6 +288,15 @@ impl std::fmt::Display for TelemetrySnapshot {
             self.interpolation_fallbacks,
             self.localization_fallbacks
         )?;
+        writeln!(
+            f,
+            "governor: {} patched, {} budget-exhausted, {} deadline, {} panicked, {} escalations",
+            self.clusters_patched,
+            self.clusters_budget_exhausted,
+            self.clusters_deadline,
+            self.clusters_panicked,
+            self.escalations
+        )?;
         for e in &self.events {
             writeln!(f, "event [{}] {}: {}", e.stage, e.label, e.detail)?;
         }
@@ -307,6 +333,11 @@ pub struct Telemetry {
     interpolated: AtomicU64,
     interpolation_fallbacks: AtomicU64,
     localization_fallbacks: AtomicU64,
+    clusters_patched: AtomicU64,
+    clusters_budget_exhausted: AtomicU64,
+    clusters_deadline: AtomicU64,
+    clusters_panicked: AtomicU64,
+    escalations: AtomicU64,
     events: Mutex<Vec<TelemetryEvent>>,
 }
 
@@ -390,6 +421,22 @@ impl Telemetry {
         self.localization_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one cluster's governor diagnosis.
+    pub fn add_cluster_diagnosis(&self, d: &crate::ClusterDiagnosis) {
+        let slot = match d {
+            crate::ClusterDiagnosis::Patched => &self.clusters_patched,
+            crate::ClusterDiagnosis::BudgetExhausted => &self.clusters_budget_exhausted,
+            crate::ClusterDiagnosis::Deadline => &self.clusters_deadline,
+            crate::ClusterDiagnosis::Panicked(_) => &self.clusters_panicked,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts budget-escalation retries taken by the synthesis ladder.
+    pub fn add_escalations(&self, n: u64) {
+        self.escalations.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Appends a structured event.
     pub fn event(&self, stage: Stage, label: &str, detail: String) {
         self.events
@@ -436,6 +483,11 @@ impl Telemetry {
             interpolated: load(&self.interpolated),
             interpolation_fallbacks: load(&self.interpolation_fallbacks),
             localization_fallbacks: load(&self.localization_fallbacks),
+            clusters_patched: load(&self.clusters_patched),
+            clusters_budget_exhausted: load(&self.clusters_budget_exhausted),
+            clusters_deadline: load(&self.clusters_deadline),
+            clusters_panicked: load(&self.clusters_panicked),
+            escalations: load(&self.escalations),
             events: self.events.lock().expect("telemetry event lock").clone(),
         }
     }
@@ -466,6 +518,10 @@ mod tests {
         });
         tel.add_clusters(3);
         tel.set_jobs(4);
+        tel.add_cluster_diagnosis(&crate::ClusterDiagnosis::Patched);
+        tel.add_cluster_diagnosis(&crate::ClusterDiagnosis::BudgetExhausted);
+        tel.add_cluster_diagnosis(&crate::ClusterDiagnosis::Panicked("p".into()));
+        tel.add_escalations(2);
         tel.event(Stage::Verify, "localization_fallback", "cex a=1".into());
 
         let snap = tel.snapshot();
@@ -475,6 +531,11 @@ mod tests {
         assert_eq!(snap.sweep.sat_calls, 7);
         assert_eq!(snap.clusters, 3);
         assert_eq!(snap.jobs, 4);
+        assert_eq!(snap.clusters_patched, 1);
+        assert_eq!(snap.clusters_budget_exhausted, 1);
+        assert_eq!(snap.clusters_deadline, 0);
+        assert_eq!(snap.clusters_panicked, 1);
+        assert_eq!(snap.escalations, 2);
         assert_eq!(snap.events.len(), 1);
         assert_eq!(
             snap.stage_times().patchgen,
@@ -515,6 +576,11 @@ mod tests {
             "\"proven\"",
             "\"retired_activations\"",
             "\"resim_columns_saved\"",
+            "\"clusters_patched\"",
+            "\"clusters_budget_exhausted\"",
+            "\"clusters_deadline\"",
+            "\"clusters_panicked\"",
+            "\"escalations\"",
             "\"events\"",
             "\\\"hi\\\"",
         ] {

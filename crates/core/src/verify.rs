@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use eco_aig::{Aig, Lit, Var};
-use eco_sat::{encode_cone, LBool, Solver, SolverStats};
+use eco_sat::{encode_cone, LBool, SolveCtl, Solver, SolverStats};
 
 /// Outcome of an equivalence check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,12 +45,27 @@ pub fn check_equivalence_stats(
     pairs: &[(Lit, Lit)],
     conflict_budget: u64,
 ) -> (VerifyOutcome, SolverStats) {
+    check_equivalence_ctl(mgr, pairs, conflict_budget, &SolveCtl::unlimited())
+}
+
+/// Like [`check_equivalence_stats`], with the verification solver enrolled
+/// in a governor control block: a fired deadline or cancellation flag ends
+/// the check with [`VerifyOutcome::Unknown`] at the next Luby restart.
+pub fn check_equivalence_ctl(
+    mgr: &mut Aig,
+    pairs: &[(Lit, Lit)],
+    conflict_budget: u64,
+    ctl: &SolveCtl,
+) -> (VerifyOutcome, SolverStats) {
     let xors: Vec<Lit> = pairs.iter().map(|&(a, b)| mgr.xor(a, b)).collect();
     let miter = mgr.or_many(&xors);
     if miter == Lit::FALSE {
         return (VerifyOutcome::Equivalent, SolverStats::default());
     }
     let mut solver = Solver::new();
+    if !ctl.is_unlimited() {
+        solver.set_ctl(ctl);
+    }
     let mut map: HashMap<Var, eco_sat::Lit> = HashMap::new();
     let roots = encode_cone(mgr, &[miter], &mut map, &mut solver);
     solver.add_clause(&[roots[0]]);
@@ -117,6 +132,28 @@ mod tests {
         assert!(check_equivalence(&mut mgr, &pairs, 1 << 20).is_equivalent());
         let bad = [(a, a), (b, !b)];
         assert!(!check_equivalence(&mut mgr, &bad, 1 << 20).is_equivalent());
+    }
+
+    #[test]
+    fn fired_ctl_reports_unknown() {
+        let mut mgr = Aig::new();
+        let a = mgr.add_input("a");
+        let b = mgr.add_input("b");
+        let c = mgr.add_input("c");
+        // Equivalent but associated differently, so the miter does not
+        // fold structurally and a SAT call is required.
+        let ab = mgr.and(a, b);
+        let f = mgr.and(ab, c);
+        let bc = mgr.and(b, c);
+        let g = mgr.and(a, bc);
+        let ctl = SolveCtl {
+            deadline: None,
+            cancel: Some(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(
+                true,
+            ))),
+        };
+        let (outcome, _) = check_equivalence_ctl(&mut mgr, &[(f, g)], 1 << 20, &ctl);
+        assert_eq!(outcome, VerifyOutcome::Unknown);
     }
 
     #[test]

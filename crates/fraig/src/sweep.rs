@@ -10,7 +10,7 @@
 use std::collections::{HashMap, HashSet};
 
 use eco_aig::{Aig, IncrementalSim, Lit as ALit, SimVectors, SplitMix64, Var as AVar};
-use eco_sat::{encode_cone, LBool, Lit as SLit, Solver, SolverStats};
+use eco_sat::{encode_cone, LBool, Lit as SLit, SolveCtl, Solver, SolverStats};
 
 use crate::uf::ParityUnionFind;
 
@@ -26,6 +26,14 @@ pub struct FraigOptions {
     /// Conflict budget per equivalence query (timeouts count as
     /// "not proven", which is sound).
     pub conflict_budget: u64,
+    /// Total conflict allowance across the whole sweep: the per-query
+    /// budget is capped at what remains, and once spent the sweep stops
+    /// early (pending candidates stay unproven, which is sound).
+    pub max_total_conflicts: u64,
+    /// Cooperative cancellation/deadline control for the sweep's solver;
+    /// once it fires, remaining queries are abandoned and the sweep
+    /// returns the classes proven so far.
+    pub ctl: SolveCtl,
 }
 
 impl Default for FraigOptions {
@@ -35,6 +43,8 @@ impl Default for FraigOptions {
             seed: 0x5eed_cafe,
             max_rounds: 16,
             conflict_budget: 10_000,
+            max_total_conflicts: u64::MAX,
+            ctl: SolveCtl::unlimited(),
         }
     }
 }
@@ -140,8 +150,12 @@ pub fn fraig_classes_stats(aig: &Aig, opts: &FraigOptions) -> (EquivClasses, Swe
         nodes.insert(0, AVar::CONST);
     }
 
-    // One incremental solver over the whole cone.
+    // One incremental solver over the whole cone, enrolled in the
+    // governor's control block (a no-op when unlimited).
     let mut solver = Solver::new();
+    if !opts.ctl.is_unlimited() {
+        solver.set_ctl(&opts.ctl);
+    }
     let mut map: HashMap<AVar, SLit> = HashMap::new();
     encode_cone(aig, &roots, &mut map, &mut solver);
     if !map.contains_key(&AVar::CONST) {
@@ -164,7 +178,7 @@ pub fn fraig_classes_stats(aig: &Aig, opts: &FraigOptions) -> (EquivClasses, Swe
     let mut ranges: Vec<(u32, u32)> = Vec::new();
     let mut round_cex: Vec<Vec<bool>> = Vec::new();
 
-    for _round in 0..opts.max_rounds {
+    'rounds: for _round in 0..opts.max_rounds {
         stats.rounds += 1;
         isim.resimulate(aig);
         let sim = isim.vectors();
@@ -193,6 +207,14 @@ pub fn fraig_classes_stats(aig: &Aig, opts: &FraigOptions) -> (EquivClasses, Swe
                 if disproved.contains(&(repr, m)) {
                     continue;
                 }
+                // Governor gate: abandon the sweep once the control block
+                // fires or the total conflict allowance is spent. Only
+                // proven classes are reported, so stopping here is sound.
+                let spent = solver.stats().conflicts;
+                if opts.ctl.expired() || spent >= opts.max_total_conflicts {
+                    break 'rounds;
+                }
+                let query_budget = opts.conflict_budget.min(opts.max_total_conflicts - spent);
                 let phase = repr_phase ^ sim.phase(m);
                 // Query: repr != (m ^ phase) — i.e. the XOR is satisfiable?
                 let lr = map[&repr];
@@ -201,7 +223,7 @@ pub fn fraig_classes_stats(aig: &Aig, opts: &FraigOptions) -> (EquivClasses, Swe
                 solver.add_clause(&[!act, lr, lm]);
                 solver.add_clause(&[!act, !lr, !lm]);
                 stats.sat_calls += 1;
-                match solver.solve_limited(&[act], opts.conflict_budget) {
+                match solver.solve_limited(&[act], query_budget) {
                     Some(false) => {
                         stats.proven += 1;
                         uf.union(repr.index() as usize, m.index() as usize, phase);
@@ -546,6 +568,40 @@ mod tests {
             "every query's activation literal must be retired"
         );
         assert!(stats.resim_columns >= FraigOptions::default().sim_words as u64);
+    }
+
+    /// A spent total-conflict allowance (or a fired control block) must
+    /// stop the sweep before any query, soundly reporting no classes.
+    #[test]
+    fn governor_limits_abandon_the_sweep_soundly() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f1 = aig.and(a, b);
+        let a_or_b = aig.or(a, b);
+        let f2 = aig.and(f1, a_or_b);
+        aig.add_output("f1", f1);
+        aig.add_output("f2", f2);
+
+        let capped = FraigOptions {
+            max_total_conflicts: 0,
+            ..Default::default()
+        };
+        let (classes, stats) = fraig_classes_stats(&aig, &capped);
+        assert!(classes.is_empty(), "no query may run with a spent cap");
+        assert_eq!(stats.sat_calls, 0);
+
+        let cancel = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let cancelled = FraigOptions {
+            ctl: eco_sat::SolveCtl {
+                deadline: None,
+                cancel: Some(cancel),
+            },
+            ..Default::default()
+        };
+        let (classes, stats) = fraig_classes_stats(&aig, &cancelled);
+        assert!(classes.is_empty());
+        assert_eq!(stats.sat_calls, 0);
     }
 
     /// A deliberately colliding fingerprint must not corrupt candidate

@@ -9,7 +9,7 @@
 
 use eco_aig::{Aig, Lit as ALit};
 
-use crate::{ClauseLabel, LBool, Lit, Solver, SolverStats, Var};
+use crate::{ClauseLabel, LBool, Lit, SolveCtl, Solver, SolverStats, Var};
 
 /// A Craig interpolant represented as an AIG over shared variables.
 #[derive(Clone, Debug)]
@@ -86,7 +86,8 @@ impl ItpOutcome {
 /// q.add_clause(&[x.neg(), y.pos()], ClauseLabel::A);
 /// q.add_clause(&[y.neg(), z.pos()], ClauseLabel::B);
 /// q.add_clause(&[z.neg()], ClauseLabel::B);
-/// let itp = q.solve().into_interpolant().expect("unsat");
+/// let outcome = q.solve_limited().expect("default budget is unlimited");
+/// let itp = outcome.into_interpolant().expect("unsat");
 /// assert_eq!(itp.inputs, vec![y]);
 /// // The interpolant must be exactly `y` here (A forces y, B forbids it).
 /// assert!(itp.eval(&[false, true, false]));
@@ -98,6 +99,7 @@ pub struct ItpSolver {
     clauses: Vec<(Vec<Lit>, ClauseLabel)>,
     max_conflicts: u64,
     reduce_db_threshold: Option<usize>,
+    ctl: SolveCtl,
     last_stats: std::cell::Cell<SolverStats>,
 }
 
@@ -109,12 +111,13 @@ impl ItpSolver {
             clauses: Vec::new(),
             max_conflicts: u64::MAX,
             reduce_db_threshold: None,
+            ctl: SolveCtl::default(),
             last_stats: std::cell::Cell::default(),
         }
     }
 
-    /// Search statistics of the most recent [`ItpSolver::solve`] /
-    /// [`ItpSolver::solve_limited`] call (zeroed before any solve).
+    /// Search statistics of the most recent [`ItpSolver::solve_limited`]
+    /// call (zeroed before any solve).
     pub fn last_stats(&self) -> SolverStats {
         self.last_stats.get()
     }
@@ -151,6 +154,13 @@ impl ItpSolver {
         self.reduce_db_threshold = Some(max_learnts);
     }
 
+    /// Installs governor controls (deadline / cancellation flag) forwarded
+    /// to the inner solver of every subsequent solve (see
+    /// [`Solver::set_ctl`]).
+    pub fn set_ctl(&mut self, ctl: SolveCtl) {
+        self.ctl = ctl;
+    }
+
     /// Variables occurring in both partitions, in index order.
     pub fn shared_vars(&self) -> Vec<Var> {
         let (in_a, in_b) = self.occurrence_flags();
@@ -175,29 +185,19 @@ impl ItpSolver {
         (in_a, in_b)
     }
 
-    /// Solves the query (unbounded).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal budgeted solve is interrupted, which cannot
-    /// happen with an unlimited budget.
-    pub fn solve(&self) -> ItpOutcome {
-        self.run(u64::MAX).expect("unlimited solve cannot time out")
-    }
-
-    /// Solves the query under the configured conflict budget; `None` when
-    /// the budget is exhausted.
+    /// Solves the query under the configured conflict budget and governor
+    /// controls; `None` when the budget is exhausted, the deadline passes,
+    /// or the cancellation flag fires. This is the only solve entry point:
+    /// with the default unlimited budget and no controls it always returns
+    /// `Some`.
     pub fn solve_limited(&self) -> Option<ItpOutcome> {
-        self.run(self.max_conflicts)
-    }
-
-    fn run(&self, max_conflicts: u64) -> Option<ItpOutcome> {
         let (_, in_b) = self.occurrence_flags();
         let shared = self.shared_vars();
         let mut solver = Solver::new();
         if let Some(k) = self.reduce_db_threshold {
             solver.set_reduce_db_threshold(k);
         }
+        solver.set_ctl(&self.ctl);
         solver.enable_interpolation(in_b, &shared);
         for _ in 0..self.n_vars {
             solver.new_var();
@@ -207,7 +207,7 @@ impl ItpSolver {
                 break;
             }
         }
-        let solved = solver.solve_limited(&[], max_conflicts);
+        let solved = solver.solve_limited(&[], self.max_conflicts);
         self.last_stats.set(solver.stats());
         match solved? {
             true => {
@@ -231,6 +231,10 @@ impl ItpSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn solve(q: &ItpSolver) -> ItpOutcome {
+        q.solve_limited().expect("unbounded solve completes")
+    }
 
     fn check_interpolant(n_vars: usize, clauses: &[(Vec<Lit>, ClauseLabel)], itp: &Interpolant) {
         // Exhaustively verify: A -> I, and I & B unsat; support containment
@@ -265,7 +269,7 @@ mod tests {
         q.add_clause(&[y.neg(), z.pos()], ClauseLabel::B);
         q.add_clause(&[z.neg()], ClauseLabel::B);
         let clauses = q.clauses.clone();
-        let itp = q.solve().into_interpolant().expect("unsat");
+        let itp = solve(&q).into_interpolant().expect("unsat");
         assert_eq!(itp.inputs, vec![y]);
         check_interpolant(3, &clauses, &itp);
     }
@@ -279,7 +283,7 @@ mod tests {
         q.add_clause(&[x.neg()], ClauseLabel::A);
         q.add_clause(&[y.pos()], ClauseLabel::B);
         let clauses = q.clauses.clone();
-        let itp = q.solve().into_interpolant().expect("unsat");
+        let itp = solve(&q).into_interpolant().expect("unsat");
         check_interpolant(2, &clauses, &itp);
         // I must be constant-false-equivalent: B is satisfiable, so there
         // is an assignment where B holds, hence I must be 0 there; and A
@@ -299,7 +303,7 @@ mod tests {
         q.add_clause(&[y.pos()], ClauseLabel::B);
         q.add_clause(&[y.neg()], ClauseLabel::B);
         let clauses = q.clauses.clone();
-        let itp = q.solve().into_interpolant().expect("unsat");
+        let itp = solve(&q).into_interpolant().expect("unsat");
         check_interpolant(2, &clauses, &itp);
         for bits in 0u32..4 {
             let assignment: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
@@ -314,7 +318,7 @@ mod tests {
         let y = q.new_var();
         q.add_clause(&[x.pos(), y.pos()], ClauseLabel::A);
         q.add_clause(&[x.neg(), y.neg()], ClauseLabel::B);
-        match q.solve() {
+        match solve(&q) {
             ItpOutcome::Sat(model) => {
                 let xv = model[0].as_bool().expect("assigned");
                 let yv = model[1].as_bool().expect("assigned");
@@ -355,7 +359,7 @@ mod tests {
                 q.add_clause(&lits, label);
             }
             let clauses = q.clauses.clone();
-            if let ItpOutcome::Unsat(itp) = q.solve() {
+            if let ItpOutcome::Unsat(itp) = solve(&q) {
                 unsat_seen += 1;
                 check_interpolant(n, &clauses, &itp);
             }

@@ -27,7 +27,8 @@
 //! q.add_clause(&[x.neg(), y.pos()], ClauseLabel::A);
 //! q.add_clause(&[y.neg(), z.pos()], ClauseLabel::B);
 //! q.add_clause(&[z.neg()], ClauseLabel::B);
-//! let itp = q.solve().into_interpolant().expect("unsat");
+//! let outcome = q.solve_limited().expect("default budget is unlimited");
+//! let itp = outcome.into_interpolant().expect("unsat");
 //! assert_eq!(itp.inputs, vec![y]);
 //! ```
 
@@ -41,5 +42,5 @@ mod tseitin;
 pub use crate::dimacs::{parse_dimacs, write_dimacs, DimacsProblem, ParseDimacsError};
 pub use crate::interpolate::{Interpolant, ItpOutcome, ItpSolver};
 pub use crate::lit::{LBool, Lit, Var};
-pub use crate::solver::{ClauseLabel, Solver, SolverStats};
+pub use crate::solver::{ClauseLabel, SolveCtl, Solver, SolverStats};
 pub use crate::tseitin::{assert_lit, encode_cone, ClauseSink, LabeledSink};

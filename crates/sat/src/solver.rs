@@ -16,10 +16,49 @@
 //!   level-0 literals), so an UNSAT outcome yields a Craig interpolant as
 //!   an AIG.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use eco_aig::{Aig, Lit as ALit};
 
 use crate::heap::VarHeap;
 use crate::{LBool, Lit, Var};
+
+/// Cooperative controls for long-running solves: an optional wall-clock
+/// deadline plus an optional shared cancellation flag.
+///
+/// Both are polled between Luby restarts (roughly every hundred
+/// conflicts), so honoring them costs nothing on the hot propagation
+/// path. A solver with the default (empty) controls behaves exactly as
+/// before — no clock is ever read.
+#[derive(Clone, Debug, Default)]
+pub struct SolveCtl {
+    /// Wall-clock instant after which budgeted solves return `None`.
+    pub deadline: Option<Instant>,
+    /// Shared cancellation flag; when set, budgeted solves return `None`.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl SolveCtl {
+    /// Controls that never fire (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when neither a deadline nor a cancellation flag is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// True once the deadline has passed or the cancellation flag is set.
+    pub fn expired(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// Which side of the interpolation partition a clause belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,6 +170,11 @@ pub struct Solver {
     /// Learned-clause budget before the next database reduction.
     max_learnts: usize,
     n_learnt_alive: usize,
+    /// Cooperative cancellation flag, polled between restarts. Fresh per
+    /// solver; [`Solver::set_ctl`] swaps in a shared governor flag.
+    interrupt: Arc<AtomicBool>,
+    /// Wall-clock deadline, polled between restarts.
+    deadline: Option<Instant>,
 }
 
 impl Default for Solver {
@@ -165,7 +209,44 @@ impl Solver {
             cla_inc: 1.0,
             max_learnts: 4000,
             n_learnt_alive: 0,
+            interrupt: Arc::new(AtomicBool::new(false)),
+            deadline: None,
         }
+    }
+
+    /// Requests cooperative cancellation: the next inter-restart check in
+    /// any ongoing or future budgeted solve returns `None`. The flag
+    /// latches; clear it with [`Solver::clear_interrupt`] to reuse the
+    /// solver.
+    pub fn interrupt(&self) {
+        self.interrupt.store(true, Ordering::Relaxed);
+    }
+
+    /// Clears the cancellation flag set by [`Solver::interrupt`].
+    pub fn clear_interrupt(&self) {
+        self.interrupt.store(false, Ordering::Relaxed);
+    }
+
+    /// The solver's cancellation flag; share it across threads to interrupt
+    /// a solve in flight.
+    pub fn interrupt_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.interrupt)
+    }
+
+    /// Installs governor controls: a deadline and/or a shared cancellation
+    /// flag (which replaces the solver's own flag so one governor latch
+    /// stops every enrolled solver).
+    pub fn set_ctl(&mut self, ctl: &SolveCtl) {
+        self.deadline = ctl.deadline;
+        if let Some(c) = &ctl.cancel {
+            self.interrupt = Arc::clone(c);
+        }
+    }
+
+    /// True once the deadline has passed or the cancellation flag is set.
+    #[inline]
+    fn stopped(&self) -> bool {
+        self.interrupt.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Allocates a fresh variable.
@@ -901,8 +982,10 @@ impl Solver {
     ///
     /// Returns `Some(true)` if satisfiable (see [`Solver::model_value`]),
     /// `Some(false)` if unsatisfiable (see [`Solver::unsat_core`] and, in
-    /// interpolation mode, [`Solver::interpolant`]). This entry point never
-    /// returns `None`; use [`Solver::solve_limited`] for budgeted solving.
+    /// interpolation mode, [`Solver::interpolant`]). Returns `None` only
+    /// when a deadline or cancellation installed via [`Solver::set_ctl`] /
+    /// [`Solver::interrupt`] fires; use [`Solver::solve_limited`] for
+    /// conflict-budgeted solving.
     ///
     /// # Panics
     ///
@@ -912,7 +995,10 @@ impl Solver {
     }
 
     /// Solves under assumptions with a conflict budget; `None` on budget
-    /// exhaustion.
+    /// exhaustion, deadline expiry, or cooperative cancellation (see
+    /// [`Solver::set_ctl`] and [`Solver::interrupt`]). The deadline and
+    /// cancellation flag are polled between Luby restarts, so cancellation
+    /// latency is bounded by one restart's conflict budget.
     ///
     /// # Panics
     ///
@@ -930,6 +1016,10 @@ impl Solver {
         let start_conflicts = self.stats.conflicts;
         let mut restart = 0u32;
         loop {
+            if self.stopped() {
+                self.cancel_until(0);
+                return None;
+            }
             let budget = luby(restart) * 100;
             let spent = self.stats.conflicts - start_conflicts;
             let budget = budget.min(max_conflicts.saturating_sub(spent).max(1));
@@ -1147,6 +1237,66 @@ mod tests {
         }
     }
 
+    fn pigeonhole(n: u32) -> Solver {
+        let h = n - 1;
+        let mut s = Solver::new();
+        vars(&mut s, (n * h) as usize);
+        let p = |i: u32, j: u32| Var::new(i * h + j).pos();
+        for i in 0..n {
+            let row: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(&row);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn interrupt_stops_an_unlimited_solve() {
+        let mut s = pigeonhole(7);
+        s.interrupt();
+        assert_eq!(s.solve_limited(&[], u64::MAX), None);
+        // The flag latches until cleared; the solver is then reusable.
+        assert_eq!(s.solve_limited(&[], u64::MAX), None);
+        s.clear_interrupt();
+        assert_eq!(s.solve(&[]), Some(false));
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_searching() {
+        let mut s = pigeonhole(7);
+        s.set_ctl(&SolveCtl {
+            deadline: Some(Instant::now()),
+            cancel: None,
+        });
+        let before = s.stats().conflicts;
+        assert_eq!(s.solve_limited(&[], u64::MAX), None);
+        assert_eq!(s.stats().conflicts, before, "no search past the deadline");
+        s.set_ctl(&SolveCtl::unlimited());
+        assert_eq!(s.solve(&[]), Some(false));
+    }
+
+    #[test]
+    fn shared_cancel_flag_stops_enrolled_solvers() {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let ctl = SolveCtl {
+            deadline: None,
+            cancel: Some(Arc::clone(&cancel)),
+        };
+        let mut s = pigeonhole(7);
+        s.set_ctl(&ctl);
+        assert_eq!(s.solve(&[]), Some(false), "flag unset: solve runs");
+        cancel.store(true, Ordering::Relaxed);
+        let mut t = pigeonhole(7);
+        t.set_ctl(&ctl);
+        assert_eq!(t.solve_limited(&[], u64::MAX), None);
+    }
+
     #[test]
     fn luby_sequence_prefix() {
         let got: Vec<u64> = (0..15).map(luby).collect();
@@ -1262,7 +1412,11 @@ mod reduce_db_tests {
                 }
             }
         }
-        let itp = q.solve().into_interpolant().expect("unsat");
+        let itp = q
+            .solve_limited()
+            .expect("unbounded")
+            .into_interpolant()
+            .expect("unsat");
         // Spot-check the contract on random assignments (30 vars is too
         // many for exhaustion): A -> I and I -> !B.
         let mut state = 0xabcdu64;

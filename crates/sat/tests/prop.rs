@@ -137,7 +137,7 @@ proptest! {
         for (lits, label) in &labeled {
             q.add_clause(lits, *label);
         }
-        let itp = match q.solve() {
+        let itp = match q.solve_limited().expect("unbounded") {
             ItpOutcome::Sat(_) => return Ok(()),
             ItpOutcome::Unsat(i) => i,
         };

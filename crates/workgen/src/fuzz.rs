@@ -19,14 +19,17 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 use eco_aig::{Aig, Lit, SplitMix64, Var};
 use eco_core::{
-    check_equivalence, splice_patch, EcoEngine, EcoError, EcoInstance, EcoOptions, VerifyOutcome,
+    check_equivalence, splice_patch, BudgetOptions, ClusterDiagnosis, EcoEngine, EcoError,
+    EcoInstance, EcoOptions, EcoOutcome, PartialResult, VerifyOutcome,
 };
 use eco_netlist::{
-    elaborate, parse_verilog, parse_weights, write_verilog, write_weights, Gate, GateKind, NetRef,
-    Netlist, WeightTable,
+    elaborate, netlist_from_aig, parse_verilog, parse_weights, write_verilog, write_weights, Gate,
+    GateKind, NetRef, Netlist, WeightTable,
 };
 
 use crate::fault::{assign_weights, cut_targets, scramble_dangling, WeightProfile};
@@ -114,6 +117,10 @@ pub enum FailStage {
     Miter,
     /// The 64-bit random-simulation cross-check disagreed.
     Simulation,
+    /// The resource governor misbehaved: a budgeted run panicked, or a
+    /// partial result was malformed (missing diagnoses, leaked panic,
+    /// inconsistent counters, un-emittable patch netlist).
+    Governor,
 }
 
 impl fmt::Display for FailStage {
@@ -126,6 +133,7 @@ impl fmt::Display for FailStage {
             FailStage::Elaborate => "elaborate",
             FailStage::Miter => "miter",
             FailStage::Simulation => "simulation",
+            FailStage::Governor => "governor",
         };
         f.write_str(s)
     }
@@ -342,8 +350,18 @@ pub fn run_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseOutcome {
         Err(e) => return fail(FailStage::Engine, e.to_string()),
     };
 
+    oracle_check(case, &result.patch_aig, cfg)
+}
+
+/// The independent oracle (stages 3–8 of [`run_case`]): splices
+/// `patch_aig` into the faulty netlist, round-trips it through the
+/// Verilog writer and parser, and proves it equivalent to the golden
+/// circuit with a fresh SAT miter plus a random-simulation cross-check.
+fn oracle_check(case: &FuzzCase, patch_aig: &Aig, cfg: &FuzzConfig) -> CaseOutcome {
+    let fail = |stage, detail: String| CaseOutcome::Fail(Failure { stage, detail });
+
     // 3. Assembly: splice the patch into the faulty netlist.
-    let patched_nl = match splice_patch(&case.faulty, &result.patch_aig) {
+    let patched_nl = match splice_patch(&case.faulty, patch_aig) {
         Ok(n) => n,
         Err(e) => return fail(FailStage::Assemble, e.to_string()),
     };
@@ -427,6 +445,210 @@ pub fn run_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseOutcome {
         }
     }
     CaseOutcome::Pass
+}
+
+/// Deterministically derives a deliberately tiny governor budget from a
+/// case seed: small per-cluster conflict allowances dominate, with an
+/// occasional already-expired deadline, so the degradation paths get
+/// hammered rather than merely brushed. Wall-clock timeouts other than
+/// zero are never drawn — they would make case classification depend on
+/// machine speed.
+pub fn budget_for_seed(seed: u64) -> BudgetOptions {
+    let mut rng = SplitMix64::new(seed ^ 0x9f4a_7c15_51ed_270b);
+    let allowances = [1u64, 2, 8, 64];
+    let cluster_conflicts = Some(allowances[rng.index(allowances.len())]);
+    let timeout = rng.chance(0.2).then_some(Duration::ZERO);
+    BudgetOptions {
+        timeout,
+        cluster_conflicts,
+    }
+}
+
+/// Outcome of one budgeted differential case: under a starvation budget
+/// the pipeline may either finish (then the full oracle applies) or
+/// degrade (then the partial result must be well-formed) — but it must
+/// never panic, hang, or emit a malformed netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BudgetCaseOutcome {
+    /// The run completed despite the budget and the oracle proved it.
+    Complete,
+    /// The run degraded to a well-formed partial result.
+    Partial,
+    /// A resource budget ran out in a non-governed component (oracle
+    /// miter); not a bug.
+    Skip(String),
+    /// A genuine robustness bug.
+    Fail(Failure),
+}
+
+/// Aggregated budget-campaign telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetStats {
+    /// Cases generated and run.
+    pub cases: u64,
+    /// Cases that completed under budget and passed the oracle.
+    pub completes: u64,
+    /// Cases that degraded to a well-formed partial result.
+    pub partials: u64,
+    /// Budget-limited oracle checks (not counted as failures).
+    pub skips: u64,
+    /// Genuine robustness failures.
+    pub failures: u64,
+}
+
+/// Runs one case through the governed pipeline under the starvation
+/// budget drawn by [`budget_for_seed`] and classifies the outcome.
+pub fn run_budget_case(case: &FuzzCase, cfg: &FuzzConfig) -> BudgetCaseOutcome {
+    let fail = |stage, detail: String| BudgetCaseOutcome::Fail(Failure { stage, detail });
+
+    let inst = match EcoInstance::from_netlists(
+        format!("bfuzz{:x}", case.seed),
+        &case.faulty,
+        &case.golden,
+        case.targets.clone(),
+        &case.weights,
+    ) {
+        Ok(i) => i,
+        Err(e) => return fail(FailStage::Instance, e.to_string()),
+    };
+
+    // The governed engine must never panic, no matter how starved. The
+    // engine already isolates cluster workers; this outer guard catches
+    // escapes from any other stage.
+    let budget = budget_for_seed(case.seed);
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        EcoEngine::new(
+            inst,
+            EcoOptions {
+                budget,
+                ..Default::default()
+            },
+        )
+        .run_governed()
+    }));
+    let outcome = match run {
+        Ok(o) => o,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            return fail(FailStage::Governor, format!("engine panicked: {msg}"));
+        }
+    };
+
+    match outcome {
+        // A completed governed run claims full verification, so the
+        // independent oracle must agree exactly as in the unbudgeted mode.
+        Ok(EcoOutcome::Complete(result)) => match oracle_check(case, &result.patch_aig, cfg) {
+            CaseOutcome::Pass => BudgetCaseOutcome::Complete,
+            CaseOutcome::Skip(why) => BudgetCaseOutcome::Skip(why),
+            CaseOutcome::Fail(f) => BudgetCaseOutcome::Fail(f),
+        },
+        Ok(EcoOutcome::Partial(partial)) => check_partial(case, &partial),
+        // Cases are rectifiable by construction and governed runs report
+        // budget exhaustion as `Partial`, so any engine error is a bug.
+        Err(e) => fail(FailStage::Engine, e.to_string()),
+    }
+}
+
+/// Well-formedness oracle for a degraded run: the reason and every
+/// cluster diagnosis must be present and clean (no leaked panics), the
+/// governor counters must account for every cluster, each reported
+/// target must be one of the case's targets, and the completed partial
+/// patch must still round-trip through the Verilog writer and parser.
+fn check_partial(case: &FuzzCase, partial: &PartialResult) -> BudgetCaseOutcome {
+    let fail = |detail: String| {
+        BudgetCaseOutcome::Fail(Failure {
+            stage: FailStage::Governor,
+            detail,
+        })
+    };
+
+    if partial.reason.is_empty() {
+        return fail("partial result with empty reason".into());
+    }
+    let mut patched = 0u64;
+    for c in &partial.clusters {
+        if c.targets.is_empty() {
+            return fail("cluster report with no targets".into());
+        }
+        for t in &c.targets {
+            if !case.targets.contains(t) {
+                return fail(format!("cluster reports unknown target `{t}`"));
+            }
+        }
+        match &c.diagnosis {
+            ClusterDiagnosis::Patched => patched += 1,
+            ClusterDiagnosis::BudgetExhausted | ClusterDiagnosis::Deadline => {}
+            ClusterDiagnosis::Panicked(msg) => {
+                return fail(format!("cluster panicked under budget: {msg}"));
+            }
+        }
+    }
+    let tel = &partial.telemetry;
+    let diagnosed = tel.clusters_patched
+        + tel.clusters_budget_exhausted
+        + tel.clusters_deadline
+        + tel.clusters_panicked;
+    if diagnosed != partial.clusters.len() as u64 || tel.clusters_patched != patched {
+        return fail(format!(
+            "governor counters disagree with cluster reports: {diagnosed} diagnosed / \
+             {} reported, {} vs {patched} patched",
+            partial.clusters.len(),
+            tel.clusters_patched,
+        ));
+    }
+    for p in &partial.patches {
+        if !case.targets.contains(&p.target) {
+            return fail(format!("partial patch for unknown target `{}`", p.target));
+        }
+    }
+    // The completed portion must still be emittable: writer → parser →
+    // elaboration round trip of the partial patch netlist.
+    let text = write_verilog(&netlist_from_aig(&partial.patch_aig, "patch"));
+    let reparsed = match parse_verilog(&text) {
+        Ok(n) => n,
+        Err(e) => return fail(format!("partial patch does not re-parse: {e}")),
+    };
+    if let Err(e) = elaborate(&reparsed) {
+        return fail(format!("partial patch does not elaborate: {e}"));
+    }
+    BudgetCaseOutcome::Partial
+}
+
+/// Runs `iters` budgeted cases starting at `seed`. Failures are reported
+/// un-shrunk (the shrinker replays the unbudgeted oracle, whose failure
+/// stages do not map onto budget classification). Calls
+/// `progress(cases_run, &stats)` after each case.
+pub fn run_budget_campaign(
+    iters: u64,
+    seed: u64,
+    cfg: &FuzzConfig,
+    mut progress: impl FnMut(u64, &BudgetStats),
+) -> (BudgetStats, Vec<CampaignFailure>) {
+    let mut stats = BudgetStats::default();
+    let mut failures = Vec::new();
+    let mut s = seed;
+    while stats.cases < iters {
+        s = s.wrapping_add(1);
+        let Some(case) = gen_case(s, cfg) else {
+            continue;
+        };
+        stats.cases += 1;
+        match run_budget_case(&case, cfg) {
+            BudgetCaseOutcome::Complete => stats.completes += 1,
+            BudgetCaseOutcome::Partial => stats.partials += 1,
+            BudgetCaseOutcome::Skip(_) => stats.skips += 1,
+            BudgetCaseOutcome::Fail(failure) => {
+                stats.failures += 1;
+                failures.push(CampaignFailure { case, failure });
+            }
+        }
+        progress(stats.cases, &stats);
+    }
+    (stats, failures)
 }
 
 /// Greedily shrinks a failing case: tries dropping targets, outputs,
@@ -839,5 +1061,57 @@ mod tests {
         assert_eq!(stats.passes + stats.failures + stats.skips, 15);
         assert_eq!(stats.failures as usize, failures.len());
         assert_eq!(stats.failures, 0, "shipped config must be clean");
+    }
+
+    #[test]
+    fn budget_for_seed_is_deterministic_and_tiny() {
+        let mut saw_timeout = false;
+        let mut saw_conflicts_only = false;
+        for seed in 0..200u64 {
+            let a = budget_for_seed(seed);
+            let b = budget_for_seed(seed);
+            assert_eq!(a.timeout, b.timeout, "seed {seed}");
+            assert_eq!(a.cluster_conflicts, b.cluster_conflicts, "seed {seed}");
+            let c = a.cluster_conflicts.expect("always conflict-capped");
+            assert!(c <= 64, "seed {seed}: allowance {c} is not tiny");
+            match a.timeout {
+                Some(t) => {
+                    assert_eq!(t, Duration::ZERO, "only already-expired deadlines");
+                    saw_timeout = true;
+                }
+                None => saw_conflicts_only = true,
+            }
+        }
+        assert!(
+            saw_timeout && saw_conflicts_only,
+            "both budget shapes drawn"
+        );
+    }
+
+    /// The robustness contract of the governed pipeline: under starvation
+    /// budgets every case must classify cleanly — complete-and-proven or
+    /// well-formed-partial — with zero panics, hangs, or malformed
+    /// netlists. Both budget shapes (conflict-starved and zero-deadline)
+    /// must appear, and zero-deadline cases must degrade.
+    #[test]
+    fn budget_campaign_is_clean() {
+        let cfg = FuzzConfig::default();
+        let (stats, failures) = run_budget_campaign(40, 11, &cfg, |_, _| {});
+        for f in &failures {
+            eprintln!(
+                "budget failure: seed {:x} at {} — {}",
+                f.case.seed, f.failure.stage, f.failure.detail
+            );
+        }
+        assert_eq!(stats.cases, 40);
+        assert_eq!(
+            stats.completes + stats.partials + stats.skips + stats.failures,
+            40
+        );
+        assert_eq!(stats.failures, 0, "budgeted pipeline must be clean");
+        assert!(
+            stats.partials > 0,
+            "starvation budgets must exercise degradation: {stats:?}"
+        );
     }
 }

@@ -11,16 +11,25 @@
 # runs a short differential fuzzing campaign (200 fixed-seed cases with
 # shrinking) through the eco-fuzz binary; any oracle failure fails the
 # gate with the shrunk case printed.
+#
+# --degrade-smoke additionally drives the eco-patch binary against a
+# starvation budget (zero deadline, one-conflict allowance) and asserts
+# the graceful-degradation contract: exit code 4, a per-cluster partial
+# report, well-formed governor counters in --stats=json, and a partial
+# patch netlist only under --allow-partial. It also runs a 200-case
+# budgeted differential campaign through eco-fuzz.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench_smoke=0
 fuzz_smoke=0
+degrade_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --fuzz-smoke) fuzz_smoke=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke]" >&2; exit 2 ;;
+    --degrade-smoke) degrade_smoke=1 ;;
+    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -48,6 +57,69 @@ if [ "$fuzz_smoke" -eq 1 ]; then
   target/release/eco-fuzz --replay tests/corpus
   echo "== fuzz smoke: 200-case campaign (seed 1)"
   target/release/eco-fuzz --iters 200 --seed 1 --shrink
+fi
+
+if [ "$degrade_smoke" -eq 1 ]; then
+  echo "== degrade smoke: starved eco-patch run must exit 4 with a well-formed partial result"
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  # A tiny two-cluster workload: two independent targets, each cut to a
+  # floating pseudo-input in the faulty circuit.
+  cat > "$tmp/golden.v" <<'EOF'
+module g (a, b, c, y, z);
+input a, b, c;
+output y, z;
+wire t1, t2;
+xor g1 (t1, a, b);
+and g2 (y, t1, c);
+or  g3 (t2, b, c);
+buf g4 (z, t2);
+endmodule
+EOF
+  cat > "$tmp/faulty.v" <<'EOF'
+module f (a, b, c, t1, t2, y, z);
+input a, b, c, t1, t2;
+output y, z;
+and g2 (y, t1, c);
+buf g4 (z, t2);
+endmodule
+EOF
+
+  run_patch() {
+    set +e
+    target/release/eco-patch -f "$tmp/faulty.v" -g "$tmp/golden.v" -t t1,t2 "$@" \
+      -o "$tmp/patch.v" 2> "$tmp/stderr.txt"
+    rc=$?
+    set -e
+  }
+
+  # Zero deadline plus a one-conflict allowance: every cluster must be
+  # diagnosed, the run must exit 4, and no netlist appears without
+  # --allow-partial.
+  rm -f "$tmp/patch.v"
+  run_patch --timeout 0 --conflict-budget 1 --stats=json
+  [ "$rc" -eq 4 ] || { echo "degrade smoke: expected exit 4, got $rc"; cat "$tmp/stderr.txt"; exit 1; }
+  grep -q 'PARTIAL result:' "$tmp/stderr.txt" || { echo "degrade smoke: no partial report"; cat "$tmp/stderr.txt"; exit 1; }
+  grep -q '"governor"' "$tmp/stderr.txt" || { echo "degrade smoke: no governor stats object"; cat "$tmp/stderr.txt"; exit 1; }
+  for key in clusters_patched clusters_budget_exhausted clusters_deadline clusters_panicked escalations; do
+    grep -q "\"$key\"" "$tmp/stderr.txt" || { echo "degrade smoke: missing governor counter $key"; cat "$tmp/stderr.txt"; exit 1; }
+  done
+  grep -q '"clusters_panicked": 0' "$tmp/stderr.txt" || { echo "degrade smoke: clusters panicked"; cat "$tmp/stderr.txt"; exit 1; }
+  [ ! -e "$tmp/patch.v" ] || { echo "degrade smoke: netlist written without --allow-partial"; exit 1; }
+
+  # With --allow-partial the completed (possibly empty) patch netlist is
+  # written and must still re-parse.
+  run_patch --timeout 0 --conflict-budget 1 --allow-partial
+  [ "$rc" -eq 4 ] || { echo "degrade smoke: expected exit 4, got $rc"; cat "$tmp/stderr.txt"; exit 1; }
+  [ -s "$tmp/patch.v" ] || { echo "degrade smoke: --allow-partial wrote no netlist"; exit 1; }
+  grep -q 'module patch' "$tmp/patch.v" || { echo "degrade smoke: malformed partial netlist"; cat "$tmp/patch.v"; exit 1; }
+
+  # The same workload without a budget must still complete with exit 0.
+  run_patch -q
+  [ "$rc" -eq 0 ] || { echo "degrade smoke: ungoverned run failed ($rc)"; cat "$tmp/stderr.txt"; exit 1; }
+
+  echo "== degrade smoke: 200-case budgeted differential campaign (seed 1)"
+  target/release/eco-fuzz --budget-campaign --iters 200 --seed 1
 fi
 
 echo "all checks passed"

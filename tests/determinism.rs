@@ -5,7 +5,7 @@
 
 mod common;
 
-use eco::core::{EcoEngine, EcoOptions, EcoResult};
+use eco::core::{BudgetOptions, ClusterDiagnosis, EcoEngine, EcoOptions, EcoOutcome, EcoResult};
 use eco::workgen::contest_suite;
 
 fn run_with_jobs(inst: &eco::core::EcoInstance, jobs: usize) -> EcoResult {
@@ -66,6 +66,80 @@ fn parallel_patchgen_is_deterministic() {
         checked += 1;
     }
     assert_eq!(checked, subset.len(), "suite units went missing");
+}
+
+/// Degradation must be jobs-independent too: under a fixed conflict
+/// budget (no wall clock), the patched-vs-exhausted cluster split and the
+/// merged partial patches are identical for `--jobs 1` and `--jobs 4`,
+/// because conflict accounting is worker-local and charged with
+/// deterministic SAT conflict counts.
+#[test]
+fn degradation_is_jobs_independent() {
+    let run_governed = |inst: &eco::core::EcoInstance, jobs: usize, conflicts: u64| {
+        EcoEngine::new(
+            inst.clone(),
+            EcoOptions {
+                jobs,
+                budget: BudgetOptions {
+                    timeout: None,
+                    cluster_conflicts: Some(conflicts),
+                },
+                ..Default::default()
+            },
+        )
+        .run_governed()
+        .expect("governed runs degrade, they do not error")
+    };
+    let unit = contest_suite()
+        .into_iter()
+        .find(|u| u.spec.name == "unit06")
+        .expect("unit06 exists");
+    let inst = unit.instance().expect("valid instance");
+    // A zero allowance exhausts every cluster up front; a generous one
+    // completes. Either way jobs=1 and jobs=4 must agree exactly.
+    for conflicts in [0, 1 << 30] {
+        let seq = run_governed(&inst, 1, conflicts);
+        let par = run_governed(&inst, 4, conflicts);
+        match (&seq, &par) {
+            (EcoOutcome::Complete(a), EcoOutcome::Complete(b)) => {
+                assert_identical("unit06-governed", a, b);
+            }
+            (EcoOutcome::Partial(a), EcoOutcome::Partial(b)) => {
+                assert_eq!(a.reason, b.reason, "degradation reason differs");
+                assert_eq!(a.clusters.len(), b.clusters.len());
+                for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
+                    assert_eq!(ca.targets, cb.targets, "cluster order differs");
+                    assert_eq!(
+                        ca.diagnosis, cb.diagnosis,
+                        "diagnosis differs for {:?}",
+                        ca.targets
+                    );
+                }
+                assert_eq!(a.cost, b.cost);
+                assert_eq!(a.size, b.size);
+                assert_eq!(
+                    format!("{:?}", a.patch_aig),
+                    format!("{:?}", b.patch_aig),
+                    "partial patch AIG differs structurally"
+                );
+            }
+            _ => panic!("jobs=1 and jobs=4 disagree on complete-vs-partial"),
+        }
+        if conflicts == 0 {
+            let EcoOutcome::Partial(p) = &seq else {
+                panic!("a zero allowance must degrade");
+            };
+            assert!(p
+                .clusters
+                .iter()
+                .all(|c| c.diagnosis == ClusterDiagnosis::BudgetExhausted));
+        } else {
+            assert!(
+                matches!(seq, EcoOutcome::Complete(_)),
+                "a generous allowance must complete"
+            );
+        }
+    }
 }
 
 /// `jobs: 0` (auto) must agree with explicit sequential execution too.
