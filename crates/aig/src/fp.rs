@@ -1,0 +1,216 @@
+//! Structural 128-bit fingerprints for whole AIGs.
+//!
+//! The simulation engine fingerprints *values* ([`crate::SimVectors::fingerprint`]);
+//! this module fingerprints *structure*: a [`FpHasher`] absorbs the exact
+//! node list, input/output names, and output literals of an [`Aig`], so
+//! two managers hash equal iff they were built identically (up to hash
+//! collision). Every fingerprint comes as an independent pair
+//! `(key, check)` — two 128-bit digests over the same stream with
+//! unrelated seeds — so a consumer that indexes by `key` can detect
+//! key collisions (and most cache poisoning) by comparing `check`.
+
+use crate::aig::Aig;
+use crate::node::Node;
+
+/// Seeds for the primary (`key`) digest lanes.
+const KEY_SEED: (u64, u64) = (0x8f0c_95d6_3b7a_11c5, 0xcbf2_9ce4_8422_2325);
+/// Seeds for the independent (`check`) digest lanes.
+const CHECK_SEED: (u64, u64) = (0x2545_f491_4f6c_dd1d, 0x100_0000_01b3);
+
+/// SplitMix64 finalizer (same mixer the simulation fingerprint uses).
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Incremental dual-digest hasher over a stream of words and byte
+/// strings. Both digests absorb the identical stream; they differ only in
+/// seed and per-word mixing, so they fail independently.
+#[derive(Clone, Debug)]
+pub struct FpHasher {
+    k0: u64,
+    k1: u64,
+    c0: u64,
+    c1: u64,
+}
+
+impl Default for FpHasher {
+    fn default() -> Self {
+        FpHasher::new()
+    }
+}
+
+impl FpHasher {
+    /// A fresh hasher with the module's fixed seeds.
+    pub fn new() -> Self {
+        FpHasher {
+            k0: KEY_SEED.0,
+            k1: KEY_SEED.1,
+            c0: CHECK_SEED.0,
+            c1: CHECK_SEED.1,
+        }
+    }
+
+    /// Absorbs one word into all four lanes.
+    pub fn word(&mut self, w: u64) {
+        self.k0 = mix64(self.k0 ^ w);
+        self.k1 = self
+            .k1
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(w.rotate_left(17));
+        self.c0 = mix64(self.c0.wrapping_add(w).rotate_left(23));
+        self.c1 = (self.c1 ^ w.wrapping_mul(0xff51_afd7_ed55_8ccd)).rotate_left(31);
+    }
+
+    /// Absorbs a length-prefixed byte string (so `"ab","c"` and
+    /// `"a","bc"` hash differently).
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.word(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.word(u64::from_le_bytes(w));
+        }
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Finalizes into the independent `(key, check)` digest pair.
+    pub fn finish(&self) -> (u128, u128) {
+        let key = (u128::from(mix64(self.k0)) << 64) | u128::from(mix64(self.k1 ^ self.k0));
+        let check = (u128::from(mix64(self.c0)) << 64) | u128::from(mix64(self.c1 ^ self.c0));
+        (key, check)
+    }
+}
+
+impl Aig {
+    /// Dual 128-bit digest of this manager's exact structure: node kinds
+    /// and fanin literals in variable order, input names in position
+    /// order, and outputs as `(name, literal)` pairs.
+    ///
+    /// Structurally identical managers (same build sequence) produce the
+    /// same digests; any difference in a node, a name, or an output
+    /// changes both with overwhelming probability. This is the cache key
+    /// primitive of the cross-job memo cache: indexing by `key` and
+    /// comparing `check` on lookup makes a key collision detectable.
+    pub fn structural_fingerprint(&self) -> (u128, u128) {
+        let mut h = FpHasher::new();
+        h.word(self.len() as u64);
+        for (_, node) in self.iter_nodes() {
+            match node {
+                Node::Constant => h.word(1),
+                Node::Input { pos } => {
+                    h.word(2);
+                    h.word(u64::from(pos));
+                }
+                Node::And { fan0, fan1 } => {
+                    h.word(3);
+                    h.word(u64::from(fan0.code()));
+                    h.word(u64::from(fan1.code()));
+                }
+            }
+        }
+        h.word(self.num_inputs() as u64);
+        for pos in 0..self.num_inputs() {
+            h.str(self.input_name(pos));
+        }
+        h.word(self.num_outputs() as u64);
+        for o in self.outputs() {
+            h.str(&o.name);
+            h.word(u64::from(o.lit.code()));
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_builds_hash_equal() {
+        let build = || {
+            let mut m = Aig::new();
+            let a = m.add_input("a");
+            let b = m.add_input("b");
+            let y = m.and(a, b);
+            m.add_output("y", y);
+            m
+        };
+        assert_eq!(
+            build().structural_fingerprint(),
+            build().structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn structure_names_and_outputs_all_matter() {
+        let mut base = Aig::new();
+        let a = base.add_input("a");
+        let b = base.add_input("b");
+        let y = base.and(a, b);
+        base.add_output("y", y);
+        let (key, check) = base.structural_fingerprint();
+
+        // Different gate.
+        let mut m = Aig::new();
+        let a2 = m.add_input("a");
+        let b2 = m.add_input("b");
+        let y2 = m.or(a2, b2);
+        m.add_output("y", y2);
+        assert_ne!(m.structural_fingerprint().0, key);
+
+        // Different input name only.
+        let mut m = Aig::new();
+        let a2 = m.add_input("a");
+        let b2 = m.add_input("c");
+        let y2 = m.and(a2, b2);
+        m.add_output("y", y2);
+        assert_ne!(m.structural_fingerprint().0, key);
+
+        // Different output phase only.
+        let mut m = Aig::new();
+        let a2 = m.add_input("a");
+        let b2 = m.add_input("b");
+        let y2 = m.and(a2, b2);
+        m.add_output("y", !y2);
+        let (k3, c3) = m.structural_fingerprint();
+        assert_ne!(k3, key);
+        assert_ne!(c3, check);
+    }
+
+    #[test]
+    fn key_and_check_are_independent() {
+        // Over a spread of tiny variations, no key ever equals its own
+        // check and all (key, check) pairs are distinct.
+        let mut seen = std::collections::HashSet::new();
+        for n in 1..40usize {
+            let mut m = Aig::new();
+            let mut prev = m.add_input("i0");
+            for i in 1..=n {
+                let x = m.add_input(format!("i{i}"));
+                prev = m.and(prev, x);
+            }
+            m.add_output("y", prev);
+            let (key, check) = m.structural_fingerprint();
+            assert_ne!(key, check);
+            assert!(seen.insert(key), "key collision at n={n}");
+            assert!(seen.insert(check), "check collision at n={n}");
+        }
+    }
+
+    #[test]
+    fn hasher_streams_are_prefix_safe() {
+        let mut a = FpHasher::new();
+        a.str("ab");
+        a.str("c");
+        let mut b = FpHasher::new();
+        b.str("a");
+        b.str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -44,6 +44,7 @@ mod aig;
 mod aiger;
 mod cone;
 mod dot;
+mod fp;
 mod lit;
 mod node;
 mod rng;
@@ -54,6 +55,7 @@ pub use crate::aig::{Aig, Output};
 pub use crate::aiger::{
     parse_aiger_ascii, parse_aiger_binary, write_aiger_ascii, write_aiger_binary, ParseAigerError,
 };
+pub use crate::fp::FpHasher;
 pub use crate::lit::{Lit, Var};
 pub use crate::node::Node;
 pub use crate::rng::SplitMix64;

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+//! # eco-batch — manifest-driven batch orchestration with a cross-job memo cache
+//!
+//! Runs many ECO jobs from a declarative manifest (a TOML or JSON list of
+//! `{faulty, golden, weights, targets, budget}` entries) over one global
+//! scoped-thread worker pool that steals work at *job* granularity: a
+//! worker that finishes one instance immediately pulls the next, whatever
+//! job it belongs to, so a long job never serializes the batch behind it.
+//!
+//! At the core sits the shared [`eco_core::MemoCache`]: a sharded,
+//! lock-striped concurrent map keyed by dual 128-bit structural
+//! fingerprints that memoizes whole FRAIG sweeps, rectifiability verdicts,
+//! and complete verified patch results, so structurally identical
+//! (sub-)circuits across jobs are solved once. Cached patches are always
+//! re-verified with a fresh SAT miter before being reported, and cache
+//! hits never change results — only wall time (see the
+//! `eco_core::memo` module docs for the determinism argument).
+//!
+//! The run-wide governor budget ([`BatchOptions::budget`]) is apportioned
+//! across jobs with [`eco_core::Budget::child`]: every job shares the
+//! deadline while conflict allowances are divided, so a starved batch
+//! degrades to per-job `Complete | Partial` records instead of dying.
+//!
+//! Results stream as JSONL — one line per completed job, emitted in
+//! deterministic `(pass, job)` order regardless of `--jobs` — via
+//! [`report`].
+//!
+//! # Examples
+//!
+//! ```
+//! use eco_batch::{run_batch, BatchJob, BatchOptions, JobStatus};
+//! use eco_core::EcoInstance;
+//! use eco_netlist::{parse_verilog, WeightTable};
+//!
+//! let faulty = parse_verilog(
+//!     "module f (a, b, c, t, y); input a, b, c, t; output y;
+//!      xor g1 (y, t, c); endmodule",
+//! )?;
+//! let golden = parse_verilog(
+//!     "module g (a, b, c, y); input a, b, c; output y;
+//!      wire w; and g1 (w, a, b); xor g2 (y, w, c); endmodule",
+//! )?;
+//! let inst = EcoInstance::from_netlists(
+//!     "demo", &faulty, &golden, vec!["t".into()], &WeightTable::new(1),
+//! )?;
+//! // Two structurally identical jobs: the second hits the memo cache.
+//! let jobs = vec![
+//!     BatchJob::from_instance("one", inst.clone()),
+//!     BatchJob::from_instance("two", inst),
+//! ];
+//! let outcome = run_batch(&jobs, &BatchOptions::default());
+//! assert!(outcome
+//!     .records
+//!     .iter()
+//!     .all(|r| r.status == JobStatus::Complete));
+//! assert!(outcome.memo.hits > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod manifest;
+pub mod report;
+mod runner;
+
+pub use crate::manifest::{JobSpec, Manifest, ManifestError};
+pub use crate::report::{exit_code, record_json, records_jsonl, stats_json};
+pub use crate::runner::{
+    load_jobs, run_batch, BatchJob, BatchOptions, BatchOutcome, JobRecord, JobStatus,
+};

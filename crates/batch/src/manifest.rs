@@ -1,0 +1,593 @@
+//! Batch manifest loading.
+//!
+//! A manifest is a declarative list of ECO jobs. Two equivalent on-disk
+//! encodings are accepted, chosen by file extension:
+//!
+//! * **TOML subset** (any extension other than `.json`): one `[[job]]`
+//!   table per job with `key = value` lines, where a value is a quoted
+//!   string, an unsigned integer, or a list of quoted strings. Blank
+//!   lines and `#` comments are ignored.
+//!
+//!   ```toml
+//!   [[job]]
+//!   name = "unit00"
+//!   faulty = "unit00_faulty.v"
+//!   golden = "unit00_golden.v"
+//!   weights = "unit00.weights"
+//!   targets = ["t_0", "t_1"]
+//!   budget = 200000
+//!   ```
+//!
+//! * **JSON subset** (`.json`): either `{"jobs": [ {...}, ... ]}` or a
+//!   bare top-level array of job objects with the same keys.
+//!
+//! `faulty` and `golden` are required; `name` defaults to the stem of the
+//! faulty path, `weights` to unit weights, `targets` to the instance
+//! default (every `t_`-prefixed input), and `budget` (a per-job SAT
+//! conflict allowance) to the batch-wide apportionment. Relative paths
+//! are resolved against the directory containing the manifest so a suite
+//! directory can be moved wholesale.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One ECO job entry from a batch manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Display name for reports; defaults to the faulty file stem.
+    pub name: String,
+    /// Path to the faulty circuit (`.v` or `.blif`).
+    pub faulty: PathBuf,
+    /// Path to the golden circuit (`.v` or `.blif`).
+    pub golden: PathBuf,
+    /// Optional path to a `signal weight` table; `None` = unit weights.
+    pub weights: Option<PathBuf>,
+    /// Explicit target names; empty = every `t_`-prefixed faulty input.
+    pub targets: Vec<String>,
+    /// Optional per-job SAT conflict allowance overriding the batch-wide
+    /// apportionment (the smaller of the two wins).
+    pub budget: Option<u64>,
+}
+
+/// A parsed batch manifest: an ordered list of jobs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Jobs in manifest order; report lines keep this order.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// Error produced while reading or parsing a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError(pub String);
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ManifestError> {
+    Err(ManifestError(msg.into()))
+}
+
+impl Manifest {
+    /// Reads and parses a manifest file, resolving relative job paths
+    /// against the manifest's directory.
+    pub fn load(path: &Path) -> Result<Manifest, ManifestError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ManifestError(format!("cannot read {}: {e}", path.display())))?;
+        let mut manifest = if path.extension().is_some_and(|e| e == "json") {
+            Manifest::parse_json(&text)?
+        } else {
+            Manifest::parse_toml(&text)?
+        };
+        if let Some(dir) = path.parent() {
+            manifest.resolve_relative_to(dir);
+        }
+        Ok(manifest)
+    }
+
+    /// Rewrites every relative job path to be relative to `dir`.
+    pub fn resolve_relative_to(&mut self, dir: &Path) {
+        let resolve = |p: &mut PathBuf| {
+            if p.is_relative() {
+                *p = dir.join(&*p);
+            }
+        };
+        for job in &mut self.jobs {
+            resolve(&mut job.faulty);
+            resolve(&mut job.golden);
+            if let Some(w) = &mut job.weights {
+                resolve(w);
+            }
+        }
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse_toml(text: &str) -> Result<Manifest, ManifestError> {
+        let mut jobs: Vec<RawJob> = Vec::new();
+        for (lineno, raw_line) in text.lines().enumerate() {
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[job]]" {
+                jobs.push(RawJob::default());
+                continue;
+            }
+            if line.starts_with('[') {
+                return err(format!("line {}: unknown table {line}", lineno + 1));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return err(format!("line {}: expected `key = value`", lineno + 1));
+            };
+            let Some(job) = jobs.last_mut() else {
+                return err(format!(
+                    "line {}: key outside any [[job]] table",
+                    lineno + 1
+                ));
+            };
+            let key = key.trim();
+            let value = parse_toml_value(value.trim())
+                .map_err(|m| ManifestError(format!("line {}: {m}", lineno + 1)))?;
+            job.set(key, value)
+                .map_err(|m| ManifestError(format!("line {}: {m}", lineno + 1)))?;
+        }
+        finish(jobs)
+    }
+
+    /// Parses the JSON subset described in the module docs.
+    pub fn parse_json(text: &str) -> Result<Manifest, ManifestError> {
+        let value = json::parse(text).map_err(ManifestError)?;
+        let entries = match value {
+            json::Value::Arr(items) => items,
+            json::Value::Obj(fields) => {
+                let Some((_, jobs)) = fields.into_iter().find(|(k, _)| k == "jobs") else {
+                    return err("top-level object is missing the \"jobs\" array");
+                };
+                match jobs {
+                    json::Value::Arr(items) => items,
+                    _ => return err("\"jobs\" must be an array"),
+                }
+            }
+            _ => return err("expected a top-level array or {\"jobs\": [...]}"),
+        };
+        let mut jobs = Vec::new();
+        for (i, entry) in entries.into_iter().enumerate() {
+            let json::Value::Obj(fields) = entry else {
+                return err(format!("job {i}: expected an object"));
+            };
+            let mut job = RawJob::default();
+            for (key, value) in fields {
+                let value = match value {
+                    json::Value::Str(s) => Value::Str(s),
+                    json::Value::Int(n) => Value::Int(n),
+                    json::Value::Arr(items) => {
+                        let mut list = Vec::new();
+                        for item in items {
+                            match item {
+                                json::Value::Str(s) => list.push(s),
+                                _ => return err(format!("job {i}: {key}: expected strings")),
+                            }
+                        }
+                        Value::List(list)
+                    }
+                    _ => return err(format!("job {i}: {key}: unsupported value type")),
+                };
+                job.set(&key, value)
+                    .map_err(|m| ManifestError(format!("job {i}: {m}")))?;
+            }
+            jobs.push(job);
+        }
+        finish(jobs)
+    }
+}
+
+/// A scalar or list value from either encoding.
+enum Value {
+    Str(String),
+    Int(u64),
+    List(Vec<String>),
+}
+
+#[derive(Default)]
+struct RawJob {
+    name: Option<String>,
+    faulty: Option<String>,
+    golden: Option<String>,
+    weights: Option<String>,
+    targets: Vec<String>,
+    budget: Option<u64>,
+}
+
+impl RawJob {
+    fn set(&mut self, key: &str, value: Value) -> Result<(), String> {
+        let expect_str = |v: Value| match v {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("{key}: expected a string")),
+        };
+        match key {
+            "name" => self.name = Some(expect_str(value)?),
+            "faulty" => self.faulty = Some(expect_str(value)?),
+            "golden" => self.golden = Some(expect_str(value)?),
+            "weights" => self.weights = Some(expect_str(value)?),
+            "targets" => match value {
+                Value::List(list) => self.targets = list,
+                _ => return Err("targets: expected a list of strings".into()),
+            },
+            "budget" => match value {
+                Value::Int(n) => self.budget = Some(n),
+                _ => return Err("budget: expected an unsigned integer".into()),
+            },
+            other => return Err(format!("unknown key `{other}`")),
+        }
+        Ok(())
+    }
+}
+
+fn finish(raw: Vec<RawJob>) -> Result<Manifest, ManifestError> {
+    let mut jobs = Vec::with_capacity(raw.len());
+    for (i, job) in raw.into_iter().enumerate() {
+        let Some(faulty) = job.faulty else {
+            return err(format!("job {i}: missing required key `faulty`"));
+        };
+        let Some(golden) = job.golden else {
+            return err(format!("job {i}: missing required key `golden`"));
+        };
+        let faulty = PathBuf::from(faulty);
+        let name = job.name.unwrap_or_else(|| {
+            faulty
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| format!("job{i}"))
+        });
+        jobs.push(JobSpec {
+            name,
+            faulty,
+            golden: PathBuf::from(golden),
+            weights: job.weights.map(PathBuf::from),
+            targets: job.targets,
+            budget: job.budget,
+        });
+    }
+    if jobs.is_empty() {
+        return err("manifest contains no jobs");
+    }
+    Ok(Manifest { jobs })
+}
+
+/// Strips a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_toml_value(text: &str) -> Result<Value, String> {
+    if let Some(rest) = text.strip_prefix('[') {
+        let Some(body) = rest.strip_suffix(']') else {
+            return Err("unterminated list".into());
+        };
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_toml_value(part)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err("lists may only contain strings".into()),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return Err("unterminated string".into());
+        };
+        return Ok(Value::Str(unescape(body)?));
+    }
+    let digits: String = text.chars().filter(|c| *c != '_').collect();
+    digits
+        .parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| format!("cannot parse value `{text}`"))
+}
+
+/// Splits on commas that are not inside a quoted string.
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+fn unescape(body: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some(other) => return Err(format!("unsupported escape `\\{other}`")),
+            None => return Err("dangling backslash".into()),
+        }
+    }
+    Ok(out)
+}
+
+/// A minimal recursive-descent JSON parser — just enough for manifests.
+mod json {
+    pub enum Value {
+        Null,
+        Bool,
+        Int(u64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_obj(bytes, pos),
+            Some(b'[') => parse_arr(bytes, pos),
+            Some(b'"') => parse_str(bytes, pos).map(Value::Str),
+            Some(b't') => parse_lit(bytes, pos, "true").map(|()| Value::Bool),
+            Some(b'f') => parse_lit(bytes, pos, "false").map(|()| Value::Bool),
+            Some(b'n') => parse_lit(bytes, pos, "null").map(|()| Value::Null),
+            Some(c) if c.is_ascii_digit() => parse_int(bytes, pos),
+            _ => Err(format!("unexpected input at byte {pos}")),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn parse_int(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(Value::Int)
+            .ok_or_else(|| format!("bad integer at byte {start}"))
+    }
+
+    fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        debug_assert_eq!(bytes[*pos], b'"');
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        _ => return Err(format!("unsupported escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b'"') {
+                return Err(format!("expected a key string at byte {pos}"));
+            }
+            let key = parse_str(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOML: &str = r#"
+# suite manifest
+[[job]]
+name = "unit00"
+faulty = "unit00_faulty.v"   # inline comment
+golden = "unit00_golden.v"
+weights = "unit00.weights"
+targets = ["t_0", "t_1"]
+budget = 200_000
+
+[[job]]
+faulty = "unit01_faulty.v"
+golden = "unit01_golden.v"
+"#;
+
+    #[test]
+    fn toml_subset_round_trips_all_fields() {
+        let m = Manifest::parse_toml(TOML).unwrap();
+        assert_eq!(m.jobs.len(), 2);
+        let j = &m.jobs[0];
+        assert_eq!(j.name, "unit00");
+        assert_eq!(j.faulty, PathBuf::from("unit00_faulty.v"));
+        assert_eq!(j.golden, PathBuf::from("unit00_golden.v"));
+        assert_eq!(j.weights, Some(PathBuf::from("unit00.weights")));
+        assert_eq!(j.targets, vec!["t_0".to_string(), "t_1".to_string()]);
+        assert_eq!(j.budget, Some(200_000));
+        // Defaults: name from faulty stem, no weights/targets/budget.
+        let j = &m.jobs[1];
+        assert_eq!(j.name, "unit01_faulty");
+        assert_eq!(j.weights, None);
+        assert!(j.targets.is_empty());
+        assert_eq!(j.budget, None);
+    }
+
+    #[test]
+    fn json_object_and_bare_array_forms_agree() {
+        let obj = r#"{"jobs": [
+            {"name": "u", "faulty": "f.v", "golden": "g.v",
+             "targets": ["t_0"], "budget": 500}
+        ]}"#;
+        let arr = r#"[
+            {"name": "u", "faulty": "f.v", "golden": "g.v",
+             "targets": ["t_0"], "budget": 500}
+        ]"#;
+        let a = Manifest::parse_json(obj).unwrap();
+        let b = Manifest::parse_json(arr).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.jobs[0].budget, Some(500));
+    }
+
+    #[test]
+    fn missing_required_keys_and_unknown_keys_are_rejected() {
+        assert!(Manifest::parse_toml("[[job]]\nname = \"x\"\n").is_err());
+        assert!(
+            Manifest::parse_toml("[[job]]\nfaulty = \"f\"\ngolden = \"g\"\nbogus = 1\n").is_err()
+        );
+        assert!(Manifest::parse_toml("faulty = \"f\"\n").is_err()); // key before [[job]]
+        assert!(Manifest::parse_toml("# only comments\n").is_err()); // no jobs
+        assert!(Manifest::parse_json(r#"{"jobs": []}"#).is_err());
+    }
+
+    #[test]
+    fn relative_paths_resolve_against_manifest_dir() {
+        let mut m = Manifest::parse_toml(
+            "[[job]]\nfaulty = \"a.v\"\ngolden = \"/abs/g.v\"\nweights = \"w.txt\"\n",
+        )
+        .unwrap();
+        m.resolve_relative_to(Path::new("/suite"));
+        assert_eq!(m.jobs[0].faulty, PathBuf::from("/suite/a.v"));
+        assert_eq!(m.jobs[0].golden, PathBuf::from("/abs/g.v")); // absolute untouched
+        assert_eq!(m.jobs[0].weights, Some(PathBuf::from("/suite/w.txt")));
+    }
+
+    #[test]
+    fn comment_stripping_respects_quoted_hashes() {
+        let m =
+            Manifest::parse_toml("[[job]]\nfaulty = \"a#b.v\" # real comment\ngolden = \"g.v\"\n")
+                .unwrap();
+        assert_eq!(m.jobs[0].faulty, PathBuf::from("a#b.v"));
+    }
+}

@@ -20,17 +20,22 @@
 //! complete and pass the full oracle or degrade to a well-formed
 //! partial result — never panic, hang, or emit a malformed netlist.
 //!
+//! `--stats=json` renders the campaign summary as one JSON object on
+//! stdout (same `JsonObj` emitter as `eco-patch --stats=json` and
+//! `eco-batch --stats=json`, so field naming stays consistent).
+//!
 //! Exit codes: 0 — clean; 1 — usage or I/O error; 3 — failures found.
 
 use std::process::ExitCode;
 
+use eco_core::JsonObj;
 use eco_workgen::fuzz::{
     gen_case, run_budget_campaign, run_campaign, run_case, CaseOutcome, FuzzCase, FuzzConfig,
 };
 
 const USAGE: &str = "usage: eco-fuzz [--iters <n>] [--seed <s>] [--shrink] \
                      [--corpus <dir>] [--replay <file-or-dir>] [--case <seed>] \
-                     [--budget-campaign]";
+                     [--budget-campaign] [--stats=json]";
 
 fn replay(path: &str, cfg: &FuzzConfig) -> Result<u64, String> {
     let meta = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
@@ -92,11 +97,13 @@ fn main() -> ExitCode {
     let mut replay_path: Option<String> = None;
     let mut one_case: Option<u64> = None;
     let mut budget_campaign = false;
+    let mut stats_json = false;
     let mut args = std::env::args().skip(1);
     let mut bad = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--budget-campaign" => budget_campaign = true,
+            "--stats=json" => stats_json = true,
             "--iters" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => iters = v,
                 None => bad = true,
@@ -159,10 +166,23 @@ fn main() -> ExitCode {
                 );
             }
         });
-        println!(
-            "cases {}  completes {}  partials {}  skips {}  failures {}",
-            stats.cases, stats.completes, stats.partials, stats.skips, stats.failures
-        );
+        if stats_json {
+            println!(
+                "{}",
+                JsonObj::new()
+                    .u64("cases", stats.cases)
+                    .u64("completes", stats.completes)
+                    .u64("partials", stats.partials)
+                    .u64("skips", stats.skips)
+                    .u64("failures", stats.failures)
+                    .build()
+            );
+        } else {
+            println!(
+                "cases {}  completes {}  partials {}  skips {}  failures {}",
+                stats.cases, stats.completes, stats.partials, stats.skips, stats.failures
+            );
+        }
         for (i, f) in failures.iter().enumerate() {
             eprintln!(
                 "failure {i}: seed {:x} at {} — {}",
@@ -184,15 +204,29 @@ fn main() -> ExitCode {
             );
         }
     });
-    println!(
-        "cases {}  passes {}  skips {}  failures {}  shrink-steps {}  shrink-accepted {}",
-        stats.cases,
-        stats.passes,
-        stats.skips,
-        stats.failures,
-        stats.shrink_steps,
-        stats.shrink_accepted
-    );
+    if stats_json {
+        println!(
+            "{}",
+            JsonObj::new()
+                .u64("cases", stats.cases)
+                .u64("passes", stats.passes)
+                .u64("skips", stats.skips)
+                .u64("failures", stats.failures)
+                .u64("shrink_steps", stats.shrink_steps)
+                .u64("shrink_accepted", stats.shrink_accepted)
+                .build()
+        );
+    } else {
+        println!(
+            "cases {}  passes {}  skips {}  failures {}  shrink-steps {}  shrink-accepted {}",
+            stats.cases,
+            stats.passes,
+            stats.skips,
+            stats.failures,
+            stats.shrink_steps,
+            stats.shrink_accepted
+        );
+    }
     for (i, f) in failures.iter().enumerate() {
         eprintln!(
             "failure {i}: seed {:x} at {} — {} ({} gates golden)",

@@ -16,20 +16,21 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use eco_aig::{Aig, Lit, Var};
-use eco_fraig::{fraig_classes_stats, fraig_reduce, FraigOptions};
+use eco_fraig::{fraig_classes_memo, fraig_classes_stats, fraig_reduce, FraigOptions, SweepMemo};
 
 use crate::cluster::{cluster_targets, TargetCluster};
 use crate::govern::{Budget, BudgetOptions, ClusterDiagnosis, ClusterReport};
 use crate::localize::{Cut, CutSignal, TapMap};
+use crate::memo::{patch_memo_key, rect_memo_key, MemoCache};
 use crate::optimize::{optimize_patches_governed, total_cost, OptimizeOptions};
 use crate::patchgen::{
     extract_patch_aig, generate_group_patches_governed, GroupPatches, PatchFn, PatchGenOptions,
 };
-use crate::rectifiable::{check_rectifiable, Rectifiability};
+use crate::rectifiable::{check_rect_cex, check_rectifiable, Rectifiability};
 use crate::sizeopt::{reduce_patch_sizes_governed, SizeOptOptions};
 use crate::synth::InitialPatchKind;
 use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
@@ -74,6 +75,14 @@ pub struct EcoOptions {
     /// governed code path collapses to the ungoverned one, so results are
     /// identical to a run without the governor.
     pub budget: BudgetOptions,
+    /// Shared cross-job memo cache ([`MemoCache`]): whole FRAIG sweeps,
+    /// rectifiability verdicts, and complete verified results are reused
+    /// across structurally identical (sub-)instances. Hits never change
+    /// results — cached values are pure functions of structural keys, and
+    /// cached patches are re-verified with a fresh SAT miter before being
+    /// returned. Only consulted when the budget is unlimited (a truncated
+    /// run's result is not a reusable pure function).
+    pub memo: Option<Arc<MemoCache>>,
 }
 
 impl Default for EcoOptions {
@@ -91,6 +100,7 @@ impl Default for EcoOptions {
             size_opts: SizeOptOptions::default(),
             jobs: 0,
             budget: BudgetOptions::default(),
+            memo: None,
         }
     }
 }
@@ -305,9 +315,56 @@ impl EcoEngine {
     /// As [`EcoEngine::run`], except budget-driven degradation is a
     /// successful `Partial` outcome rather than an error.
     pub fn run_governed(&self) -> Result<EcoOutcome, EcoError> {
-        let budget = Budget::new(&self.options.budget);
+        self.run_governed_with(&Budget::new(&self.options.budget))
+    }
+
+    /// Like [`EcoEngine::run_governed`], but under an externally supplied
+    /// [`Budget`] — the batch runner apportions one run-wide governor
+    /// across jobs with [`Budget::child`] and drives each job through
+    /// here.
+    ///
+    /// This is also where the [`EcoOptions::memo`] whole-instance lookup
+    /// happens: a cached result is returned only after a fresh SAT miter
+    /// re-verifies it against this engine's instance; a refuted entry is
+    /// counted as a fallback and the full pipeline runs instead.
+    ///
+    /// # Errors
+    ///
+    /// As [`EcoEngine::run_governed`].
+    pub fn run_governed_with(&self, budget: &Budget) -> Result<EcoOutcome, EcoError> {
         let tel = Telemetry::new();
-        let outcome = match self.attempt(self.options.localization, &budget, &tel)? {
+        let memo = self
+            .options
+            .memo
+            .as_deref()
+            .filter(|_| budget.is_unlimited())
+            .map(|m| (m, patch_memo_key(&self.instance, &self.options)));
+        if let Some((cache, (key, check))) = memo {
+            if let Some(mut cached) = cache.lookup_patch(key, check) {
+                tel.add_memo_hit();
+                let t0 = Instant::now();
+                if self.reverify_patch(&cached, budget, &tel) {
+                    cached.stage_times.verify = t0.elapsed();
+                    cached.telemetry = tel.snapshot();
+                    return Ok(EcoOutcome::Complete(cached));
+                }
+                cache.record_fallback();
+                tel.add_memo_fallback();
+            } else {
+                tel.add_memo_miss();
+            }
+        }
+        let outcome = self.run_attempts(budget, &tel)?;
+        if let (Some((cache, (key, check))), EcoOutcome::Complete(result)) = (memo, &outcome) {
+            cache.store_patch(key, check, result);
+        }
+        Ok(outcome)
+    }
+
+    /// The localized attempt plus its completeness fallback (the former
+    /// body of `run_governed`, memo-free).
+    fn run_attempts(&self, budget: &Budget, tel: &Telemetry) -> Result<EcoOutcome, EcoError> {
+        let outcome = match self.attempt(self.options.localization, budget, tel)? {
             AttemptOutcome::Done(result) => EcoOutcome::Complete(result),
             AttemptOutcome::Degraded(partial) => EcoOutcome::Partial(partial),
             AttemptOutcome::Cex(cex) if self.options.localization => {
@@ -322,7 +379,7 @@ impl EcoEngine {
                         cex_summary(&cex)
                     ),
                 );
-                match self.attempt(false, &budget, &tel)? {
+                match self.attempt(false, budget, tel)? {
                     AttemptOutcome::Done(mut result) => {
                         result.localization_fallback = true;
                         EcoOutcome::Complete(result)
@@ -353,6 +410,58 @@ impl EcoEngine {
                 EcoOutcome::Partial(partial)
             }
         })
+    }
+
+    /// Freshly SAT-verifies a cached result's patch circuit against this
+    /// engine's instance: the patch AIG is imported over a clean workspace
+    /// by input name, substituted into the targets, and the full output
+    /// miter checked — exactly the stage-6 check, so a memo hit meets the
+    /// same bar as a freshly derived patch. Any mapping failure or
+    /// non-equivalence returns `false`, so a poisoned or colliding cache
+    /// entry can never be returned as a result.
+    fn reverify_patch(&self, result: &EcoResult, budget: &Budget, tel: &Telemetry) -> bool {
+        let t0 = Instant::now();
+        let ws = Workspace::new(&self.instance);
+        let mut mgr = ws.mgr.clone();
+        let mut imap: HashMap<Var, Lit> = HashMap::new();
+        for pos in 0..result.patch_aig.num_inputs() {
+            let name = result.patch_aig.input_name(pos);
+            let Some(lit) = ws
+                .cands
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.lit)
+                .or_else(|| ws.x_lit(name))
+            else {
+                return false;
+            };
+            imap.insert(result.patch_aig.input_var(pos), lit);
+        }
+        let proots: Vec<Lit> = result.patch_aig.outputs().iter().map(|o| o.lit).collect();
+        let Ok(plits) = mgr.import(&result.patch_aig, &proots, &imap) else {
+            return false;
+        };
+        let mut tmap: HashMap<Var, Lit> = HashMap::new();
+        for (o, &l) in result.patch_aig.outputs().iter().zip(&plits) {
+            let Some(k) = self.instance.targets.iter().position(|t| *t == o.name) else {
+                return false;
+            };
+            tmap.insert(ws.target_vars[k], l);
+        }
+        if tmap.len() != self.instance.targets.len() {
+            return false;
+        }
+        let patched = mgr.substitute(&ws.f_outs.clone(), &tmap);
+        let pairs: Vec<(Lit, Lit)> = patched.into_iter().zip(ws.g_outs.clone()).collect();
+        let (verdict, stats) = check_equivalence_ctl(
+            &mut mgr,
+            &pairs,
+            budget.cap(self.options.verify_budget),
+            &budget.ctl(),
+        );
+        tel.record_solver(&stats);
+        tel.add_stage(Stage::Verify, t0.elapsed());
+        matches!(verdict, VerifyOutcome::Equivalent)
     }
 
     /// Rectifies one cluster against its own sub-workspace with panic
@@ -411,9 +520,36 @@ impl EcoEngine {
             if !budget.is_unlimited() {
                 fraig_opts.ctl = budget.ctl();
             }
-            let (classes, sweep) = fraig_classes_stats(&sub.mgr, &fraig_opts);
-            tel.record_sweep(&sweep);
-            meter.charge(sweep.sat.conflicts);
+            // Cross-job memo: structurally identical sub-workspaces sweep
+            // once. `fraig_classes_stats` never mutates the AIG and the
+            // classes are a pure function of (AIG, options), so a hit
+            // leaves `sub` and every downstream artifact byte-identical
+            // to a fresh sweep — only the solver time is skipped.
+            let memo = self
+                .options
+                .memo
+                .as_deref()
+                .filter(|_| budget.is_unlimited());
+            let classes = match memo {
+                Some(cache) => {
+                    let (classes, sweep, hit) =
+                        fraig_classes_memo(&sub.mgr, &fraig_opts, cache as &dyn SweepMemo);
+                    if hit {
+                        tel.add_memo_hit();
+                    } else {
+                        tel.add_memo_miss();
+                        tel.record_sweep(&sweep);
+                        meter.charge(sweep.sat.conflicts);
+                    }
+                    classes
+                }
+                None => {
+                    let (classes, sweep) = fraig_classes_stats(&sub.mgr, &fraig_opts);
+                    tel.record_sweep(&sweep);
+                    meter.charge(sweep.sat.conflicts);
+                    classes
+                }
+            };
             TapMap::build(&sub, &classes)
         } else {
             TapMap::empty()
@@ -471,7 +607,51 @@ impl EcoEngine {
         }
 
         if opts.precheck_rectifiability {
-            match check_rectifiable(&mut ws, 256, budget.cap(opts.verify_budget)) {
+            // The CEGAR check builds scratch nodes, so it runs on a
+            // throwaway workspace: the main manager stays untouched and a
+            // memo hit (which skips the check entirely) leaves the rest of
+            // the flow byte-identical to a fresh run.
+            let mut scratch = Workspace::new(&self.instance);
+            let memo = opts.memo.as_deref().filter(|_| budget.is_unlimited());
+            let memo = memo.map(|m| (m, rect_memo_key(&self.instance, opts)));
+            let mut verdict = None;
+            if let Some((cache, (key, check))) = memo {
+                match cache.lookup_rect(key, check) {
+                    Some(Rectifiability::Rectifiable) => {
+                        // Trusted as-is: a wrong `Rectifiable` only delays
+                        // failure to the (always fresh) final verification.
+                        tel.add_memo_hit();
+                        verdict = Some(Rectifiability::Rectifiable);
+                    }
+                    Some(Rectifiability::Counterexample(cex)) => {
+                        // Audit the claimed universal counterexample with
+                        // one cheap B-check before declaring defeat.
+                        tel.add_memo_hit();
+                        if check_rect_cex(&mut scratch, &cex, budget.cap(opts.verify_budget))
+                            == Some(true)
+                        {
+                            verdict = Some(Rectifiability::Counterexample(cex));
+                        } else {
+                            cache.record_fallback();
+                            tel.add_memo_fallback();
+                        }
+                    }
+                    _ => tel.add_memo_miss(),
+                }
+            }
+            let verdict = match verdict {
+                Some(v) => v,
+                None => {
+                    let v = check_rectifiable(&mut scratch, 256, budget.cap(opts.verify_budget));
+                    if let Some((cache, (key, check))) = memo {
+                        if !matches!(v, Rectifiability::Unknown) {
+                            cache.store_rect(key, check, &v);
+                        }
+                    }
+                    v
+                }
+            };
+            match verdict {
                 Rectifiability::Rectifiable => {}
                 Rectifiability::Counterexample(cex) => {
                     return Err(EcoError::Unrectifiable(format!(

@@ -112,6 +112,21 @@ impl Budget {
         self.cluster_conflicts
     }
 
+    /// Derives a child budget sharing this governor's deadline and
+    /// cancellation flag but with its own per-cluster conflict allowance.
+    ///
+    /// The batch runner uses this to apportion one run-wide budget across
+    /// jobs: every job observes the same wall-clock deadline (and a
+    /// [`Budget::cancel_now`] on the parent stops them all), while conflict
+    /// allowances are divided so one hard job cannot starve the rest.
+    pub fn child(&self, cluster_conflicts: Option<u64>) -> Budget {
+        Budget {
+            deadline: self.deadline,
+            cancel: Arc::clone(&self.cancel),
+            cluster_conflicts,
+        }
+    }
+
     /// Draws a fresh worker-local meter charged against the per-cluster
     /// allowance.
     pub fn meter(&self) -> ConflictMeter {
@@ -280,6 +295,23 @@ mod tests {
         m.charge(1000);
         assert!(m.exhausted());
         assert_eq!(m.remaining(), Some(0));
+    }
+
+    #[test]
+    fn child_shares_cancel_but_not_allowance() {
+        let parent = Budget::new(&BudgetOptions {
+            timeout: None,
+            cluster_conflicts: Some(100),
+        });
+        let child = parent.child(Some(25));
+        assert_eq!(child.cluster_conflicts(), Some(25));
+        assert_eq!(child.cap(1 << 20), 25);
+        assert!(!child.expired());
+        parent.cancel_now();
+        assert!(child.expired(), "child observes the parent's cancel");
+
+        let unlimited_child = parent.child(None);
+        assert!(unlimited_child.cluster_conflicts().is_none());
     }
 
     #[test]

@@ -64,6 +64,7 @@ mod error;
 mod govern;
 mod instance;
 mod localize;
+mod memo;
 mod optimize;
 mod patchgen;
 mod rebase;
@@ -87,17 +88,19 @@ pub use crate::error::EcoError;
 pub use crate::govern::{Budget, BudgetOptions, ClusterDiagnosis, ClusterReport, ConflictMeter};
 pub use crate::instance::{BaseCandidate, EcoInstance};
 pub use crate::localize::{Cut, CutSignal, TapMap};
+pub use crate::memo::{patch_memo_key, rect_memo_key, MemoCache, MemoStats};
 pub use crate::optimize::{optimize_patches, total_cost, OptimizeOptions, OptimizeStats};
 pub use crate::patchgen::{
     extract_patch_aig, generate_group_patches, GroupPatches, PatchFn, PatchGenOptions,
 };
 pub use crate::rebase::{resynthesize, RebaseQuery};
-pub use crate::rectifiable::{check_rectifiable, Rectifiability};
+pub use crate::rectifiable::{check_rect_cex, check_rectifiable, Rectifiability};
 pub use crate::report::{PartialReport, Report};
 pub use crate::sizeopt::{reduce_patch_sizes, SizeOptOptions, SizeOptStats};
 pub use crate::synth::{synthesize_patch, InitialPatchKind, SynthOutcome};
 pub use crate::telemetry::{
-    SatTotals, Stage, SweepTotals, Telemetry, TelemetryEvent, TelemetrySnapshot,
+    json_escape, JsonObj, SatTotals, Stage, SweepTotals, Telemetry, TelemetryEvent,
+    TelemetrySnapshot,
 };
 pub use crate::verify::{
     check_equivalence, check_equivalence_ctl, check_equivalence_stats, VerifyOutcome,

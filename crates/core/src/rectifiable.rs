@@ -128,6 +128,55 @@ pub fn check_rectifiable(
     Rectifiability::Unknown
 }
 
+/// Re-validates a claimed Eq.-2 universal counterexample with a single
+/// B-check: substitutes the named `X` assignment into `R(X, T)` and asks a
+/// fresh solver whether *some* target strategy still completes it.
+///
+/// Returns `Some(true)` when the counterexample is confirmed genuine (no
+/// strategy exists), `Some(false)` when it is refuted (a strategy exists,
+/// or the assignment is malformed — wrong names or incomplete), and `None`
+/// when the conflict budget ran out. The memo cache uses this to cheaply
+/// audit a cached `Counterexample` verdict instead of re-running the whole
+/// CEGAR loop; a refuted or unknown audit falls back to the full check.
+///
+/// Builds scratch nodes in `ws.mgr`, so callers pass a throwaway
+/// workspace.
+pub fn check_rect_cex(
+    ws: &mut Workspace,
+    cex: &[(String, bool)],
+    conflict_budget: u64,
+) -> Option<bool> {
+    let by_name: HashMap<&str, bool> = cex.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+    let map: HashMap<AVar, ALit> =
+        ws.x.iter()
+            .filter_map(|(name, l)| {
+                by_name
+                    .get(name.as_str())
+                    .map(|&b| (l.var(), if b { ALit::TRUE } else { ALit::FALSE }))
+            })
+            .collect();
+    if map.len() != ws.x.len() || by_name.len() != ws.x.len() {
+        return Some(false);
+    }
+    let eqs: Vec<ALit> = ws
+        .f_outs
+        .iter()
+        .zip(&ws.g_outs)
+        .map(|(&f, &g)| ws.mgr.xnor(f, g))
+        .collect();
+    let r = ws.mgr.and_many(&eqs);
+    let r_fixed = ws.mgr.substitute(&[r], &map)[0];
+    let mut b_solver = Solver::new();
+    let mut b_map: HashMap<AVar, SLit> = HashMap::new();
+    let roots = encode_cone(&ws.mgr, &[r_fixed], &mut b_map, &mut b_solver);
+    b_solver.add_clause(&[roots[0]]);
+    match b_solver.solve_limited(&[], conflict_budget) {
+        None => None,
+        Some(false) => Some(true),
+        Some(true) => Some(false),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +252,39 @@ mod tests {
             &["t1", "t2"],
         );
         assert!(check_rectifiable(&mut ws, 128, 1 << 20).is_rectifiable());
+    }
+
+    #[test]
+    fn cex_audit_confirms_and_refutes() {
+        // Genuine counterexample from the unpatchable-output instance.
+        let mut ws = ws_of(
+            "module f (a, t, y, z); input a, t; output y, z; \
+             buf g1 (y, t); buf g2 (z, a); endmodule",
+            "module g (a, y, z); input a; output y, z; \
+             buf g1 (y, a); not g2 (z, a); endmodule",
+            &["t"],
+        );
+        let cex = match check_rectifiable(&mut ws, 64, 1 << 20) {
+            Rectifiability::Counterexample(cex) => cex,
+            other => panic!("expected counterexample, got {other:?}"),
+        };
+        assert_eq!(check_rect_cex(&mut ws, &cex, 1 << 20), Some(true));
+
+        // The same assignment against a rectifiable instance is refuted.
+        let mut ws2 = ws_of(
+            "module f (a, t, y); input a, t; output y; buf g1 (y, t); endmodule",
+            "module g (a, y); input a; output y; buf g1 (y, a); endmodule",
+            &["t"],
+        );
+        assert_eq!(check_rect_cex(&mut ws2, &cex, 1 << 20), Some(false));
+
+        // Malformed (wrong names / incomplete) assignments are refuted,
+        // never trusted.
+        assert_eq!(check_rect_cex(&mut ws, &[], 1 << 20), Some(false));
+        assert_eq!(
+            check_rect_cex(&mut ws, &[("nope".into(), true)], 1 << 20),
+            Some(false)
+        );
     }
 
     #[test]

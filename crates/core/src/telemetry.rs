@@ -113,6 +113,95 @@ pub struct SweepTotals {
     pub resim_columns_saved: u64,
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+///
+/// Shared by every hand-rolled JSON emitter in the workspace
+/// (`eco-patch --stats=json`, `eco-fuzz --stats=json`, `eco-batch`).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental builder for one JSON object: values are rendered eagerly,
+/// keys appear in insertion order, output is a single line.
+///
+/// This is the one JSON emitter shared by all the workspace's stats
+/// formats, so field names can't drift between binaries.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObj {
+    fields: Vec<String>,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObj::default()
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, v: u64) -> Self {
+        self.fields.push(format!("\"{}\": {}", json_escape(key), v));
+        self
+    }
+
+    /// Adds a floating-point field (serialized with full precision).
+    pub fn f64(mut self, key: &str, v: f64) -> Self {
+        self.fields.push(format!("\"{}\": {}", json_escape(key), v));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, v: bool) -> Self {
+        self.fields.push(format!("\"{}\": {}", json_escape(key), v));
+        self
+    }
+
+    /// Adds an escaped string field.
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.fields
+            .push(format!("\"{}\": \"{}\"", json_escape(key), json_escape(v)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (nested object, array, `null`, …).
+    pub fn raw(mut self, key: &str, v: &str) -> Self {
+        self.fields.push(format!("\"{}\": {}", json_escape(key), v));
+        self
+    }
+
+    /// Adds an array of pre-rendered JSON values.
+    pub fn arr(mut self, key: &str, items: &[String]) -> Self {
+        self.fields
+            .push(format!("\"{}\": [{}]", json_escape(key), items.join(", ")));
+        self
+    }
+
+    /// Adds an array of escaped strings.
+    pub fn str_arr(self, key: &str, items: &[String]) -> Self {
+        let rendered: Vec<String> = items
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect();
+        self.arr(key, &rendered)
+    }
+
+    /// Renders the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.fields.join(", "))
+    }
+}
+
 /// One structured event (e.g. a fallback firing), with a human-readable
 /// detail string.
 #[derive(Clone, Debug)]
@@ -155,6 +244,13 @@ pub struct TelemetrySnapshot {
     pub clusters_panicked: u64,
     /// Budget-escalation retries taken by the synthesis ladder.
     pub escalations: u64,
+    /// Memo-cache hits (sweep, rectifiability, or whole-instance patch).
+    pub memo_hits: u64,
+    /// Memo-cache misses (entry absent or check digest mismatched).
+    pub memo_misses: u64,
+    /// Memo hits discarded because revalidation (fresh SAT miter or
+    /// counterexample B-check) refuted the cached entry.
+    pub memo_fallbacks: u64,
     /// Structured events, in recording order.
     pub events: Vec<TelemetryEvent>,
 }
@@ -177,65 +273,65 @@ impl TelemetrySnapshot {
         }
     }
 
-    /// Hand-rolled JSON rendering (stable keys, no external deps).
+    /// Hand-rolled JSON rendering via the shared [`JsonObj`] builder
+    /// (stable keys, no external deps).
     pub fn to_json(&self) -> String {
-        let stages: Vec<String> = Stage::ALL
-            .iter()
-            .map(|s| format!("\"{}_ns\": {}", s.name(), self.stage_nanos(*s)))
-            .collect();
+        let mut stages = JsonObj::new();
+        for s in Stage::ALL {
+            stages = stages.u64(&format!("{}_ns", s.name()), self.stage_nanos(s));
+        }
+        let sat = JsonObj::new()
+            .u64("solvers", self.sat.solvers)
+            .u64("conflicts", self.sat.conflicts)
+            .u64("decisions", self.sat.decisions)
+            .u64("propagations", self.sat.propagations)
+            .u64("restarts", self.sat.restarts)
+            .u64("learned", self.sat.learned);
+        let fraig = JsonObj::new()
+            .u64("sweeps", self.sweep.sweeps)
+            .u64("rounds", self.sweep.rounds)
+            .u64("sat_calls", self.sweep.sat_calls)
+            .u64("proven", self.sweep.proven)
+            .u64("disproved", self.sweep.disproved)
+            .u64("budgeted_out", self.sweep.budgeted_out)
+            .u64("cex_patterns", self.sweep.cex_patterns)
+            .u64("retired_activations", self.sweep.retired_activations)
+            .u64("resim_columns", self.sweep.resim_columns)
+            .u64("resim_columns_saved", self.sweep.resim_columns_saved);
+        let governor = JsonObj::new()
+            .u64("clusters_patched", self.clusters_patched)
+            .u64("clusters_budget_exhausted", self.clusters_budget_exhausted)
+            .u64("clusters_deadline", self.clusters_deadline)
+            .u64("clusters_panicked", self.clusters_panicked)
+            .u64("escalations", self.escalations);
+        let memo = JsonObj::new()
+            .u64("hits", self.memo_hits)
+            .u64("misses", self.memo_misses)
+            .u64("fallbacks", self.memo_fallbacks);
         let events: Vec<String> = self
             .events
             .iter()
             .map(|e| {
-                format!(
-                    "{{\"stage\": \"{}\", \"label\": \"{}\", \"detail\": \"{}\"}}",
-                    e.stage,
-                    json_escape(&e.label),
-                    json_escape(&e.detail)
-                )
+                JsonObj::new()
+                    .str("stage", e.stage)
+                    .str("label", &e.label)
+                    .str("detail", &e.detail)
+                    .build()
             })
             .collect();
-        format!(
-            "{{\n  \"stages\": {{{}}},\n  \"sat\": {{\"solvers\": {}, \"conflicts\": {}, \
-             \"decisions\": {}, \"propagations\": {}, \"restarts\": {}, \"learned\": {}}},\n  \
-             \"fraig\": {{\"sweeps\": {}, \"rounds\": {}, \"sat_calls\": {}, \"proven\": {}, \
-             \"disproved\": {}, \"budgeted_out\": {}, \"cex_patterns\": {}, \
-             \"retired_activations\": {}, \"resim_columns\": {}, \
-             \"resim_columns_saved\": {}}},\n  \
-             \"clusters\": {}, \"jobs\": {}, \"interpolated\": {}, \
-             \"interpolation_fallbacks\": {}, \"localization_fallbacks\": {},\n  \
-             \"governor\": {{\"clusters_patched\": {}, \"clusters_budget_exhausted\": {}, \
-             \"clusters_deadline\": {}, \"clusters_panicked\": {}, \"escalations\": {}}},\n  \
-             \"events\": [{}]\n}}\n",
-            stages.join(", "),
-            self.sat.solvers,
-            self.sat.conflicts,
-            self.sat.decisions,
-            self.sat.propagations,
-            self.sat.restarts,
-            self.sat.learned,
-            self.sweep.sweeps,
-            self.sweep.rounds,
-            self.sweep.sat_calls,
-            self.sweep.proven,
-            self.sweep.disproved,
-            self.sweep.budgeted_out,
-            self.sweep.cex_patterns,
-            self.sweep.retired_activations,
-            self.sweep.resim_columns,
-            self.sweep.resim_columns_saved,
-            self.clusters,
-            self.jobs,
-            self.interpolated,
-            self.interpolation_fallbacks,
-            self.localization_fallbacks,
-            self.clusters_patched,
-            self.clusters_budget_exhausted,
-            self.clusters_deadline,
-            self.clusters_panicked,
-            self.escalations,
-            events.join(", ")
-        )
+        let obj = JsonObj::new()
+            .raw("stages", &stages.build())
+            .raw("sat", &sat.build())
+            .raw("fraig", &fraig.build())
+            .u64("clusters", self.clusters)
+            .u64("jobs", self.jobs)
+            .u64("interpolated", self.interpolated)
+            .u64("interpolation_fallbacks", self.interpolation_fallbacks)
+            .u64("localization_fallbacks", self.localization_fallbacks)
+            .raw("governor", &governor.build())
+            .raw("memo", &memo.build())
+            .arr("events", &events);
+        format!("{}\n", obj.build())
     }
 }
 
@@ -297,15 +393,16 @@ impl std::fmt::Display for TelemetrySnapshot {
             self.clusters_panicked,
             self.escalations
         )?;
+        writeln!(
+            f,
+            "memo: {} hits, {} misses, {} fallbacks",
+            self.memo_hits, self.memo_misses, self.memo_fallbacks
+        )?;
         for e in &self.events {
             writeln!(f, "event [{}] {}: {}", e.stage, e.label, e.detail)?;
         }
         Ok(())
     }
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Shared, thread-safe telemetry accumulator for one engine run.
@@ -338,6 +435,9 @@ pub struct Telemetry {
     clusters_deadline: AtomicU64,
     clusters_panicked: AtomicU64,
     escalations: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    memo_fallbacks: AtomicU64,
     events: Mutex<Vec<TelemetryEvent>>,
 }
 
@@ -437,6 +537,21 @@ impl Telemetry {
         self.escalations.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counts one memo-cache hit.
+    pub fn add_memo_hit(&self) {
+        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one memo-cache miss.
+    pub fn add_memo_miss(&self) {
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one memo hit discarded by revalidation.
+    pub fn add_memo_fallback(&self) {
+        self.memo_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Appends a structured event.
     pub fn event(&self, stage: Stage, label: &str, detail: String) {
         self.events
@@ -488,6 +603,9 @@ impl Telemetry {
             clusters_deadline: load(&self.clusters_deadline),
             clusters_panicked: load(&self.clusters_panicked),
             escalations: load(&self.escalations),
+            memo_hits: load(&self.memo_hits),
+            memo_misses: load(&self.memo_misses),
+            memo_fallbacks: load(&self.memo_fallbacks),
             events: self.events.lock().expect("telemetry event lock").clone(),
         }
     }
@@ -581,10 +699,31 @@ mod tests {
             "\"clusters_deadline\"",
             "\"clusters_panicked\"",
             "\"escalations\"",
+            "\"memo\"",
+            "\"hits\"",
+            "\"misses\"",
+            "\"fallbacks\"",
             "\"events\"",
             "\\\"hi\\\"",
         ] {
             assert!(js.contains(key), "missing {key} in {js}");
         }
+    }
+
+    #[test]
+    fn json_obj_builder_renders_all_value_kinds() {
+        let js = JsonObj::new()
+            .u64("n", 7)
+            .f64("t", 1.5)
+            .bool("ok", true)
+            .str("s", "a\"b\\c\nd")
+            .raw("o", &JsonObj::new().u64("x", 1).build())
+            .str_arr("l", &["p".into(), "q\"r".into()])
+            .build();
+        assert_eq!(
+            js,
+            "{\"n\": 7, \"t\": 1.5, \"ok\": true, \"s\": \"a\\\"b\\\\c\\nd\", \
+             \"o\": {\"x\": 1}, \"l\": [\"p\", \"q\\\"r\"]}"
+        );
     }
 }

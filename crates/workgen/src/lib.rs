@@ -27,11 +27,13 @@
 
 mod builder;
 pub mod circuits;
+mod emit;
 mod fault;
 pub mod fuzz;
 mod suite;
 
 pub use crate::builder::NetlistBuilder;
+pub use crate::emit::{manifest_toml, write_case, write_fuzz_case, write_unit, ManifestEntry};
 pub use crate::fault::{
     assign_weights, break_untouched_output, cut_targets, scramble_dangling, FaultError,
     WeightProfile,

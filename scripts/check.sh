@@ -18,18 +18,27 @@
 # report, well-formed governor counters in --stats=json, and a partial
 # patch netlist only under --allow-partial. It also runs a 200-case
 # budgeted differential campaign through eco-fuzz.
+#
+# --batch-smoke additionally generates a 12-job manifest with
+# eco-workgen, runs it cold then warm through eco-batch over one shared
+# memo cache (--repeat 2), and asserts every job is proven equivalent,
+# the warm pass reports nonzero cache hits, and the JSONL report is
+# byte-identical for --jobs 1 vs --jobs 4. Cold/warm wall times are
+# recorded in crates/bench/BENCH_batch.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench_smoke=0
 fuzz_smoke=0
 degrade_smoke=0
+batch_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --fuzz-smoke) fuzz_smoke=1 ;;
     --degrade-smoke) degrade_smoke=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke]" >&2; exit 2 ;;
+    --batch-smoke) batch_smoke=1 ;;
+    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -120,6 +129,52 @@ EOF
 
   echo "== degrade smoke: 200-case budgeted differential campaign (seed 1)"
   target/release/eco-fuzz --budget-campaign --iters 200 --seed 1
+fi
+
+if [ "$batch_smoke" -eq 1 ]; then
+  echo "== batch smoke: 12-job manifest, cold + warm over one shared memo cache"
+  btmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp:-}" "${btmp:-}"' EXIT
+  target/release/eco-workgen --suite --count 12 --out "$btmp" --manifest "$btmp/manifest.toml" -q
+
+  run_batch() {
+    set +e
+    target/release/eco-batch run "$btmp/manifest.toml" "$@" 2> "$btmp/stderr.txt"
+    rc=$?
+    set -e
+  }
+
+  # Cold then warm in one process (--repeat 2): every job must be proven
+  # equivalent in both passes, and the warm pass must actually hit the
+  # shared cache.
+  run_batch --jobs 4 --repeat 2 --report "$btmp/report.jsonl" --stats=json -q
+  [ "$rc" -eq 0 ] || { echo "batch smoke: expected exit 0, got $rc"; cat "$btmp/stderr.txt"; exit 1; }
+  complete=$(grep -c '"status": "complete"' "$btmp/report.jsonl" || true)
+  [ "$complete" -eq 24 ] || { echo "batch smoke: expected 24 complete records, got $complete"; cat "$btmp/report.jsonl"; exit 1; }
+  ! grep -q '"verified": false' "$btmp/report.jsonl" || { echo "batch smoke: unverified job in report"; cat "$btmp/report.jsonl"; exit 1; }
+  hits=$(sed -n 's/.*"memo": {"hits": \([0-9]*\).*/\1/p' "$btmp/stderr.txt")
+  [ -n "$hits" ] && [ "$hits" -gt 0 ] || { echo "batch smoke: warm run reported no cache hits"; cat "$btmp/stderr.txt"; exit 1; }
+  walls=$(sed -n 's/.*"pass_wall_s": \[\([0-9.]*\), \([0-9.]*\)\].*/\1 \2/p' "$btmp/stderr.txt")
+  cold_ns=$(echo "$walls" | awk 'NF == 2 {printf "%.0f", $1 * 1e9}')
+  warm_ns=$(echo "$walls" | awk 'NF == 2 {printf "%.0f", $2 * 1e9}')
+  [ -n "$cold_ns" ] && [ -n "$warm_ns" ] || { echo "batch smoke: could not parse pass wall times"; cat "$btmp/stderr.txt"; exit 1; }
+
+  # The JSONL report must be byte-identical for any --jobs value.
+  run_batch --jobs 1 --report "$btmp/report_j1.jsonl" -q
+  [ "$rc" -eq 0 ] || { echo "batch smoke: --jobs 1 run failed ($rc)"; cat "$btmp/stderr.txt"; exit 1; }
+  run_batch --jobs 4 --report "$btmp/report_j4.jsonl" -q
+  [ "$rc" -eq 0 ] || { echo "batch smoke: --jobs 4 run failed ($rc)"; cat "$btmp/stderr.txt"; exit 1; }
+  cmp -s "$btmp/report_j1.jsonl" "$btmp/report_j4.jsonl" \
+    || { echo "batch smoke: JSONL differs between --jobs 1 and --jobs 4"; diff "$btmp/report_j1.jsonl" "$btmp/report_j4.jsonl" || true; exit 1; }
+
+  # Record cold-vs-warm wall times for the tracked bench file.
+  cat > crates/bench/BENCH_batch.json <<EOF
+{"benches": [
+  {"name": "batch/suite12/cold", "samples": 1, "mean_ns": $cold_ns, "median_ns": $cold_ns, "min_ns": $cold_ns, "max_ns": $cold_ns},
+  {"name": "batch/suite12/warm", "samples": 1, "mean_ns": $warm_ns, "median_ns": $warm_ns, "min_ns": $warm_ns, "max_ns": $warm_ns}
+]}
+EOF
+  echo "batch smoke: cold ${cold_ns}ns, warm ${warm_ns}ns, $hits cache hits"
 fi
 
 echo "all checks passed"

@@ -18,6 +18,8 @@
 //! * [`netlist`] — structural Verilog subset and weight files.
 //! * [`core`] — the paper's algorithm (flow of Fig. 1).
 //! * [`workgen`] — synthetic ICCAD-2017-style ECO instances.
+//! * [`batch`] — manifest-driven batch runs over many instances with a
+//!   cross-job memo cache and job-level work stealing.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@
 //! ```
 
 pub use eco_aig as aig;
+pub use eco_batch as batch;
 pub use eco_core as core;
 pub use eco_fraig as fraig;
 pub use eco_netlist as netlist;
