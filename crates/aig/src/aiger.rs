@@ -33,21 +33,27 @@ fn err(message: impl Into<String>) -> ParseAigerError {
     }
 }
 
+/// Marker for nodes outside the emitted cone in the renumbering table.
+const UNMAPPED: u32 = u32::MAX;
+
 /// Renumbering of an AIG into AIGER order: inputs 1..=I, then ANDs in
-/// topological order. Returns (mapping old var → new AIGER var index,
-/// AND vars in emission order).
-fn renumber(aig: &Aig) -> (HashMap<Var, u32>, Vec<Var>) {
-    let mut map: HashMap<Var, u32> = HashMap::new();
-    map.insert(Var::CONST, 0);
+/// topological order. Returns (dense table old var index → new AIGER var,
+/// AND vars in emission order). Nodes outside the reachable cone stay
+/// [`UNMAPPED`]; a dense table beats a `HashMap` here because emission
+/// touches every mapped node at least twice.
+fn renumber(aig: &Aig) -> (Vec<u32>, Vec<Var>) {
+    let mut map = vec![UNMAPPED; aig.len()];
+    map[Var::CONST.index() as usize] = 0;
+    let count = |n: usize| u32::try_from(n).expect("node count fits in u32");
     for (i, &v) in aig.inputs().iter().enumerate() {
-        map.insert(v, i as u32 + 1);
+        map[v.index() as usize] = count(i) + 1;
     }
     let roots: Vec<Lit> = aig.outputs().iter().map(|o| o.lit).collect();
     let mut ands = Vec::new();
-    let mut next = aig.num_inputs() as u32 + 1;
+    let mut next = count(aig.num_inputs()) + 1;
     for v in aig.cone_vars(&roots) {
-        if aig.node(v).is_and() {
-            map.insert(v, next);
+        if aig.is_and(v) {
+            map[v.index() as usize] = next;
             next += 1;
             ands.push(v);
         }
@@ -55,8 +61,10 @@ fn renumber(aig: &Aig) -> (HashMap<Var, u32>, Vec<Var>) {
     (map, ands)
 }
 
-fn map_lit(map: &HashMap<Var, u32>, lit: Lit) -> u32 {
-    map[&lit.var()] * 2 + lit.is_complement() as u32
+fn map_lit(map: &[u32], lit: Lit) -> u32 {
+    let m = map[lit.var().index() as usize];
+    debug_assert_ne!(m, UNMAPPED, "literal outside the emitted cone");
+    m * 2 + lit.is_complement() as u32
 }
 
 /// Writes the reachable logic as ASCII AIGER (`aag`), including a symbol
@@ -76,8 +84,8 @@ pub fn write_aiger_ascii(aig: &Aig) -> String {
         let _ = writeln!(s, "{}", map_lit(&map, out.lit));
     }
     for &v in &ands {
-        let (f0, f1) = aig.node(v).fanins().expect("AND node");
-        let lhs = map[&v] * 2;
+        let (f0, f1) = aig.and_fanins(v).expect("AND node");
+        let lhs = map[v.index() as usize] * 2;
         let (r0, r1) = (map_lit(&map, f0), map_lit(&map, f1));
         let (r0, r1) = if r0 >= r1 { (r0, r1) } else { (r1, r0) };
         let _ = writeln!(s, "{lhs} {r0} {r1}");
@@ -104,8 +112,8 @@ pub fn write_aiger_binary(aig: &Aig) -> Vec<u8> {
         out.extend_from_slice(format!("{}\n", map_lit(&map, o.lit)).as_bytes());
     }
     for &v in &ands {
-        let (f0, f1) = aig.node(v).fanins().expect("AND node");
-        let lhs = map[&v] * 2;
+        let (f0, f1) = aig.and_fanins(v).expect("AND node");
+        let lhs = map[v.index() as usize] * 2;
         let (r0, r1) = (map_lit(&map, f0), map_lit(&map, f1));
         let (r0, r1) = if r0 >= r1 { (r0, r1) } else { (r1, r0) };
         debug_assert!(lhs > r0, "binary AIGER requires lhs > rhs0");
@@ -121,6 +129,8 @@ pub fn write_aiger_binary(aig: &Aig) -> Vec<u8> {
     out
 }
 
+// Both narrowings keep only the low 7 bits by construction.
+#[allow(clippy::cast_possible_truncation)]
 fn write_varint(out: &mut Vec<u8>, mut x: u32) {
     while x >= 0x80 {
         out.push((x & 0x7f) as u8 | 0x80);
@@ -351,6 +361,7 @@ pub fn parse_aiger_binary(data: &[u8]) -> Result<Aig, ParseAigerError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // small in-range test constants
 mod tests {
     use super::*;
 

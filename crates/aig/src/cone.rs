@@ -2,26 +2,43 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crate::{Aig, Lit, Node, Var};
+use crate::{Aig, Lit, Var};
+
+/// Depth-first cone walk over the SoA fanin columns.
+///
+/// Uses a dense `Vec<bool>` marker instead of a `HashSet`: at scale the
+/// marker costs one byte per node with no hashing, and the visited list is
+/// sorted at the end to recover the same topological (index) order the
+/// set-based walk produced. `descend(v)` gates whether the walk continues
+/// through `v`'s fanins (cut handling).
+fn walk_cone(aig: &Aig, roots: &[Lit], mut descend: impl FnMut(Var) -> bool) -> Vec<Var> {
+    let mut seen = vec![false; aig.len()];
+    let mut visited: Vec<Var> = Vec::new();
+    let mut stack: Vec<Var> = roots.iter().map(|l| l.var()).collect();
+    while let Some(v) = stack.pop() {
+        let mark = &mut seen[v.index() as usize];
+        if *mark {
+            continue;
+        }
+        *mark = true;
+        visited.push(v);
+        if !descend(v) {
+            continue;
+        }
+        if let Some((fan0, fan1)) = aig.and_fanins(v) {
+            stack.push(fan0.var());
+            stack.push(fan1.var());
+        }
+    }
+    visited.sort_unstable();
+    visited
+}
 
 impl Aig {
     /// Returns all variables in the transitive fanin cone of `roots`
     /// (inputs and the constant included), in topological (index) order.
     pub fn cone_vars(&self, roots: &[Lit]) -> Vec<Var> {
-        let mut seen = HashSet::new();
-        let mut stack: Vec<Var> = roots.iter().map(|l| l.var()).collect();
-        while let Some(v) = stack.pop() {
-            if !seen.insert(v) {
-                continue;
-            }
-            if let Node::And { fan0, fan1 } = self.node(v) {
-                stack.push(fan0.var());
-                stack.push(fan1.var());
-            }
-        }
-        let mut vars: Vec<Var> = seen.into_iter().collect();
-        vars.sort_unstable();
-        vars
+        walk_cone(self, roots, |_| true)
     }
 
     /// Returns the structural support (input variables) of `roots`,
@@ -30,7 +47,7 @@ impl Aig {
         let mut sup: Vec<Var> = self
             .cone_vars(roots)
             .into_iter()
-            .filter(|&v| self.node(v).is_input())
+            .filter(|&v| self.is_input(v))
             .collect();
         sup.sort_by_key(|&v| self.input_pos(v));
         sup
@@ -43,7 +60,7 @@ impl Aig {
     pub fn count_cone_ands(&self, roots: &[Lit]) -> usize {
         self.cone_vars(roots)
             .iter()
-            .filter(|&&v| self.node(v).is_and())
+            .filter(|&&v| self.is_and(v))
             .count()
     }
 
@@ -51,23 +68,7 @@ impl Aig {
     /// variables: cut members appear in the result, but their fanins do not
     /// (unless reachable around the cut).
     pub fn cone_vars_to_cut(&self, roots: &[Lit], cut: &HashSet<Var>) -> Vec<Var> {
-        let mut seen = HashSet::new();
-        let mut stack: Vec<Var> = roots.iter().map(|l| l.var()).collect();
-        while let Some(v) = stack.pop() {
-            if !seen.insert(v) {
-                continue;
-            }
-            if cut.contains(&v) {
-                continue;
-            }
-            if let Node::And { fan0, fan1 } = self.node(v) {
-                stack.push(fan0.var());
-                stack.push(fan1.var());
-            }
-        }
-        let mut vars: Vec<Var> = seen.into_iter().collect();
-        vars.sort_unstable();
-        vars
+        walk_cone(self, roots, |v| !cut.contains(&v))
     }
 
     /// Counts AND nodes in the cone of `roots`, treating `cut` variables as
@@ -76,7 +77,7 @@ impl Aig {
     pub fn count_cone_ands_to_cut(&self, roots: &[Lit], cut: &HashSet<Var>) -> usize {
         self.cone_vars_to_cut(roots, cut)
             .iter()
-            .filter(|&&v| self.node(v).is_and() && !cut.contains(&v))
+            .filter(|&&v| self.is_and(v) && !cut.contains(&v))
             .count()
     }
 
@@ -84,12 +85,10 @@ impl Aig {
     /// level 0, an AND is `1 + max(level(fanins))`.
     pub fn levels(&self) -> Vec<u32> {
         let mut level = vec![0u32; self.len()];
-        for (v, node) in self.iter_nodes() {
-            if let Node::And { fan0, fan1 } = node {
-                let l0 = level[fan0.var().index() as usize];
-                let l1 = level[fan1.var().index() as usize];
-                level[v.index() as usize] = 1 + l0.max(l1);
-            }
+        for (v, fan0, fan1) in self.iter_ands() {
+            let l0 = level[fan0.var().index() as usize];
+            let l1 = level[fan1.var().index() as usize];
+            level[v.index() as usize] = 1 + l0.max(l1);
         }
         level
     }
@@ -123,11 +122,9 @@ impl Aig {
     /// by outputs).
     pub fn fanout_counts(&self) -> Vec<u32> {
         let mut counts = vec![0u32; self.len()];
-        for (_, node) in self.iter_nodes() {
-            if let Node::And { fan0, fan1 } = node {
-                counts[fan0.var().index() as usize] += 1;
-                counts[fan1.var().index() as usize] += 1;
-            }
+        for (_, fan0, fan1) in self.iter_ands() {
+            counts[fan0.var().index() as usize] += 1;
+            counts[fan1.var().index() as usize] += 1;
         }
         for out in self.outputs() {
             counts[out.lit.var().index() as usize] += 1;

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// The SoA core packs literals into u32 words; every narrowing cast must be
+// either provably lossless (documented `#[allow]` at the site) or routed
+// through a checked conversion, so the lint is a hard warning crate-wide.
+#![warn(clippy::cast_possible_truncation)]
 //! # eco-aig — And-Inverter Graph substrate
 //!
 //! A compact, structurally hashed [And-Inverter Graph](Aig) (AIG)

@@ -52,7 +52,11 @@ impl SplitMix64 {
     ///
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
-        self.below(n as u64) as usize
+        // The draw is < n, which already fits in usize.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.below(n as u64) as usize
+        }
     }
 
     /// Uniform in the inclusive range `[lo, hi]`.
@@ -89,6 +93,7 @@ impl SplitMix64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // small in-range test constants
 mod tests {
     use super::*;
 

@@ -14,7 +14,8 @@
 //! the new columns, which is what makes multi-round FRAIG refinement cost
 //! O(nodes × new words) instead of O(nodes × all words).
 
-use crate::{Aig, Lit, Node, SplitMix64, Var};
+use crate::aig::SENTINEL_INPUT;
+use crate::{Aig, Lit, SplitMix64, Var};
 
 /// Result of a parallel simulation: one row of `words` 64-bit words per
 /// node, stored in a single flat arena.
@@ -167,12 +168,23 @@ impl Aig {
     /// (SplitMix64; deterministic across runs, and distinct seeds give
     /// distinct streams — unlike the previous xorshift seeding, which
     /// collapsed every even/odd seed pair onto one stream).
+    ///
+    /// The stimulus is drawn straight into the flat arena (input-major,
+    /// i.e. all words of input 0, then input 1, ...), producing bit-for-bit
+    /// the stream a materialized `Vec<Vec<u64>>` of per-input rows fed to
+    /// [`Aig::simulate`] would.
     pub fn simulate_random(&self, words: usize, seed: u64) -> SimVectors {
-        let mut rng = SplitMix64::new(seed);
-        let patterns: Vec<Vec<u64>> = (0..self.num_inputs())
-            .map(|_| (0..words).map(|_| rng.next_u64()).collect())
-            .collect();
-        self.simulate(&patterns)
+        // An input-less AIG has an empty stimulus block, which simulate()
+        // has always treated as one word-column; keep that width.
+        let words = if self.num_inputs() == 0 { 1 } else { words };
+        let mut sim = SimVectors {
+            words,
+            stride: words,
+            values: vec![0u64; self.len() * words],
+        };
+        fill_random_inputs(self, &mut sim, seed);
+        resim_ands(self, &mut sim, 0);
+        sim
     }
 }
 
@@ -189,31 +201,82 @@ fn check_patterns(aig: &Aig, patterns: &[Vec<u64>]) -> usize {
 
 /// Copies the stimulus block into the input rows of the arena.
 fn write_inputs(aig: &Aig, sim: &mut SimVectors, patterns: &[Vec<u64>]) {
-    for (v, node) in aig.iter_nodes() {
-        if let Node::Input { pos } = node {
-            let base = v.index() as usize * sim.stride;
-            sim.values[base..base + sim.words].copy_from_slice(&patterns[pos as usize]);
+    for (pos, &iv) in aig.inputs().iter().enumerate() {
+        let base = iv.index() as usize * sim.stride;
+        sim.values[base..base + sim.words].copy_from_slice(&patterns[pos]);
+    }
+}
+
+/// Draws `sim.words` random words per input straight into the arena rows,
+/// input-major (identical stream to materializing per-input pattern rows
+/// from the same seed and copying them with [`write_inputs`]).
+fn fill_random_inputs(aig: &Aig, sim: &mut SimVectors, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    for &iv in aig.inputs() {
+        let base = iv.index() as usize * sim.stride;
+        for w in &mut sim.values[base..base + sim.words] {
+            *w = rng.next_u64();
         }
     }
 }
 
+/// Number of 64-pattern words per unrolled strip in [`resim_ands`]:
+/// 512 patterns per iteration, a fixed-bound inner loop the
+/// autovectorizer turns into wide vector ops.
+const STRIP: usize = 8;
+
 /// Recomputes every AND node over columns `from..sim.words`. Input and
 /// constant rows must already hold their values for those columns.
+///
+/// Runs directly over the SoA fanin columns and processes each row in
+/// [`STRIP`]-word strips. Because the AIG is topologically ordered, both
+/// fanin rows end strictly before the AND's own row in the arena, so
+/// `split_at_mut` at the row base yields the destination row plus shared
+/// borrows of the fanin rows with no copying.
 fn resim_ands(aig: &Aig, sim: &mut SimVectors, from: usize) {
     let (stride, words) = (sim.stride, sim.words);
-    for (v, node) in aig.iter_nodes() {
-        if let Node::And { fan0, fan1 } = node {
-            let base = v.index() as usize * stride;
-            let b0 = fan0.var().index() as usize * stride;
-            let b1 = fan1.var().index() as usize * stride;
-            let m0 = if fan0.is_complement() { !0u64 } else { 0 };
-            let m1 = if fan1.is_complement() { !0u64 } else { 0 };
-            for w in from..words {
-                let a = sim.values[b0 + w] ^ m0;
-                let b = sim.values[b1 + w] ^ m1;
-                sim.values[base + w] = a & b;
-            }
+    if from >= words {
+        return;
+    }
+    let n = words - from;
+    let (fan0s, fan1s) = aig.fanin_raw();
+    for (v, (&f0, &f1)) in fan0s.iter().zip(fan1s).enumerate() {
+        if f0 >= SENTINEL_INPUT {
+            continue;
         }
+        let m0 = if f0 & 1 == 1 { !0u64 } else { 0 };
+        let m1 = if f1 & 1 == 1 { !0u64 } else { 0 };
+        let base = v * stride + from;
+        let b0 = (f0 >> 1) as usize * stride + from;
+        let b1 = (f1 >> 1) as usize * stride + from;
+        and_strip(&mut sim.values, base, b0, b1, m0, m1, n);
+    }
+}
+
+/// Computes `values[base..base+n] = (r0 ^ m0) & (r1 ^ m1)` where `r0`/`r1`
+/// are the `n`-word runs at `b0`/`b1`, both strictly below `base`.
+#[inline]
+fn and_strip(values: &mut [u64], base: usize, b0: usize, b1: usize, m0: u64, m1: u64, n: usize) {
+    debug_assert!(b0 + n <= base && b1 + n <= base, "fanin rows precede dst");
+    let (lo, hi) = values.split_at_mut(base);
+    let dst = &mut hi[..n];
+    let r0 = &lo[b0..b0 + n];
+    let r1 = &lo[b1..b1 + n];
+    let mut d = dst.chunks_exact_mut(STRIP);
+    let mut a = r0.chunks_exact(STRIP);
+    let mut b = r1.chunks_exact(STRIP);
+    for ((d, a), b) in (&mut d).zip(&mut a).zip(&mut b) {
+        for k in 0..STRIP {
+            d[k] = (a[k] ^ m0) & (b[k] ^ m1);
+        }
+    }
+    for ((d, &a), &b) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(a.remainder())
+        .zip(b.remainder())
+    {
+        *d = (a ^ m0) & (b ^ m1);
     }
 }
 
@@ -256,6 +319,33 @@ impl IncrementalSim {
             values: vec![0u64; aig.len() * stride],
         };
         write_inputs(aig, &mut sim, patterns);
+        resim_ands(aig, &mut sim, 0);
+        IncrementalSim {
+            dirty_from: words,
+            slots_free: 0,
+            resim_columns: words as u64,
+            resim_columns_saved: 0,
+            sim,
+        }
+    }
+
+    /// Builds the engine over `words * 64` uniformly random patterns drawn
+    /// straight into the flat arena (no materialized per-input rows).
+    ///
+    /// Bit-for-bit equivalent to generating input-major pattern rows from
+    /// the same SplitMix64 seed and calling [`IncrementalSim::new`], at
+    /// zero intermediate allocation. An input-less AIG gets one stimulus
+    /// column, matching [`Aig::simulate`] on an empty pattern block.
+    pub fn with_random_base(aig: &Aig, words: usize, seed: u64) -> Self {
+        let words = if aig.num_inputs() == 0 { 1 } else { words };
+        // Headroom for a few refine rounds before the first re-layout.
+        let stride = words + words / 2 + 4;
+        let mut sim = SimVectors {
+            words,
+            stride,
+            values: vec![0u64; aig.len() * stride],
+        };
+        fill_random_inputs(aig, &mut sim, seed);
         resim_ands(aig, &mut sim, 0);
         IncrementalSim {
             dirty_from: words,
@@ -502,6 +592,48 @@ mod tests {
         let sim = aig.simulate(&[]);
         assert_eq!(sim.lit_words(Lit::FALSE)[0], 0);
         assert_eq!(sim.lit_words(Lit::TRUE)[0], !0u64);
+    }
+
+    /// The deleted `fraig::random_patterns` path, reconstructed: per-input
+    /// rows materialized input-major from one SplitMix64 stream. Drawing
+    /// the same stream straight into the arena must yield bit-identical
+    /// values for every node.
+    #[test]
+    fn random_base_matches_materialized_pattern_rows() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let f = aig.mux(a, b, c);
+        let ac = aig.and(a, c);
+        let g = aig.xor(f, ac);
+        aig.add_output("g", g);
+
+        let (words, seed) = (8usize, 0x5eed_cafe_u64);
+        let mut rng = SplitMix64::new(seed);
+        let patterns: Vec<Vec<u64>> = (0..aig.num_inputs())
+            .map(|_| (0..words).map(|_| rng.next_u64()).collect())
+            .collect();
+        let reference = IncrementalSim::new(&aig, &patterns);
+        let direct = IncrementalSim::with_random_base(&aig, words, seed);
+        assert_eq!(direct.words(), reference.words());
+        for (v, _) in aig.iter_nodes() {
+            assert_eq!(
+                direct.vectors().node_words(v),
+                reference.vectors().node_words(v),
+                "mismatch on {v:?}"
+            );
+        }
+        let one_shot = aig.simulate_random(words, seed);
+        for (v, _) in aig.iter_nodes() {
+            assert_eq!(one_shot.node_words(v), reference.vectors().node_words(v));
+        }
+
+        // Input-less AIGs keep the historical one-column stimulus width.
+        let constant_only = Aig::new();
+        let isim = IncrementalSim::with_random_base(&constant_only, 8, 1);
+        assert_eq!(isim.words(), 1);
+        assert_eq!(constant_only.simulate_random(8, 1).words(), 1);
     }
 
     #[test]

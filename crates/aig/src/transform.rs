@@ -29,6 +29,11 @@ pub enum TransformError {
         /// Number of cut names.
         names: usize,
     },
+    /// A node-creating builder ran out of index space: the AIG is capped
+    /// at 2^31 - 1 nodes so packed fanin words stay clear of the SoA
+    /// sentinel range. Raised by [`Aig::try_and`] and the `Result`-returning
+    /// transforms instead of silently wrapping the index.
+    TooManyNodes,
 }
 
 impl fmt::Display for TransformError {
@@ -42,6 +47,9 @@ impl fmt::Display for TransformError {
             }
             TransformError::CutArityMismatch { cut, names } => {
                 write!(f, "extract_cone: {cut} cut vars but {names} names")
+            }
+            TransformError::TooManyNodes => {
+                write!(f, "AIG node limit exceeded (2^31 - 1 nodes)")
             }
         }
     }
@@ -140,7 +148,7 @@ impl Aig {
                 Node::And { fan0, fan1 } => {
                     let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
                     let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
-                    self.and(n0, n1)
+                    self.try_and(n0, n1)?
                 }
             };
             cache.insert(v, new_lit);
@@ -194,7 +202,7 @@ impl Aig {
                 Node::And { fan0, fan1 } => {
                     let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
                     let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
-                    new.and(n0, n1)
+                    new.try_and(n0, n1)?
                 }
             };
             cache.insert(v, new_lit);

@@ -6,7 +6,7 @@
 //! byte-identical for any `--jobs` setting and any hit/miss interleaving.
 //! Timing and memo statistics are reported separately via [`stats_json`].
 
-use eco_core::JsonObj;
+use eco_core::{peak_rss_bytes, JsonObj};
 
 use crate::runner::{BatchOutcome, JobRecord, JobStatus};
 
@@ -88,7 +88,7 @@ pub fn stats_json(outcome: &BatchOutcome) -> String {
         .u64("fallbacks", outcome.memo.fallbacks)
         .u64("entries", outcome.memo.entries)
         .build();
-    JsonObj::new()
+    let obj = JsonObj::new()
         .u64("passes", outcome.pass_wall.len() as u64)
         .u64(
             "jobs",
@@ -99,8 +99,14 @@ pub fn stats_json(outcome: &BatchOutcome) -> String {
         .u64("unrectifiable", count(JobStatus::Unrectifiable))
         .u64("error", count(JobStatus::Error))
         .arr("pass_wall_s", &walls)
-        .raw("memo", &memo)
-        .build()
+        .raw("memo", &memo);
+    // Like the wall times, peak RSS is part of the non-deterministic
+    // summary, never of the per-job records.
+    let obj = match peak_rss_bytes() {
+        Some(b) => obj.u64("peak_rss_bytes", b),
+        None => obj.raw("peak_rss_bytes", "null"),
+    };
+    obj.build()
 }
 
 #[cfg(test)]
@@ -185,6 +191,7 @@ mod tests {
             "\"pass_wall_s\"",
             "\"memo\"",
             "\"hits\"",
+            "\"peak_rss_bytes\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -1,0 +1,261 @@
+//! `scale`: the million-gate scale harness behind `BENCH_scale.json`.
+//!
+//! For each selected preset (`100k`, `500k`, `1m`) this builds the two
+//! scale circuits of `eco-workgen --scale` directly in memory, times
+//! construction and wide-strip random simulation, and measures the SoA
+//! core's memory against an in-process replica of the seed layout
+//! (`Vec<Node>` plus a SipHash `HashMap<(Lit, Lit), Var>` strash) built
+//! from the same circuit. Peak RSS is sampled per row.
+//!
+//! ```text
+//! cargo run --release -p eco-bench --bin scale -- --json crates/bench/BENCH_scale.json
+//! scale --presets 100k --json out.json --baseline BENCH_scale.json
+//! ```
+//!
+//! `--baseline <path>` compares each row's simulation throughput against
+//! a previous dump and exits 3 when any row regresses by more than 20%.
+//! `--timeout-s N` is a soft governor deadline: presets still pending
+//! when it fires are skipped and the partial rows are written normally,
+//! mirroring the engine's graceful-degradation policy. Exit codes:
+//! 0 — ok, 1 — usage/IO error, 3 — throughput regression.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use eco_aig::{Aig, Lit, Node, Var};
+use eco_bench::peak_rss_bytes;
+use eco_core::JsonObj;
+use eco_workgen::{deep_datapath_aig, wide_random_aig, ScalePreset, SCALE_PRESETS};
+
+/// Simulation width in 64-bit words (512 patterns), matching the FRAIG
+/// sweep's default stimulus order of magnitude while keeping the 1m-gate
+/// arena around 64 MiB.
+const SIM_WORDS: usize = 8;
+const SIM_SEED: u64 = 0xbe9c;
+/// Timed simulation passes per row; the fastest is reported.
+const SIM_PASSES: usize = 3;
+
+const USAGE: &str =
+    "usage: scale [--presets 100k,500k,1m] [--json <path>] [--baseline <path>] [--timeout-s N]";
+
+struct Row {
+    name: String,
+    inputs: usize,
+    ands: usize,
+    build_s: f64,
+    sim_s: f64,
+    gates_per_sec: f64,
+    soa_bytes: usize,
+    seed_layout_bytes: usize,
+    peak_rss: Option<u64>,
+    wall_s: f64,
+}
+
+/// Rebuilds the pre-SoA core layout for the same circuit — one `Node`
+/// enum per row plus the SipHash strash map — and returns its heap
+/// footprint from the containers' own capacities. Measuring a live
+/// replica keeps the comparison honest as allocator growth policies
+/// change.
+fn seed_layout_bytes(aig: &Aig) -> usize {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut strash: HashMap<(Lit, Lit), Var> = HashMap::new();
+    for (v, node) in aig.iter_nodes() {
+        if let Node::And { fan0, fan1 } = node {
+            strash.insert((fan0, fan1), v);
+        }
+        nodes.push(node);
+    }
+    // SipHash table cost per advertised slot: the (key, value) payload
+    // plus hashbrown's one control byte.
+    let entry = std::mem::size_of::<((Lit, Lit), Var)>() + 1;
+    nodes.capacity() * std::mem::size_of::<Node>() + strash.capacity() * entry
+}
+
+fn run_row(name: &str, aig_of: impl FnOnce() -> Aig) -> Row {
+    let t0 = Instant::now();
+    let aig = aig_of();
+    let build_s = t0.elapsed().as_secs_f64();
+
+    let mut sim_s = f64::INFINITY;
+    for _ in 0..SIM_PASSES {
+        let t = Instant::now();
+        let sim = aig.simulate_random(SIM_WORDS, SIM_SEED);
+        std::hint::black_box(sim.node_words(Var::CONST));
+        sim_s = sim_s.min(t.elapsed().as_secs_f64());
+    }
+    let gates_per_sec = aig.num_ands() as f64 * SIM_WORDS as f64 / sim_s;
+
+    let row = Row {
+        name: name.to_string(),
+        inputs: aig.num_inputs(),
+        ands: aig.num_ands(),
+        build_s,
+        sim_s,
+        gates_per_sec,
+        soa_bytes: aig.core_memory_bytes(),
+        seed_layout_bytes: seed_layout_bytes(&aig),
+        peak_rss: peak_rss_bytes(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
+    eprintln!(
+        "{:<22} {:>9} ANDs  build {:>7.3}s  sim {:>8.2} Mgates/s  \
+         soa {:>5.1} B/node  seed-layout {:>5.1} B/node",
+        row.name,
+        row.ands,
+        row.build_s,
+        row.gates_per_sec / 1e6,
+        row.soa_bytes as f64 / row.ands.max(1) as f64,
+        row.seed_layout_bytes as f64 / row.ands.max(1) as f64,
+    );
+    row
+}
+
+fn rows_json(rows: &[Row]) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let ands = r.ands.max(1) as f64;
+            let obj = JsonObj::new()
+                .str("name", &r.name)
+                .u64("inputs", r.inputs as u64)
+                .u64("ands", r.ands as u64)
+                .u64("sim_words", SIM_WORDS as u64)
+                .f64("build_s", r.build_s)
+                .f64("sim_s", r.sim_s)
+                .f64("gates_per_sec", r.gates_per_sec)
+                .u64("soa_bytes", r.soa_bytes as u64)
+                .f64("soa_bytes_per_node", r.soa_bytes as f64 / ands)
+                .u64("seed_layout_bytes", r.seed_layout_bytes as u64)
+                .f64(
+                    "seed_layout_bytes_per_node",
+                    r.seed_layout_bytes as f64 / ands,
+                )
+                .f64(
+                    "memory_reduction_pct",
+                    (1.0 - r.soa_bytes as f64 / r.seed_layout_bytes.max(1) as f64) * 100.0,
+                );
+            let obj = match r.peak_rss {
+                Some(b) => obj.u64("peak_rss_bytes", b),
+                None => obj.raw("peak_rss_bytes", "null"),
+            };
+            obj.f64("wall_s", r.wall_s).build()
+        })
+        .collect();
+    format!("{{\"rows\": [\n  {}\n]}}\n", rendered.join(",\n  "))
+}
+
+/// Pulls `"gates_per_sec"` for `name` out of a previous dump. The
+/// workspace emits JSON without external deps, so it scans the text the
+/// same way instead of carrying a parser.
+fn baseline_gates_per_sec(baseline: &str, name: &str) -> Option<f64> {
+    let at = baseline.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &baseline[at..];
+    let key = "\"gates_per_sec\": ";
+    let v = &rest[rest.find(key)? + key.len()..];
+    let end = v.find([',', '}', '\n'])?;
+    v[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut presets: Vec<&ScalePreset> = SCALE_PRESETS.iter().collect();
+    let mut json_path = None;
+    let mut baseline_path = None;
+    let mut timeout = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        let r = match a.as_str() {
+            "--presets" => value("--presets").and_then(|v| {
+                v.split(',')
+                    .map(|n| {
+                        SCALE_PRESETS
+                            .iter()
+                            .find(|p| p.name == n)
+                            .ok_or_else(|| format!("unknown preset `{n}`"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|ps| presets = ps)
+            }),
+            "--json" => value("--json").map(|v| json_path = Some(v)),
+            "--baseline" => value("--baseline").map(|v| baseline_path = Some(v)),
+            "--timeout-s" => value("--timeout-s").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|s| timeout = Some(Duration::from_secs(s)))
+                    .map_err(|_| format!("--timeout-s expects seconds, got `{v}`"))
+            }),
+            "-h" | "--help" => Err(USAGE.to_string()),
+            other => Err(format!("unknown argument `{other}`\n{USAGE}")),
+        };
+        if let Err(msg) = r {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    }
+
+    let start = Instant::now();
+    let expired = |start: Instant| timeout.is_some_and(|t| start.elapsed() >= t);
+    let mut rows = Vec::new();
+    for p in presets {
+        if expired(start) {
+            eprintln!("deadline fired; skipping preset {}", p.name);
+            continue;
+        }
+        rows.push(run_row(&format!("scale/datapath_{}", p.name), || {
+            deep_datapath_aig(p.inputs, p.ands, p.seed)
+        }));
+        if expired(start) {
+            eprintln!("deadline fired; skipping randdag_{}", p.name);
+            continue;
+        }
+        rows.push(run_row(&format!("scale/randdag_{}", p.name), || {
+            wide_random_aig(p.inputs, p.ands, p.seed)
+        }));
+    }
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, rows_json(&rows)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &baseline_path {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let mut regressed = false;
+        for r in &rows {
+            let Some(base) = baseline_gates_per_sec(&baseline, &r.name) else {
+                eprintln!("baseline has no row `{}`; skipping compare", r.name);
+                continue;
+            };
+            let ratio = r.gates_per_sec / base;
+            eprintln!(
+                "{:<22} {:>8.2} Mgates/s vs baseline {:>8.2} ({:+.1}%)",
+                r.name,
+                r.gates_per_sec / 1e6,
+                base / 1e6,
+                (ratio - 1.0) * 100.0
+            );
+            if ratio < 0.8 {
+                eprintln!("regression: {} lost more than 20% throughput", r.name);
+                regressed = true;
+            }
+        }
+        if regressed {
+            return ExitCode::from(3);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,8 @@
 
 use std::time::Instant;
 
+pub use eco_core::peak_rss_bytes;
+
 /// Timing summary for one named benchmark.
 #[derive(Clone, Debug)]
 pub struct BenchResult {

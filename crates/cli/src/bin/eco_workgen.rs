@@ -18,7 +18,10 @@
 //!
 //! Modes: `--suite` (default; the deterministic Table-2 suite),
 //! `--stress` (the six heavier stress units), `--fuzz N` (N seeded
-//! random fuzz cases, skipping seeds that generate no cuttable target).
+//! random fuzz cases, skipping seeds that generate no cuttable target),
+//! `--scale <100k|500k|1m>` (two scale AIGs — a deep datapath and a wide
+//! random DAG — emitted as binary AIGER `scale_<shape>_<preset>.aig`;
+//! these skip the Verilog layer, so no manifest entries are written).
 //! `--count N` truncates the emitted list. Exit codes: 0 — ok, 1 —
 //! usage or I/O error.
 
@@ -27,16 +30,18 @@ use std::process::ExitCode;
 
 use eco_workgen::fuzz::{gen_case, FuzzConfig};
 use eco_workgen::{
-    contest_suite, manifest_toml, stress_suite, write_fuzz_case, write_unit, ManifestEntry,
+    contest_suite, deep_datapath_aig, manifest_toml, scale_preset, stress_suite, wide_random_aig,
+    write_fuzz_case, write_unit, ManifestEntry, ScalePreset,
 };
 
-const USAGE: &str = "usage: eco-workgen --out <dir> [--suite | --stress | --fuzz N] \
-[--seed S] [--count N] [--manifest <path>] [-q]";
+const USAGE: &str = "usage: eco-workgen --out <dir> [--suite | --stress | --fuzz N | \
+--scale <100k|500k|1m>] [--seed S] [--count N] [--manifest <path>] [-q]";
 
 enum Mode {
     Suite,
     Stress,
     Fuzz(u64),
+    Scale(&'static ScalePreset),
 }
 
 struct Args {
@@ -67,6 +72,13 @@ fn parse_args() -> Result<Args, String> {
                 mode = Mode::Fuzz(
                     v.parse()
                         .map_err(|_| format!("--fuzz expects a count, got `{v}`"))?,
+                );
+            }
+            "--scale" => {
+                let v = value("--scale")?;
+                mode = Mode::Scale(
+                    scale_preset(&v)
+                        .ok_or_else(|| format!("--scale expects 100k, 500k or 1m, got `{v}`"))?,
                 );
             }
             "--seed" => {
@@ -117,6 +129,32 @@ fn run(args: &Args) -> Result<(), String> {
             for unit in &units {
                 entries.push(write_unit(&args.out, unit).map_err(io_err)?);
             }
+        }
+        Mode::Scale(preset) => {
+            // Scale AIGs bypass the Verilog/manifest layer entirely.
+            for (shape, aig) in [
+                (
+                    "datapath",
+                    deep_datapath_aig(preset.inputs, preset.ands, preset.seed),
+                ),
+                (
+                    "randdag",
+                    wide_random_aig(preset.inputs, preset.ands, preset.seed),
+                ),
+            ] {
+                let path = args.out.join(format!("scale_{shape}_{}.aig", preset.name));
+                std::fs::write(&path, eco_aig::write_aiger_binary(&aig))
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                if !args.quiet {
+                    eprintln!(
+                        "wrote {} ({} inputs, {} ANDs)",
+                        path.display(),
+                        aig.num_inputs(),
+                        aig.num_ands()
+                    );
+                }
+            }
+            return Ok(());
         }
         Mode::Fuzz(n) => {
             let cfg = FuzzConfig::default();

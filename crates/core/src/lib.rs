@@ -99,7 +99,7 @@ pub use crate::report::{PartialReport, Report};
 pub use crate::sizeopt::{reduce_patch_sizes, SizeOptOptions, SizeOptStats};
 pub use crate::synth::{synthesize_patch, InitialPatchKind, SynthOutcome};
 pub use crate::telemetry::{
-    json_escape, JsonObj, SatTotals, Stage, SweepTotals, Telemetry, TelemetryEvent,
+    json_escape, peak_rss_bytes, JsonObj, SatTotals, Stage, SweepTotals, Telemetry, TelemetryEvent,
     TelemetrySnapshot,
 };
 pub use crate::verify::{

@@ -11,7 +11,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use eco_aig::{Lit, Node, Var};
+use eco_aig::{Lit, Var};
 use eco_fraig::EquivClasses;
 
 use crate::Workspace;
@@ -162,32 +162,29 @@ impl Cut {
                 cut.node_map.insert(v, (sig, phase));
                 continue;
             }
-            match ws.mgr.node(v) {
-                Node::Constant => {}
-                Node::Input { pos } => {
-                    // An X input: weighted through its candidate when one
-                    // exists (the tap map may be empty when localization is
-                    // disabled), else usable as-is with default weight.
-                    let sig = *sig_of_input.entry(v).or_insert_with(|| {
-                        let (weight, cand_idx) = match ws.input_cand.get(&v) {
-                            Some(&ci) => (ws.cands[ci].weight, Some(ci)),
-                            None => (1, None),
-                        };
-                        cut.signals.push(CutSignal {
-                            name: ws.mgr.input_name(pos as usize).to_owned(),
-                            lit: v.pos(),
-                            weight,
-                            cand_idx,
-                        });
-                        cut.signals.len() - 1
+            if let Some((fan0, fan1)) = ws.mgr.and_fanins(v) {
+                stack.push(fan0.var());
+                stack.push(fan1.var());
+            } else if let Some(pos) = ws.mgr.input_pos(v) {
+                // An X input: weighted through its candidate when one
+                // exists (the tap map may be empty when localization is
+                // disabled), else usable as-is with default weight.
+                let sig = *sig_of_input.entry(v).or_insert_with(|| {
+                    let (weight, cand_idx) = match ws.input_cand.get(&v) {
+                        Some(&ci) => (ws.cands[ci].weight, Some(ci)),
+                        None => (1, None),
+                    };
+                    cut.signals.push(CutSignal {
+                        name: ws.mgr.input_name(pos).to_owned(),
+                        lit: v.pos(),
+                        weight,
+                        cand_idx,
                     });
-                    cut.node_map.insert(v, (sig, false));
-                }
-                Node::And { fan0, fan1 } => {
-                    stack.push(fan0.var());
-                    stack.push(fan1.var());
-                }
+                    cut.signals.len() - 1
+                });
+                cut.node_map.insert(v, (sig, false));
             }
+            // Constant: no cut signal needed.
         }
         cut.targets.sort_unstable();
         cut

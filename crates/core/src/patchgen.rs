@@ -252,25 +252,22 @@ pub fn extract_patch_aig(
         if cache.contains_key(&v) {
             continue;
         }
-        match mgr.node(v) {
-            eco_aig::Node::Constant => {}
-            eco_aig::Node::Input { pos } => {
-                let name = mgr.input_name(pos as usize).to_owned();
-                return Err(if ws_targets.contains(&v) {
-                    EcoError::Unrectifiable(format!(
-                        "patch cone reached target `{name}`; dependent resubstitution incomplete"
-                    ))
-                } else {
-                    EcoError::Transform(eco_aig::TransformError::InputNotInCut(name))
-                });
-            }
-            eco_aig::Node::And { fan0, fan1 } => {
-                let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
-                let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
-                let lit = patch.and(n0, n1);
-                cache.insert(v, lit);
-            }
+        if let Some((fan0, fan1)) = mgr.and_fanins(v) {
+            let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
+            let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
+            let lit = patch.and(n0, n1);
+            cache.insert(v, lit);
+        } else if let Some(pos) = mgr.input_pos(v) {
+            let name = mgr.input_name(pos).to_owned();
+            return Err(if ws_targets.contains(&v) {
+                EcoError::Unrectifiable(format!(
+                    "patch cone reached target `{name}`; dependent resubstitution incomplete"
+                ))
+            } else {
+                EcoError::Transform(eco_aig::TransformError::InputNotInCut(name))
+            });
         }
+        // Constant: Lit::FALSE is pre-seeded in the cache.
     }
     let out = roots
         .iter()

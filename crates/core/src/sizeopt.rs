@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use eco_aig::{Lit, Node, Var};
+use eco_aig::{Lit, Var};
 use eco_sat::{encode_cone, Lit as SLit, SolveCtl, Solver};
 
 use crate::carediff::on_off_sets;
@@ -163,11 +163,11 @@ pub(crate) fn reduce_patch_sizes_governed(
                 .mgr
                 .cone_vars_to_cut(&[cur], &frontier)
                 .into_iter()
-                .filter(|&v| ws.mgr.node(v).is_and() && !frontier.contains(&v))
+                .filter(|&v| ws.mgr.is_and(v) && !frontier.contains(&v))
                 .collect();
             nodes.reverse();
             'nodes: for v in nodes {
-                let Node::And { fan0, fan1 } = ws.mgr.node(v) else {
+                let Some((fan0, fan1)) = ws.mgr.and_fanins(v) else {
                     continue;
                 };
                 for replacement in [Lit::FALSE, Lit::TRUE, fan0, fan1] {

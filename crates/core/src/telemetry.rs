@@ -113,6 +113,32 @@ pub struct SweepTotals {
     pub resim_columns_saved: u64,
 }
 
+/// Peak resident-set size of this process, in bytes, when the platform
+/// exposes it.
+///
+/// Std-only: on Linux this parses the `VmHWM` line (resident-set
+/// high-water mark, reported in kibibytes) of `/proc/self/status`; on
+/// every other platform it returns `None`. The kernel value is
+/// process-wide and monotone, so sampling it once at snapshot time is
+/// enough to capture the run's peak.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kib * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 ///
 /// Shared by every hand-rolled JSON emitter in the workspace
@@ -251,6 +277,9 @@ pub struct TelemetrySnapshot {
     /// Memo hits discarded because revalidation (fresh SAT miter or
     /// counterexample B-check) refuted the cached entry.
     pub memo_fallbacks: u64,
+    /// Peak resident-set size in bytes at snapshot time, `None` when the
+    /// platform does not expose it (see [`peak_rss_bytes`]).
+    pub peak_rss_bytes: Option<u64>,
     /// Structured events, in recording order.
     pub events: Vec<TelemetryEvent>,
 }
@@ -329,8 +358,12 @@ impl TelemetrySnapshot {
             .u64("interpolation_fallbacks", self.interpolation_fallbacks)
             .u64("localization_fallbacks", self.localization_fallbacks)
             .raw("governor", &governor.build())
-            .raw("memo", &memo.build())
-            .arr("events", &events);
+            .raw("memo", &memo.build());
+        let obj = match self.peak_rss_bytes {
+            Some(b) => obj.u64("peak_rss_bytes", b),
+            None => obj.raw("peak_rss_bytes", "null"),
+        };
+        let obj = obj.arr("events", &events);
         format!("{}\n", obj.build())
     }
 }
@@ -398,6 +431,13 @@ impl std::fmt::Display for TelemetrySnapshot {
             "memo: {} hits, {} misses, {} fallbacks",
             self.memo_hits, self.memo_misses, self.memo_fallbacks
         )?;
+        if let Some(b) = self.peak_rss_bytes {
+            writeln!(
+                f,
+                "memory: {:.1} MiB peak RSS",
+                b as f64 / (1024.0 * 1024.0)
+            )?;
+        }
         for e in &self.events {
             writeln!(f, "event [{}] {}: {}", e.stage, e.label, e.detail)?;
         }
@@ -606,6 +646,7 @@ impl Telemetry {
             memo_hits: load(&self.memo_hits),
             memo_misses: load(&self.memo_misses),
             memo_fallbacks: load(&self.memo_fallbacks),
+            peak_rss_bytes: peak_rss_bytes(),
             events: self.events.lock().expect("telemetry event lock").clone(),
         }
     }
@@ -704,10 +745,19 @@ mod tests {
             "\"misses\"",
             "\"fallbacks\"",
             "\"events\"",
+            "\"peak_rss_bytes\"",
             "\\\"hi\\\"",
         ] {
             assert!(js.contains(key), "missing {key} in {js}");
         }
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_reported_on_linux() {
+        let rss = peak_rss_bytes().expect("VmHWM present in /proc/self/status");
+        // Any running test binary has megabytes resident.
+        assert!(rss > 1 << 20, "implausible peak RSS {rss}");
     }
 
     #[test]

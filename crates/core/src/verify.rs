@@ -77,9 +77,9 @@ pub fn check_equivalence_ctl(
         Some(true) => {
             let mut cex = Vec::new();
             for (&v, &sl) in &map {
-                if let eco_aig::Node::Input { pos } = mgr.node(v) {
+                if let Some(pos) = mgr.input_pos(v) {
                     let val = solver.model_value(sl) == LBool::True;
-                    cex.push((mgr.input_name(pos as usize).to_owned(), val));
+                    cex.push((mgr.input_name(pos).to_owned(), val));
                 }
             }
             cex.sort();

@@ -143,7 +143,7 @@ impl Workspace {
 
         let mut input_cand: HashMap<Var, usize> = HashMap::new();
         for (idx, c) in cands.iter().enumerate() {
-            if c.lit.is_complement() || !mgr.node(c.lit.var()).is_input() {
+            if c.lit.is_complement() || !mgr.is_input(c.lit.var()) {
                 continue;
             }
             match input_cand.get(&c.lit.var()) {
@@ -234,7 +234,7 @@ impl Workspace {
 
         let mut input_cand: HashMap<Var, usize> = HashMap::new();
         for (idx, c) in cands.iter().enumerate() {
-            if c.lit.is_complement() || !mgr.node(c.lit.var()).is_input() {
+            if c.lit.is_complement() || !mgr.is_input(c.lit.var()) {
                 continue;
             }
             match input_cand.get(&c.lit.var()) {

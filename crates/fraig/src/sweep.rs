@@ -225,8 +225,7 @@ pub fn fraig_classes_stats(aig: &Aig, opts: &FraigOptions) -> (EquivClasses, Swe
 
     // Stimulus: a fixed random base; counterexamples and one fresh random
     // diversity column per round are appended incrementally.
-    let base_patterns = random_patterns(aig.num_inputs(), opts.sim_words, opts.seed);
-    let mut isim = IncrementalSim::new(aig, &base_patterns);
+    let mut isim = IncrementalSim::with_random_base(aig, opts.sim_words, opts.seed);
     let mut diversity = SplitMix64::new(opts.seed ^ 0x9e37_79b9_7f4a_7c15);
 
     let mut uf = ParityUnionFind::new(aig.len());
@@ -482,22 +481,15 @@ pub fn fraig_reduce(aig: &Aig, classes: &EquivClasses) -> Aig {
 }
 
 fn rebuild(aig: &Aig, new: &mut Aig, cache: &HashMap<AVar, ALit>, v: AVar) -> ALit {
-    match aig.node(v) {
-        eco_aig::Node::Constant => ALit::FALSE,
-        eco_aig::Node::Input { .. } => cache[&v],
-        eco_aig::Node::And { fan0, fan1 } => {
-            let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
-            let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
-            new.and(n0, n1)
-        }
+    if let Some((fan0, fan1)) = aig.and_fanins(v) {
+        let n0 = cache[&fan0.var()].xor_complement(fan0.is_complement());
+        let n1 = cache[&fan1.var()].xor_complement(fan1.is_complement());
+        new.and(n0, n1)
+    } else if v == AVar::CONST {
+        ALit::FALSE
+    } else {
+        cache[&v]
     }
-}
-
-fn random_patterns(n_inputs: usize, words: usize, seed: u64) -> Vec<Vec<u64>> {
-    let mut rng = SplitMix64::new(seed);
-    (0..n_inputs)
-        .map(|_| (0..words).map(|_| rng.next_u64()).collect())
-        .collect()
 }
 
 #[cfg(test)]

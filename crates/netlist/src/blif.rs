@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use eco_aig::{Aig, Lit, Node, Var};
+use eco_aig::{Aig, Lit, Var};
 
 /// Error produced when BLIF text cannot be parsed or elaborated.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -329,7 +329,7 @@ pub fn write_blif(aig: &Aig, model_name: &str) -> String {
     let cone = aig.cone_vars(&roots);
     let mut const_used = false;
     for &v in &cone {
-        if let Node::And { fan0, fan1 } = aig.node(v) {
+        if let Some((fan0, fan1)) = aig.and_fanins(v) {
             let n = format!("n{}", v.index());
             let p0 = if fan0.is_complement() { '0' } else { '1' };
             let p1 = if fan1.is_complement() { '0' } else { '1' };

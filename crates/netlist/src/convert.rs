@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use eco_aig::{Aig, Lit, Node, Var};
+use eco_aig::{Aig, Lit, Var};
 
 use crate::ast::{Gate, GateKind, NetRef, Netlist};
 
@@ -206,10 +206,12 @@ pub fn netlist_from_aig(aig: &Aig, module_name: &str) -> Netlist {
     // Which vars are used complemented (need an inverter net)?
     let mut name_of: HashMap<Var, String> = HashMap::new();
     for &v in &cone {
-        let name = match aig.node(v) {
-            Node::Constant => "const0".to_string(),
-            Node::Input { pos } => aig.input_name(pos as usize).to_owned(),
-            Node::And { .. } => format!("n{}", v.index()),
+        let name = if let Some(pos) = aig.input_pos(v) {
+            aig.input_name(pos).to_owned()
+        } else if v == Var::CONST {
+            "const0".to_string()
+        } else {
+            format!("n{}", v.index())
         };
         name_of.insert(v, name);
     }
@@ -247,7 +249,7 @@ pub fn netlist_from_aig(aig: &Aig, module_name: &str) -> Netlist {
     };
 
     for &v in &cone {
-        if let Node::And { fan0, fan1 } = aig.node(v) {
+        if let Some((fan0, fan1)) = aig.and_fanins(v) {
             let i0 = lit_net(fan0, &mut gates, &mut wires, &mut inv_emitted);
             let i1 = lit_net(fan1, &mut gates, &mut wires, &mut inv_emitted);
             let out = name_of[&v].clone();

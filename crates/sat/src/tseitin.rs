@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use eco_aig::{Aig, Lit as ALit, Node, Var as AVar};
+use eco_aig::{Aig, Lit as ALit, Var as AVar};
 
 use crate::{ClauseLabel, ItpSolver, Lit, Solver, Var};
 
@@ -69,25 +69,22 @@ pub fn encode_cone(
         if map.contains_key(&v) {
             continue;
         }
-        match aig.node(v) {
-            Node::Constant => {
-                let sv = sink.sink_var().pos();
-                sink.sink_clause(&[!sv]);
-                map.insert(v, sv);
-            }
-            Node::Input { .. } => {
-                let sv = sink.sink_var().pos();
-                map.insert(v, sv);
-            }
-            Node::And { fan0, fan1 } => {
-                let sa = map[&fan0.var()].xor_negated(fan0.is_complement());
-                let sb = map[&fan1.var()].xor_negated(fan1.is_complement());
-                let sv = sink.sink_var().pos();
-                sink.sink_clause(&[!sv, sa]);
-                sink.sink_clause(&[!sv, sb]);
-                sink.sink_clause(&[sv, !sa, !sb]);
-                map.insert(v, sv);
-            }
+        if let Some((fan0, fan1)) = aig.and_fanins(v) {
+            let sa = map[&fan0.var()].xor_negated(fan0.is_complement());
+            let sb = map[&fan1.var()].xor_negated(fan1.is_complement());
+            let sv = sink.sink_var().pos();
+            sink.sink_clause(&[!sv, sa]);
+            sink.sink_clause(&[!sv, sb]);
+            sink.sink_clause(&[sv, !sa, !sb]);
+            map.insert(v, sv);
+        } else if v == AVar::CONST {
+            let sv = sink.sink_var().pos();
+            sink.sink_clause(&[!sv]);
+            map.insert(v, sv);
+        } else {
+            // Input: a free SAT variable.
+            let sv = sink.sink_var().pos();
+            map.insert(v, sv);
         }
     }
     roots

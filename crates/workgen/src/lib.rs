@@ -30,6 +30,7 @@ pub mod circuits;
 mod emit;
 mod fault;
 pub mod fuzz;
+pub mod scale;
 mod suite;
 
 pub use crate::builder::NetlistBuilder;
@@ -37,6 +38,9 @@ pub use crate::emit::{manifest_toml, write_case, write_fuzz_case, write_unit, Ma
 pub use crate::fault::{
     assign_weights, break_untouched_output, cut_targets, scramble_dangling, FaultError,
     WeightProfile,
+};
+pub use crate::scale::{
+    deep_datapath_aig, scale_preset, wide_random_aig, ScalePreset, SCALE_PRESETS,
 };
 pub use crate::suite::{
     build_unit, contest_suite, stress_specs, stress_suite, suite_specs, Family, SuiteUnit,

@@ -1,0 +1,230 @@
+//! Scale workloads: AIG-level generators for 100k- to million-gate
+//! circuits.
+//!
+//! The contest-style suite ([`crate::contest_suite`]) tops out at a few
+//! thousand gates because every case round-trips through gate-level
+//! Verilog. The generators here skip the netlist layer entirely and build
+//! [`Aig`]s directly — string names per net would dominate memory long
+//! before the engine itself does at a million gates. Two complementary
+//! shapes stress the two axes of the SoA core:
+//!
+//! * [`deep_datapath_aig`] — a ripple full-adder chain, maximally *deep*:
+//!   the critical path grows linearly with the gate count, so simulation
+//!   cannot skip ahead and every fanin read walks far-apart rows.
+//! * [`wide_random_aig`] — a random DAG, maximally *wide*: fanins are
+//!   drawn uniformly from the whole history, stressing strash lookups and
+//!   cache behavior rather than dependency depth.
+//!
+//! Both are deterministic in their seed, keep every AND reachable from an
+//! output (the AIGER writers emit only the output cone), and land within
+//! a few gates of the requested size. [`SCALE_PRESETS`] names the
+//! 100k/500k/1m configurations used by `eco-workgen --scale` and the
+//! scale benchmark harness.
+
+use eco_aig::{Aig, Lit, SplitMix64};
+
+/// A named scale configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePreset {
+    /// Preset name as accepted by `--scale` (`100k`, `500k`, `1m`).
+    pub name: &'static str,
+    /// Target AND-gate count per generated circuit.
+    pub ands: usize,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// The presets recorded in `BENCH_scale.json`.
+pub const SCALE_PRESETS: [ScalePreset; 3] = [
+    ScalePreset {
+        name: "100k",
+        ands: 100_000,
+        inputs: 256,
+        seed: 0x05_ca1e_0001,
+    },
+    ScalePreset {
+        name: "500k",
+        ands: 500_000,
+        inputs: 512,
+        seed: 0x05_ca1e_0002,
+    },
+    ScalePreset {
+        name: "1m",
+        ands: 1_000_000,
+        inputs: 1024,
+        seed: 0x05_ca1e_0003,
+    },
+];
+
+/// Looks up a preset by its `--scale` name.
+pub fn scale_preset(name: &str) -> Option<&'static ScalePreset> {
+    SCALE_PRESETS.iter().find(|p| p.name == name)
+}
+
+fn add_inputs(aig: &mut Aig, n: usize) -> Vec<Lit> {
+    (0..n).map(|i| aig.add_input(format!("i{i}"))).collect()
+}
+
+/// A deep datapath: a ripple chain of full-adder cells.
+///
+/// Each cell folds the next input (cyclically) into a running
+/// `(sum, carry)` pair — `sum = acc ⊕ x ⊕ carry`,
+/// `carry' = maj(acc, x, carry)` — for about nine fresh ANDs per cell and
+/// a critical path that grows with the gate count. Both running values
+/// are outputs, so the whole chain is live.
+pub fn deep_datapath_aig(num_inputs: usize, target_ands: usize, seed: u64) -> Aig {
+    assert!(num_inputs >= 2, "datapath needs at least two inputs");
+    let mut aig = Aig::new();
+    let mut rng = SplitMix64::new(seed);
+    let inputs = add_inputs(&mut aig, num_inputs);
+    let mut acc = inputs[0];
+    let mut carry = inputs[1];
+    let mut k = 2usize;
+    while aig.num_ands() < target_ands {
+        // An occasional complement keeps consecutive cells from being
+        // structurally identical up to strash.
+        let x = inputs[k % num_inputs].xor_complement(rng.chance(0.25));
+        let s1 = aig.xor(acc, x);
+        let sum = aig.xor(s1, carry);
+        let c1 = aig.and(acc, x);
+        let c2 = aig.and(s1, carry);
+        let new_carry = aig.or(c1, c2);
+        acc = sum;
+        carry = new_carry;
+        k += 1;
+    }
+    aig.add_output("sum", acc);
+    aig.add_output("carry", carry);
+    aig
+}
+
+/// A wide random DAG: every new AND draws both fanins uniformly from the
+/// whole history (inputs and earlier ANDs), with random complements.
+///
+/// Fanout-0 ANDs are tracked as the DAG grows and folded into a single
+/// output by a balanced AND reduction at the end, so the result has no
+/// dead logic and lands within a couple of gates of `target_ands`.
+pub fn wide_random_aig(num_inputs: usize, target_ands: usize, seed: u64) -> Aig {
+    assert!(num_inputs >= 2, "random DAG needs at least two inputs");
+    let mut aig = Aig::new();
+    let mut rng = SplitMix64::new(seed);
+    let mut pool = add_inputs(&mut aig, num_inputs);
+    // AND vars currently unused as a fanin, by pool index.
+    let mut is_sink: Vec<bool> = vec![false; pool.len()];
+    let mut sinks = 0usize;
+
+    // Grow while the final sink reduction (`sinks - 1` extra ANDs) still
+    // fits under the target.
+    while aig.num_ands() + sinks.saturating_sub(1) + 1 < target_ands {
+        let i = rng.index(pool.len());
+        let j = rng.index(pool.len());
+        let a = pool[i].xor_complement(rng.chance(0.5));
+        let b = pool[j].xor_complement(rng.chance(0.5));
+        let before = aig.num_ands();
+        let n = aig.and(a, b);
+        if aig.num_ands() == before {
+            // Constant fold or strash hit: no fresh node to track.
+            continue;
+        }
+        for used in [i, j] {
+            if is_sink[used] {
+                is_sink[used] = false;
+                sinks -= 1;
+            }
+        }
+        pool.push(n);
+        is_sink.push(true);
+        sinks += 1;
+    }
+
+    // Balanced AND reduction over the sinks.
+    let mut layer: Vec<Lit> = pool
+        .iter()
+        .zip(&is_sink)
+        .filter(|&(_, &s)| s)
+        .map(|(&l, _)| l)
+        .collect();
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|c| {
+                if c.len() == 2 {
+                    aig.and(c[0], c[1])
+                } else {
+                    c[0]
+                }
+            })
+            .collect();
+    }
+    let root = layer.first().copied().unwrap_or(Lit::FALSE);
+    aig.add_output("fold", root);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_aig::{parse_aiger_binary, write_aiger_binary};
+
+    #[test]
+    fn presets_are_resolvable_and_ordered() {
+        assert_eq!(scale_preset("100k").map(|p| p.ands), Some(100_000));
+        assert_eq!(scale_preset("1m").map(|p| p.ands), Some(1_000_000));
+        assert!(scale_preset("2m").is_none());
+        assert!(SCALE_PRESETS.windows(2).all(|w| w[0].ands < w[1].ands));
+    }
+
+    #[test]
+    fn generators_hit_target_within_tolerance() {
+        for (name, aig) in [
+            ("datapath", deep_datapath_aig(32, 20_000, 7)),
+            ("randdag", wide_random_aig(32, 20_000, 7)),
+        ] {
+            let ands = aig.num_ands();
+            assert!(
+                (19_000..=20_020).contains(&ands),
+                "{name}: {ands} ANDs for target 20000"
+            );
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = write_aiger_binary(&wide_random_aig(16, 4_000, 3));
+        let b = write_aiger_binary(&wide_random_aig(16, 4_000, 3));
+        assert_eq!(a, b);
+        let c = write_aiger_binary(&deep_datapath_aig(16, 4_000, 3));
+        let d = write_aiger_binary(&deep_datapath_aig(16, 4_000, 3));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn random_dag_has_no_dead_logic() {
+        let aig = wide_random_aig(16, 5_000, 11);
+        let roots: Vec<Lit> = aig.outputs().iter().map(|o| o.lit).collect();
+        let live = aig
+            .cone_vars(&roots)
+            .into_iter()
+            .filter(|&v| aig.is_and(v))
+            .count();
+        assert_eq!(live, aig.num_ands(), "every AND reachable from the output");
+    }
+
+    /// The always-on scale round-trip: a 100k-gate generated circuit
+    /// survives binary AIGER write → parse → write byte-identically.
+    #[test]
+    fn aiger_roundtrip_is_byte_identical_at_100k() {
+        let p = scale_preset("100k").expect("preset");
+        let aig = wide_random_aig(p.inputs, p.ands, p.seed);
+        assert!(aig.num_ands() >= 99_000, "got {} ANDs", aig.num_ands());
+        let bytes = write_aiger_binary(&aig);
+        let back = parse_aiger_binary(&bytes).expect("parses");
+        assert_eq!(
+            bytes,
+            write_aiger_binary(&back),
+            "binary AIGER round-trip must be byte-identical"
+        );
+    }
+}

@@ -25,6 +25,13 @@
 # the warm pass reports nonzero cache hits, and the JSONL report is
 # byte-identical for --jobs 1 vs --jobs 4. Cold/warm wall times are
 # recorded in crates/bench/BENCH_batch.json.
+#
+# --scale-smoke additionally emits the 100k-gate scale AIGs end-to-end
+# through eco-workgen --scale, then runs the release scale harness on
+# the 100k preset under a governor deadline. When a checked-in
+# crates/bench/BENCH_scale.json exists, simulation throughput is
+# compared against it and a >20% regression fails the gate; the 100k
+# rows of the tracked file are refreshed on success.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,13 +39,15 @@ bench_smoke=0
 fuzz_smoke=0
 degrade_smoke=0
 batch_smoke=0
+scale_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --fuzz-smoke) fuzz_smoke=1 ;;
     --degrade-smoke) degrade_smoke=1 ;;
     --batch-smoke) batch_smoke=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke]" >&2; exit 2 ;;
+    --scale-smoke) scale_smoke=1 ;;
+    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke] [--scale-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -175,6 +184,42 @@ if [ "$batch_smoke" -eq 1 ]; then
 ]}
 EOF
   echo "batch smoke: cold ${cold_ns}ns, warm ${warm_ns}ns, $hits cache hits"
+fi
+
+if [ "$scale_smoke" -eq 1 ]; then
+  echo "== scale smoke: 100k preset end-to-end under a 300s governor deadline"
+  stmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp:-}" "${btmp:-}" "${stmp:-}"' EXIT
+
+  # The generator CLI path: both 100k AIGs must emit and re-parse.
+  target/release/eco-workgen --scale 100k --out "$stmp" -q
+  for shape in datapath randdag; do
+    [ -s "$stmp/scale_${shape}_100k.aig" ] \
+      || { echo "scale smoke: missing scale_${shape}_100k.aig"; exit 1; }
+  done
+
+  # The harness itself, gated against the tracked baseline when present
+  # (exit 3 = >20% throughput regression).
+  baseline_args=()
+  if [ -s crates/bench/BENCH_scale.json ]; then
+    baseline_args=(--baseline crates/bench/BENCH_scale.json)
+  fi
+  set +e
+  target/release/scale --presets 100k --timeout-s 300 \
+    --json "$stmp/BENCH_scale_100k.json" "${baseline_args[@]}"
+  rc=$?
+  set -e
+  [ "$rc" -ne 3 ] && [ "$rc" -eq 0 ] \
+    || { echo "scale smoke: scale harness failed (exit $rc)"; exit 1; }
+  grep -q '"name": "scale/datapath_100k"' "$stmp/BENCH_scale_100k.json" \
+    || { echo "scale smoke: dump missing datapath row"; cat "$stmp/BENCH_scale_100k.json"; exit 1; }
+
+  # Refresh the tracked file's 100k rows only when no baseline existed
+  # yet (bootstrap); otherwise the full-preset run owns the file.
+  if [ ! -s crates/bench/BENCH_scale.json ]; then
+    target/release/scale --json crates/bench/BENCH_scale.json
+  fi
+  echo "scale smoke: ok"
 fi
 
 echo "all checks passed"
