@@ -35,6 +35,7 @@ pub struct Bench {
     samples: usize,
     warmup: bool,
     results: Vec<BenchResult>,
+    notes: Vec<String>,
 }
 
 impl Bench {
@@ -44,6 +45,7 @@ impl Bench {
             samples: samples.max(1),
             warmup: true,
             results: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -100,6 +102,13 @@ impl Bench {
         &self.results
     }
 
+    /// Attaches a free-form annotation (methodology, before/after
+    /// context) carried into the JSON dump under `"notes"`.
+    pub fn note(&mut self, text: &str) {
+        eprintln!("note: {text}");
+        self.notes.push(text.to_string());
+    }
+
     /// JSON dump of all results (hand-rolled; names are plain ASCII).
     pub fn json(&self) -> String {
         let rows: Vec<String> = self
@@ -118,7 +127,17 @@ impl Bench {
                 )
             })
             .collect();
-        format!("{{\"benches\": [\n{}\n]}}\n", rows.join(",\n"))
+        let notes = if self.notes.is_empty() {
+            String::new()
+        } else {
+            let items: Vec<String> = self
+                .notes
+                .iter()
+                .map(|n| format!("  \"{}\"", n.replace('\\', "\\\\").replace('"', "\\\"")))
+                .collect();
+            format!(",\n \"notes\": [\n{}\n]", items.join(",\n"))
+        };
+        format!("{{\"benches\": [\n{}\n]{notes}}}\n", rows.join(",\n"))
     }
 
     /// Prints the summary table and honors `--json <path>` /
@@ -165,5 +184,10 @@ mod tests {
         let js = b.json();
         assert!(js.contains("\"name\": \"noop\""));
         assert!(js.contains("\"median_ns\""));
+        assert!(!js.contains("\"notes\""), "no notes key when unannotated");
+        b.note("methodology \"quoted\"");
+        assert!(b
+            .json()
+            .contains("\"notes\": [\n  \"methodology \\\"quoted\\\"\"\n]"));
     }
 }

@@ -94,16 +94,23 @@ pub fn enumerate_cex_capped(
 
     let mut set = CexSet::default();
     let mut local_controls: Vec<eco_sat::Lit> = Vec::new();
+    let mut exhausted = false;
     while set.masks.len() < max_cex {
         let mut assume = assumptions.clone();
         assume.extend(&local_controls);
         match q.solver_mut().solve_limited(&assume, conflict_budget) {
-            None => return None,
+            None => {
+                exhausted = true;
+                break;
+            }
             Some(false) => break,
             Some(true) => {
                 let mut mask = 0u32;
                 let mut block: Vec<eco_sat::Lit> = Vec::new();
                 let c = q.solver_mut().new_var().pos();
+                // The control variable is assumed by later enumeration
+                // calls, so it must never be eliminated by inprocessing.
+                q.solver_mut().freeze_var(c.var());
                 block.push(!c);
                 for (i, &wl) in watch_b1.iter().enumerate() {
                     let val = q.solver_mut().model_value(wl) == eco_sat::LBool::True;
@@ -126,6 +133,18 @@ pub fn enumerate_cex_capped(
                 local_controls.push(c);
             }
         }
+    }
+    // The controls are never assumed again once this call returns, so
+    // retire them for good: the unit clause fixes each control false at
+    // the top level (exactly the value every later solve would have
+    // branched to anyway — they occur only negatively), which takes the
+    // dead blocking clauses out of the search and stops retired controls
+    // from costing one decision per future solve on this query.
+    for c in local_controls {
+        q.solver_mut().add_clause(&[!c]);
+    }
+    if exhausted {
+        return None;
     }
     Some(set)
 }

@@ -30,12 +30,13 @@ use crate::optimize::{optimize_patches_governed, total_cost, OptimizeOptions};
 use crate::patchgen::{
     extract_patch_aig, generate_group_patches_governed, GroupPatches, PatchFn, PatchGenOptions,
 };
-use crate::rectifiable::{check_rect_cex, check_rectifiable, Rectifiability};
+use crate::rectifiable::{check_rect_cex_portfolio, check_rectifiable_portfolio, Rectifiability};
 use crate::sizeopt::{reduce_patch_sizes_governed, SizeOptOptions};
 use crate::synth::InitialPatchKind;
 use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
-use crate::verify::{check_equivalence_ctl, VerifyOutcome};
+use crate::verify::{check_equivalence_portfolio, VerifyOutcome};
 use crate::{EcoError, EcoInstance, Workspace};
+use eco_sat::PortfolioSpec;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -70,6 +71,13 @@ pub struct EcoOptions {
     /// sequentially (same code path, so results are identical for every
     /// value). Never more threads than clusters are spawned.
     pub jobs: usize,
+    /// Deterministic parallel solver portfolio size for hard unlimited-
+    /// budget SAT queries (rectifiability CEGAR, equivalence miters):
+    /// `1` (default) keeps the single-solver path; `2..=4` race that many
+    /// diversified configurations, first answer wins, with artifacts
+    /// pinned to configuration 0 so results are byte-identical for every
+    /// value. Finite-budget queries are never raced.
+    pub portfolio: usize,
     /// Run-wide resource governor: wall-clock deadline and per-cluster
     /// conflict allowance. Unlimited by default; when unlimited, every
     /// governed code path collapses to the ungoverned one, so results are
@@ -99,6 +107,7 @@ impl Default for EcoOptions {
             size_optimize: true,
             size_opts: SizeOptOptions::default(),
             jobs: 0,
+            portfolio: 1,
             budget: BudgetOptions::default(),
             memo: None,
         }
@@ -453,13 +462,14 @@ impl EcoEngine {
         }
         let patched = mgr.substitute(&ws.f_outs.clone(), &tmap);
         let pairs: Vec<(Lit, Lit)> = patched.into_iter().zip(ws.g_outs.clone()).collect();
-        let (verdict, stats) = check_equivalence_ctl(
+        let verdict = check_equivalence_portfolio(
             &mut mgr,
             &pairs,
             budget.cap(self.options.verify_budget),
             &budget.ctl(),
+            &PortfolioSpec::new(self.options.portfolio),
+            tel,
         );
-        tel.record_solver(&stats);
         tel.add_stage(Stage::Verify, t0.elapsed());
         matches!(verdict, VerifyOutcome::Equivalent)
     }
@@ -627,8 +637,14 @@ impl EcoEngine {
                         // Audit the claimed universal counterexample with
                         // one cheap B-check before declaring defeat.
                         tel.add_memo_hit();
-                        if check_rect_cex(&mut scratch, &cex, budget.cap(opts.verify_budget))
-                            == Some(true)
+                        if check_rect_cex_portfolio(
+                            &mut scratch,
+                            &cex,
+                            budget.cap(opts.verify_budget),
+                            &budget.ctl(),
+                            &PortfolioSpec::new(opts.portfolio),
+                            tel,
+                        ) == Some(true)
                         {
                             verdict = Some(Rectifiability::Counterexample(cex));
                         } else {
@@ -642,7 +658,14 @@ impl EcoEngine {
             let verdict = match verdict {
                 Some(v) => v,
                 None => {
-                    let v = check_rectifiable(&mut scratch, 256, budget.cap(opts.verify_budget));
+                    let v = check_rectifiable_portfolio(
+                        &mut scratch,
+                        256,
+                        budget.cap(opts.verify_budget),
+                        &budget.ctl(),
+                        &PortfolioSpec::new(opts.portfolio),
+                        tel,
+                    );
                     if let Some((cache, (key, check))) = memo {
                         if !matches!(v, Rectifiability::Unknown) {
                             cache.store_rect(key, check, &v);
@@ -693,13 +716,14 @@ impl EcoEngine {
                 .map(|&j| (ws.f_outs[j], ws.g_outs[j]))
                 .collect();
             let t0 = Instant::now();
-            let (verdict, stats) = check_equivalence_ctl(
+            let verdict = check_equivalence_portfolio(
                 &mut ws.mgr,
                 &pairs,
                 budget.cap(opts.verify_budget),
                 &budget.ctl(),
+                &PortfolioSpec::new(opts.portfolio),
+                tel,
             );
-            tel.record_solver(&stats);
             let spent = t0.elapsed();
             times.verify += spent;
             tel.add_stage(Stage::Verify, spent);
@@ -879,13 +903,14 @@ impl EcoEngine {
         let f_outs = ws.f_outs.clone();
         let patched = ws.mgr.substitute(&f_outs, &map);
         let pairs: Vec<(Lit, Lit)> = patched.into_iter().zip(ws.g_outs.clone()).collect();
-        let (verdict, stats) = check_equivalence_ctl(
+        let verdict = check_equivalence_portfolio(
             &mut ws.mgr,
             &pairs,
             budget.cap(opts.verify_budget),
             &budget.ctl(),
+            &PortfolioSpec::new(opts.portfolio),
+            tel,
         );
-        tel.record_solver(&stats);
         let spent = t0.elapsed();
         times.verify += spent;
         tel.add_stage(Stage::Verify, spent);

@@ -42,7 +42,18 @@ impl RebaseQuery {
     /// Panics if `on`/`off` or a pool candidate depends on a target
     /// pseudo-input (substitute patches first).
     pub fn new(ws: &Workspace, on: ALit, off: ALit, pool: Vec<usize>) -> Self {
-        let mut solver = Solver::new();
+        // The query answers hundreds of small incremental model-finding
+        // solves (base probes and counterexample enumeration), so it is
+        // the prime beneficiary of aggressive preprocessing: variable
+        // elimination collapses the redundant Tseitin copies before the
+        // first solve. Every variable read or assumed later — selectors,
+        // both candidate-output rails, and the enumeration control vars
+        // (frozen at creation in `cexenum`) — is frozen.
+        let mut solver = Solver::with_config(eco_sat::SolverConfig {
+            bve: true,
+            inprocess_first_solve: 0,
+            ..eco_sat::SolverConfig::default()
+        });
 
         let cand_lits: Vec<ALit> = pool.iter().map(|&i| ws.cands[i].lit).collect();
         let mut roots1 = vec![on];
@@ -71,6 +82,9 @@ impl RebaseQuery {
             solver.add_clause(&[!s, !b1[i], b2[i]]);
             solver.add_clause(&[!s, b1[i], !b2[i]]);
             sel.push(s);
+        }
+        for l in b1.iter().chain(b2.iter()).chain(sel.iter()) {
+            solver.freeze_var(l.var());
         }
         RebaseQuery {
             solver,

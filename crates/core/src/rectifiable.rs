@@ -10,10 +10,15 @@
 //! proves rectifiability (finitely many strategies cover all of `X`).
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use eco_aig::{Lit as ALit, Var as AVar};
-use eco_sat::{encode_cone, LBool, Lit as SLit, Solver};
+use eco_sat::{
+    encode_cone, race, ArtifactPolicy, LBool, Lit as SLit, MemberOutcome, PortfolioSpec, SolveCtl,
+    Solver,
+};
 
+use crate::telemetry::Telemetry;
 use crate::Workspace;
 
 /// Outcome of the Eq.-2 check.
@@ -128,6 +133,164 @@ pub fn check_rectifiable(
     Rectifiability::Unknown
 }
 
+/// [`check_rectifiable`] with an optional deterministic solver portfolio.
+///
+/// When `spec` enables racing and the conflict budget is unlimited, each
+/// CEGAR side is raced across the diversified configurations:
+///
+/// * the **A-side** keeps one *persistent* incremental solver per member
+///   — all of them receive the exact same refinement clauses, driven only
+///   by configuration-0 models, so configuration 0's trajectory is fully
+///   deterministic while helpers merely shortcut the UNSAT
+///   (`Rectifiable`) answer;
+/// * each **B-check** races fresh solvers over the cofactored cone.
+///
+/// Both races pin the model-bearing SAT answer to configuration 0
+/// ([`ArtifactPolicy::PinSat`]), so every refinement — and therefore the
+/// returned verdict and any counterexample — is byte-identical to a
+/// single-configuration run. Finite budgets and single-member specs fall
+/// through to the plain [`check_rectifiable`] unchanged.
+pub fn check_rectifiable_portfolio(
+    ws: &mut Workspace,
+    max_iterations: usize,
+    conflict_budget: u64,
+    ctl: &SolveCtl,
+    spec: &PortfolioSpec,
+    tel: &Telemetry,
+) -> Rectifiability {
+    if !spec.enabled() || conflict_budget != u64::MAX {
+        return check_rectifiable(ws, max_iterations, conflict_budget);
+    }
+    let eqs: Vec<ALit> = ws
+        .f_outs
+        .iter()
+        .zip(&ws.g_outs)
+        .map(|(&f, &g)| ws.mgr.xnor(f, g))
+        .collect();
+    let r = ws.mgr.and_many(&eqs);
+
+    // One persistent A-solver per member, each with its own X variable
+    // numbering but an identical clause sequence.
+    let n = spec.members;
+    let mut x_sats: Vec<HashMap<AVar, SLit>> = Vec::with_capacity(n);
+    let mut a_vec: Vec<Mutex<Solver>> = Vec::with_capacity(n);
+    for cfg in spec.configs() {
+        let mut s = Solver::with_config(cfg);
+        x_sats.push(
+            ws.x.iter()
+                .map(|(_, l)| (l.var(), s.new_var().pos()))
+                .collect(),
+        );
+        a_vec.push(Mutex::new(s));
+    }
+    let a_solvers = &a_vec;
+    let x_sats = &x_sats;
+    let x_order: Vec<AVar> = ws.x.iter().map(|(_, l)| l.var()).collect();
+
+    for _ in 0..max_iterations.max(1) {
+        // Propose x*: any X defeating all strategies seen so far.
+        let a_out = race(spec, ArtifactPolicy::PinSat, ctl, |i, _cfg, member| {
+            let mut s = a_solvers[i].lock().expect("a-solver lock");
+            let base = s.stats();
+            s.set_ctl(&member.ctl);
+            s.set_progress(member.progress);
+            let answer = s.solve_limited(&[], u64::MAX);
+            let artifact: Vec<(AVar, bool)> = if answer == Some(true) {
+                x_order
+                    .iter()
+                    .map(|&v| (v, s.model_value(x_sats[i][&v]) == LBool::True))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            MemberOutcome {
+                answer,
+                artifact,
+                stats: s.stats().delta_since(&base),
+            }
+        });
+        tel.record_solver(&a_out.stats);
+        tel.record_portfolio(a_out.answer.map(|_| a_out.winner));
+        let x_star: Vec<(AVar, bool)> = match a_out.answer {
+            None => return Rectifiability::Unknown,
+            Some(false) => return Rectifiability::Rectifiable,
+            Some(true) => a_out.artifact.unwrap_or_default(),
+        };
+
+        // B-check: ∃T. R(x*, T)?
+        let r_fixed = {
+            let map: HashMap<AVar, ALit> = x_star
+                .iter()
+                .map(|&(v, b)| (v, if b { ALit::TRUE } else { ALit::FALSE }))
+                .collect();
+            ws.mgr.substitute(&[r], &map)[0]
+        };
+        let mgr = &ws.mgr;
+        let target_vars = &ws.target_vars;
+        let b_out = race(spec, ArtifactPolicy::PinSat, ctl, |_, cfg, member| {
+            let mut b = Solver::with_config(cfg);
+            b.set_ctl(&member.ctl);
+            b.set_progress(member.progress);
+            let mut b_map: HashMap<AVar, SLit> = HashMap::new();
+            let roots = encode_cone(mgr, &[r_fixed], &mut b_map, &mut b);
+            b.add_clause(&[roots[0]]);
+            let answer = b.solve_limited(&[], u64::MAX);
+            let artifact: Vec<(AVar, bool)> = if answer == Some(true) {
+                target_vars
+                    .iter()
+                    .map(|&tv| {
+                        let val = b_map
+                            .get(&tv)
+                            .map(|&sl| b.model_value(sl) == LBool::True)
+                            .unwrap_or(false);
+                        (tv, val)
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            MemberOutcome {
+                answer,
+                artifact,
+                stats: b.stats(),
+            }
+        });
+        tel.record_solver(&b_out.stats);
+        tel.record_portfolio(b_out.answer.map(|_| b_out.winner));
+        match b_out.answer {
+            None => return Rectifiability::Unknown,
+            Some(false) => {
+                // No strategy completes x*: genuine counterexample.
+                let mut cex: Vec<(String, bool)> =
+                    ws.x.iter()
+                        .zip(&x_star)
+                        .map(|((name, _), &(_, b))| (name.clone(), b))
+                        .collect();
+                cex.sort();
+                return Rectifiability::Counterexample(cex);
+            }
+            Some(true) => {
+                // Strategy t* (from configuration 0): refine *every*
+                // A-solver with the identical ¬R(X, t*) cone.
+                let t_star: HashMap<AVar, ALit> = b_out
+                    .artifact
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|(tv, val)| (tv, if val { ALit::TRUE } else { ALit::FALSE }))
+                    .collect();
+                let r_strategy = ws.mgr.substitute(&[r], &t_star)[0];
+                for (i, slot) in a_vec.iter().enumerate() {
+                    let mut s = slot.lock().expect("a-solver lock");
+                    let mut seed = x_sats[i].clone();
+                    let enc = encode_cone(&ws.mgr, &[r_strategy], &mut seed, &mut *s);
+                    s.add_clause(&[!enc[0]]);
+                }
+            }
+        }
+    }
+    Rectifiability::Unknown
+}
+
 /// Re-validates a claimed Eq.-2 universal counterexample with a single
 /// B-check: substitutes the named `X` assignment into `R(X, T)` and asks a
 /// fresh solver whether *some* target strategy still completes it.
@@ -146,6 +309,23 @@ pub fn check_rect_cex(
     cex: &[(String, bool)],
     conflict_budget: u64,
 ) -> Option<bool> {
+    let Some(r_fixed) = rect_cex_cone(ws, cex) else {
+        return Some(false);
+    };
+    let mut b_solver = Solver::new();
+    let mut b_map: HashMap<AVar, SLit> = HashMap::new();
+    let roots = encode_cone(&ws.mgr, &[r_fixed], &mut b_map, &mut b_solver);
+    b_solver.add_clause(&[roots[0]]);
+    match b_solver.solve_limited(&[], conflict_budget) {
+        None => None,
+        Some(false) => Some(true),
+        Some(true) => Some(false),
+    }
+}
+
+/// Builds the `R(x*, T)` cone of a claimed counterexample in `ws.mgr`,
+/// or `None` when the assignment is malformed (wrong names/incomplete).
+fn rect_cex_cone(ws: &mut Workspace, cex: &[(String, bool)]) -> Option<ALit> {
     let by_name: HashMap<&str, bool> = cex.iter().map(|(n, b)| (n.as_str(), *b)).collect();
     let map: HashMap<AVar, ALit> =
         ws.x.iter()
@@ -156,7 +336,7 @@ pub fn check_rect_cex(
             })
             .collect();
     if map.len() != ws.x.len() || by_name.len() != ws.x.len() {
-        return Some(false);
+        return None;
     }
     let eqs: Vec<ALit> = ws
         .f_outs
@@ -165,16 +345,44 @@ pub fn check_rect_cex(
         .map(|(&f, &g)| ws.mgr.xnor(f, g))
         .collect();
     let r = ws.mgr.and_many(&eqs);
-    let r_fixed = ws.mgr.substitute(&[r], &map)[0];
-    let mut b_solver = Solver::new();
-    let mut b_map: HashMap<AVar, SLit> = HashMap::new();
-    let roots = encode_cone(&ws.mgr, &[r_fixed], &mut b_map, &mut b_solver);
-    b_solver.add_clause(&[roots[0]]);
-    match b_solver.solve_limited(&[], conflict_budget) {
-        None => None,
-        Some(false) => Some(true),
-        Some(true) => Some(false),
+    Some(ws.mgr.substitute(&[r], &map)[0])
+}
+
+/// [`check_rect_cex`] with an optional deterministic solver portfolio.
+/// The audit consumes only the SAT/UNSAT answer (never a model), so any
+/// member may win ([`ArtifactPolicy::AnyWinner`]); the answer itself is
+/// semantically unique, keeping the result configuration-independent.
+pub fn check_rect_cex_portfolio(
+    ws: &mut Workspace,
+    cex: &[(String, bool)],
+    conflict_budget: u64,
+    ctl: &SolveCtl,
+    spec: &PortfolioSpec,
+    tel: &Telemetry,
+) -> Option<bool> {
+    if !spec.enabled() || conflict_budget != u64::MAX {
+        return check_rect_cex(ws, cex, conflict_budget);
     }
+    let Some(r_fixed) = rect_cex_cone(ws, cex) else {
+        return Some(false);
+    };
+    let mgr = &ws.mgr;
+    let out = race(spec, ArtifactPolicy::AnyWinner, ctl, |_, cfg, member| {
+        let mut b = Solver::with_config(cfg);
+        b.set_ctl(&member.ctl);
+        b.set_progress(member.progress);
+        let mut b_map: HashMap<AVar, SLit> = HashMap::new();
+        let roots = encode_cone(mgr, &[r_fixed], &mut b_map, &mut b);
+        b.add_clause(&[roots[0]]);
+        MemberOutcome {
+            answer: b.solve_limited(&[], u64::MAX),
+            artifact: (),
+            stats: b.stats(),
+        }
+    });
+    tel.record_solver(&out.stats);
+    tel.record_portfolio(out.answer.map(|_| out.winner));
+    out.answer.map(|sat| !sat)
 }
 
 #[cfg(test)]

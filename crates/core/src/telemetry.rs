@@ -85,6 +85,12 @@ pub struct SatTotals {
     pub restarts: u64,
     /// Total learned clauses.
     pub learned: u64,
+    /// Clauses shortened by inprocessing vivification.
+    pub vivified_clauses: u64,
+    /// Clauses removed by inprocessing (self-)subsumption.
+    pub subsumed_clauses: u64,
+    /// Variables removed by bounded variable elimination.
+    pub eliminated_vars: u64,
 }
 
 /// Aggregated FRAIG sweep totals across every sweep of a run (one per
@@ -277,6 +283,10 @@ pub struct TelemetrySnapshot {
     /// Memo hits discarded because revalidation (fresh SAT miter or
     /// counterexample B-check) refuted the cached entry.
     pub memo_fallbacks: u64,
+    /// Portfolio races launched (unlimited-budget hard queries only).
+    pub portfolio_launches: u64,
+    /// Races won per portfolio member, indexed by config id (0..4).
+    pub portfolio_winner_counts: [u64; 4],
     /// Peak resident-set size in bytes at snapshot time, `None` when the
     /// platform does not expose it (see [`peak_rss_bytes`]).
     pub peak_rss_bytes: Option<u64>,
@@ -315,7 +325,10 @@ impl TelemetrySnapshot {
             .u64("decisions", self.sat.decisions)
             .u64("propagations", self.sat.propagations)
             .u64("restarts", self.sat.restarts)
-            .u64("learned", self.sat.learned);
+            .u64("learned", self.sat.learned)
+            .u64("vivified_clauses", self.sat.vivified_clauses)
+            .u64("subsumed_clauses", self.sat.subsumed_clauses)
+            .u64("eliminated_vars", self.sat.eliminated_vars);
         let fraig = JsonObj::new()
             .u64("sweeps", self.sweep.sweeps)
             .u64("rounds", self.sweep.rounds)
@@ -337,6 +350,14 @@ impl TelemetrySnapshot {
             .u64("hits", self.memo_hits)
             .u64("misses", self.memo_misses)
             .u64("fallbacks", self.memo_fallbacks);
+        let winners: Vec<String> = self
+            .portfolio_winner_counts
+            .iter()
+            .map(|w| w.to_string())
+            .collect();
+        let portfolio = JsonObj::new()
+            .u64("launches", self.portfolio_launches)
+            .arr("winner_counts", &winners);
         let events: Vec<String> = self
             .events
             .iter()
@@ -358,7 +379,8 @@ impl TelemetrySnapshot {
             .u64("interpolation_fallbacks", self.interpolation_fallbacks)
             .u64("localization_fallbacks", self.localization_fallbacks)
             .raw("governor", &governor.build())
-            .raw("memo", &memo.build());
+            .raw("memo", &memo.build())
+            .raw("portfolio", &portfolio.build());
         let obj = match self.peak_rss_bytes {
             Some(b) => obj.u64("peak_rss_bytes", b),
             None => obj.raw("peak_rss_bytes", "null"),
@@ -388,6 +410,11 @@ impl std::fmt::Display for TelemetrySnapshot {
             self.sat.propagations,
             self.sat.restarts,
             self.sat.learned
+        )?;
+        writeln!(
+            f,
+            "inprocess: {} vivified, {} subsumed, {} vars eliminated",
+            self.sat.vivified_clauses, self.sat.subsumed_clauses, self.sat.eliminated_vars
         )?;
         writeln!(
             f,
@@ -430,6 +457,11 @@ impl std::fmt::Display for TelemetrySnapshot {
             f,
             "memo: {} hits, {} misses, {} fallbacks",
             self.memo_hits, self.memo_misses, self.memo_fallbacks
+        )?;
+        writeln!(
+            f,
+            "portfolio: {} races, winners by config {:?}",
+            self.portfolio_launches, self.portfolio_winner_counts
         )?;
         if let Some(b) = self.peak_rss_bytes {
             writeln!(
@@ -478,6 +510,11 @@ pub struct Telemetry {
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
     memo_fallbacks: AtomicU64,
+    vivified_clauses: AtomicU64,
+    subsumed_clauses: AtomicU64,
+    eliminated_vars: AtomicU64,
+    portfolio_launches: AtomicU64,
+    portfolio_winners: [AtomicU64; 4],
     events: Mutex<Vec<TelemetryEvent>>,
 }
 
@@ -509,6 +546,23 @@ impl Telemetry {
             .fetch_add(s.propagations, Ordering::Relaxed);
         self.restarts.fetch_add(s.restarts, Ordering::Relaxed);
         self.learned.fetch_add(s.learned, Ordering::Relaxed);
+        self.vivified_clauses
+            .fetch_add(s.vivified_clauses, Ordering::Relaxed);
+        self.subsumed_clauses
+            .fetch_add(s.subsumed_clauses, Ordering::Relaxed);
+        self.eliminated_vars
+            .fetch_add(s.eliminated_vars, Ordering::Relaxed);
+    }
+
+    /// Counts one portfolio race and the config index that won it.
+    /// Races that time out (no winner) pass `None`.
+    pub fn record_portfolio(&self, winner: Option<usize>) {
+        self.portfolio_launches.fetch_add(1, Ordering::Relaxed);
+        if let Some(w) = winner {
+            if let Some(slot) = self.portfolio_winners.get(w) {
+                slot.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Folds one FRAIG sweep into the sweep totals (its internal solver
@@ -620,6 +674,9 @@ impl Telemetry {
                 propagations: load(&self.propagations),
                 restarts: load(&self.restarts),
                 learned: load(&self.learned),
+                vivified_clauses: load(&self.vivified_clauses),
+                subsumed_clauses: load(&self.subsumed_clauses),
+                eliminated_vars: load(&self.eliminated_vars),
             },
             sweep: SweepTotals {
                 sweeps: load(&self.sweeps),
@@ -646,6 +703,14 @@ impl Telemetry {
             memo_hits: load(&self.memo_hits),
             memo_misses: load(&self.memo_misses),
             memo_fallbacks: load(&self.memo_fallbacks),
+            portfolio_launches: load(&self.portfolio_launches),
+            portfolio_winner_counts: {
+                let mut w = [0u64; 4];
+                for (slot, a) in w.iter_mut().zip(&self.portfolio_winners) {
+                    *slot = load(a);
+                }
+                w
+            },
             peak_rss_bytes: peak_rss_bytes(),
             events: self.events.lock().expect("telemetry event lock").clone(),
         }
@@ -746,6 +811,12 @@ mod tests {
             "\"fallbacks\"",
             "\"events\"",
             "\"peak_rss_bytes\"",
+            "\"vivified_clauses\"",
+            "\"subsumed_clauses\"",
+            "\"eliminated_vars\"",
+            "\"portfolio\"",
+            "\"launches\"",
+            "\"winner_counts\"",
             "\\\"hi\\\"",
         ] {
             assert!(js.contains(key), "missing {key} in {js}");

@@ -3,7 +3,12 @@
 use std::collections::HashMap;
 
 use eco_aig::{Aig, Lit, Var};
-use eco_sat::{encode_cone, LBool, SolveCtl, Solver, SolverStats};
+use eco_sat::{
+    encode_cone, race, ArtifactPolicy, LBool, MemberOutcome, PortfolioSpec, SolveCtl, Solver,
+    SolverStats,
+};
+
+use crate::telemetry::Telemetry;
 
 /// Outcome of an equivalence check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,6 +67,17 @@ pub fn check_equivalence_ctl(
     if miter == Lit::FALSE {
         return (VerifyOutcome::Equivalent, SolverStats::default());
     }
+    solve_miter(mgr, miter, conflict_budget, ctl)
+}
+
+/// Solves one prepared miter literal with a single default-configuration
+/// solver (the `--portfolio 1` path, byte-for-byte).
+fn solve_miter(
+    mgr: &Aig,
+    miter: Lit,
+    conflict_budget: u64,
+    ctl: &SolveCtl,
+) -> (VerifyOutcome, SolverStats) {
     let mut solver = Solver::new();
     if !ctl.is_unlimited() {
         solver.set_ctl(ctl);
@@ -74,19 +90,76 @@ pub fn check_equivalence_ctl(
     let outcome = match solved {
         Some(false) => VerifyOutcome::Equivalent,
         None => VerifyOutcome::Unknown,
-        Some(true) => {
-            let mut cex = Vec::new();
-            for (&v, &sl) in &map {
-                if let Some(pos) = mgr.input_pos(v) {
-                    let val = solver.model_value(sl) == LBool::True;
-                    cex.push((mgr.input_name(pos).to_owned(), val));
-                }
-            }
-            cex.sort();
-            VerifyOutcome::Counterexample(cex)
-        }
+        Some(true) => VerifyOutcome::Counterexample(model_cex(mgr, &map, &solver)),
     };
     (outcome, stats)
+}
+
+/// Projects a SAT model onto the cone's primary inputs, sorted by name.
+fn model_cex(mgr: &Aig, map: &HashMap<Var, eco_sat::Lit>, solver: &Solver) -> Vec<(String, bool)> {
+    let mut cex = Vec::new();
+    for (&v, &sl) in map {
+        if let Some(pos) = mgr.input_pos(v) {
+            let val = solver.model_value(sl) == LBool::True;
+            cex.push((mgr.input_name(pos).to_owned(), val));
+        }
+    }
+    cex.sort();
+    cex
+}
+
+/// [`check_equivalence_ctl`] with an optional deterministic solver
+/// portfolio: when `spec` enables racing *and* the conflict budget is
+/// unlimited, the miter is raced by the diversified configurations
+/// (first answer wins, counterexamples pinned to configuration 0 so the
+/// result is byte-identical to a single-configuration run). Finite
+/// budgets and single-member specs fall through to the plain path
+/// unchanged. Solver statistics and race outcomes are folded into `tel`.
+pub fn check_equivalence_portfolio(
+    mgr: &mut Aig,
+    pairs: &[(Lit, Lit)],
+    conflict_budget: u64,
+    ctl: &SolveCtl,
+    spec: &PortfolioSpec,
+    tel: &Telemetry,
+) -> VerifyOutcome {
+    let xors: Vec<Lit> = pairs.iter().map(|&(a, b)| mgr.xor(a, b)).collect();
+    let miter = mgr.or_many(&xors);
+    if miter == Lit::FALSE {
+        return VerifyOutcome::Equivalent;
+    }
+    if !spec.enabled() || conflict_budget != u64::MAX {
+        let (outcome, stats) = solve_miter(mgr, miter, conflict_budget, ctl);
+        tel.record_solver(&stats);
+        return outcome;
+    }
+    let mgr: &Aig = mgr;
+    let won = race(spec, ArtifactPolicy::PinSat, ctl, |_, cfg, member| {
+        let mut solver = Solver::with_config(cfg);
+        solver.set_ctl(&member.ctl);
+        solver.set_progress(member.progress);
+        let mut map: HashMap<Var, eco_sat::Lit> = HashMap::new();
+        let roots = encode_cone(mgr, &[miter], &mut map, &mut solver);
+        solver.add_clause(&[roots[0]]);
+        let answer = solver.solve_limited(&[], u64::MAX);
+        let artifact = if answer == Some(true) {
+            model_cex(mgr, &map, &solver)
+        } else {
+            Vec::new()
+        };
+        MemberOutcome {
+            answer,
+            artifact,
+            stats: solver.stats(),
+        }
+    });
+    tel.record_solver(&won.stats);
+    tel.record_portfolio(won.answer.map(|_| won.winner));
+    match won.answer {
+        Some(false) => VerifyOutcome::Equivalent,
+        None => VerifyOutcome::Unknown,
+        Some(true) => VerifyOutcome::Counterexample(won.artifact.unwrap_or_default()),
+    }
 }
 
 #[cfg(test)]

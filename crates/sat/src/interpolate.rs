@@ -9,7 +9,7 @@
 
 use eco_aig::{Aig, Lit as ALit};
 
-use crate::{ClauseLabel, LBool, Lit, SolveCtl, Solver, SolverStats, Var};
+use crate::{ClauseLabel, LBool, Lit, SolveCtl, Solver, SolverConfig, SolverStats, Var};
 
 /// A Craig interpolant represented as an AIG over shared variables.
 #[derive(Clone, Debug)]
@@ -100,6 +100,7 @@ pub struct ItpSolver {
     max_conflicts: u64,
     reduce_db_threshold: Option<usize>,
     ctl: SolveCtl,
+    config: Option<SolverConfig>,
     last_stats: std::cell::Cell<SolverStats>,
 }
 
@@ -112,8 +113,18 @@ impl ItpSolver {
             max_conflicts: u64::MAX,
             reduce_db_threshold: None,
             ctl: SolveCtl::default(),
+            config: None,
             last_stats: std::cell::Cell::default(),
         }
+    }
+
+    /// Uses `config` for the inner solver of every subsequent solve (e.g.
+    /// a diversified portfolio member). Interpolation-incompatible
+    /// inprocessing techniques (vivification, variable elimination) are
+    /// skipped automatically by the inner solver; subsumption and
+    /// self-subsumption stay on and are interpolant-sound.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.config = Some(config);
     }
 
     /// Search statistics of the most recent [`ItpSolver::solve_limited`]
@@ -193,7 +204,10 @@ impl ItpSolver {
     pub fn solve_limited(&self) -> Option<ItpOutcome> {
         let (_, in_b) = self.occurrence_flags();
         let shared = self.shared_vars();
-        let mut solver = Solver::new();
+        let mut solver = match &self.config {
+            Some(cfg) => Solver::with_config(cfg.clone()),
+            None => Solver::new(),
+        };
         if let Some(k) = self.reduce_db_threshold {
             solver.set_reduce_db_threshold(k);
         }
@@ -365,6 +379,67 @@ mod tests {
             }
         }
         assert!(unsat_seen > 30, "want many unsat samples, got {unsat_seen}");
+    }
+
+    #[test]
+    fn interpolants_stay_valid_with_inprocessing_forced_on() {
+        // Force inprocessing to fire on every solve with no size gate and
+        // every technique requested: in interpolation mode the solver must
+        // keep only the label-sound ones (subsumption with tracked
+        // partial interpolants; vivification and BVE auto-skip), so the
+        // Craig contract must hold on every UNSAT sample.
+        let config = SolverConfig {
+            inprocess_first_solve: 0,
+            inprocess_min_clauses: 0,
+            inprocess_solve_interval: 1,
+            inprocess_conflict_interval: 20,
+            bve: true,
+            ..SolverConfig::default()
+        };
+        let mut state = 0x0123456789abcdefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut unsat_seen = 0;
+        let mut inprocessed = 0u64;
+        for _ in 0..400 {
+            let n = 4 + (next() % 5) as usize; // 4..8 vars
+            let m = 6 + (next() % (4 * n as u64)) as usize;
+            let mut q = ItpSolver::new();
+            q.set_config(config.clone());
+            for _ in 0..n {
+                q.new_var();
+            }
+            for _ in 0..m {
+                let len = 1 + (next() % 3) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| Var::new((next() % n as u64) as u32).lit(next() & 1 == 1))
+                    .collect();
+                let label = if next() & 1 == 1 {
+                    ClauseLabel::A
+                } else {
+                    ClauseLabel::B
+                };
+                q.add_clause(&lits, label);
+            }
+            let clauses = q.clauses.clone();
+            if let ItpOutcome::Unsat(itp) = solve(&q) {
+                unsat_seen += 1;
+                check_interpolant(n, &clauses, &itp);
+            }
+            let stats = q.last_stats();
+            inprocessed += stats.subsumed_clauses;
+            assert_eq!(stats.vivified_clauses, 0, "vivification must skip itp mode");
+            assert_eq!(stats.eliminated_vars, 0, "BVE must skip itp mode");
+        }
+        assert!(unsat_seen > 30, "want many unsat samples, got {unsat_seen}");
+        assert!(
+            inprocessed > 0,
+            "subsumption never fired across 400 samples"
+        );
     }
 
     #[test]

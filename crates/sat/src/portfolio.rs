@@ -1,0 +1,339 @@
+//! Deterministic parallel solver portfolio.
+//!
+//! A hard query is raced by up to four diversified solver configurations
+//! ([`SolverConfig::diversified`]) on scoped threads, first answer wins.
+//! Determinism is the whole design problem: wall-clock finishing order is
+//! scheduling noise, so the winner is chosen by *logical* time instead.
+//!
+//! Each member publishes its deterministic per-call conflict count
+//! through a shared counter ([`Solver::set_progress`]); a member's finish
+//! "epoch" is `spent_conflicts / epoch_conflicts`. The race winner is the
+//! finisher with the smallest `(epoch, config index)` pair — a quantity
+//! derived only from each member's own deterministic conflict count,
+//! never from the OS schedule. The coordinator may only *declare* the
+//! winner once every other member has either finished or provably
+//! progressed past the winner's epoch (`progress ≥ (epoch_w + 1) ×
+//! epoch_conflicts`), which makes the declaration itself
+//! schedule-independent. Losers are cancelled through their member-local
+//! [`SolveCtl`] flags; cancellation only affects wall time, never the
+//! chosen result.
+//!
+//! Artifacts (models, cores, interpolants) differ between
+//! configurations even when answers agree, so answer-carrying artifacts
+//! must be configuration-independent. [`ArtifactPolicy`] pins the
+//! artifact-bearing answer to configuration 0: when the raw race winner
+//! is a helper (index > 0) with a pinned answer, the coordinator lets
+//! member 0 run to completion and returns *its* result — byte-identical
+//! to a single-configuration run — while helpers still shortcut the
+//! opposite, answer-only outcome.
+//!
+//! The governor's conflict meter is charged a deterministic amount: each
+//! member that finished by the winner's epoch is charged its actual
+//! (deterministic) spend, every other member is charged its full
+//! entitlement `(epoch_w + 1) × epoch_conflicts` — an upper bound on the
+//! work a loser may perform before its cancellation point, independent of
+//! when the flag was actually observed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::{SolveCtl, SolverConfig, SolverStats};
+
+/// How many configurations race and how long a logical epoch is.
+#[derive(Clone, Debug)]
+pub struct PortfolioSpec {
+    /// Member count; `1` disables racing entirely (callers should use
+    /// their plain single-solver path).
+    pub members: usize,
+    /// Conflicts per logical epoch of the deterministic tie-break.
+    pub epoch_conflicts: u64,
+}
+
+impl PortfolioSpec {
+    /// A portfolio of `members` configurations (clamped to 1..=4) with
+    /// the default epoch length.
+    pub fn new(members: usize) -> Self {
+        PortfolioSpec {
+            members: members.clamp(1, 4),
+            epoch_conflicts: 2048,
+        }
+    }
+
+    /// True when racing is on (more than one member).
+    pub fn enabled(&self) -> bool {
+        self.members > 1
+    }
+
+    /// The diversified member configurations, index 0 first.
+    pub fn configs(&self) -> Vec<SolverConfig> {
+        (0..self.members).map(SolverConfig::diversified).collect()
+    }
+}
+
+/// Which answers must carry configuration-0 artifacts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactPolicy {
+    /// Both answers are consumed answer-only; any member may win either.
+    AnyWinner,
+    /// A SAT answer's artifact (model/counterexample) is consumed: SAT
+    /// must come from configuration 0; helpers may only shortcut UNSAT.
+    PinSat,
+    /// An UNSAT answer's artifact (core/interpolant) is consumed: UNSAT
+    /// must come from configuration 0; helpers may only shortcut SAT.
+    PinUnsat,
+}
+
+/// Per-member handle passed to the race closure.
+pub struct MemberCtl {
+    /// Install on the member's solver via [`crate::Solver::set_ctl`]:
+    /// carries the member-local cancellation flag plus the caller's
+    /// deadline.
+    pub ctl: SolveCtl,
+    /// Install via [`crate::Solver::set_progress`] so the coordinator
+    /// can bound this member's logical progress.
+    pub progress: Arc<AtomicU64>,
+}
+
+/// One member's deterministic result: the answer (`None` = cancelled),
+/// an artifact, and the solver statistics *delta* for this query (whose
+/// `conflicts` field is the member's logical clock).
+pub struct MemberOutcome<T> {
+    /// `Some(true)` SAT, `Some(false)` UNSAT, `None` cancelled/expired.
+    pub answer: Option<bool>,
+    /// Configuration-dependent payload (model, counterexample, ...).
+    pub artifact: T,
+    /// Stats spent on this query alone (not cumulative solver totals).
+    pub stats: SolverStats,
+}
+
+/// The deterministic result of one race.
+pub struct RaceOutcome<T> {
+    /// `None` only when the caller's [`SolveCtl`] fired first.
+    pub answer: Option<bool>,
+    /// The winning member's artifact.
+    pub artifact: Option<T>,
+    /// Index of the member whose answer/artifact was used.
+    pub winner: usize,
+    /// The winning member's stats delta (what telemetry should record).
+    pub stats: SolverStats,
+    /// Deterministic total conflict charge across all members, for the
+    /// governor's meter.
+    pub charged: u64,
+}
+
+struct MemberSlot<T> {
+    outcome: Mutex<Option<MemberOutcome<T>>>,
+    finished: AtomicBool,
+}
+
+/// Races `run(index, config, member_ctl)` across the spec's
+/// configurations and returns the deterministic winner.
+///
+/// `run` must be a pure function of `(index, config)` up to cancellation:
+/// it builds (or owns) a solver, installs `member_ctl`'s flag and
+/// progress counter, and solves with an unlimited conflict budget.
+/// Finite-budget queries must not be raced — a helper's early answer
+/// would change the `None`-on-exhaustion outcome of the
+/// single-configuration path and break `--portfolio` byte-identity.
+pub fn race<T, F>(
+    spec: &PortfolioSpec,
+    policy: ArtifactPolicy,
+    ctl: &SolveCtl,
+    run: F,
+) -> RaceOutcome<T>
+where
+    T: Send,
+    F: Fn(usize, SolverConfig, MemberCtl) -> MemberOutcome<T> + Sync,
+{
+    let n = spec.members.max(1);
+    let epoch_len = spec.epoch_conflicts.max(1);
+    let configs = spec.configs();
+    let cancels: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let progress: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let slots: Vec<MemberSlot<T>> = (0..n)
+        .map(|_| MemberSlot {
+            outcome: Mutex::new(None),
+            finished: AtomicBool::new(false),
+        })
+        .collect();
+
+    let cancel_all = |except: Option<usize>| {
+        for (i, c) in cancels.iter().enumerate() {
+            if Some(i) != except {
+                c.store(true, Ordering::Relaxed);
+            }
+        }
+    };
+
+    let outcome = std::thread::scope(|s| {
+        for i in 0..n {
+            let cfg = configs[i].clone();
+            let member_ctl = MemberCtl {
+                ctl: SolveCtl {
+                    deadline: ctl.deadline,
+                    cancel: Some(Arc::clone(&cancels[i])),
+                },
+                progress: Arc::clone(&progress[i]),
+            };
+            let slot = &slots[i];
+            let run = &run;
+            s.spawn(move || {
+                let out = run(i, cfg, member_ctl);
+                *slot.outcome.lock().expect("member slot") = Some(out);
+                slot.finished.store(true, Ordering::Release);
+            });
+        }
+
+        // Wait for member `i` to finish (used once the winner is fixed).
+        let wait_for = |i: usize| {
+            while !slots[i].finished.load(Ordering::Acquire) {
+                if ctl.expired() {
+                    cancel_all(None);
+                }
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        };
+
+        let take = |i: usize| -> MemberOutcome<T> {
+            slots[i]
+                .outcome
+                .lock()
+                .expect("member slot")
+                .take()
+                .expect("finished member has an outcome")
+        };
+
+        loop {
+            if ctl.expired() {
+                cancel_all(None);
+                for slot in &slots {
+                    while !slot.finished.load(Ordering::Acquire) {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                }
+                // Caller cancellation: answers are void; charge each
+                // member its actual spend (the run is being abandoned, so
+                // determinism of the charge no longer matters — the
+                // governor is already latched).
+                let mut charged = 0u64;
+                for i in 0..n {
+                    charged += take(i).stats.conflicts;
+                }
+                return RaceOutcome {
+                    answer: None,
+                    artifact: None,
+                    winner: 0,
+                    stats: SolverStats::default(),
+                    charged,
+                };
+            }
+
+            // Deterministic winner selection over answered finishers.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, slot) in slots.iter().enumerate() {
+                if !slot.finished.load(Ordering::Acquire) {
+                    continue;
+                }
+                let guard = slot.outcome.lock().expect("member slot");
+                let out = guard.as_ref().expect("finished member has an outcome");
+                if out.answer.is_none() {
+                    continue;
+                }
+                let epoch = out.stats.conflicts / epoch_len;
+                if best.is_none_or(|b| (epoch, i) < b) {
+                    best = Some((epoch, i));
+                }
+            }
+            let Some((epoch_w, w)) = best else {
+                if slots.iter().all(|s| s.finished.load(Ordering::Acquire)) {
+                    // Everyone finished with a void answer (external
+                    // cancel without the caller flag, or all expired).
+                    let mut charged = 0u64;
+                    for i in 0..n {
+                        charged += take(i).stats.conflicts;
+                    }
+                    return RaceOutcome {
+                        answer: None,
+                        artifact: None,
+                        winner: 0,
+                        stats: SolverStats::default(),
+                        charged,
+                    };
+                }
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                continue;
+            };
+
+            // The declaration is valid only once every unfinished member
+            // has provably left the winner's epoch.
+            let bound = (epoch_w + 1).saturating_mul(epoch_len);
+            let decided = (0..n).all(|i| {
+                slots[i].finished.load(Ordering::Acquire)
+                    || progress[i].load(Ordering::Relaxed) >= bound
+            });
+            if !decided {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                continue;
+            }
+
+            let winner_answer = {
+                let guard = slots[w].outcome.lock().expect("member slot");
+                guard.as_ref().expect("finished").answer
+            };
+            let pinned = match (policy, winner_answer) {
+                (ArtifactPolicy::PinSat, Some(true)) => w != 0,
+                (ArtifactPolicy::PinUnsat, Some(false)) => w != 0,
+                _ => false,
+            };
+
+            let effective = if pinned {
+                // The helper's answer is artifact-bearing: fall back to
+                // configuration 0's own (identical, semantic determinism)
+                // answer and artifact so the result matches a
+                // single-configuration run byte-for-byte.
+                cancel_all(Some(0));
+                wait_for(0);
+                0
+            } else {
+                cancel_all(Some(w));
+                w
+            };
+
+            // Deterministic meter charge: finishers within the winner's
+            // epoch pay their actual spend; everyone else pays the epoch
+            // entitlement. The pinned continuation of member 0 pays its
+            // full (deterministic) spend.
+            for slot in &slots {
+                while !slot.finished.load(Ordering::Acquire) {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+            let mut charged = 0u64;
+            let mut outs: Vec<MemberOutcome<T>> = Vec::with_capacity(n);
+            for i in 0..n {
+                outs.push(take(i));
+            }
+            for (i, out) in outs.iter().enumerate() {
+                let spent = out.stats.conflicts;
+                let finished_in_time = out.answer.is_some() && spent / epoch_len <= epoch_w;
+                if i == effective || finished_in_time {
+                    charged = charged.saturating_add(spent);
+                } else {
+                    charged = charged.saturating_add(bound);
+                }
+            }
+            let win = outs.swap_remove(effective);
+            // A pinned member 0 can itself have been expired by the
+            // caller's deadline mid-continuation; surface that as a void
+            // answer rather than a fabricated one.
+            return RaceOutcome {
+                answer: win.answer,
+                artifact: win.answer.map(|_| win.artifact),
+                winner: effective,
+                stats: win.stats,
+                charged,
+            };
+        }
+    });
+    outcome
+}

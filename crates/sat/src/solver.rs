@@ -16,7 +16,7 @@
 //!   level-0 literals), so an UNSAT outcome yields a Craig interpolant as
 //!   an AIG.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -60,6 +60,119 @@ impl SolveCtl {
     }
 }
 
+/// Tuning knobs for one solver instance: search heuristics (varied by the
+/// portfolio to diversify members) and inprocessing schedules/budgets.
+///
+/// The default configuration reproduces the solver's historical behavior
+/// bit-for-bit, except that inprocessing is on (it only engages above
+/// [`SolverConfig::inprocess_min_clauses`] clauses, so small instances are
+/// untouched).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverConfig {
+    /// VSIDS activity decay factor (activity increment grows by `1/decay`
+    /// per conflict).
+    pub var_decay: f64,
+    /// Conflicts per Luby restart unit: restart `i`'s conflict budget is
+    /// `luby(i) * restart_interval`. This is also the cooperative-
+    /// cancellation poll granularity (see [`SolveCtl`]).
+    pub restart_interval: u64,
+    /// Initial phase-saving polarity for fresh variables (`false` =
+    /// branch negative first, MiniSat's default).
+    pub default_polarity: bool,
+    /// Branching tie-break seed: `0` leaves initial activities at zero;
+    /// any other value assigns each fresh variable a tiny deterministic
+    /// activity jitter so equal-activity heap ties break differently per
+    /// seed. Purely order-diversifying; never outweighs a real bump.
+    pub seed: u64,
+    /// Master switch for inter-restart inprocessing (vivification,
+    /// subsumption/self-subsumption, and — when [`SolverConfig::bve`] is
+    /// set — bounded variable elimination).
+    pub inprocessing: bool,
+    /// Skip inprocessing entirely below this many stored clauses.
+    pub inprocess_min_clauses: usize,
+    /// `solve_limited` call count after which the solve-count schedule
+    /// first fires. One-shot solvers (a single solve per instance) never
+    /// reach the default of 8, so they pay nothing; call sites with long
+    /// incremental query streams set `0` to preprocess up front.
+    pub inprocess_first_solve: u64,
+    /// Run an inprocessing pass every this many `solve_limited` calls
+    /// after the first firing (incremental workloads rarely restart, so
+    /// conflict-based schedules alone would never fire for them).
+    pub inprocess_solve_interval: u64,
+    /// Run an inprocessing pass every this many conflicts (fires at Luby
+    /// restart boundaries during long searches).
+    pub inprocess_conflict_interval: u64,
+    /// Per-pass subsumption budget, counted in clause-literal visits.
+    pub subsume_budget: u64,
+    /// Per-pass vivification budget, counted in probe propagations.
+    pub vivify_budget: u64,
+    /// Enables bounded variable elimination. Opt-in: BVE only preserves
+    /// satisfiability over the *remaining* variables, so a call site must
+    /// [`Solver::freeze_var`] every variable it will later mention in an
+    /// assumption, a new clause, or a model read. Never runs in
+    /// interpolation mode.
+    pub bve: bool,
+    /// Per-pass BVE budget, counted in resolvent constructions.
+    pub bve_budget: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            restart_interval: 100,
+            default_polarity: false,
+            seed: 0,
+            inprocessing: true,
+            inprocess_min_clauses: 300,
+            inprocess_first_solve: 8,
+            inprocess_solve_interval: 256,
+            inprocess_conflict_interval: 4000,
+            subsume_budget: 200_000,
+            vivify_budget: 50_000,
+            bve: false,
+            bve_budget: 50_000,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The portfolio preset for configuration index `i`. Index 0 is the
+    /// default configuration (the single-solver behavior); higher indices
+    /// vary VSIDS decay, phase polarity, restart scaling, and the
+    /// branching tie-break seed.
+    pub fn diversified(i: usize) -> Self {
+        let base = SolverConfig::default();
+        match i {
+            0 => base,
+            1 => SolverConfig {
+                var_decay: 0.85,
+                restart_interval: 150,
+                default_polarity: true,
+                seed: 1,
+                ..base
+            },
+            2 => SolverConfig {
+                var_decay: 0.99,
+                restart_interval: 50,
+                seed: 2,
+                ..base
+            },
+            3 => SolverConfig {
+                var_decay: 0.92,
+                restart_interval: 300,
+                default_polarity: true,
+                seed: 3,
+                ..base
+            },
+            i => SolverConfig {
+                seed: i as u64,
+                ..base
+            },
+        }
+    }
+}
+
 /// Which side of the interpolation partition a clause belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ClauseLabel {
@@ -86,6 +199,32 @@ pub struct SolverStats {
     pub deleted: u64,
     /// Literals removed by conflict-clause minimization.
     pub minimized: u64,
+    /// Clauses shortened by inprocessing vivification.
+    pub vivified_clauses: u64,
+    /// Clauses dropped or strengthened by (self-)subsumption.
+    pub subsumed_clauses: u64,
+    /// Variables removed by bounded variable elimination.
+    pub eliminated_vars: u64,
+}
+
+impl SolverStats {
+    /// Field-wise difference against an earlier snapshot of the same
+    /// solver (saturating), e.g. the spend of one `solve_limited` call on
+    /// a persistent incremental solver.
+    pub fn delta_since(&self, base: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(base.conflicts),
+            decisions: self.decisions.saturating_sub(base.decisions),
+            propagations: self.propagations.saturating_sub(base.propagations),
+            restarts: self.restarts.saturating_sub(base.restarts),
+            learned: self.learned.saturating_sub(base.learned),
+            deleted: self.deleted.saturating_sub(base.deleted),
+            minimized: self.minimized.saturating_sub(base.minimized),
+            vivified_clauses: self.vivified_clauses.saturating_sub(base.vivified_clauses),
+            subsumed_clauses: self.subsumed_clauses.saturating_sub(base.subsumed_clauses),
+            eliminated_vars: self.eliminated_vars.saturating_sub(base.eliminated_vars),
+        }
+    }
 }
 
 impl std::ops::AddAssign for SolverStats {
@@ -97,6 +236,9 @@ impl std::ops::AddAssign for SolverStats {
         self.learned += rhs.learned;
         self.deleted += rhs.deleted;
         self.minimized += rhs.minimized;
+        self.vivified_clauses += rhs.vivified_clauses;
+        self.subsumed_clauses += rhs.subsumed_clauses;
+        self.eliminated_vars += rhs.eliminated_vars;
     }
 }
 
@@ -175,6 +317,20 @@ pub struct Solver {
     interrupt: Arc<AtomicBool>,
     /// Wall-clock deadline, polled between restarts.
     deadline: Option<Instant>,
+    config: SolverConfig,
+    /// Variables exempt from elimination (assumed/read/re-mentioned by
+    /// the caller).
+    frozen: Vec<bool>,
+    /// Variables removed by BVE; never branched on, asserted absent from
+    /// later clauses and assumptions.
+    eliminated: Vec<bool>,
+    solve_calls: u64,
+    next_inprocess_solve: u64,
+    next_inprocess_conflicts: u64,
+    /// Portfolio progress feed: conflicts spent in the current
+    /// `solve_limited` call, published per conflict.
+    progress: Option<Arc<AtomicU64>>,
+    progress_base: u64,
 }
 
 impl Default for Solver {
@@ -184,8 +340,15 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with the default configuration.
     pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        let next_inprocess_conflicts = config.inprocess_conflict_interval;
+        let next_inprocess_solve = config.inprocess_first_solve;
         Solver {
             clauses: Vec::new(),
             watches: Vec::new(),
@@ -211,7 +374,34 @@ impl Solver {
             n_learnt_alive: 0,
             interrupt: Arc::new(AtomicBool::new(false)),
             deadline: None,
+            config,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            solve_calls: 0,
+            next_inprocess_solve,
+            next_inprocess_conflicts,
+            progress: None,
+            progress_base: 0,
         }
+    }
+
+    /// The solver's configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Marks a variable as off-limits to variable elimination. Required
+    /// (with [`SolverConfig::bve`] on) for every variable the caller will
+    /// later assume, mention in a new clause, or read from a model.
+    pub fn freeze_var(&mut self, v: Var) {
+        self.frozen[v.index() as usize] = true;
+    }
+
+    /// Installs a shared counter that search publishes its per-call
+    /// conflict count into (used by the portfolio runner's deterministic
+    /// epoch accounting).
+    pub fn set_progress(&mut self, progress: Arc<AtomicU64>) {
+        self.progress = Some(progress);
     }
 
     /// Requests cooperative cancellation: the next inter-restart check in
@@ -253,10 +443,27 @@ impl Solver {
     pub fn new_var(&mut self) -> Var {
         let v = Var::new(self.assigns.len() as u32);
         self.assigns.push(LBool::Undef);
-        self.polarity.push(false);
+        self.polarity.push(self.config.default_polarity);
         self.level.push(0);
         self.reason.push(None);
-        self.activity.push(0.0);
+        // A seeded configuration gives every variable a tiny deterministic
+        // initial activity so heap ties break in a seed-specific order;
+        // the jitter is far below any real VSIDS bump.
+        let jitter = if self.config.seed == 0 {
+            0.0
+        } else {
+            let mut z = self
+                .config
+                .seed
+                .wrapping_add(u64::from(v.index()).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 1e-9
+        };
+        self.activity.push(jitter);
+        self.frozen.push(false);
+        self.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.seen.push(false);
@@ -415,6 +622,11 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        debug_assert!(
+            lits.iter()
+                .all(|l| !self.eliminated[l.var().index() as usize]),
+            "clause mentions an eliminated variable (freeze it before enabling BVE)"
+        );
         let mut lits: Vec<Lit> = lits.to_vec();
         lits.sort_unstable_by_key(|l| l.code());
         lits.dedup();
@@ -671,7 +883,7 @@ impl Solver {
     }
 
     fn decay_var_activity(&mut self) {
-        self.var_inc /= 0.95;
+        self.var_inc /= self.config.var_decay;
     }
 
     fn bump_clause(&mut self, cref: usize) {
@@ -902,7 +1114,9 @@ impl Solver {
     fn pick_branch(&mut self) -> Option<Lit> {
         loop {
             let v = self.heap.pop(&self.activity)?;
-            if self.assigns[v.index() as usize] == LBool::Undef {
+            if self.assigns[v.index() as usize] == LBool::Undef
+                && !self.eliminated[v.index() as usize]
+            {
                 return Some(v.lit(!self.polarity[v.index() as usize]));
             }
         }
@@ -915,6 +1129,9 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                if let Some(p) = &self.progress {
+                    p.store(self.stats.conflicts - self.progress_base, Ordering::Relaxed);
+                }
                 if self.decision_level() == 0 {
                     self.finalize_unsat(confl);
                     self.core.clear();
@@ -1012,7 +1229,20 @@ impl Solver {
             self.core.clear();
             return Some(false);
         }
+        debug_assert!(
+            assumptions
+                .iter()
+                .all(|l| !self.eliminated[l.var().index() as usize]),
+            "assumption over an eliminated variable (freeze it before enabling BVE)"
+        );
         self.assumptions = assumptions.to_vec();
+        self.solve_calls += 1;
+        self.progress_base = self.stats.conflicts;
+        self.maybe_inprocess();
+        if !self.ok {
+            self.core.clear();
+            return Some(false);
+        }
         let start_conflicts = self.stats.conflicts;
         let mut restart = 0u32;
         loop {
@@ -1020,7 +1250,7 @@ impl Solver {
                 self.cancel_until(0);
                 return None;
             }
-            let budget = luby(restart) * 100;
+            let budget = (luby(restart) * self.config.restart_interval).max(1);
             let spent = self.stats.conflicts - start_conflicts;
             let budget = budget.min(max_conflicts.saturating_sub(spent).max(1));
             match self.search(budget) {
@@ -1038,6 +1268,471 @@ impl Solver {
                     if self.stats.conflicts - start_conflicts >= max_conflicts {
                         self.cancel_until(0);
                         return None;
+                    }
+                    self.maybe_inprocess();
+                    if !self.ok {
+                        self.core.clear();
+                        return Some(false);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Inprocessing ----------------------------------------------------
+    //
+    // Runs between Luby restarts and at `solve_limited` entry (incremental
+    // workloads rarely restart, so a conflict-only schedule would never
+    // fire for them). Every technique is deterministic — fixed iteration
+    // orders, explicit budgets — so inprocessing never perturbs the
+    // jobs-independence or portfolio-independence guarantees.
+    //
+    // Interpolation-mode soundness: dropping a subsumed clause only
+    // weakens its partition (same argument as `simplify`), and
+    // self-subsumption is one genuine resolution whose interpolant is
+    // tracked with a single `combine`. Vivification and variable
+    // elimination have no such single-step interpolant bookkeeping, so
+    // they are skipped in interpolation mode.
+
+    /// Fires [`Solver::inprocess`] when a schedule is due. Must be called
+    /// at decision level 0.
+    fn maybe_inprocess(&mut self) {
+        if !self.config.inprocessing || !self.ok || !self.trail_lim.is_empty() {
+            return;
+        }
+        let due = self.solve_calls > self.next_inprocess_solve
+            || self.stats.conflicts >= self.next_inprocess_conflicts;
+        if !due {
+            return;
+        }
+        self.next_inprocess_solve = self.solve_calls + self.config.inprocess_solve_interval;
+        self.next_inprocess_conflicts =
+            self.stats.conflicts + self.config.inprocess_conflict_interval;
+        if self.clauses.len() < self.config.inprocess_min_clauses {
+            return;
+        }
+        self.inprocess();
+    }
+
+    /// One inprocessing round: top-level simplification, then
+    /// (self-)subsumption, then — outside interpolation mode —
+    /// vivification and (if enabled) bounded variable elimination.
+    fn inprocess(&mut self) {
+        self.simplify();
+        self.subsume_pass();
+        if self.itp.is_none() && self.ok {
+            self.vivify_pass();
+            if self.config.bve && self.ok {
+                self.bve_pass();
+            }
+        }
+    }
+
+    /// Indices of clauses currently acting as propagation reasons.
+    fn locked_clauses(&self) -> std::collections::HashSet<u32> {
+        self.reason.iter().flatten().copied().collect()
+    }
+
+    /// Adds a clause derived by inprocessing: the interpolant is supplied
+    /// (not recomputed from a label) and the learnt flag/activity carry
+    /// over from the clause it replaces. Returns `false` if the clause
+    /// set became unsatisfiable.
+    fn add_derived_clause(&mut self, lits: &[Lit], itp: ALit, learnt: bool, activity: f32) -> bool {
+        debug_assert!(self.trail_lim.is_empty());
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.to_vec();
+        lits.sort_unstable_by_key(|l| l.code());
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return true;
+            }
+        }
+        let cref = self.clauses.len() as u32;
+        if lits.is_empty() {
+            self.ok = false;
+            if let Some(ctx) = self.itp.as_mut() {
+                ctx.final_itp = Some(itp);
+            }
+            return false;
+        }
+        let mut k = 0;
+        for i in 0..lits.len() {
+            if self.value(lits[i]) != LBool::False {
+                lits.swap(k, i);
+                k += 1;
+                if k == 2 {
+                    break;
+                }
+            }
+        }
+        let n_nonfalse = k;
+        self.clauses.push(Clause {
+            lits,
+            itp,
+            learnt,
+            activity,
+            dead: false,
+        });
+        if learnt {
+            self.n_learnt_alive += 1;
+        }
+        if self.clauses[cref as usize].lits.len() >= 2 {
+            self.attach(cref);
+        }
+        match n_nonfalse {
+            0 => {
+                self.finalize_unsat(cref);
+                false
+            }
+            1 => {
+                let first = self.clauses[cref as usize].lits[0];
+                if self.value(first) == LBool::Undef {
+                    self.enqueue(first, Some(cref));
+                    if let Some(confl) = self.propagate() {
+                        self.finalize_unsat(confl);
+                        return false;
+                    }
+                }
+                true
+            }
+            _ => true,
+        }
+    }
+
+    /// Marks a clause dead, maintaining the learnt-alive count.
+    fn kill_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        debug_assert!(!c.dead);
+        c.dead = true;
+        if c.learnt {
+            self.n_learnt_alive -= 1;
+        }
+    }
+
+    /// Forward subsumption and self-subsumption over the stored clauses,
+    /// bounded by [`SolverConfig::subsume_budget`] clause-literal visits.
+    ///
+    /// Sound in interpolation mode: removing a subsumed clause weakens
+    /// its partition; strengthening `D` with subsumer `C` on pivot `l` is
+    /// the resolution `C ⊗_l D`, whose interpolant is one `combine`.
+    fn subsume_pass(&mut self) {
+        const MAX_SUBSUMER_LEN: usize = 20;
+        let locked = self.locked_clauses();
+        let n_codes = self.assigns.len() * 2;
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); n_codes];
+        let mut cands: Vec<u32> = Vec::new();
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.dead || c.lits.len() > MAX_SUBSUMER_LEN {
+                continue;
+            }
+            for &l in &c.lits {
+                occ[l.code() as usize].push(i as u32);
+            }
+            cands.push(i as u32);
+        }
+        // Variable-based signatures so a flipped literal still matches.
+        let sig = |lits: &[Lit]| -> u64 {
+            lits.iter()
+                .fold(0u64, |s, l| s | 1u64 << (l.var().index() % 64))
+        };
+        let sigs: Vec<u64> = self
+            .clauses
+            .iter()
+            .map(|c| if c.dead { 0 } else { sig(&c.lits) })
+            .collect();
+        cands.sort_by_key(|&i| self.clauses[i as usize].lits.len());
+        let mut budget = self.config.subsume_budget;
+        // Scratch marker per literal code, stamped per subsumer.
+        let mut mark: Vec<u32> = vec![0; n_codes];
+        let mut stamp = 0u32;
+        'outer: for &ci in &cands {
+            if budget == 0 || !self.ok {
+                break;
+            }
+            if self.clauses[ci as usize].dead {
+                continue;
+            }
+            let c_lits = self.clauses[ci as usize].lits.clone();
+            let c_sig = sig(&c_lits);
+            stamp += 1;
+            for &l in &c_lits {
+                mark[l.code() as usize] = stamp;
+            }
+            // Forward subsumption: scan the occurrence list of C's rarest
+            // literal for clauses D ⊇ C.
+            let lmin = c_lits
+                .iter()
+                .copied()
+                .min_by_key(|l| occ[l.code() as usize].len())
+                .expect("non-empty clause");
+            for &di in &occ[lmin.code() as usize] {
+                if di == ci || budget == 0 {
+                    continue;
+                }
+                let d = &self.clauses[di as usize];
+                if d.dead || d.lits.len() < c_lits.len() || (c_sig & !sigs[di as usize]) != 0 {
+                    continue;
+                }
+                if locked.contains(&di) {
+                    continue;
+                }
+                budget = budget.saturating_sub(d.lits.len() as u64);
+                let hits = d
+                    .lits
+                    .iter()
+                    .filter(|l| mark[l.code() as usize] == stamp)
+                    .count();
+                if hits == c_lits.len() {
+                    self.kill_clause(di);
+                    self.stats.subsumed_clauses += 1;
+                }
+            }
+            // Self-subsumption: for each literal l of C, a clause D with
+            // ¬l whose remaining literals cover C∖{l} loses ¬l.
+            for &l in &c_lits {
+                if self.clauses[ci as usize].dead {
+                    continue 'outer;
+                }
+                for &di in &occ[(!l).code() as usize] {
+                    if budget == 0 {
+                        continue 'outer;
+                    }
+                    let d = &self.clauses[di as usize];
+                    if d.dead
+                        || d.lits.len() < c_lits.len()
+                        || (c_sig & !sigs[di as usize]) != 0
+                        || locked.contains(&di)
+                    {
+                        continue;
+                    }
+                    budget = budget.saturating_sub(d.lits.len() as u64);
+                    let hits = d
+                        .lits
+                        .iter()
+                        .filter(|q| mark[q.code() as usize] == stamp)
+                        .count();
+                    if hits != c_lits.len() - 1 {
+                        continue;
+                    }
+                    // Resolve C ⊗ D on var(l): the resolvent is D ∖ {¬l}.
+                    let new_lits: Vec<Lit> = d.lits.iter().copied().filter(|&q| q != !l).collect();
+                    debug_assert_eq!(new_lits.len(), d.lits.len() - 1);
+                    let new_itp = if self.itp.is_some() {
+                        let mut ctx = self.itp.take().expect("checked");
+                        let c_itp = self.clauses[ci as usize].itp;
+                        let d_itp = self.clauses[di as usize].itp;
+                        let itp = Self::combine(&mut ctx, c_itp, d_itp, l.var());
+                        self.itp = Some(ctx);
+                        itp
+                    } else {
+                        ALit::FALSE
+                    };
+                    let learnt = self.clauses[di as usize].learnt;
+                    let act = self.clauses[di as usize].activity;
+                    self.kill_clause(di);
+                    self.stats.subsumed_clauses += 1;
+                    if !self.add_derived_clause(&new_lits, new_itp, learnt, act) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clause vivification: for each candidate clause `C`, assume the
+    /// negation of a growing prefix of its literals and propagate against
+    /// the rest of the formula; an implied/satisfied/falsified outcome
+    /// shortens `C`. Equivalence-preserving (the shortened clause is
+    /// implied by F∖{C}), so it is safe for later incremental solves
+    /// under any assumptions. Plain mode only — the derivation is a
+    /// multi-step UP proof with no single-resolution interpolant.
+    fn vivify_pass(&mut self) {
+        debug_assert!(self.itp.is_none());
+        const MAX_VIVIFY_LEN: usize = 32;
+        let locked = self.locked_clauses();
+        let mut budget = self.config.vivify_budget;
+        let cands: Vec<u32> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                !c.dead
+                    && (3..=MAX_VIVIFY_LEN).contains(&c.lits.len())
+                    && !locked.contains(&(*i as u32))
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        for ci in cands {
+            if budget == 0 || !self.ok {
+                break;
+            }
+            if self.clauses[ci as usize].dead {
+                continue;
+            }
+            let lits = self.clauses[ci as usize].lits.clone();
+            // Detach C so it cannot propagate in its own probe; probing
+            // derives C's replacement from F∖{C}. The arena entry stays
+            // dead (watchers drop lazily) and a fresh clause is attached
+            // below.
+            self.kill_clause(ci);
+            let props_before = self.stats.propagations;
+            let mut new_lits: Vec<Lit> = Vec::with_capacity(lits.len());
+            for &l in &lits {
+                match self.value(l) {
+                    LBool::True => {
+                        // F∖{C} ∧ ¬prefix ⊨ l: prefix ∪ {l} is implied.
+                        new_lits.push(l);
+                        break;
+                    }
+                    LBool::False => continue, // l redundant in C
+                    LBool::Undef => {
+                        new_lits.push(l);
+                        self.new_decision_level();
+                        self.enqueue(!l, None);
+                        if self.propagate().is_some() {
+                            // F∖{C} ∧ ¬prefix is contradictory: the
+                            // prefix alone is an implied clause.
+                            break;
+                        }
+                    }
+                }
+            }
+            self.cancel_until(0);
+            budget = budget.saturating_sub((self.stats.propagations - props_before).max(1));
+            if new_lits.len() < lits.len() {
+                self.stats.vivified_clauses += 1;
+            }
+            let learnt = self.clauses[ci as usize].learnt;
+            let act = self.clauses[ci as usize].activity;
+            if !self.add_derived_clause(&new_lits, ALit::FALSE, learnt, act) {
+                break;
+            }
+        }
+    }
+
+    /// Bounded variable elimination (SatELite-style DP resolution) over
+    /// unfrozen, unassigned, unassumed variables, with a no-growth rule
+    /// and a resolvent-length cap. Eliminating `v` existentially
+    /// quantifies it: satisfiability over the remaining variables is
+    /// preserved, which is why callers must freeze every variable they
+    /// later assume, re-mention, or read (see [`Solver::freeze_var`]).
+    /// Plain mode only.
+    fn bve_pass(&mut self) {
+        debug_assert!(self.itp.is_none());
+        const MAX_OCCS: usize = 10;
+        const MAX_RESOLVENT_LEN: usize = 24;
+        let n_vars = self.assigns.len();
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); n_vars];
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.dead {
+                continue;
+            }
+            for &l in &c.lits {
+                occ[l.var().index() as usize].push(i as u32);
+            }
+        }
+        let mut assumed = vec![false; n_vars];
+        for l in &self.assumptions {
+            assumed[l.var().index() as usize] = true;
+        }
+        let mut budget = self.config.bve_budget;
+        for v in 0..n_vars {
+            if budget == 0 || !self.ok {
+                break;
+            }
+            if self.frozen[v] || self.eliminated[v] || assumed[v] || self.assigns[v] != LBool::Undef
+            {
+                continue;
+            }
+            let var = Var::new(v as u32);
+            let mut pos: Vec<u32> = Vec::new();
+            let mut neg: Vec<u32> = Vec::new();
+            let mut learnt_occs: Vec<u32> = Vec::new();
+            for &ci in &occ[v] {
+                let c = &self.clauses[ci as usize];
+                if c.dead {
+                    continue;
+                }
+                if c.learnt {
+                    learnt_occs.push(ci);
+                } else if c.lits.contains(&var.pos()) {
+                    pos.push(ci);
+                } else {
+                    neg.push(ci);
+                }
+            }
+            if pos.is_empty() && neg.is_empty() {
+                continue;
+            }
+            if pos.len() > MAX_OCCS || neg.len() > MAX_OCCS {
+                continue;
+            }
+            // Build all non-tautological resolvents; reject the variable
+            // if any is too long or the set grows the clause count.
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut reject = false;
+            'pairs: for &cp in &pos {
+                for &cn in &neg {
+                    budget = budget.saturating_sub(1);
+                    let mut r: Vec<Lit> = self.clauses[cp as usize]
+                        .lits
+                        .iter()
+                        .copied()
+                        .filter(|&l| l != var.pos())
+                        .chain(
+                            self.clauses[cn as usize]
+                                .lits
+                                .iter()
+                                .copied()
+                                .filter(|&l| l != var.neg()),
+                        )
+                        .collect();
+                    r.sort_unstable_by_key(|l| l.code());
+                    r.dedup();
+                    let taut = r.windows(2).any(|w| w[0].var() == w[1].var());
+                    if taut {
+                        continue;
+                    }
+                    if r.len() > MAX_RESOLVENT_LEN {
+                        reject = true;
+                        break 'pairs;
+                    }
+                    resolvents.push(r);
+                    if resolvents.len() > pos.len() + neg.len() {
+                        reject = true;
+                        break 'pairs;
+                    }
+                    if budget == 0 {
+                        reject = true;
+                        break 'pairs;
+                    }
+                }
+            }
+            if reject {
+                continue;
+            }
+            // Commit: drop every clause mentioning v (learnt ones are
+            // merely implied, so dropping them is sound), then add the
+            // resolvents.
+            self.eliminated[v] = true;
+            self.stats.eliminated_vars += 1;
+            for &ci in pos.iter().chain(neg.iter()).chain(learnt_occs.iter()) {
+                self.kill_clause(ci);
+                self.stats.deleted += 1;
+            }
+            for r in resolvents {
+                let cref = self.clauses.len() as u32;
+                if !self.add_derived_clause(&r, ALit::FALSE, false, 0.0) {
+                    return;
+                }
+                // The resolvent may itself have been dropped (tautology)
+                // or appended; register occurrences for later variables.
+                if (cref as usize) < self.clauses.len() {
+                    for &l in &self.clauses[cref as usize].lits.clone() {
+                        occ[l.var().index() as usize].push(cref);
                     }
                 }
             }

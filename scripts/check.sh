@@ -32,6 +32,16 @@
 # crates/bench/BENCH_scale.json exists, simulation throughput is
 # compared against it and a >20% regression fails the gate; the 100k
 # rows of the tracked file are refreshed on success.
+#
+# The portfolio smoke is part of the DEFAULT gate (cheap: four eco-patch
+# runs on one solver-bound unit): it drives unit04 with --portfolio 1
+# and --portfolio 4, asserts the emitted patch netlists are
+# byte-identical (including a repeated --portfolio 4 run), checks the
+# portfolio telemetry contract (no races at 1, races at 4), and records
+# both wall times into crates/bench/BENCH_portfolio.json. Wall time is
+# reported, not gated — on a loaded or single-core host the race is
+# overhead, and determinism is the contract under test. Skip it with
+# --no-portfolio-smoke.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +50,7 @@ fuzz_smoke=0
 degrade_smoke=0
 batch_smoke=0
 scale_smoke=0
+portfolio_smoke=1
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
@@ -47,7 +58,9 @@ for arg in "$@"; do
     --degrade-smoke) degrade_smoke=1 ;;
     --batch-smoke) batch_smoke=1 ;;
     --scale-smoke) scale_smoke=1 ;;
-    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke] [--scale-smoke]" >&2; exit 2 ;;
+    --portfolio-smoke) portfolio_smoke=1 ;;
+    --no-portfolio-smoke) portfolio_smoke=0 ;;
+    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke] [--scale-smoke] [--no-portfolio-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -62,6 +75,49 @@ cargo build --release
 
 echo "== cargo test -q"
 cargo test -q --workspace
+
+if [ "$portfolio_smoke" -eq 1 ]; then
+  echo "== portfolio smoke: unit04 byte-identical across --portfolio 1/4, wall times recorded"
+  ptmp="$(mktemp -d)"
+  trap 'rm -rf "${ptmp:-}"' EXIT
+  target/release/eco-workgen --suite --count 4 --out "$ptmp" -q
+
+  # unit04 is the solver-bound unit the portfolio targets; its single
+  # pre-specified target is w12 (deterministic suite).
+  run_portfolio() { # <n> <out.v>
+    local n="$1" out="$2" t0 t1
+    t0=$(date +%s%N)
+    target/release/eco-patch -f "$ptmp/unit04_faulty.v" -g "$ptmp/unit04_golden.v" \
+      -w "$ptmp/unit04.weights" -t w12 --portfolio "$n" --stats=json -q \
+      -o "$out" 2> "$ptmp/stderr_p$n.txt" \
+      || { echo "portfolio smoke: --portfolio $n run failed"; cat "$ptmp/stderr_p$n.txt"; exit 1; }
+    t1=$(date +%s%N)
+    echo $((t1 - t0))
+  }
+
+  wall1=$(run_portfolio 1 "$ptmp/patch_p1.v")
+  wall4=$(run_portfolio 4 "$ptmp/patch_p4.v")
+  run_portfolio 4 "$ptmp/patch_p4_again.v" > /dev/null
+  cmp -s "$ptmp/patch_p1.v" "$ptmp/patch_p4.v" \
+    || { echo "portfolio smoke: patch differs between --portfolio 1 and 4"; diff "$ptmp/patch_p1.v" "$ptmp/patch_p4.v" || true; exit 1; }
+  cmp -s "$ptmp/patch_p4.v" "$ptmp/patch_p4_again.v" \
+    || { echo "portfolio smoke: repeated --portfolio 4 runs differ"; exit 1; }
+  grep -q '"portfolio": {"launches": 0' "$ptmp/stderr_p1.txt" \
+    || { echo "portfolio smoke: --portfolio 1 must not race"; cat "$ptmp/stderr_p1.txt"; exit 1; }
+  grep -q '"portfolio": {"launches": 0' "$ptmp/stderr_p4.txt" \
+    && { echo "portfolio smoke: --portfolio 4 never raced"; cat "$ptmp/stderr_p4.txt"; exit 1; }
+
+  cat > crates/bench/BENCH_portfolio.json <<EOF
+{"benches": [
+  {"name": "portfolio-smoke/unit04/portfolio1", "samples": 1, "mean_ns": $wall1, "median_ns": $wall1, "min_ns": $wall1, "max_ns": $wall1},
+  {"name": "portfolio-smoke/unit04/portfolio4", "samples": 1, "mean_ns": $wall4, "median_ns": $wall4, "min_ns": $wall4, "max_ns": $wall4}
+],
+ "notes": [
+  "cold eco-patch process wall (includes parse + startup); patches byte-identical, wall informational only"
+]}
+EOF
+  echo "portfolio smoke: ok (portfolio1 ${wall1}ns, portfolio4 ${wall4}ns)"
+fi
 
 if [ "$bench_smoke" -eq 1 ]; then
   echo "== bench smoke (1 sample): sim_throughput"
@@ -80,7 +136,7 @@ fi
 if [ "$degrade_smoke" -eq 1 ]; then
   echo "== degrade smoke: starved eco-patch run must exit 4 with a well-formed partial result"
   tmp="$(mktemp -d)"
-  trap 'rm -rf "$tmp"' EXIT
+  trap 'rm -rf "${ptmp:-}" "$tmp"' EXIT
   # A tiny two-cluster workload: two independent targets, each cut to a
   # floating pseudo-input in the faulty circuit.
   cat > "$tmp/golden.v" <<'EOF'
@@ -143,7 +199,7 @@ fi
 if [ "$batch_smoke" -eq 1 ]; then
   echo "== batch smoke: 12-job manifest, cold + warm over one shared memo cache"
   btmp="$(mktemp -d)"
-  trap 'rm -rf "${tmp:-}" "${btmp:-}"' EXIT
+  trap 'rm -rf "${ptmp:-}" "${tmp:-}" "${btmp:-}"' EXIT
   target/release/eco-workgen --suite --count 12 --out "$btmp" --manifest "$btmp/manifest.toml" -q
 
   run_batch() {
@@ -189,7 +245,7 @@ fi
 if [ "$scale_smoke" -eq 1 ]; then
   echo "== scale smoke: 100k preset end-to-end under a 300s governor deadline"
   stmp="$(mktemp -d)"
-  trap 'rm -rf "${tmp:-}" "${btmp:-}" "${stmp:-}"' EXIT
+  trap 'rm -rf "${ptmp:-}" "${tmp:-}" "${btmp:-}" "${stmp:-}"' EXIT
 
   # The generator CLI path: both 100k AIGs must emit and re-parse.
   target/release/eco-workgen --scale 100k --out "$stmp" -q
