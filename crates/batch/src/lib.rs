@@ -57,12 +57,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod executor;
+pub mod json;
 mod manifest;
 pub mod report;
 mod runner;
 
-pub use crate::manifest::{JobSpec, Manifest, ManifestError};
+pub use crate::executor::{run_indexed, BoundedQueue, PushError};
+pub use crate::manifest::{job_spec_from_json, JobSpec, Manifest, ManifestError};
 pub use crate::report::{exit_code, record_json, records_jsonl, stats_json};
 pub use crate::runner::{
-    load_jobs, run_batch, BatchJob, BatchOptions, BatchOutcome, JobRecord, JobStatus,
+    execute_job, load_job_instance, load_jobs, run_batch, BatchJob, BatchOptions, BatchOutcome,
+    JobRecord, JobStatus,
 };

@@ -31,6 +31,8 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use crate::json;
+
 /// One ECO job entry from a batch manifest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
@@ -156,33 +158,45 @@ impl Manifest {
         };
         let mut jobs = Vec::new();
         for (i, entry) in entries.into_iter().enumerate() {
-            let json::Value::Obj(fields) = entry else {
-                return err(format!("job {i}: expected an object"));
-            };
-            let mut job = RawJob::default();
-            for (key, value) in fields {
-                let value = match value {
-                    json::Value::Str(s) => Value::Str(s),
-                    json::Value::Int(n) => Value::Int(n),
-                    json::Value::Arr(items) => {
-                        let mut list = Vec::new();
-                        for item in items {
-                            match item {
-                                json::Value::Str(s) => list.push(s),
-                                _ => return err(format!("job {i}: {key}: expected strings")),
-                            }
-                        }
-                        Value::List(list)
-                    }
-                    _ => return err(format!("job {i}: {key}: unsupported value type")),
-                };
-                job.set(&key, value)
-                    .map_err(|m| ManifestError(format!("job {i}: {m}")))?;
-            }
-            jobs.push(job);
+            jobs.push(job_spec_from_json(&format!("job {i}"), entry)?);
         }
-        finish(jobs)
+        if jobs.is_empty() {
+            return err("manifest contains no jobs");
+        }
+        Ok(Manifest { jobs })
     }
+}
+
+/// Builds one [`JobSpec`] from a parsed JSON job object with the same
+/// keys as a manifest entry (`name`, `faulty`, `golden`, `weights`,
+/// `targets`, `budget`). `label` prefixes error messages and is the
+/// name fallback of last resort. Shared by [`Manifest::parse_json`] and
+/// the `eco-serve` request protocol.
+pub fn job_spec_from_json(label: &str, value: json::Value) -> Result<JobSpec, ManifestError> {
+    let json::Value::Obj(fields) = value else {
+        return err(format!("{label}: expected an object"));
+    };
+    let mut job = RawJob::default();
+    for (key, value) in fields {
+        let value = match value {
+            json::Value::Str(s) => Value::Str(s),
+            json::Value::Int(n) => Value::Int(n),
+            json::Value::Arr(items) => {
+                let mut list = Vec::new();
+                for item in items {
+                    match item {
+                        json::Value::Str(s) => list.push(s),
+                        _ => return err(format!("{label}: {key}: expected strings")),
+                    }
+                }
+                Value::List(list)
+            }
+            _ => return err(format!("{label}: {key}: unsupported value type")),
+        };
+        job.set(&key, value)
+            .map_err(|m| ManifestError(format!("{label}: {m}")))?;
+    }
+    finish_one(label, job)
 }
 
 /// A scalar or list value from either encoding.
@@ -230,32 +244,36 @@ impl RawJob {
 fn finish(raw: Vec<RawJob>) -> Result<Manifest, ManifestError> {
     let mut jobs = Vec::with_capacity(raw.len());
     for (i, job) in raw.into_iter().enumerate() {
-        let Some(faulty) = job.faulty else {
-            return err(format!("job {i}: missing required key `faulty`"));
-        };
-        let Some(golden) = job.golden else {
-            return err(format!("job {i}: missing required key `golden`"));
-        };
-        let faulty = PathBuf::from(faulty);
-        let name = job.name.unwrap_or_else(|| {
-            faulty
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| format!("job{i}"))
-        });
-        jobs.push(JobSpec {
-            name,
-            faulty,
-            golden: PathBuf::from(golden),
-            weights: job.weights.map(PathBuf::from),
-            targets: job.targets,
-            budget: job.budget,
-        });
+        jobs.push(finish_one(&format!("job {i}"), job)?);
     }
     if jobs.is_empty() {
         return err("manifest contains no jobs");
     }
     Ok(Manifest { jobs })
+}
+
+fn finish_one(label: &str, job: RawJob) -> Result<JobSpec, ManifestError> {
+    let Some(faulty) = job.faulty else {
+        return err(format!("{label}: missing required key `faulty`"));
+    };
+    let Some(golden) = job.golden else {
+        return err(format!("{label}: missing required key `golden`"));
+    };
+    let faulty = PathBuf::from(faulty);
+    let name = job.name.unwrap_or_else(|| {
+        faulty
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| label.to_string())
+    });
+    Ok(JobSpec {
+        name,
+        faulty,
+        golden: PathBuf::from(golden),
+        weights: job.weights.map(PathBuf::from),
+        targets: job.targets,
+        budget: job.budget,
+    })
 }
 
 /// Strips a `#` comment, respecting `#` inside quoted strings.
@@ -345,167 +363,6 @@ fn unescape(body: &str) -> Result<String, String> {
     Ok(out)
 }
 
-/// A minimal recursive-descent JSON parser — just enough for manifests.
-mod json {
-    pub enum Value {
-        Null,
-        Bool,
-        Int(u64),
-        Str(String),
-        Arr(Vec<Value>),
-        Obj(Vec<(String, Value)>),
-    }
-
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(bytes: &[u8], pos: &mut usize) {
-        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
-            *pos += 1;
-        }
-    }
-
-    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&c) {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected `{}` at byte {pos}", c as char))
-        }
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b'{') => parse_obj(bytes, pos),
-            Some(b'[') => parse_arr(bytes, pos),
-            Some(b'"') => parse_str(bytes, pos).map(Value::Str),
-            Some(b't') => parse_lit(bytes, pos, "true").map(|()| Value::Bool),
-            Some(b'f') => parse_lit(bytes, pos, "false").map(|()| Value::Bool),
-            Some(b'n') => parse_lit(bytes, pos, "null").map(|()| Value::Null),
-            Some(c) if c.is_ascii_digit() => parse_int(bytes, pos),
-            _ => Err(format!("unexpected input at byte {pos}")),
-        }
-    }
-
-    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
-        if bytes[*pos..].starts_with(lit.as_bytes()) {
-            *pos += lit.len();
-            Ok(())
-        } else {
-            Err(format!("bad literal at byte {pos}"))
-        }
-    }
-
-    fn parse_int(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
-            *pos += 1;
-        }
-        std::str::from_utf8(&bytes[start..*pos])
-            .ok()
-            .and_then(|s| s.parse::<u64>().ok())
-            .map(Value::Int)
-            .ok_or_else(|| format!("bad integer at byte {start}"))
-    }
-
-    fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-        debug_assert_eq!(bytes[*pos], b'"');
-        *pos += 1;
-        let mut out = String::new();
-        loop {
-            match bytes.get(*pos) {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    *pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    *pos += 1;
-                    match bytes.get(*pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        _ => return Err(format!("unsupported escape at byte {pos}")),
-                    }
-                    *pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar, not one byte.
-                    let rest = std::str::from_utf8(&bytes[*pos..])
-                        .map_err(|_| "invalid UTF-8".to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    *pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(bytes, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(parse_value(bytes, pos)?);
-            skip_ws(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(format!("expected `,` or `]` at byte {pos}")),
-            }
-        }
-    }
-
-    fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(bytes, pos, b'{')?;
-        let mut fields = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Obj(fields));
-        }
-        loop {
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) != Some(&b'"') {
-                return Err(format!("expected a key string at byte {pos}"));
-            }
-            let key = parse_str(bytes, pos)?;
-            expect(bytes, pos, b':')?;
-            let value = parse_value(bytes, pos)?;
-            fields.push((key, value));
-            skip_ws(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,6 +438,53 @@ golden = "unit01_golden.v"
         assert_eq!(m.jobs[0].faulty, PathBuf::from("/suite/a.v"));
         assert_eq!(m.jobs[0].golden, PathBuf::from("/abs/g.v")); // absolute untouched
         assert_eq!(m.jobs[0].weights, Some(PathBuf::from("/suite/w.txt")));
+    }
+
+    /// Truncated escapes and other end-of-input edges must produce
+    /// `ManifestError`s, never panics, in both encodings.
+    #[test]
+    fn truncated_escapes_error_in_both_encodings() {
+        for bad in [
+            "[[job]]\nfaulty = \"a\\",     // lone backslash at EOF
+            "[[job]]\nfaulty = \"a\\\"",   // escape eats the closing quote
+            "[[job]]\nfaulty = \"a",       // unterminated string
+            "[[job]]\nfaulty = \"a\\q\"",  // unsupported escape
+            "[[job]]\ntargets = [\"a\\",   // truncated escape inside a list
+            "[[job]]\ntargets = [\"a\", ", // unterminated list
+            "[[job]]\nbudget = ",          // empty value
+        ] {
+            assert!(
+                Manifest::parse_toml(bad).is_err(),
+                "TOML input {bad:?} must be a parse error"
+            );
+        }
+        for bad in [
+            r#"{"jobs": [{"faulty": "a\"#, // lone backslash at EOF
+            r#"{"jobs": [{"faulty": "a"#,  // unterminated string
+            r#"{"jobs": [{"faulty": "#,    // truncated object
+            r#"{"jobs": ["#,               // truncated array
+        ] {
+            assert!(
+                Manifest::parse_json(bad).is_err(),
+                "JSON input {bad:?} must be a parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn job_spec_from_json_accepts_protocol_job_objects() {
+        let v = json::parse(
+            r#"{"name": "u", "faulty": "f.v", "golden": "g.v", "targets": ["t_0"], "budget": 9}"#,
+        )
+        .unwrap();
+        let spec = job_spec_from_json("request", v).unwrap();
+        assert_eq!(spec.name, "u");
+        assert_eq!(spec.budget, Some(9));
+        assert_eq!(spec.targets, vec!["t_0".to_string()]);
+
+        let bad = json::parse(r#"{"faulty": "f.v"}"#).unwrap();
+        let e = job_spec_from_json("request", bad).unwrap_err();
+        assert!(e.to_string().contains("request: missing required key"));
     }
 
     #[test]

@@ -24,8 +24,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eco_core::{
@@ -34,6 +33,7 @@ use eco_core::{
 };
 use eco_netlist::{elaborate, parse_blif, parse_verilog, parse_weights, WeightTable};
 
+use crate::executor::run_indexed;
 use crate::manifest::{JobSpec, Manifest};
 
 /// Knobs for a batch run.
@@ -147,13 +147,16 @@ pub fn load_jobs(manifest: &Manifest) -> Vec<BatchJob> {
         .iter()
         .map(|spec| BatchJob {
             name: spec.name.clone(),
-            source: load_instance(spec),
+            source: load_job_instance(spec),
             budget: spec.budget,
         })
         .collect()
 }
 
-fn load_instance(spec: &JobSpec) -> Result<EcoInstance, String> {
+/// Loads one job spec's circuits and weights into an [`EcoInstance`] —
+/// the same path the manifest runner uses, exposed so `eco-serve` can
+/// load protocol requests identically. Failures are messages, not panics.
+pub fn load_job_instance(spec: &JobSpec) -> Result<EcoInstance, String> {
     let read = |p: &Path| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()));
     let weights = match &spec.weights {
         Some(p) => parse_weights(&read(p)?).map_err(|e| format!("{}: {e}", p.display()))?,
@@ -260,32 +263,12 @@ pub fn run_batch(jobs: &[BatchJob], opts: &BatchOptions) -> BatchOutcome {
                 &cache,
             )
         };
-        if workers <= 1 {
-            records.extend((0..jobs.len()).map(run_one));
-        } else {
-            // Engine-style deterministic pool: one shared claim counter,
-            // one slot per job, merged in index order afterwards.
-            let slots: Vec<Mutex<Option<JobRecord>>> =
-                (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= jobs.len() {
-                            break;
-                        }
-                        let record = run_one(index);
-                        *slots[index].lock().unwrap() = Some(record);
-                    });
-                }
-            });
-            records.extend(slots.into_iter().map(|slot| {
-                slot.into_inner()
-                    .unwrap()
-                    .expect("every job slot is filled before the scope exits")
-            }));
-        }
+        // The shared claim-counter pool (executor.rs): one slot per job,
+        // merged in index order, panicking jobs isolated to one error
+        // record with poison-recovering slot locks.
+        records.extend(run_indexed(workers, jobs.len(), run_one, |index| {
+            panic_record(pass, index, &jobs[index].name)
+        }));
         pass_wall.push(t0.elapsed());
     }
 
@@ -305,6 +288,23 @@ fn resolve_workers(jobs: usize) -> usize {
         .unwrap_or(1)
 }
 
+/// The error record substituted when a job's worker panicked outside the
+/// engine's own isolation (e.g. mid-slot-write).
+fn panic_record(pass: usize, index: usize, name: &str) -> JobRecord {
+    JobRecord {
+        pass,
+        index,
+        name: name.to_string(),
+        status: JobStatus::Error,
+        targets: 0,
+        patches: 0,
+        cost: 0,
+        size: 0,
+        verified: false,
+        detail: "job worker panicked".into(),
+    }
+}
+
 fn run_job(
     pass: usize,
     index: usize,
@@ -314,10 +314,37 @@ fn run_job(
     apportioned: Option<u64>,
     cache: &Arc<MemoCache>,
 ) -> JobRecord {
+    let allowance = match (apportioned, job.budget) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let budget = run_budget.child(allowance);
+    let mut record = execute_job(&job.name, &job.source, &opts.eco, &budget, cache);
+    record.pass = pass;
+    record.index = index;
+    record
+}
+
+/// Runs one loaded job to a deterministic [`JobRecord`] — the shared
+/// execution core of the batch runner and the `eco-serve` daemon.
+///
+/// The engine runs single-threaded (`jobs = 1`; the caller's pool is
+/// already saturated at job granularity) over the shared `cache`, under
+/// `budget` (derive it with [`Budget::child`] to apportion a wider
+/// allowance). A panicking engine becomes an `error` record instead of
+/// unwinding into the caller's pool. `pass` and `index` are zero;
+/// callers embedding the record in a batch set them afterwards.
+pub fn execute_job(
+    name: &str,
+    source: &Result<EcoInstance, String>,
+    eco_base: &EcoOptions,
+    budget: &Budget,
+    cache: &Arc<MemoCache>,
+) -> JobRecord {
     let mut record = JobRecord {
-        pass,
-        index,
-        name: job.name.clone(),
+        pass: 0,
+        index: 0,
+        name: name.to_string(),
         status: JobStatus::Error,
         targets: 0,
         patches: 0,
@@ -326,7 +353,7 @@ fn run_job(
         verified: false,
         detail: String::new(),
     };
-    let instance = match &job.source {
+    let instance = match source {
         Ok(instance) => instance,
         Err(msg) => {
             record.detail = msg.clone();
@@ -335,19 +362,14 @@ fn run_job(
     };
     record.targets = instance.targets.len();
 
-    let allowance = match (apportioned, job.budget) {
-        (Some(a), Some(b)) => Some(a.min(b)),
-        (a, b) => a.or(b),
-    };
-    let budget = run_budget.child(allowance);
-    let mut eco = opts.eco.clone();
+    let mut eco = eco_base.clone();
     eco.jobs = 1;
     eco.memo = Some(Arc::clone(cache));
     let engine = EcoEngine::new(instance.clone(), eco);
 
     // A panicking job must not take the whole batch (and its scoped pool)
     // down with it; it becomes an `error` record like any other failure.
-    match catch_unwind(AssertUnwindSafe(|| engine.run_governed_with(&budget))) {
+    match catch_unwind(AssertUnwindSafe(|| engine.run_governed_with(budget))) {
         Err(_) => record.detail = "job worker panicked".into(),
         Ok(Err(EcoError::Unrectifiable(why))) => {
             record.status = JobStatus::Unrectifiable;

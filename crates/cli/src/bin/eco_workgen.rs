@@ -16,6 +16,17 @@
 //! eco-batch run d/manifest.toml --jobs 4
 //! ```
 //!
+//! With `--requests <path>`, the same cases are additionally emitted as
+//! an `eco-serve` request stream (one JSONL `run` request per case,
+//! file paths resolved against `--out` as given — pass an absolute
+//! `--out` if the daemon runs elsewhere), the load-generator input for
+//! `eco-serve client`:
+//!
+//! ```text
+//! eco-serve --socket /tmp/eco.sock &
+//! eco-serve client --socket /tmp/eco.sock --input d/requests.jsonl --timing
+//! ```
+//!
 //! Modes: `--suite` (default; the deterministic Table-2 suite),
 //! `--stress` (the six heavier stress units), `--fuzz N` (N seeded
 //! random fuzz cases, skipping seeds that generate no cuttable target),
@@ -30,12 +41,12 @@ use std::process::ExitCode;
 
 use eco_workgen::fuzz::{gen_case, FuzzConfig};
 use eco_workgen::{
-    contest_suite, deep_datapath_aig, manifest_toml, scale_preset, stress_suite, wide_random_aig,
-    write_fuzz_case, write_unit, ManifestEntry, ScalePreset,
+    contest_suite, deep_datapath_aig, manifest_toml, request_stream, scale_preset, stress_suite,
+    wide_random_aig, write_fuzz_case, write_unit, ManifestEntry, ScalePreset,
 };
 
 const USAGE: &str = "usage: eco-workgen --out <dir> [--suite | --stress | --fuzz N | \
---scale <100k|500k|1m>] [--seed S] [--count N] [--manifest <path>] [-q]";
+--scale <100k|500k|1m>] [--seed S] [--count N] [--manifest <path>] [--requests <path>] [-q]";
 
 enum Mode {
     Suite,
@@ -50,6 +61,7 @@ struct Args {
     seed: u64,
     count: Option<usize>,
     manifest: Option<PathBuf>,
+    requests: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -59,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 1u64;
     let mut count = None;
     let mut manifest = None;
+    let mut requests = None;
     let mut quiet = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -95,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--manifest" => manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--requests" => requests = Some(PathBuf::from(value("--requests")?)),
             "-q" | "--quiet" => quiet = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
@@ -109,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         count,
         manifest,
+        requests,
         quiet,
     })
 }
@@ -175,6 +190,10 @@ fn run(args: &Args) -> Result<(), String> {
     }
     if let Some(path) = &args.manifest {
         std::fs::write(path, manifest_toml(&entries))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    if let Some(path) = &args.requests {
+        std::fs::write(path, request_stream(&args.out, &entries))
             .map_err(|e| format!("{}: {e}", path.display()))?;
     }
     if !args.quiet {

@@ -33,11 +33,15 @@
 //! * cached **sweep classes** feed localization only; a wrong class can
 //!   at worst produce a patch that fails the (always fresh) final
 //!   verification, which triggers the engine's existing
-//!   localization-fallback retry.
+//!   localization-fallback retry;
+//! * a shard lock poisoned by a panicking worker is **recovered**, not
+//!   propagated: the shard's map is valid at every unwind point and all
+//!   of the guards above still apply, so siblings degrade to
+//!   recompute-on-mismatch instead of aborting a long-lived daemon.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use eco_aig::FpHasher;
 use eco_fraig::{EquivClasses, SweepMemo, SweepStats};
@@ -135,13 +139,23 @@ impl MemoCache {
         }
     }
 
-    fn shard(&self, key: u128) -> &Mutex<Shard> {
-        &self.shards[(key as usize) & (SHARDS - 1)]
+    /// Locks a shard, recovering from poisoning: a job thread that
+    /// panicked while holding the stripe (e.g. mid-`clone` of a cached
+    /// value) must degrade that shard to recompute-on-mismatch for its
+    /// siblings, not abort the whole batch or daemon. The shard data is
+    /// a plain map + FIFO order list whose invariants hold at every
+    /// point a panic can unwind through, and every returned entry is
+    /// still guarded by its `check` digest and downstream SAT
+    /// re-verification, so recovered reads stay sound.
+    fn lock_shard(&self, key: u128) -> MutexGuard<'_, Shard> {
+        self.shards[(key as usize) & (SHARDS - 1)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     fn lookup<T>(&self, key: u128, extract: impl FnOnce(&Entry) -> Option<T>) -> Option<T> {
         let out = {
-            let shard = self.shard(key).lock().expect("memo shard lock");
+            let shard = self.lock_shard(key);
             shard.map.get(&key).and_then(extract)
         };
         if out.is_some() {
@@ -153,7 +167,7 @@ impl MemoCache {
     }
 
     fn store(&self, key: u128, entry: Entry) {
-        let mut shard = self.shard(key).lock().expect("memo shard lock");
+        let mut shard = self.lock_shard(key);
         if shard.map.contains_key(&key) {
             // First write wins: the value is a pure function of the key,
             // so a concurrent duplicate carries the same data.
@@ -223,7 +237,7 @@ impl MemoCache {
         let entries: usize = self
             .shards
             .iter()
-            .map(|s| s.lock().expect("memo shard lock").map.len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
             .sum();
         MemoStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -407,6 +421,36 @@ mod tests {
         assert!(cache.lookup_rect(32, 1).is_some());
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    /// Regression: a job thread that panics while holding a shard lock
+    /// poisons it; every cache operation must keep working afterwards
+    /// (degrading to recompute on mismatch) instead of aborting the
+    /// daemon with it.
+    #[test]
+    fn poisoned_shard_degrades_to_recompute_instead_of_panicking() {
+        let cache = MemoCache::new();
+        cache.store_rect(0, 1, &Rectifiability::Rectifiable);
+        // Poison shard 0 the way a dying worker would: panic while the
+        // stripe is held.
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.shards[0].lock().unwrap();
+                panic!("worker dies holding the memo shard");
+            })
+            .join()
+        });
+        assert!(
+            cache.shards[0].lock().is_err(),
+            "the shard must actually be poisoned"
+        );
+        // Every operation on the poisoned shard still works.
+        assert_eq!(cache.lookup_rect(0, 1), Some(Rectifiability::Rectifiable));
+        assert_eq!(cache.lookup_rect(16, 1), None, "miss degrades cleanly");
+        cache.store_rect(16, 1, &Rectifiability::Rectifiable);
+        assert_eq!(cache.lookup_rect(16, 1), Some(Rectifiability::Rectifiable));
+        let stats = cache.stats();
         assert_eq!(stats.entries, 2);
     }
 

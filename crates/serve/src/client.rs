@@ -1,0 +1,214 @@
+//! The synchronous request/response client and its latency report —
+//! the load-measurement half of `eco-serve`.
+//!
+//! [`run_client`] replays a request stream (one JSON request per line,
+//! as emitted by `eco-workgen --requests`) against a connected server,
+//! one request at a time: send a line, wait for its response line, echo
+//! it to `out`, and record the round-trip latency. Optional pacing
+//! (`rate`) spaces sends at a target requests/second; the stream still
+//! never overlaps requests, so measured latencies are pure round trips.
+//! The transport is any `BufRead`/`Write` pair, so the same code drives
+//! a unix socket or an in-memory test harness.
+
+use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
+
+use eco_core::JsonObj;
+
+/// Client knobs.
+#[derive(Clone, Debug, Default)]
+pub struct ClientOptions {
+    /// Target send rate in requests/second (`None` = as fast as the
+    /// round trips allow).
+    pub rate: Option<f64>,
+    /// Append a `shutdown` request after the stream and wait for the
+    /// ack (which the server sequences behind all admitted work).
+    pub shutdown: bool,
+}
+
+/// What one client run measured.
+#[derive(Clone, Debug)]
+pub struct ClientSummary {
+    /// Requests sent from the input stream (excluding the optional
+    /// trailing shutdown).
+    pub requests: u64,
+    /// Wall-clock time of the whole replay.
+    pub wall: Duration,
+    /// Per-request round-trip latencies, in send order (microseconds).
+    pub latencies_us: Vec<u64>,
+}
+
+/// Replays `input` against a server reachable via `server_tx` /
+/// `server_rx`, echoing each response line to `out`. Blank input lines
+/// are skipped. Errors out if the server closes mid-stream.
+pub fn run_client(
+    server_rx: &mut dyn BufRead,
+    server_tx: &mut dyn Write,
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+    opts: &ClientOptions,
+) -> io::Result<ClientSummary> {
+    let start = Instant::now();
+    let interval = opts
+        .rate
+        .filter(|r| *r > 0.0)
+        .map(|r| Duration::from_secs_f64(1.0 / r));
+    let mut latencies = Vec::new();
+    let mut sent: u64 = 0;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break;
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        if let Some(interval) = interval {
+            // Pace against the schedule, not the previous send, so a
+            // slow response doesn't permanently shift the grid.
+            let due = start + interval.mul_f64(sent as f64);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let t0 = Instant::now();
+        writeln!(server_tx, "{request}")?;
+        server_tx.flush()?;
+        let mut response = String::new();
+        if server_rx.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-stream",
+            ));
+        }
+        latencies.push(t0.elapsed().as_micros() as u64);
+        sent += 1;
+        out.write_all(response.as_bytes())?;
+    }
+    if opts.shutdown {
+        server_tx.write_all(b"{\"op\": \"shutdown\", \"id\": \"client\"}\n")?;
+        server_tx.flush()?;
+        let mut ack = String::new();
+        server_rx.read_line(&mut ack)?;
+        out.write_all(ack.as_bytes())?;
+    }
+    out.flush()?;
+    Ok(ClientSummary {
+        requests: sent,
+        wall: start.elapsed(),
+        latencies_us: latencies,
+    })
+}
+
+/// The `p`-th percentile (nearest-rank on a sorted slice); 0 if empty.
+pub fn percentile_us(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// Renders the client's timing summary as one JSON object:
+/// `{"requests", "wall_s", "rps", "p50_us", "p99_us"}` — the numbers
+/// `BENCH_serve.json` records for cold vs warm streams.
+pub fn timing_json(summary: &ClientSummary) -> String {
+    let mut sorted = summary.latencies_us.clone();
+    sorted.sort_unstable();
+    let wall = summary.wall.as_secs_f64();
+    let rps = if wall > 0.0 {
+        summary.requests as f64 / wall
+    } else {
+        0.0
+    };
+    JsonObj::new()
+        .u64("requests", summary.requests)
+        .raw("wall_s", &format!("{wall:.6}"))
+        .raw("rps", &format!("{rps:.3}"))
+        .u64("p50_us", percentile_us(&sorted, 50))
+        .u64("p99_us", percentile_us(&sorted, 99))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn replays_requests_and_collects_latencies() {
+        let responses = "{\"id\": 1, \"ok\": true}\n{\"id\": 2, \"ok\": true}\n";
+        let mut rx = Cursor::new(responses.as_bytes().to_vec());
+        let mut tx = Vec::new();
+        let mut input =
+            Cursor::new("{\"op\": \"ping\", \"id\": 1}\n\n{\"op\": \"ping\", \"id\": 2}\n");
+        let mut out = Vec::new();
+        let summary = run_client(
+            &mut rx,
+            &mut tx,
+            &mut input,
+            &mut out,
+            &ClientOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.latencies_us.len(), 2);
+        assert_eq!(String::from_utf8(out).unwrap(), responses);
+        let sent = String::from_utf8(tx).unwrap();
+        assert_eq!(sent.lines().count(), 2, "blank input line is skipped");
+    }
+
+    #[test]
+    fn shutdown_option_appends_request_and_echoes_ack() {
+        let mut rx = Cursor::new(b"{\"ok\": true, \"op\": \"shutdown\"}\n".to_vec());
+        let mut tx = Vec::new();
+        let mut input = Cursor::new("");
+        let mut out = Vec::new();
+        let opts = ClientOptions {
+            shutdown: true,
+            ..ClientOptions::default()
+        };
+        let summary = run_client(&mut rx, &mut tx, &mut input, &mut out, &opts).unwrap();
+        assert_eq!(summary.requests, 0);
+        assert!(String::from_utf8(tx)
+            .unwrap()
+            .contains("\"op\": \"shutdown\""));
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("\"op\": \"shutdown\""));
+    }
+
+    #[test]
+    fn server_eof_mid_stream_is_an_error() {
+        let mut rx = Cursor::new(Vec::new()); // no response coming
+        let mut tx = Vec::new();
+        let mut input = Cursor::new("{\"op\": \"ping\"}\n");
+        let mut out = Vec::new();
+        let err = run_client(
+            &mut rx,
+            &mut tx,
+            &mut input,
+            &mut out,
+            &ClientOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn timing_json_reports_percentiles() {
+        let summary = ClientSummary {
+            requests: 4,
+            wall: Duration::from_millis(100),
+            latencies_us: vec![40, 10, 30, 20],
+        };
+        let json = timing_json(&summary);
+        assert!(json.contains("\"requests\": 4"), "{json}");
+        assert!(json.contains("\"wall_s\": 0.100000"), "{json}");
+        assert!(json.contains("\"p50_us\": 20"), "{json}");
+        assert!(json.contains("\"p99_us\": 30"), "{json}");
+        assert_eq!(percentile_us(&[], 99), 0);
+        assert_eq!(percentile_us(&[7], 50), 7);
+    }
+}

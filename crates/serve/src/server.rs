@@ -1,0 +1,837 @@
+//! The daemon core: admission control, the worker pool, response
+//! sequencing, and graceful drain.
+//!
+//! A [`Server`] owns one process-lifetime [`MemoCache`] shared by every
+//! request it ever serves — the "always-warm" property: a structurally
+//! identical job arriving minutes later hits the cache that the first
+//! occurrence filled, across connections and across clients.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  conn readers ──try_push──▶ BoundedQueue ──pop──▶ worker pool
+//!   (1/conn)        │ Full → "busy"                  (N threads)
+//!                   │ Closed → "draining"              │ execute_job
+//!                   ▼                                  ▼
+//!            refusal via ConnOut  ◀──seq-ordered── run response
+//! ```
+//!
+//! * **Admission control** — run requests go through a
+//!   [`BoundedQueue`]: beyond capacity the push comes straight back and
+//!   the client gets a typed `busy` refusal instead of unbounded queue
+//!   growth; after drain starts the queue is closed and refusals say
+//!   `draining`.
+//! * **Determinism** — each connection's responses pass through a
+//!   sequencer ([`ConnOut`]) that writes them in *request* order no
+//!   matter which worker finishes first, and run responses carry only
+//!   scheduling-independent record fields, so a replayed request stream
+//!   produces byte-identical response bytes for any worker count.
+//! * **Graceful drain** — a `shutdown` request (or SIGTERM via the
+//!   caller's flag, or stdin EOF in stdio mode) latches the draining
+//!   flag: the accept loop stops taking connections, the queue closes
+//!   (new pushes refused, admitted jobs still pop), workers finish
+//!   in-flight work, and the scope join guarantees every admitted job's
+//!   response was written before the daemon exits.
+//! * **Panic containment** — a panicking job becomes one `error`-status
+//!   run response; the worker thread survives. Combined with the
+//!   poison-recovering locks in [`eco_batch::executor`] and
+//!   `eco_core::memo`, no single poisoned request can abort the daemon.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use eco_batch::{
+    execute_job, load_job_instance, BoundedQueue, JobRecord, JobSpec, JobStatus, PushError,
+};
+use eco_core::{Budget, BudgetOptions, EcoOptions, JsonObj, MemoCache, MemoStats};
+
+use crate::proto::{self, Request, StatsView};
+use eco_batch::json;
+
+/// How often blocked unix-socket reads and the accept loop re-check the
+/// draining flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Knobs for a daemon instance.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// Worker threads popping the admission queue; `0` = one per core.
+    pub workers: usize,
+    /// Admission-queue capacity; pushes beyond it are shed with `busy`
+    /// (`0` = the default of 64).
+    pub queue_capacity: usize,
+    /// Per-request governor budget. The clock starts when the job is
+    /// dequeued, and a request's own `budget` field tightens the
+    /// conflict allowance via [`Budget::child`]. Leave unlimited for the
+    /// memo cache to be consulted (governed runs bypass it).
+    pub request_budget: BudgetOptions,
+    /// Base engine options for every request (`jobs` and `memo` are
+    /// overridden per job, as in the batch runner).
+    pub eco: EcoOptions,
+}
+
+/// What a serve run did, for the operator's exit summary.
+#[derive(Clone, Debug)]
+pub struct ServeSummary {
+    /// Run jobs executed to a response (including error records).
+    pub served: u64,
+    /// Run requests shed with a `busy` refusal.
+    pub busy: u64,
+    /// Run requests refused because the daemon was draining.
+    pub refused_draining: u64,
+    /// Lines answered with `bad-request`.
+    pub bad_requests: u64,
+    /// Final shared-cache counters.
+    pub memo: MemoStats,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time the serve loop ran.
+    pub wall: Duration,
+}
+
+/// Renders a [`ServeSummary`] as one JSON object (the daemon's exit
+/// report on stderr under `--stats`).
+pub fn summary_json(s: &ServeSummary) -> String {
+    let memo = JsonObj::new()
+        .u64("hits", s.memo.hits)
+        .u64("misses", s.memo.misses)
+        .u64("insertions", s.memo.insertions)
+        .u64("evictions", s.memo.evictions)
+        .u64("fallbacks", s.memo.fallbacks)
+        .u64("entries", s.memo.entries)
+        .build();
+    JsonObj::new()
+        .u64("served", s.served)
+        .u64("busy", s.busy)
+        .u64("refused_draining", s.refused_draining)
+        .u64("bad_requests", s.bad_requests)
+        .u64("workers", s.workers as u64)
+        .raw("wall_s", &format!("{:.6}", s.wall.as_secs_f64()))
+        .raw("memo", &memo)
+        .build()
+}
+
+/// Locks a mutex, recovering from poisoning — same policy as the
+/// executor: the sequencer state is a plain map valid at every unwind
+/// point, so a panicking sibling must not abort the connection.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-connection response sequencer. Workers finish in any order, but
+/// responses are written strictly in request (sequence) order: an
+/// out-of-order response parks in `pending` until its predecessors
+/// flush. This is what makes a serve session's response bytes identical
+/// for any worker count.
+pub(crate) struct ConnOut {
+    inner: Mutex<SeqState>,
+}
+
+struct SeqState {
+    next: u64,
+    pending: BTreeMap<u64, String>,
+    sink: Box<dyn Write + Send>,
+}
+
+impl ConnOut {
+    fn new(sink: Box<dyn Write + Send>) -> Self {
+        ConnOut {
+            inner: Mutex::new(SeqState {
+                next: 0,
+                pending: BTreeMap::new(),
+                sink,
+            }),
+        }
+    }
+
+    /// Queues response line `seq` and flushes every contiguous response
+    /// from `next` upward. Write errors are ignored (the client is
+    /// gone); sequencing state still advances so the session drains.
+    fn send(&self, seq: u64, line: String) {
+        let mut guard = lock_recovering(&self.inner);
+        let state = &mut *guard;
+        state.pending.insert(seq, line);
+        while let Some(line) = state.pending.remove(&state.next) {
+            state.next += 1;
+            let _ = writeln!(state.sink, "{line}");
+        }
+        let _ = state.sink.flush();
+    }
+}
+
+/// A run request admitted to the worker queue.
+struct QueuedJob {
+    conn: Arc<ConnOut>,
+    seq: u64,
+    id: json::Value,
+    spec: JobSpec,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LineOutcome {
+    Continue,
+    Shutdown,
+}
+
+/// The daemon: one shared memo cache, one draining flag, and the
+/// counters behind `stats` responses. Serve loops ([`Server::serve_unix`],
+/// [`Server::serve_reader`]) borrow it; the cache outlives them all, so
+/// a second serve loop on the same `Server` starts warm.
+pub struct Server {
+    opts: ServeOptions,
+    workers: usize,
+    cache: Arc<MemoCache>,
+    draining: AtomicBool,
+    served: AtomicU64,
+    busy: AtomicU64,
+    refused_draining: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+impl Server {
+    /// A daemon with a fresh process-lifetime memo cache.
+    pub fn new(opts: ServeOptions) -> Self {
+        let workers = if opts.workers != 0 {
+            opts.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        Server {
+            opts,
+            workers,
+            cache: Arc::new(MemoCache::new()),
+            draining: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            refused_draining: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+        }
+    }
+
+    fn queue_capacity(&self) -> usize {
+        if self.opts.queue_capacity != 0 {
+            self.opts.queue_capacity
+        } else {
+            64
+        }
+    }
+
+    /// `true` once drain has begun (no new run requests are admitted).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Latches the draining flag: in-flight and already-admitted jobs
+    /// finish, new run requests are refused with `draining`.
+    pub fn request_drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Current counters (what a `stats` response reports).
+    fn stats_view(&self, queued: usize) -> StatsView {
+        StatsView {
+            memo: self.cache.stats(),
+            queued,
+            served: self.served.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            workers: self.workers,
+        }
+    }
+
+    fn summary(&self, wall: Duration) -> ServeSummary {
+        ServeSummary {
+            served: self.served.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            refused_draining: self.refused_draining.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            memo: self.cache.stats(),
+            workers: self.workers,
+            wall,
+        }
+    }
+
+    /// Handles one request line: inline ops (`ping`, `stats`,
+    /// `shutdown`, refusals) respond immediately through the sequencer;
+    /// `run` is pushed to the admission queue for a worker.
+    fn handle_line(
+        &self,
+        line: &str,
+        seq: u64,
+        conn: &Arc<ConnOut>,
+        queue: &BoundedQueue<QueuedJob>,
+    ) -> LineOutcome {
+        match proto::parse_request(line) {
+            Err(msg) => {
+                self.bad_requests.fetch_add(1, Ordering::Relaxed);
+                conn.send(seq, proto::refusal(&json::Value::Null, "bad-request", &msg));
+                LineOutcome::Continue
+            }
+            Ok(Request::Ping { id }) => {
+                conn.send(seq, proto::ping_response(&id));
+                LineOutcome::Continue
+            }
+            Ok(Request::Stats { id }) => {
+                let view = self.stats_view(queue.len());
+                conn.send(seq, proto::stats_response(&id, &view));
+                LineOutcome::Continue
+            }
+            Ok(Request::Shutdown { id }) => {
+                self.request_drain();
+                // The ack is sequenced behind every earlier response of
+                // this connection: when the client reads it, all of its
+                // admitted work is done.
+                conn.send(seq, proto::shutdown_response(&id));
+                LineOutcome::Shutdown
+            }
+            Ok(Request::Run { id, spec }) => {
+                if self.is_draining() {
+                    self.refused_draining.fetch_add(1, Ordering::Relaxed);
+                    conn.send(
+                        seq,
+                        proto::refusal(&id, "draining", "daemon is draining; no new work"),
+                    );
+                    return LineOutcome::Continue;
+                }
+                let job = QueuedJob {
+                    conn: Arc::clone(conn),
+                    seq,
+                    id,
+                    spec,
+                };
+                match queue.try_push(job) {
+                    Ok(()) => {}
+                    Err((job, PushError::Full)) => {
+                        self.busy.fetch_add(1, Ordering::Relaxed);
+                        let detail =
+                            format!("admission queue full ({} jobs)", self.queue_capacity());
+                        job.conn
+                            .send(job.seq, proto::refusal(&job.id, "busy", &detail));
+                    }
+                    Err((job, PushError::Closed)) => {
+                        self.refused_draining.fetch_add(1, Ordering::Relaxed);
+                        job.conn.send(
+                            job.seq,
+                            proto::refusal(&job.id, "draining", "daemon is draining; no new work"),
+                        );
+                    }
+                }
+                LineOutcome::Continue
+            }
+        }
+    }
+
+    /// One worker: pop admitted jobs until the queue closes and drains.
+    /// Each job gets a fresh per-request [`Budget`] (clock starts now)
+    /// tightened by the request's own allowance via [`Budget::child`] —
+    /// the batch runner's apportioning, at request granularity. A
+    /// panicking job becomes one `error` response; the worker survives.
+    fn worker_loop(&self, queue: &BoundedQueue<QueuedJob>) {
+        while let Some(job) = queue.pop() {
+            let allowance = match (self.opts.request_budget.cluster_conflicts, job.spec.budget) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let budget = Budget::new(&self.opts.request_budget).child(allowance);
+            let record = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(test)]
+                test_panic_injection(&job.spec);
+                let source = load_job_instance(&job.spec);
+                execute_job(
+                    &job.spec.name,
+                    &source,
+                    &self.opts.eco,
+                    &budget,
+                    &self.cache,
+                )
+            }))
+            .unwrap_or_else(|_| JobRecord {
+                pass: 0,
+                index: 0,
+                name: job.spec.name.clone(),
+                status: JobStatus::Error,
+                targets: 0,
+                patches: 0,
+                cost: 0,
+                size: 0,
+                verified: false,
+                detail: "job worker panicked".into(),
+            });
+            self.served.fetch_add(1, Ordering::Relaxed);
+            job.conn
+                .send(job.seq, proto::run_response(&job.id, &record));
+        }
+    }
+
+    /// Serves one request stream from any buffered reader, writing
+    /// sequenced responses to `sink` — the stdio transport and the test
+    /// harness. EOF ends the stream (a `shutdown` request additionally
+    /// latches the daemon-wide drain flag); either way the call returns
+    /// only after every admitted job's response was written. The memo
+    /// cache belongs to the `Server`, so a later stream on the same
+    /// daemon starts warm.
+    pub fn serve_reader<R: BufRead>(&self, input: R, sink: Box<dyn Write + Send>) -> ServeSummary {
+        let t0 = Instant::now();
+        let queue = BoundedQueue::new(self.queue_capacity());
+        let conn = Arc::new(ConnOut::new(sink));
+        std::thread::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(|| self.worker_loop(&queue));
+            }
+            let mut seq = 0u64;
+            for line in input.lines() {
+                let Ok(line) = line else { break };
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let outcome = self.handle_line(line, seq, &conn, &queue);
+                seq += 1;
+                if outcome == LineOutcome::Shutdown {
+                    break;
+                }
+            }
+            queue.close();
+        });
+        self.summary(t0.elapsed())
+    }
+
+    /// Serves stdin → stdout (the `--stdio` transport: same protocol,
+    /// no socket — handy for tests and one-shot pipelines).
+    pub fn serve_stdio(&self) -> ServeSummary {
+        self.serve_reader(io::stdin().lock(), Box::new(io::stdout()))
+    }
+
+    /// Binds `path` and serves connections until drain is requested —
+    /// by a `shutdown` request on any connection or by the caller's
+    /// `shutdown` flag (the CLI wires SIGTERM/SIGINT to it). Any stale
+    /// socket file at `path` is replaced; the file is removed on exit.
+    pub fn serve_unix(&self, path: &Path, shutdown: &AtomicBool) -> io::Result<ServeSummary> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let t0 = Instant::now();
+        let queue = BoundedQueue::new(self.queue_capacity());
+        std::thread::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(|| self.worker_loop(&queue));
+            }
+            loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    self.request_drain();
+                }
+                if self.is_draining() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let queue = &queue;
+                        s.spawn(move || self.handle_unix_conn(stream, queue));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    // Transient accept errors (e.g. a connection reset
+                    // before accept): keep serving.
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            // Close admission; workers drain what was admitted, reader
+            // threads notice the flag within READ_POLL and exit. The
+            // scope join is the drain barrier.
+            queue.close();
+        });
+        let _ = std::fs::remove_file(path);
+        Ok(self.summary(t0.elapsed()))
+    }
+
+    /// One connection's reader: short read timeouts so drain is noticed
+    /// even on an idle connection; responses go through the write half.
+    fn handle_unix_conn(&self, stream: UnixStream, queue: &BoundedQueue<QueuedJob>) {
+        let Ok(writer) = stream.try_clone() else {
+            return;
+        };
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        let conn = Arc::new(ConnOut::new(Box::new(writer)));
+        let mut reader = BufReader::new(stream);
+        let mut seq = 0u64;
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(0) => break, // EOF
+                Ok(_) => {
+                    if buf.last() != Some(&b'\n') {
+                        // Unterminated data: EOF follows on the next read.
+                        continue;
+                    }
+                    if self.process_line_bytes(&mut buf, &mut seq, &conn, queue)
+                        == LineOutcome::Shutdown
+                    {
+                        return;
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // `read_until` keeps partial bytes in `buf` across
+                    // timeouts, so slow writers are reassembled intact.
+                    if self.is_draining() {
+                        return;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        // A final line without a trailing newline still gets an answer.
+        if !buf.is_empty() {
+            self.process_line_bytes(&mut buf, &mut seq, &conn, queue);
+        }
+    }
+
+    /// Decodes and handles one buffered line, consuming the buffer.
+    /// Blank lines are skipped without using up a sequence number.
+    fn process_line_bytes(
+        &self,
+        buf: &mut Vec<u8>,
+        seq: &mut u64,
+        conn: &Arc<ConnOut>,
+        queue: &BoundedQueue<QueuedJob>,
+    ) -> LineOutcome {
+        let text = String::from_utf8_lossy(buf).into_owned();
+        buf.clear();
+        let line = text.trim();
+        if line.is_empty() {
+            return LineOutcome::Continue;
+        }
+        let outcome = self.handle_line(line, *seq, conn, queue);
+        *seq += 1;
+        outcome
+    }
+}
+
+/// Unit tests can't make the hardened load/engine path panic from the
+/// outside (that's the point of this PR), so containment is exercised
+/// by a magic job name that detonates inside the worker's
+/// `catch_unwind`.
+#[cfg(test)]
+fn test_panic_injection(spec: &JobSpec) {
+    if spec.name == "panic-inject" {
+        panic!("injected panic for containment tests");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A `Write` sink tests can read back after the server is done.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn take(&self) -> String {
+            String::from_utf8(lock_recovering(&self.0).clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            lock_recovering(&self.0).extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn serve(opts: ServeOptions, input: &str) -> (String, ServeSummary) {
+        let server = Server::new(opts);
+        let sink = SharedBuf::default();
+        let summary = server.serve_reader(Cursor::new(input.to_string()), Box::new(sink.clone()));
+        (sink.take(), summary)
+    }
+
+    fn opts(workers: usize) -> ServeOptions {
+        ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        }
+    }
+
+    /// Writes the doc example's patchable pair to a temp dir and returns
+    /// `(dir, run-request line)` for job `name`.
+    fn case_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eco_serve_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("f.v"),
+            "module f (a, b, t_0, y); input a, b, t_0; output y;\n\
+             xor g1 (y, t_0, b); endmodule\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("g.v"),
+            "module g (a, b, y); input a, b; output y; wire w;\n\
+             and g1 (w, a, b); xor g2 (y, w, b); endmodule\n",
+        )
+        .unwrap();
+        dir
+    }
+
+    fn run_line(dir: &Path, id: &str, name: &str) -> String {
+        format!(
+            r#"{{"op": "run", "id": "{id}", "job": {{"name": "{name}", "faulty": "{f}", "golden": "{g}"}}}}"#,
+            f = dir.join("f.v").display(),
+            g = dir.join("g.v").display(),
+        )
+    }
+
+    #[test]
+    fn inline_ops_respond_in_order() {
+        let input = "{\"op\": \"ping\", \"id\": 1}\n\
+                     not json\n\
+                     {\"op\": \"ping\", \"id\": 2}\n";
+        let (out, summary) = serve(opts(2), input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "{\"id\": 1, \"ok\": true, \"op\": \"ping\"}");
+        assert!(lines[1].contains("\"error\": \"bad-request\""));
+        assert_eq!(lines[2], "{\"id\": 2, \"ok\": true, \"op\": \"ping\"}");
+        assert_eq!(summary.bad_requests, 1);
+        assert_eq!(summary.served, 0);
+    }
+
+    #[test]
+    fn run_responses_are_byte_identical_across_worker_counts() {
+        let dir = case_dir("det");
+        let mut input = String::new();
+        for i in 0..6 {
+            input.push_str(&run_line(&dir, &format!("r{i}"), &format!("job{i}")));
+            input.push('\n');
+        }
+        // A missing-file job mid-stream must yield a deterministic error
+        // record, not disturb its neighbors.
+        input.push_str(
+            r#"{"op": "run", "id": "gone", "job": {"name": "gone", "faulty": "/nonexistent/f.v", "golden": "/nonexistent/g.v"}}"#,
+        );
+        input.push('\n');
+        let (out1, s1) = serve(opts(1), &input);
+        let (out4, s4) = serve(opts(4), &input);
+        assert_eq!(out1, out4, "responses must not depend on worker count");
+        assert_eq!(s1.served, 7);
+        assert_eq!(s4.served, 7);
+        assert!(out1.contains("\"id\": \"r0\", \"ok\": true, \"op\": \"run\""));
+        assert!(out1.contains("\"status\": \"complete\""));
+        assert!(out1
+            .lines()
+            .nth(6)
+            .unwrap()
+            .contains("\"status\": \"error\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_cache_stays_warm_across_requests_and_serve_loops() {
+        let dir = case_dir("warm");
+        let server = Server::new(opts(1));
+        // Two structurally identical instances: the second hits the
+        // cache the first filled.
+        let mut input = String::new();
+        input.push_str(&run_line(&dir, "a", "one"));
+        input.push('\n');
+        input.push_str(&run_line(&dir, "b", "two"));
+        input.push('\n');
+        let sink = SharedBuf::default();
+        let summary = server.serve_reader(Cursor::new(input), Box::new(sink.clone()));
+        assert!(summary.memo.hits > 0, "second identical job must hit");
+        // The cache belongs to the Server, not the serve loop: a later
+        // stream on the same daemon sees the warm counters.
+        let sink2 = SharedBuf::default();
+        server.serve_reader(
+            Cursor::new("{\"op\": \"stats\", \"id\": \"s\"}\n".to_string()),
+            Box::new(sink2.clone()),
+        );
+        let stats_line = sink2.take();
+        assert!(stats_line.contains("\"op\": \"stats\""), "{stats_line}");
+        assert!(
+            !stats_line.contains("\"hits\": 0,"),
+            "stats echoes warm hits: {stats_line}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_ack_is_sequenced_after_all_admitted_work() {
+        let dir = case_dir("drain");
+        let mut input = String::new();
+        for i in 0..3 {
+            input.push_str(&run_line(&dir, &format!("r{i}"), &format!("job{i}")));
+            input.push('\n');
+        }
+        input.push_str("{\"op\": \"shutdown\", \"id\": \"bye\"}\n");
+        // Lines after shutdown are never read (the session ended).
+        input.push_str("{\"op\": \"ping\", \"id\": \"late\"}\n");
+        let (out, summary) = serve(opts(2), &input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "3 runs + ack, nothing after: {out}");
+        assert!(lines[3].contains("\"op\": \"shutdown\""));
+        assert!(lines[3].contains("\"draining\": true"));
+        assert_eq!(summary.served, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn draining_server_refuses_new_runs_with_typed_error() {
+        let dir = case_dir("refuse");
+        let server = Server::new(opts(2));
+        server.request_drain();
+        let sink = SharedBuf::default();
+        let input = format!("{}\n", run_line(&dir, "x", "late"));
+        let summary = server.serve_reader(Cursor::new(input), Box::new(sink.clone()));
+        let out = sink.take();
+        assert!(out.contains("\"error\": \"draining\""), "{out}");
+        assert_eq!(summary.refused_draining, 1);
+        assert_eq!(summary.served, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_queue_sheds_load_with_busy_and_sequences_the_refusal() {
+        // Drive handle_line directly against an unserviced queue so the
+        // overflow is deterministic: request 0 is admitted, request 1
+        // overflows capacity 1 and is refused.
+        let server = Server::new(ServeOptions {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServeOptions::default()
+        });
+        let queue: BoundedQueue<QueuedJob> = BoundedQueue::new(1);
+        let sink = SharedBuf::default();
+        let conn = Arc::new(ConnOut::new(Box::new(sink.clone())));
+        let line =
+            r#"{"op": "run", "id": 1, "job": {"name": "j", "faulty": "f.v", "golden": "g.v"}}"#;
+        assert_eq!(
+            server.handle_line(line, 0, &conn, &queue),
+            LineOutcome::Continue
+        );
+        assert_eq!(
+            server.handle_line(line, 1, &conn, &queue),
+            LineOutcome::Continue
+        );
+        assert_eq!(server.busy.load(Ordering::Relaxed), 1);
+        assert_eq!(queue.len(), 1, "first job stays admitted");
+        // The refusal is *decided* immediately but *written* in request
+        // order: it parks behind request 0 until a worker answers it.
+        assert!(sink.take().is_empty(), "refusal held until seq 0 flushes");
+        queue.close();
+        std::thread::scope(|s| {
+            s.spawn(|| server.worker_loop(&queue));
+        });
+        let out = sink.take();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        // f.v doesn't exist, so request 0 is a deterministic error
+        // record — and its flush releases the parked busy refusal.
+        assert!(lines[0].contains("\"status\": \"error\""), "{out}");
+        assert!(lines[1].contains("\"error\": \"busy\""), "{out}");
+    }
+
+    /// The serve-session half of the panic regression: a job that
+    /// panics inside a worker becomes one `error` response while the
+    /// session keeps serving — the worker thread, its queue, and the
+    /// response sequencer all survive.
+    #[test]
+    fn panicking_job_yields_error_response_and_session_continues() {
+        let dir = case_dir("panic");
+        for workers in [1, 4] {
+            let mut input = String::new();
+            input.push_str(&run_line(&dir, "ok1", "first"));
+            input.push('\n');
+            input.push_str(
+                r#"{"op": "run", "id": "boom", "job": {"name": "panic-inject", "faulty": "f.v", "golden": "g.v"}}"#,
+            );
+            input.push('\n');
+            input.push_str(&run_line(&dir, "ok2", "second"));
+            input.push('\n');
+            let (out, summary) = serve(opts(workers), &input);
+            let lines: Vec<&str> = out.lines().collect();
+            assert_eq!(lines.len(), 3, "workers={workers}: {out}");
+            assert!(lines[0].contains("\"status\": \"complete\""), "{out}");
+            assert!(
+                lines[1].contains("\"status\": \"error\"")
+                    && lines[1].contains("job worker panicked"),
+                "{out}"
+            );
+            assert!(lines[2].contains("\"status\": \"complete\""), "{out}");
+            assert_eq!(summary.served, 3, "panicked job still counts as served");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A panic while holding the sequencer lock must not abort the
+    /// connection: later sends recover the state and flush in order.
+    #[test]
+    fn poisoned_sequencer_recovers_and_still_flushes_in_order() {
+        let sink = SharedBuf::default();
+        let conn = Arc::new(ConnOut::new(Box::new(sink.clone())));
+        let poisoner = Arc::clone(&conn);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("die holding the sequencer lock");
+        })
+        .join();
+        assert!(conn.inner.lock().is_err(), "lock must actually be poisoned");
+        conn.send(1, "second".into());
+        conn.send(0, "first".into());
+        assert_eq!(sink.take(), "first\nsecond\n");
+    }
+
+    #[test]
+    fn unix_socket_round_trip_with_drain() {
+        let dir = case_dir("unix");
+        let sock = dir.join("eco.sock");
+        let server = Arc::new(Server::new(opts(2)));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let server = Arc::clone(&server);
+            let sock = sock.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || server.serve_unix(&sock, &shutdown).unwrap())
+        };
+        // Wait for the socket to appear.
+        let mut stream = loop {
+            match UnixStream::connect(&sock) {
+                Ok(s) => break s,
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        let mut req = run_line(&dir, "u1", "unixjob");
+        req.push('\n');
+        req.push_str("{\"op\": \"shutdown\", \"id\": \"bye\"}\n");
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"id\": \"u1\""), "{line}");
+        assert!(line.contains("\"status\": \"complete\""), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"op\": \"shutdown\""), "{line}");
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.served, 1);
+        assert!(!sock.exists(), "socket file removed on exit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -34,7 +34,9 @@ pub mod scale;
 mod suite;
 
 pub use crate::builder::NetlistBuilder;
-pub use crate::emit::{manifest_toml, write_case, write_fuzz_case, write_unit, ManifestEntry};
+pub use crate::emit::{
+    manifest_toml, request_stream, write_case, write_fuzz_case, write_unit, ManifestEntry,
+};
 pub use crate::fault::{
     assign_weights, break_untouched_output, cut_targets, scramble_dangling, FaultError,
     WeightProfile,

@@ -33,6 +33,17 @@
 # compared against it and a >20% regression fails the gate; the 100k
 # rows of the tracked file are refreshed on success.
 #
+# --serve-smoke additionally exercises the eco-serve daemon end to end:
+# a 12-job request stream (from eco-workgen --requests) is replayed cold
+# then warm against one daemon over a unix socket. The warm replay must
+# hit the process-lifetime memo cache (daemon stats op), finish in <10%
+# of the cold stream's wall time, and return byte-identical responses; a
+# second daemon with --jobs 1 must produce the same bytes as --jobs 4.
+# Both drain paths are proven clean (protocol shutdown and SIGTERM, exit
+# 0, socket file removed, all admitted jobs answered). Cold/warm
+# throughput and p50/p99 round-trip latencies are recorded in
+# crates/bench/BENCH_serve.json.
+#
 # The portfolio smoke is part of the DEFAULT gate (cheap: four eco-patch
 # runs on one solver-bound unit): it drives unit04 with --portfolio 1
 # and --portfolio 4, asserts the emitted patch netlists are
@@ -50,6 +61,7 @@ fuzz_smoke=0
 degrade_smoke=0
 batch_smoke=0
 scale_smoke=0
+serve_smoke=0
 portfolio_smoke=1
 for arg in "$@"; do
   case "$arg" in
@@ -58,9 +70,10 @@ for arg in "$@"; do
     --degrade-smoke) degrade_smoke=1 ;;
     --batch-smoke) batch_smoke=1 ;;
     --scale-smoke) scale_smoke=1 ;;
+    --serve-smoke) serve_smoke=1 ;;
     --portfolio-smoke) portfolio_smoke=1 ;;
     --no-portfolio-smoke) portfolio_smoke=0 ;;
-    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke] [--scale-smoke] [--no-portfolio-smoke]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke] [--scale-smoke] [--serve-smoke] [--no-portfolio-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -276,6 +289,138 @@ if [ "$scale_smoke" -eq 1 ]; then
     target/release/scale --json crates/bench/BENCH_scale.json
   fi
   echo "scale smoke: ok"
+fi
+
+if [ "$serve_smoke" -eq 1 ]; then
+  echo "== serve smoke: daemon cold+warm 12-job replay, worker-count determinism, drain"
+  svtmp="$(mktemp -d)"
+  serve_pids=""
+  serve_cleanup() {
+    # shellcheck disable=SC2086
+    [ -n "$serve_pids" ] && kill $serve_pids 2> /dev/null || true
+    rm -rf "${ptmp:-}" "${tmp:-}" "${btmp:-}" "${stmp:-}" "${svtmp:-}"
+  }
+  trap serve_cleanup EXIT
+  target/release/eco-workgen --suite --count 12 --out "$svtmp/cases" \
+    --manifest "$svtmp/manifest.toml" --requests "$svtmp/requests.jsonl" -q
+
+  wait_sock() { # <path>
+    for _ in $(seq 1 100); do
+      [ -S "$1" ] && return 0
+      sleep 0.1
+    done
+    echo "serve smoke: daemon socket $1 never appeared"
+    exit 1
+  }
+  run_replay() { # <socket> <out> <timing> [extra client flags...]
+    sock="$1" out="$2" timing="$3"
+    shift 3
+    set +e
+    target/release/eco-serve client --socket "$sock" \
+      --input "$svtmp/requests.jsonl" --timing "$@" \
+      > "$out" 2> "$timing"
+    rc=$?
+    set -e
+  }
+
+  # Daemon A (4 workers): cold replay, warm replay, stats, protocol drain.
+  target/release/eco-serve --socket "$svtmp/a.sock" --jobs 4 --stats \
+    2> "$svtmp/a_stats.json" &
+  pid_a=$!
+  serve_pids="$pid_a"
+  wait_sock "$svtmp/a.sock"
+
+  run_replay "$svtmp/a.sock" "$svtmp/cold.out" "$svtmp/cold_timing.json"
+  [ "$rc" -eq 0 ] || { echo "serve smoke: cold replay failed ($rc)"; cat "$svtmp/cold_timing.json"; exit 1; }
+  run_replay "$svtmp/a.sock" "$svtmp/warm.out" "$svtmp/warm_timing.json"
+  [ "$rc" -eq 0 ] || { echo "serve smoke: warm replay failed ($rc)"; cat "$svtmp/warm_timing.json"; exit 1; }
+
+  # Warm responses must be byte-identical to cold, all complete+verified.
+  cmp -s "$svtmp/cold.out" "$svtmp/warm.out" \
+    || { echo "serve smoke: warm responses differ from cold"; diff "$svtmp/cold.out" "$svtmp/warm.out" || true; exit 1; }
+  complete=$(grep -c '"status": "complete"' "$svtmp/cold.out" || true)
+  [ "$complete" -eq 12 ] || { echo "serve smoke: expected 12 complete responses, got $complete"; cat "$svtmp/cold.out"; exit 1; }
+  ! grep -q '"verified": false' "$svtmp/cold.out" \
+    || { echo "serve smoke: unverified response"; cat "$svtmp/cold.out"; exit 1; }
+
+  # The warm replay must have hit the daemon's process-lifetime cache.
+  printf '{"op": "stats", "id": "smoke"}\n' \
+    | target/release/eco-serve client --socket "$svtmp/a.sock" > "$svtmp/stats.out"
+  hits=$(sed -n 's/.*"hits": \([0-9]*\).*/\1/p' "$svtmp/stats.out")
+  [ -n "$hits" ] && [ "$hits" -gt 0 ] \
+    || { echo "serve smoke: warm replay reported no cache hits"; cat "$svtmp/stats.out"; exit 1; }
+
+  # Warm stream wall time must be under 10% of cold.
+  cold_s=$(sed -n 's/.*"wall_s": \([0-9.]*\).*/\1/p' "$svtmp/cold_timing.json")
+  warm_s=$(sed -n 's/.*"wall_s": \([0-9.]*\).*/\1/p' "$svtmp/warm_timing.json")
+  [ -n "$cold_s" ] && [ -n "$warm_s" ] \
+    || { echo "serve smoke: could not parse client wall times"; cat "$svtmp/cold_timing.json" "$svtmp/warm_timing.json"; exit 1; }
+  awk -v c="$cold_s" -v w="$warm_s" 'BEGIN { exit !(w < c * 0.10) }' \
+    || { echo "serve smoke: warm stream not <10% of cold (cold ${cold_s}s, warm ${warm_s}s)"; exit 1; }
+
+  # Graceful drain via a protocol shutdown request: acknowledged,
+  # exit 0, socket file removed, stats summary on stderr.
+  target/release/eco-serve client --socket "$svtmp/a.sock" --shutdown \
+    < /dev/null > "$svtmp/shutdown.out"
+  grep -q '"draining": true' "$svtmp/shutdown.out" \
+    || { echo "serve smoke: shutdown not acknowledged"; cat "$svtmp/shutdown.out"; exit 1; }
+  set +e
+  wait "$pid_a"
+  rc=$?
+  set -e
+  serve_pids=""
+  [ "$rc" -eq 0 ] || { echo "serve smoke: daemon A exited $rc after shutdown"; cat "$svtmp/a_stats.json"; exit 1; }
+  [ ! -e "$svtmp/a.sock" ] || { echo "serve smoke: socket file not removed on drain"; exit 1; }
+  grep -q '"served": 24' "$svtmp/a_stats.json" \
+    || { echo "serve smoke: daemon A summary missing 24 served jobs"; cat "$svtmp/a_stats.json"; exit 1; }
+
+  # Daemon B (1 worker): responses must be byte-identical to daemon A's,
+  # and a SIGTERM must drain it cleanly too.
+  target/release/eco-serve --socket "$svtmp/b.sock" --jobs 1 --stats \
+    2> "$svtmp/b_stats.json" &
+  pid_b=$!
+  serve_pids="$pid_b"
+  wait_sock "$svtmp/b.sock"
+  run_replay "$svtmp/b.sock" "$svtmp/b.out" "$svtmp/b_timing.json"
+  [ "$rc" -eq 0 ] || { echo "serve smoke: --jobs 1 replay failed ($rc)"; cat "$svtmp/b_timing.json"; exit 1; }
+  cmp -s "$svtmp/cold.out" "$svtmp/b.out" \
+    || { echo "serve smoke: responses differ between --jobs 4 and --jobs 1"; diff "$svtmp/cold.out" "$svtmp/b.out" || true; exit 1; }
+  kill -TERM "$pid_b"
+  set +e
+  wait "$pid_b"
+  rc=$?
+  set -e
+  serve_pids=""
+  [ "$rc" -eq 0 ] || { echo "serve smoke: daemon B exited $rc after SIGTERM"; cat "$svtmp/b_stats.json"; exit 1; }
+  [ ! -e "$svtmp/b.sock" ] || { echo "serve smoke: socket file not removed after SIGTERM"; exit 1; }
+  grep -q '"served": 12' "$svtmp/b_stats.json" \
+    || { echo "serve smoke: daemon B summary missing 12 served jobs"; cat "$svtmp/b_stats.json"; exit 1; }
+
+  # Record cold-vs-warm throughput and round-trip latency percentiles.
+  field() { sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" "$1"; }
+  ns() { awk -v s="$1" 'BEGIN { printf "%.0f", s * 1e9 }'; }
+  cold_ns=$(ns "$cold_s")
+  warm_ns=$(ns "$warm_s")
+  cold_p50_ns=$((1000 * $(field "$svtmp/cold_timing.json" p50_us)))
+  cold_p99_ns=$((1000 * $(field "$svtmp/cold_timing.json" p99_us)))
+  warm_p50_ns=$((1000 * $(field "$svtmp/warm_timing.json" p50_us)))
+  warm_p99_ns=$((1000 * $(field "$svtmp/warm_timing.json" p99_us)))
+  cold_rps=$(field "$svtmp/cold_timing.json" rps)
+  warm_rps=$(field "$svtmp/warm_timing.json" rps)
+  cat > crates/bench/BENCH_serve.json <<EOF
+{"benches": [
+  {"name": "serve/suite12/cold_stream", "samples": 1, "mean_ns": $cold_ns, "median_ns": $cold_ns, "min_ns": $cold_ns, "max_ns": $cold_ns},
+  {"name": "serve/suite12/warm_stream", "samples": 1, "mean_ns": $warm_ns, "median_ns": $warm_ns, "min_ns": $warm_ns, "max_ns": $warm_ns},
+  {"name": "serve/suite12/cold_p50", "samples": 12, "mean_ns": $cold_p50_ns, "median_ns": $cold_p50_ns, "min_ns": $cold_p50_ns, "max_ns": $cold_p99_ns},
+  {"name": "serve/suite12/warm_p50", "samples": 12, "mean_ns": $warm_p50_ns, "median_ns": $warm_p50_ns, "min_ns": $warm_p50_ns, "max_ns": $warm_p99_ns},
+  {"name": "serve/suite12/cold_p99", "samples": 12, "mean_ns": $cold_p99_ns, "median_ns": $cold_p99_ns, "min_ns": $cold_p50_ns, "max_ns": $cold_p99_ns},
+  {"name": "serve/suite12/warm_p99", "samples": 12, "mean_ns": $warm_p99_ns, "median_ns": $warm_p99_ns, "min_ns": $warm_p50_ns, "max_ns": $warm_p99_ns}
+], "notes": [
+  "single sequential client over a unix socket, 12-job suite stream",
+  "cold ${cold_rps} req/s, warm ${warm_rps} req/s; one daemon, shared memo cache"
+]}
+EOF
+  echo "serve smoke: cold ${cold_s}s (${cold_rps} rps), warm ${warm_s}s (${warm_rps} rps), $hits cache hits"
 fi
 
 echo "all checks passed"

@@ -20,6 +20,9 @@
 //! * [`workgen`] — synthetic ICCAD-2017-style ECO instances.
 //! * [`batch`] — manifest-driven batch runs over many instances with a
 //!   cross-job memo cache and job-level work stealing.
+//! * [`serve`] — the persistent daemon: JSONL jobs over a unix socket
+//!   with admission control, graceful drain, and an always-warm memo
+//!   cache shared across requests.
 //!
 //! # Examples
 //!
@@ -49,4 +52,5 @@ pub use eco_core as core;
 pub use eco_fraig as fraig;
 pub use eco_netlist as netlist;
 pub use eco_sat as sat;
+pub use eco_serve as serve;
 pub use eco_workgen as workgen;
