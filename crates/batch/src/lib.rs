@@ -62,11 +62,13 @@ pub mod json;
 mod manifest;
 pub mod report;
 mod runner;
+pub mod wal;
 
 pub use crate::executor::{run_indexed, BoundedQueue, PushError};
 pub use crate::manifest::{job_spec_from_json, JobSpec, Manifest, ManifestError};
-pub use crate::report::{exit_code, record_json, records_jsonl, stats_json};
+pub use crate::report::{exit_code, record_from_json, record_json, records_jsonl, stats_json};
 pub use crate::runner::{
     execute_job, load_job_instance, load_jobs, run_batch, BatchJob, BatchOptions, BatchOutcome,
     JobRecord, JobStatus,
 };
+pub use crate::wal::{job_fingerprint, load_journal, BatchJournal, BatchJournalState};

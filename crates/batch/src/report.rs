@@ -8,6 +8,7 @@
 
 use eco_core::{peak_rss_bytes, JsonObj};
 
+use crate::json::{self, Value};
 use crate::runner::{BatchOutcome, JobRecord, JobStatus};
 
 /// Renders one job record as a single-line JSON object (no trailing
@@ -25,6 +26,61 @@ pub fn record_json(record: &JobRecord) -> String {
         .bool("verified", record.verified)
         .str("detail", &record.detail)
         .build()
+}
+
+/// Parses a [`record_json`] line back into a [`JobRecord`] — the
+/// journal-replay inverse used by `--resume`. Round-trip exact:
+/// `record_json(record_from_json(line)?) == line` for every line this
+/// module emits.
+pub fn record_from_json(line: &str) -> Result<JobRecord, String> {
+    let Value::Obj(fields) = json::parse(line)? else {
+        return Err("job record: expected a JSON object".into());
+    };
+    let get = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("job record: missing `{key}`"))
+    };
+    let as_u64 = |key: &str| match get(key)? {
+        Value::Int(n) => Ok(*n),
+        other => Err(format!(
+            "job record: `{key}` expects a number, got {}",
+            other.kind()
+        )),
+    };
+    let as_str = |key: &str| match get(key)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(format!(
+            "job record: `{key}` expects a string, got {}",
+            other.kind()
+        )),
+    };
+    let status_tag = as_str("status")?;
+    let status = JobStatus::from_tag(&status_tag)
+        .ok_or_else(|| format!("job record: unknown status `{status_tag}`"))?;
+    let verified = match get("verified")? {
+        Value::Bool(b) => *b,
+        other => {
+            return Err(format!(
+                "job record: `verified` expects a bool, got {}",
+                other.kind()
+            ))
+        }
+    };
+    Ok(JobRecord {
+        pass: as_u64("pass")? as usize,
+        index: as_u64("job")? as usize,
+        name: as_str("name")?,
+        status,
+        targets: as_u64("targets")? as usize,
+        patches: as_u64("patches")? as usize,
+        cost: as_u64("cost")?,
+        size: as_u64("size")?,
+        verified,
+        detail: as_str("detail")?,
+    })
 }
 
 /// Renders records as JSONL in deterministic `(pass, job)` order — one
@@ -98,6 +154,9 @@ pub fn stats_json(outcome: &BatchOutcome) -> String {
         .u64("partial", count(JobStatus::Partial))
         .u64("unrectifiable", count(JobStatus::Unrectifiable))
         .u64("error", count(JobStatus::Error))
+        .u64("reused", outcome.reused)
+        .u64("memo_loaded", outcome.memo_loaded)
+        .u64("persist_errors", outcome.persist_errors)
         .arr("pass_wall_s", &walls)
         .raw("memo", &memo);
     // Like the wall times, peak RSS is part of the non-deterministic
@@ -159,6 +218,22 @@ mod tests {
     }
 
     #[test]
+    fn record_json_round_trips_through_the_parser() {
+        let mut original = record(1, 3, JobStatus::Partial);
+        original.detail = "budget: \"deadline\" hit\n2 of 3".into();
+        let line = record_json(&original);
+        let parsed = record_from_json(&line).expect("parse");
+        assert_eq!(parsed, original);
+        assert_eq!(record_json(&parsed), line, "byte-identical re-render");
+        assert!(record_from_json("[]").is_err());
+        assert!(record_from_json("{\"pass\": 0}").is_err(), "missing fields");
+        assert!(
+            record_from_json(&line.replace("partial", "bogus")).is_err(),
+            "unknown status tag"
+        );
+    }
+
+    #[test]
     fn exit_code_takes_worst_severity() {
         use JobStatus::*;
         let rec = |s| record(0, 0, s);
@@ -181,6 +256,9 @@ mod tests {
             ],
             pass_wall: vec![Duration::from_millis(5)],
             memo: MemoStats::default(),
+            reused: 0,
+            memo_loaded: 0,
+            persist_errors: 0,
         };
         let json = stats_json(&outcome);
         for key in [

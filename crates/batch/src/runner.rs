@@ -23,18 +23,20 @@
 //! pure functions; see `eco_core::memo`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eco_core::{
-    Budget, BudgetOptions, EcoEngine, EcoError, EcoInstance, EcoOptions, EcoOutcome, MemoCache,
-    MemoStats,
+    faultpoint, Budget, BudgetOptions, EcoEngine, EcoError, EcoInstance, EcoOptions, EcoOutcome,
+    MemoCache, MemoStats, MemoStore,
 };
 use eco_netlist::{elaborate, parse_blif, parse_verilog, parse_weights, WeightTable};
 
 use crate::executor::run_indexed;
 use crate::manifest::{JobSpec, Manifest};
+use crate::wal::{job_fingerprint, load_journal, BatchJournal, BatchJournalState};
 
 /// Knobs for a batch run.
 #[derive(Clone, Debug, Default)]
@@ -50,6 +52,14 @@ pub struct BatchOptions {
     /// (to 1), `memo` (to the shared cache), and ignores `budget` (the
     /// apportioned child budget is passed directly).
     pub eco: EcoOptions,
+    /// State directory for crash safety: a write-ahead job journal
+    /// (`batch.wal`) plus the durable memo store (`memo.snap` /
+    /// `memo.wal`). `None` (the default) runs fully in memory.
+    pub journal: Option<PathBuf>,
+    /// Replay `journal` before running: completed jobs (matched by
+    /// content fingerprint) are emitted verbatim from the journal, only
+    /// unfinished ones execute. Requires `journal`.
+    pub resume: bool,
 }
 
 /// How a job ended, in order of increasing exit-code severity.
@@ -73,6 +83,17 @@ impl JobStatus {
             JobStatus::Partial => "partial",
             JobStatus::Unrectifiable => "unrectifiable",
             JobStatus::Error => "error",
+        }
+    }
+
+    /// Inverse of [`JobStatus::tag`] (journal replay).
+    pub fn from_tag(tag: &str) -> Option<JobStatus> {
+        match tag {
+            "complete" => Some(JobStatus::Complete),
+            "partial" => Some(JobStatus::Partial),
+            "unrectifiable" => Some(JobStatus::Unrectifiable),
+            "error" => Some(JobStatus::Error),
+            _ => None,
         }
     }
 }
@@ -137,6 +158,15 @@ pub struct BatchOutcome {
     pub pass_wall: Vec<Duration>,
     /// Final shared-cache counters.
     pub memo: MemoStats,
+    /// Records replayed from the journal instead of recomputed
+    /// (`--resume` only).
+    pub reused: u64,
+    /// Memo entries recovered from the durable store on startup.
+    pub memo_loaded: u64,
+    /// Journal/store records skipped as corrupt or torn, plus journal
+    /// appends and store operations that failed (durability degraded,
+    /// the batch continued).
+    pub persist_errors: u64,
 }
 
 /// Builds [`BatchJob`]s from a manifest, reading circuits and weights
@@ -239,6 +269,54 @@ fn read_circuit(
 /// how the pool interleaved the work.
 pub fn run_batch(jobs: &[BatchJob], opts: &BatchOptions) -> BatchOutcome {
     let cache = Arc::new(MemoCache::new());
+    let mut persist_errors = 0u64;
+    let mut memo_loaded = 0u64;
+    // Crash-safety state: recover the durable memo store and the job
+    // journal before anything executes. Failures here degrade to an
+    // in-memory run (counted), they never abort the batch.
+    let store = opts
+        .journal
+        .as_deref()
+        .and_then(|dir| match MemoStore::open(dir) {
+            Ok(store) => {
+                let loaded = store.load_into(&cache);
+                memo_loaded = loaded.loaded;
+                persist_errors += loaded.skipped;
+                store.attach(&cache);
+                Some(store)
+            }
+            Err(_) => {
+                persist_errors += 1;
+                None
+            }
+        });
+    let resume_state: Option<BatchJournalState> = if opts.resume {
+        opts.journal
+            .as_deref()
+            .and_then(|dir| match load_journal(dir) {
+                Ok(state) => {
+                    persist_errors += state.log.skipped_frames + state.bad_records;
+                    Some(state)
+                }
+                Err(_) => {
+                    persist_errors += 1;
+                    None
+                }
+            })
+    } else {
+        None
+    };
+    let journal = opts
+        .journal
+        .as_deref()
+        .and_then(|dir| match BatchJournal::open(dir) {
+            Ok(j) => Some(j),
+            Err(_) => {
+                persist_errors += 1;
+                None
+            }
+        });
+    let reused = AtomicU64::new(0);
     let run_budget = Budget::new(&opts.budget);
     // Apportion the batch-wide conflict allowance evenly across jobs.
     let apportioned = opts
@@ -253,7 +331,22 @@ pub fn run_batch(jobs: &[BatchJob], opts: &BatchOptions) -> BatchOutcome {
     for pass in 0..repeat {
         let t0 = Instant::now();
         let run_one = |index: usize| {
-            run_job(
+            let fp = job_fingerprint(pass, index, &jobs[index]);
+            if let Some(state) = &resume_state {
+                if let Some(record) = state.done.get(&fp) {
+                    // Completed before the crash: replay the journaled
+                    // record verbatim, never recompute.
+                    reused.fetch_add(1, Ordering::Relaxed);
+                    return record.clone();
+                }
+            }
+            if let Some(journal) = &journal {
+                // Write-ahead: the job is on disk before it executes, so
+                // a kill here is a journaled-but-unfinished job the next
+                // resume picks up.
+                journal.admit(fp);
+            }
+            let record = run_job(
                 pass,
                 index,
                 &jobs[index],
@@ -261,7 +354,11 @@ pub fn run_batch(jobs: &[BatchJob], opts: &BatchOptions) -> BatchOutcome {
                 &run_budget,
                 apportioned,
                 &cache,
-            )
+            );
+            if let Some(journal) = &journal {
+                journal.done(fp, &record);
+            }
+            record
         };
         // The shared claim-counter pool (executor.rs): one slot per job,
         // merged in index order, panicking jobs isolated to one error
@@ -272,10 +369,25 @@ pub fn run_batch(jobs: &[BatchJob], opts: &BatchOptions) -> BatchOutcome {
         pass_wall.push(t0.elapsed());
     }
 
+    if let Some(store) = &store {
+        // Graceful finish: compact the journaled entries into the
+        // snapshot so the next run warm-starts from one clean file.
+        if store.snapshot(&cache).is_err() {
+            persist_errors += 1;
+        }
+        persist_errors += store.append_errors();
+    }
+    if let Some(journal) = &journal {
+        persist_errors += journal.append_errors();
+    }
+
     BatchOutcome {
         records,
         pass_wall,
         memo: cache.stats(),
+        reused: reused.load(Ordering::Relaxed),
+        memo_loaded,
+        persist_errors,
     }
 }
 
@@ -369,7 +481,12 @@ pub fn execute_job(
 
     // A panicking job must not take the whole batch (and its scoped pool)
     // down with it; it becomes an `error` record like any other failure.
-    match catch_unwind(AssertUnwindSafe(|| engine.run_governed_with(budget))) {
+    // The chaos `solver.panic` site detonates here, inside the isolation
+    // boundary it exists to exercise.
+    match catch_unwind(AssertUnwindSafe(|| {
+        faultpoint::maybe_panic("solver.panic");
+        engine.run_governed_with(budget)
+    })) {
         Err(_) => record.detail = "job worker panicked".into(),
         Ok(Err(EcoError::Unrectifiable(why))) => {
             record.status = JobStatus::Unrectifiable;

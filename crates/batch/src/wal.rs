@@ -1,0 +1,292 @@
+//! Batch write-ahead journal and resume: every job is journaled before
+//! execution and its record after, so `eco-batch --resume` replays a
+//! killed run without recomputing completed jobs.
+//!
+//! The journal (`<dir>/batch.wal`) uses the workspace-wide checksummed
+//! record log ([`eco_core::LogWriter`]), so a SIGKILL mid-append leaves
+//! at worst a torn tail the loader discards. Records are keyed by a
+//! *content* fingerprint of the job ([`job_fingerprint`]: pass, index,
+//! name, budget, and both circuits' structural fingerprints + targets),
+//! so a resume against an edited manifest recomputes exactly the jobs
+//! whose inputs changed. A `done` record stores the job's JSONL line
+//! verbatim; replayed records therefore reproduce the uninterrupted
+//! report byte for byte.
+//!
+//! Journal IO failures degrade durability, never the batch: they are
+//! counted ([`BatchJournal::append_errors`]) and execution continues.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use eco_aig::FpHasher;
+use eco_core::{read_log, LogStats, LogWriter};
+
+use crate::report::{record_from_json, record_json};
+use crate::runner::{BatchJob, JobRecord};
+
+/// Magic prefix of `batch.wal` files.
+pub const BATCH_WAL_MAGIC: [u8; 8] = *b"ECOBWAL1";
+
+const REC_ADMIT: u8 = 1;
+const REC_DONE: u8 = 2;
+
+/// Content fingerprint identifying one job slot of one pass: the resume
+/// dedup key. Covers the pass, index, name, per-job budget, and — for
+/// loadable jobs — both circuits' structural fingerprints plus the
+/// target list (for broken jobs, the load error text), so editing an
+/// input between crash and resume forces that job to recompute.
+pub fn job_fingerprint(pass: usize, index: usize, job: &BatchJob) -> u128 {
+    let mut h = FpHasher::new();
+    h.word(0xba7c_4a1d); // domain tag: batch WAL fingerprints
+    h.word(pass as u64);
+    h.word(index as u64);
+    h.str(&job.name);
+    h.word(job.budget.unwrap_or(u64::MAX));
+    match &job.source {
+        Ok(inst) => {
+            for fp in [
+                inst.faulty.structural_fingerprint(),
+                inst.golden.structural_fingerprint(),
+            ] {
+                h.word(fp.0 as u64);
+                h.word((fp.0 >> 64) as u64);
+                h.word(fp.1 as u64);
+                h.word((fp.1 >> 64) as u64);
+            }
+            h.word(inst.targets.len() as u64);
+            for t in &inst.targets {
+                h.str(t);
+            }
+        }
+        Err(msg) => {
+            h.str("load-error");
+            h.str(msg);
+        }
+    }
+    h.finish().0
+}
+
+/// Append handle on a batch run's WAL.
+#[derive(Debug)]
+pub struct BatchJournal {
+    log: Mutex<LogWriter>,
+    appended: AtomicU64,
+    append_errors: AtomicU64,
+}
+
+impl BatchJournal {
+    /// Opens (creating if needed) `<dir>/batch.wal` for appending.
+    pub fn open(dir: &Path) -> std::io::Result<BatchJournal> {
+        std::fs::create_dir_all(dir)?;
+        let log = LogWriter::open_append(&dir.join("batch.wal"), &BATCH_WAL_MAGIC)?;
+        Ok(BatchJournal {
+            log: Mutex::new(log),
+            appended: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// Journals that a job is about to execute.
+    pub fn admit(&self, fp: u128) {
+        let mut payload = vec![REC_ADMIT];
+        payload.extend_from_slice(&fp.to_le_bytes());
+        self.append(&payload);
+    }
+
+    /// Journals a completed job record (its JSONL line, verbatim).
+    pub fn done(&self, fp: u128, record: &JobRecord) {
+        let mut payload = vec![REC_DONE];
+        payload.extend_from_slice(&fp.to_le_bytes());
+        payload.extend_from_slice(record_json(record).as_bytes());
+        self.append(&payload);
+    }
+
+    /// Records appended so far.
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Appends that failed (journaling degraded, the batch continued).
+    pub fn append_errors(&self) -> u64 {
+        self.append_errors.load(Ordering::Relaxed)
+    }
+
+    fn append(&self, payload: &[u8]) {
+        match self.lock_log().append(payload) {
+            Ok(()) => {
+                self.appended.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn lock_log(&self) -> MutexGuard<'_, LogWriter> {
+        // A panic mid-append leaves at most a torn tail, which the
+        // loader discards; the writer handle stays valid.
+        self.log.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// What a journal load recovered.
+#[derive(Debug, Default)]
+pub struct BatchJournalState {
+    /// Completed records by job fingerprint (replayed verbatim on
+    /// resume).
+    pub done: HashMap<u128, JobRecord>,
+    /// `admit` records seen (jobs that had started; informational).
+    pub admitted: u64,
+    /// Raw log framing stats (torn tails, discarded bytes).
+    pub log: LogStats,
+    /// Structurally invalid payloads skipped.
+    pub bad_records: u64,
+}
+
+/// Loads `<dir>/batch.wal`. A missing journal is an empty state; torn
+/// or corrupt frames and undecodable payloads are skipped and counted.
+pub fn load_journal(dir: &Path) -> std::io::Result<BatchJournalState> {
+    let (records, log) = read_log(&dir.join("batch.wal"), &BATCH_WAL_MAGIC)?;
+    let mut state = BatchJournalState {
+        log,
+        ..Default::default()
+    };
+    for payload in records {
+        if payload.len() < 17 {
+            state.bad_records += 1;
+            continue;
+        }
+        let fp = u128::from_le_bytes(payload[1..17].try_into().expect("17-byte prefix checked"));
+        match payload[0] {
+            REC_ADMIT => state.admitted += 1,
+            REC_DONE => match std::str::from_utf8(&payload[17..])
+                .ok()
+                .and_then(|line| record_from_json(line).ok())
+            {
+                Some(record) => {
+                    state.done.insert(fp, record);
+                }
+                None => state.bad_records += 1,
+            },
+            _ => state.bad_records += 1,
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::JobStatus;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eco_batch_wal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(index: usize) -> JobRecord {
+        JobRecord {
+            pass: 0,
+            index,
+            name: format!("job{index}"),
+            status: JobStatus::Complete,
+            targets: 1,
+            patches: 1,
+            cost: 5,
+            size: 3,
+            verified: true,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_admit_and_done() {
+        let dir = tmpdir("roundtrip");
+        let journal = BatchJournal::open(&dir).expect("open");
+        journal.admit(7);
+        journal.done(7, &record(0));
+        journal.admit(9); // admitted, never finished (the crash victim)
+        assert_eq!(journal.appended(), 3);
+        assert_eq!(journal.append_errors(), 0);
+        drop(journal);
+        let state = load_journal(&dir).expect("load");
+        assert_eq!(state.admitted, 2);
+        assert_eq!(state.bad_records, 0);
+        assert_eq!(state.done.len(), 1);
+        assert_eq!(state.done.get(&7), Some(&record(0)));
+        assert!(!state.done.contains_key(&9));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let dir = tmpdir("missing");
+        let state = load_journal(&dir).expect("load");
+        assert_eq!(state.admitted, 0);
+        assert!(state.done.is_empty());
+    }
+
+    #[test]
+    fn garbage_payloads_are_counted_not_fatal() {
+        let dir = tmpdir("garbage");
+        std::fs::create_dir_all(&dir).expect("dir");
+        let mut log = LogWriter::create(&dir.join("batch.wal"), &BATCH_WAL_MAGIC).expect("create");
+        log.append(b"short").expect("append");
+        log.append(b"\x09sixteen-bytes!!!unknown-tag")
+            .expect("append");
+        drop(log);
+        let state = load_journal(&dir).expect("load");
+        assert_eq!(state.bad_records, 2);
+        assert!(state.done.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprints_separate_slots_and_content() {
+        let inst = || {
+            use eco_netlist::{parse_verilog, WeightTable};
+            eco_core::EcoInstance::from_netlists(
+                "fp",
+                &parse_verilog(
+                    "module f (a, b, c, t, y); input a, b, c, t; output y; \
+                     xor g1 (y, t, c); endmodule",
+                )
+                .expect("faulty"),
+                &parse_verilog(
+                    "module g (a, b, c, y); input a, b, c; output y; \
+                     wire w; and g1 (w, a, b); xor g2 (y, w, c); endmodule",
+                )
+                .expect("golden"),
+                vec!["t".into()],
+                &WeightTable::new(1),
+            )
+            .expect("instance")
+        };
+        let job = BatchJob::from_instance("a", inst());
+        assert_eq!(job_fingerprint(0, 0, &job), job_fingerprint(0, 0, &job));
+        assert_ne!(
+            job_fingerprint(0, 0, &job),
+            job_fingerprint(1, 0, &job),
+            "pass is part of the key"
+        );
+        assert_ne!(
+            job_fingerprint(0, 0, &job),
+            job_fingerprint(0, 1, &job),
+            "index is part of the key"
+        );
+        let broken = BatchJob {
+            name: "a".into(),
+            source: Err("no such file".into()),
+            budget: None,
+        };
+        assert_ne!(
+            job_fingerprint(0, 0, &job),
+            job_fingerprint(0, 0, &broken),
+            "content is part of the key"
+        );
+    }
+}

@@ -21,6 +21,13 @@
 //! divided evenly across jobs, so a starved batch degrades to per-job
 //! `partial` records.
 //!
+//! `--journal <dir>` write-ahead logs every job before execution and its
+//! record after, and persists the memo cache under `<dir>`; adding
+//! `--resume` replays a killed run — completed jobs verbatim (keyed by a
+//! content fingerprint, so edited inputs recompute), everything else
+//! fresh — producing the same report bytes as an uninterrupted run. The
+//! `ECO_CHAOS=seed=N,rate=P` env var arms deterministic fault injection.
+//!
 //! Exit code: the most severe job outcome, mirroring `eco-patch` —
 //! 1 (usage/IO/engine error) > 2 (unrectifiable) > 4 (partial) > 0.
 
@@ -33,7 +40,8 @@ use eco_batch::{
 use eco_core::BudgetOptions;
 
 const USAGE: &str = "usage: eco-batch run <manifest.{toml,json}> [--jobs N] [--repeat N] \
-[--report <path>] [--timeout SECS] [--conflict-budget N] [--stats[=json]] [-q]";
+[--report <path>] [--timeout SECS] [--conflict-budget N] [--journal <dir>] [--resume] \
+[--stats[=json]] [-q]";
 
 enum StatsFormat {
     Off,
@@ -48,6 +56,8 @@ struct Args {
     report: Option<String>,
     timeout: Option<Duration>,
     conflict_budget: Option<u64>,
+    journal: Option<String>,
+    resume: bool,
     stats: StatsFormat,
     quiet: bool,
 }
@@ -60,6 +70,8 @@ fn parse_args() -> Result<Args, String> {
         report: None,
         timeout: None,
         conflict_budget: None,
+        journal: None,
+        resume: false,
         stats: StatsFormat::Off,
         quiet: false,
     };
@@ -99,6 +111,8 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--conflict-budget expects a number, got `{v}`"))?,
                 );
             }
+            "--journal" => args.journal = Some(value("--journal")?),
+            "--resume" => args.resume = true,
             "--stats" => args.stats = StatsFormat::Text,
             "--stats=json" => args.stats = StatsFormat::Json,
             "--stats=text" => args.stats = StatsFormat::Text,
@@ -113,10 +127,16 @@ fn parse_args() -> Result<Args, String> {
     if !saw_run || args.manifest.is_empty() {
         return Err(USAGE.to_string());
     }
+    if args.resume && args.journal.is_none() {
+        return Err("--resume requires --journal <dir>".into());
+    }
     Ok(args)
 }
 
 fn run(args: &Args) -> Result<u8, String> {
+    // `ECO_CHAOS=seed=N,rate=P` arms the fault registry (chaos
+    // campaigns drive the real binary through this).
+    eco_core::faultpoint::arm_from_env()?;
     let manifest =
         Manifest::load(std::path::Path::new(&args.manifest)).map_err(|e| e.to_string())?;
     let jobs = load_jobs(&manifest);
@@ -127,6 +147,8 @@ fn run(args: &Args) -> Result<u8, String> {
             timeout: args.timeout,
             cluster_conflicts: args.conflict_budget,
         },
+        journal: args.journal.as_ref().map(std::path::PathBuf::from),
+        resume: args.resume,
         ..Default::default()
     };
     let outcome = run_batch(&jobs, &options);
@@ -148,6 +170,12 @@ fn run(args: &Args) -> Result<u8, String> {
             "memo: {} hits, {} misses, {} fallbacks, {} entries",
             outcome.memo.hits, outcome.memo.misses, outcome.memo.fallbacks, outcome.memo.entries
         );
+        if args.journal.is_some() {
+            eprintln!(
+                "journal: {} replayed, {} memo entries loaded, {} persist errors",
+                outcome.reused, outcome.memo_loaded, outcome.persist_errors
+            );
+        }
     }
     match args.stats {
         StatsFormat::Off => {}

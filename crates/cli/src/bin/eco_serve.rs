@@ -20,6 +20,16 @@
 //! `--stats` prints a summary JSON object to stderr on exit (the
 //! client's `--timing` does the same with latency percentiles).
 //!
+//! `--journal <dir>` makes the daemon crash-safe: memo entries and
+//! admitted requests are write-ahead logged under `<dir>`.
+//! `--resume <dir>` additionally replays a crashed daemon's journal
+//! before serving — completed responses verbatim, unfinished jobs
+//! re-executed — into `<dir>/recovered.jsonl` (resume report JSON on
+//! stderr). The client's `--retries N` resends `busy` refusals with
+//! capped exponential backoff. `--chaos seed=N,rate=P` (or the
+//! `ECO_CHAOS` env var) arms the deterministic fault-injection registry
+//! for chaos testing.
+//!
 //! Exit codes: 0 — clean drain / client replay done, 1 — usage, I/O, or
 //! connection error.
 
@@ -29,21 +39,25 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use eco_core::faultpoint;
 use eco_serve::{
-    run_client, signal, summary_json, timing_json, ClientOptions, ServeOptions, Server,
+    resume_report_json, run_client, signal, summary_json, timing_json, ClientOptions, ServeOptions,
+    Server,
 };
 
 const USAGE: &str = "usage:
   eco-serve (--socket <path> | --stdio) [--jobs N] [--queue N]
             [--timeout SECS] [--conflict-budget N] [--stats]
+            [--journal <dir>] [--resume <dir>] [--chaos seed=N,rate=P]
   eco-serve client --socket <path> [--input <file>] [--rate R]
-            [--timing] [--shutdown]";
+            [--retries N] [--timing] [--shutdown]";
 
 struct ServerArgs {
     socket: Option<PathBuf>,
     stdio: bool,
     opts: ServeOptions,
     stats: bool,
+    resume: bool,
 }
 
 struct ClientArgs {
@@ -72,6 +86,7 @@ fn parse_server(mut it: impl Iterator<Item = String>) -> Result<ServerArgs, Stri
     let mut stdio = false;
     let mut opts = ServeOptions::default();
     let mut stats = false;
+    let mut resume = false;
     while let Some(a) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
         match a.as_str() {
@@ -104,6 +119,15 @@ fn parse_server(mut it: impl Iterator<Item = String>) -> Result<ServerArgs, Stri
                 );
             }
             "--stats" => stats = true,
+            "--journal" => opts.state_dir = Some(PathBuf::from(value("--journal")?)),
+            "--resume" => {
+                opts.state_dir = Some(PathBuf::from(value("--resume")?));
+                resume = true;
+            }
+            "--chaos" => {
+                let spec = eco_core::parse_chaos_spec(&value("--chaos")?)?;
+                faultpoint::arm(spec);
+            }
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -119,6 +143,7 @@ fn parse_server(mut it: impl Iterator<Item = String>) -> Result<ServerArgs, Stri
         stdio,
         opts,
         stats,
+        resume,
     })
 }
 
@@ -139,6 +164,12 @@ fn parse_client(mut it: impl Iterator<Item = String>) -> Result<ClientArgs, Stri
                         .map_err(|_| format!("--rate expects requests/sec, got `{v}`"))?,
                 );
             }
+            "--retries" => {
+                let v = value("--retries")?;
+                opts.retries = v
+                    .parse()
+                    .map_err(|_| format!("--retries expects a number, got `{v}`"))?;
+            }
             "--timing" => timing = true,
             "--shutdown" => opts.shutdown = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
@@ -157,13 +188,35 @@ fn parse_client(mut it: impl Iterator<Item = String>) -> Result<ClientArgs, Stri
 }
 
 fn run_server(args: &ServerArgs) -> Result<(), String> {
+    // `ECO_CHAOS=seed=N,rate=P` arms the fault registry like `--chaos`
+    // (the campaign driver's path into a spawned daemon).
+    faultpoint::arm_from_env()?;
     let server = Server::new(args.opts.clone());
+    if let Some(err) = server.state_error() {
+        eprintln!("warning: serving without durable state ({err})");
+    }
+    if args.resume {
+        let dir = args
+            .opts
+            .state_dir
+            .as_ref()
+            .ok_or("--resume requires a state directory")?;
+        let path = dir.join("recovered.jsonl");
+        let mut out =
+            std::fs::File::create(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let report = server
+            .resume_from_journal(&mut out)
+            .map_err(|e| format!("resume: {e}"))?;
+        eprintln!("{}", resume_report_json(&report));
+    }
     let summary = if args.stdio {
         // stdin EOF (or a shutdown request) starts the drain; no signal
         // handler needed for the pipeline transport.
         server.serve_stdio()
     } else {
-        let path = args.socket.as_ref().expect("checked in parse");
+        // Parsing validated socket-xor-stdio; a typed error here beats a
+        // panic if that invariant ever drifts.
+        let path = args.socket.as_ref().ok_or(USAGE)?;
         signal::install_term_handler();
         server
             .serve_unix(path, signal::term_flag())

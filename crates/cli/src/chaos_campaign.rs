@@ -1,0 +1,656 @@
+//! The deterministic chaos campaign behind `eco-workgen
+//! --chaos-campaign`.
+//!
+//! Two phases, one differential oracle:
+//!
+//! * **In-process fault sweep** — alternating batch and serve runs with
+//!   the [`eco_core::faultpoint`] registry armed at escalating rates.
+//!   Every response must be byte-identical to a fault-free reference or
+//!   a *typed degradation* (a contained-panic `error` record, a `busy`
+//!   admission shed). Anything else is a wrong answer and fails the
+//!   campaign. Each batch iteration also replays its own journal with
+//!   `resume`, exercising `memo.load` and the WAL round-trip under
+//!   fire.
+//! * **Kill-mid-stream** — a real `eco-serve --stdio` daemon is
+//!   SIGKILLed partway through a 12-job stream, restarted with
+//!   `--resume`, and the union of pre-kill responses and
+//!   `recovered.jsonl` must equal the fault-free response set. A final
+//!   warm replay over the recovered state must be byte-identical to the
+//!   cold reference and must hit the reloaded memo (warm-restart hit
+//!   rate > 0).
+//!
+//! Results (recovery wall time, journal replay rate, store entries
+//! recovered/skipped, warm hit rate) are merged into a `BENCH_*.json`
+//! file without clobbering rows other benchmarks own.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use eco_batch::{json, records_jsonl, run_batch, BatchJob, BatchOptions};
+use eco_core::{faultpoint, ChaosSpec, MemoCache, MemoStore};
+use eco_serve::{ServeOptions, Server};
+use eco_workgen::{contest_suite, request_stream, write_unit, SuiteUnit};
+
+/// Campaign configuration, filled from `eco-workgen` flags.
+pub struct CampaignOptions {
+    /// Scratch directory for cases, journals, and state.
+    pub out: PathBuf,
+    /// Base chaos seed; iteration `i` runs with `seed + i`.
+    pub seed: u64,
+    /// In-process sweep iterations (the kill drill runs once on top).
+    pub iters: u64,
+    /// Merge results into this `BENCH_*.json` file when set.
+    pub bench_out: Option<PathBuf>,
+    /// Suppress the progress/summary lines on stderr.
+    pub quiet: bool,
+}
+
+/// Injection rates cycled across sweep iterations: rare faults, heavy
+/// faults, and the rate-1.0 wall where every consult fires.
+const RATES: [f64; 4] = [0.05, 0.25, 0.6, 1.0];
+
+/// Responses read from the doomed daemon before SIGKILL.
+const PRE_KILL_READS: usize = 3;
+
+/// Suite prefix sizes: small fixtures for the tight sweep loop, the
+/// 12-job stream for the kill drill (matching the serve benchmark).
+const SWEEP_UNITS: usize = 3;
+const KILL_UNITS: usize = 12;
+
+struct SweepOutcome {
+    consults: u64,
+    injected: u64,
+    degraded: u64,
+    wall_ns: u64,
+}
+
+struct KillOutcome {
+    pre_kill: usize,
+    recovered: usize,
+    replayed: u64,
+    recomputed: u64,
+    store_loaded: u64,
+    store_skipped: u64,
+    recovery_wall_ns: u64,
+    warm_loaded: u64,
+    warm_hits: u64,
+    warm_served: u64,
+    warm_wall_ns: u64,
+}
+
+/// Runs the full campaign; any crash, wrong answer, or missing warm hit
+/// is an `Err`.
+pub fn run_campaign(opts: &CampaignOptions) -> Result<(), String> {
+    std::fs::create_dir_all(&opts.out).map_err(|e| format!("{}: {e}", opts.out.display()))?;
+    let suite = contest_suite();
+    let sweep = sweep_phase(opts, &suite)?;
+    if !opts.quiet {
+        eprintln!(
+            "chaos sweep: {} iterations, {} consults, {} injected, {} typed degradations, 0 wrong answers",
+            opts.iters, sweep.consults, sweep.injected, sweep.degraded
+        );
+    }
+    let kill = kill_phase(opts, &suite)?;
+    if !opts.quiet {
+        eprintln!(
+            "chaos kill12: {} pre-kill + {} recovered responses ({} replayed, {} recomputed), \
+             recovery {:.3}s, warm hit rate {}/{}",
+            kill.pre_kill,
+            kill.recovered,
+            kill.replayed,
+            kill.recomputed,
+            kill.recovery_wall_ns as f64 / 1e9,
+            kill.warm_hits,
+            kill.warm_served
+        );
+    }
+    if let Some(path) = &opts.bench_out {
+        write_bench(path, opts, &sweep, &kill)?;
+        if !opts.quiet {
+            eprintln!("chaos bench merged into {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: in-process fault sweep
+// ---------------------------------------------------------------------
+
+fn sweep_phase(opts: &CampaignOptions, suite: &[SuiteUnit]) -> Result<SweepOutcome, String> {
+    let t0 = Instant::now();
+    // Injected `solver.panic` faults are contained by the runners; the
+    // default hook would still spray hundreds of backtraces to stderr.
+    let _quiet = QuietPanics::install();
+
+    // Batch fixtures: the first few suite units as in-memory jobs, plus
+    // a fault-free reference report.
+    let jobs: Vec<BatchJob> = suite[..SWEEP_UNITS]
+        .iter()
+        .map(|u| {
+            u.instance()
+                .map(|i| BatchJob::from_instance(&u.spec.name, i))
+                .map_err(|e| format!("suite unit {}: {e}", u.spec.name))
+        })
+        .collect::<Result<_, _>>()?;
+    let batch_opts = |journal: Option<PathBuf>, resume: bool| BatchOptions {
+        jobs: 2,
+        journal,
+        resume,
+        ..Default::default()
+    };
+    let batch_reference = records_jsonl(&run_batch(&jobs, &batch_opts(None, false)).records);
+
+    // Serve fixtures: the same units on disk, one request stream with
+    // absolute paths, and a fault-free reference response per line.
+    let case_dir = opts.out.join("sweep_cases");
+    std::fs::create_dir_all(&case_dir).map_err(|e| format!("{}: {e}", case_dir.display()))?;
+    let case_abs = case_dir
+        .canonicalize()
+        .map_err(|e| format!("{}: {e}", case_dir.display()))?;
+    let entries = suite[..SWEEP_UNITS]
+        .iter()
+        .map(|u| write_unit(&case_dir, u))
+        .collect::<std::io::Result<Vec<_>>>()
+        .map_err(|e| format!("{}: {e}", case_dir.display()))?;
+    let requests = request_stream(&case_abs, &entries);
+    let serve_reference = serve_once(&requests, None).0;
+
+    let mut out = SweepOutcome {
+        consults: 0,
+        injected: 0,
+        degraded: 0,
+        wall_ns: 0,
+    };
+    for i in 0..opts.iters {
+        let spec = ChaosSpec {
+            seed: opts.seed.wrapping_add(i),
+            rate: RATES[(i % RATES.len() as u64) as usize],
+        };
+        let scratch = opts.out.join(format!("sweep_{i}"));
+        let result = if i % 2 == 0 {
+            batch_iteration(&jobs, &batch_reference, spec, &scratch, &batch_opts)
+        } else {
+            serve_iteration(&requests, &serve_reference, spec, &scratch)
+        };
+        // Never leave the process-global registry armed, least of all on
+        // the error path out of the campaign.
+        faultpoint::disarm();
+        let _ = std::fs::remove_dir_all(&scratch);
+        let (stats, degraded) = result.map_err(|e| format!("sweep iteration {i} ({spec}): {e}"))?;
+        out.consults += stats.consults;
+        out.injected += stats.injected;
+        out.degraded += degraded;
+    }
+    out.wall_ns = t0.elapsed().as_nanos() as u64;
+    Ok(out)
+}
+
+/// One armed batch run journaling into `dir`, then an armed `--resume`
+/// replay of that journal; both reports go through the oracle.
+fn batch_iteration(
+    jobs: &[BatchJob],
+    reference: &str,
+    spec: ChaosSpec,
+    dir: &Path,
+    batch_opts: &dyn Fn(Option<PathBuf>, bool) -> BatchOptions,
+) -> Result<(faultpoint::FaultStats, u64), String> {
+    faultpoint::arm(spec);
+    let chaotic = run_batch(jobs, &batch_opts(Some(dir.to_path_buf()), false));
+    let mut stats = faultpoint::disarm();
+
+    // Re-arm with the same spec (fresh per-site counters, deterministic
+    // schedule) for the resume leg: replay hits `memo.load` and the WAL
+    // decode path under fire.
+    faultpoint::arm(spec);
+    let resumed = run_batch(jobs, &batch_opts(Some(dir.to_path_buf()), true));
+    let leg = faultpoint::disarm();
+    stats.consults += leg.consults;
+    stats.injected += leg.injected;
+
+    let mut degraded = check_lines(&records_jsonl(&chaotic.records), reference, "chaotic batch")?;
+    degraded += check_lines(&records_jsonl(&resumed.records), reference, "resumed batch")?;
+    Ok((stats, degraded))
+}
+
+/// One armed serve pass with durable state under `state_dir`.
+fn serve_iteration(
+    requests: &str,
+    reference: &[String],
+    spec: ChaosSpec,
+    state_dir: &Path,
+) -> Result<(faultpoint::FaultStats, u64), String> {
+    faultpoint::arm(spec);
+    let (lines, _) = serve_once(requests, Some(state_dir.to_path_buf()));
+    let stats = faultpoint::disarm();
+    let reference = reference.join("\n");
+    let degraded = check_lines(&lines.join("\n"), &reference, "chaotic serve")?;
+    Ok((stats, degraded))
+}
+
+/// The differential oracle: line `i` must equal the reference line `i`
+/// exactly, or be a typed degradation (contained panic, `busy` shed).
+/// Returns the degradation count; anything else is a wrong answer.
+fn check_lines(got: &str, want: &str, what: &str) -> Result<u64, String> {
+    let got: Vec<&str> = got.lines().collect();
+    let want: Vec<&str> = want.lines().collect();
+    if got.len() != want.len() {
+        return Err(format!(
+            "{what}: {} responses, expected {} (a request went unanswered)",
+            got.len(),
+            want.len()
+        ));
+    }
+    let mut degraded = 0;
+    for (g, w) in got.iter().zip(&want) {
+        if g == w {
+            continue;
+        }
+        let contained_panic = g.contains("\"status\": \"error\"") && g.contains("panic");
+        let busy_shed = g.contains("\"ok\": false") && g.contains("\"error\": \"busy\"");
+        if contained_panic || busy_shed {
+            degraded += 1;
+            continue;
+        }
+        return Err(format!(
+            "{what}: wrong answer under chaos\n     got: {g}\nexpected: {w}"
+        ));
+    }
+    Ok(degraded)
+}
+
+/// Serves one request stream in-process and returns the response lines.
+fn serve_once(
+    requests: &str,
+    state_dir: Option<PathBuf>,
+) -> (Vec<String>, eco_serve::ServeSummary) {
+    let server = Server::new(ServeOptions {
+        workers: 2,
+        state_dir,
+        ..Default::default()
+    });
+    let sink = SharedBuf::default();
+    let summary = server.serve_reader(Cursor::new(requests.to_string()), Box::new(sink.clone()));
+    (sink.take().lines().map(String::from).collect(), summary)
+}
+
+/// Replaces the panic hook with a no-op for the sweep and restores the
+/// previous hook on drop (also on the error path out of the phase).
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+struct QuietPanics(Option<PanicHook>);
+
+impl QuietPanics {
+    fn install() -> Self {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics(Some(prev))
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(hook) = self.0.take() {
+            std::panic::set_hook(hook);
+        }
+    }
+}
+
+/// A `Write` sink the campaign can read back after `serve_reader`
+/// consumes the box.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn take(&self) -> String {
+        // A poisoned lock only means a writer panicked mid-append; the
+        // bytes are still the best available evidence.
+        let buf = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: kill-mid-stream against the real daemon
+// ---------------------------------------------------------------------
+
+fn kill_phase(opts: &CampaignOptions, suite: &[SuiteUnit]) -> Result<KillOutcome, String> {
+    let bin = serve_binary()?;
+    let case_dir = opts.out.join("kill_cases");
+    std::fs::create_dir_all(&case_dir).map_err(|e| format!("{}: {e}", case_dir.display()))?;
+    let case_abs = case_dir
+        .canonicalize()
+        .map_err(|e| format!("{}: {e}", case_dir.display()))?;
+    let entries = suite[..KILL_UNITS]
+        .iter()
+        .map(|u| write_unit(&case_dir, u))
+        .collect::<std::io::Result<Vec<_>>>()
+        .map_err(|e| format!("{}: {e}", case_dir.display()))?;
+    let requests = request_stream(&case_abs, &entries);
+    let state = opts.out.join("kill_state");
+    let state_arg = state.display().to_string();
+
+    // Fault-free reference: the full stream through a clean daemon.
+    let (reference, _) = run_daemon(&bin, &["--stdio", "--jobs", "2"], &requests)?;
+    if reference.len() != KILL_UNITS {
+        return Err(format!(
+            "reference daemon answered {} of {KILL_UNITS} requests",
+            reference.len()
+        ));
+    }
+
+    // Doomed daemon: feed all requests, read a few responses, SIGKILL.
+    let mut child = Command::new(&bin)
+        .args(["--stdio", "--jobs", "2", "--journal", &state_arg])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("{}: {e}", bin.display()))?;
+    // Both pipes were requested two lines up; take() can only yield Some.
+    let mut stdin = child.stdin.take().expect("stdin is piped");
+    stdin
+        .write_all(requests.as_bytes())
+        .and_then(|_| stdin.flush())
+        .map_err(|e| format!("writing doomed daemon stdin: {e}"))?;
+    // Keep stdin open: EOF would start a graceful drain and the daemon
+    // would answer everything before we get to kill it.
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout is piped"));
+    let mut pre_kill = Vec::new();
+    for _ in 0..PRE_KILL_READS {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading doomed daemon: {e}"))?;
+        if line.is_empty() {
+            return Err("doomed daemon closed stdout before the kill point".into());
+        }
+        pre_kill.push(line.trim_end().to_string());
+    }
+    child
+        .kill()
+        .and_then(|_| child.wait().map(|_| ()))
+        .map_err(|e| format!("killing daemon: {e}"))?;
+    drop(stdin);
+
+    // Inspect the torn store before recovery touches it: these are the
+    // "entries recovered/skipped" numbers for the bench report.
+    let store = MemoStore::open(&state).map_err(|e| format!("{}: {e}", state.display()))?;
+    let store_stats = store.load_into(&MemoCache::new());
+    drop(store);
+
+    // Recovery: `--resume` replays the journal into recovered.jsonl,
+    // then the empty stdin drains the daemon to a clean exit.
+    let t0 = Instant::now();
+    let output = Command::new(&bin)
+        .args(["--resume", &state_arg, "--stdio", "--stats"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .map_err(|e| format!("{}: {e}", bin.display()))?;
+    let recovery_wall_ns = t0.elapsed().as_nanos() as u64;
+    let resume_stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    if !output.status.success() {
+        return Err(format!(
+            "resume daemon crashed ({}): {resume_stderr}",
+            output.status
+        ));
+    }
+    let replayed =
+        stderr_u64(&resume_stderr, "replayed").ok_or("resume daemon printed no resume report")?;
+    let recomputed = stderr_u64(&resume_stderr, "recomputed").unwrap_or(0);
+    let recovered_path = state.join("recovered.jsonl");
+    let recovered_text = std::fs::read_to_string(&recovered_path)
+        .map_err(|e| format!("{}: {e}", recovered_path.display()))?;
+    let recovered: Vec<String> = recovered_text.lines().map(String::from).collect();
+
+    // The crash-recovery oracle: pre-kill ∪ recovered == reference.
+    let want: HashSet<&str> = reference.iter().map(String::as_str).collect();
+    let mut have: HashSet<&str> = pre_kill.iter().map(String::as_str).collect();
+    have.extend(recovered.iter().map(String::as_str));
+    if let Some(extra) = have.difference(&want).next() {
+        return Err(format!("recovered response not in fault-free run: {extra}"));
+    }
+    if let Some(missing) = want.difference(&have).next() {
+        return Err(format!("response lost across the crash: {missing}"));
+    }
+
+    // Warm replay over the recovered state: byte-identical to the cold
+    // reference, and it must actually hit the reloaded memo.
+    let t1 = Instant::now();
+    let (warm, warm_stderr) = run_daemon(
+        &bin,
+        &["--stdio", "--jobs", "2", "--journal", &state_arg, "--stats"],
+        &requests,
+    )?;
+    let warm_wall_ns = t1.elapsed().as_nanos() as u64;
+    if warm != reference {
+        return Err("warm replay diverged from the fault-free reference".into());
+    }
+    let warm_loaded =
+        stderr_u64(&warm_stderr, "memo_loaded").ok_or("warm daemon printed no summary")?;
+    let warm_served = stderr_u64(&warm_stderr, "served").unwrap_or(0);
+    let warm_hits = stderr_u64(&warm_stderr, "hits").unwrap_or(0);
+    if warm_loaded == 0 || warm_hits == 0 {
+        return Err(format!(
+            "warm restart missed the durable memo (loaded {warm_loaded}, hits {warm_hits})"
+        ));
+    }
+
+    Ok(KillOutcome {
+        pre_kill: pre_kill.len(),
+        recovered: recovered.len(),
+        replayed,
+        recomputed,
+        store_loaded: store_stats.loaded,
+        store_skipped: store_stats.skipped,
+        recovery_wall_ns,
+        warm_loaded,
+        warm_hits,
+        warm_served,
+        warm_wall_ns,
+    })
+}
+
+/// The `eco-serve` binary next to the running `eco-workgen`.
+fn serve_binary() -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe.parent().ok_or("current_exe has no parent directory")?;
+    let bin = dir.join("eco-serve");
+    if !bin.exists() {
+        return Err(format!(
+            "{} not found (build the workspace first; the campaign drives the real daemon)",
+            bin.display()
+        ));
+    }
+    Ok(bin)
+}
+
+/// Feeds `input` to a daemon, closes stdin (graceful drain), and
+/// returns (stdout lines, stderr text). A non-zero exit is a crash.
+fn run_daemon(bin: &Path, args: &[&str], input: &str) -> Result<(Vec<String>, String), String> {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("{}: {e}", bin.display()))?;
+    {
+        // Scoped so stdin drops (EOF) before we wait for the drain.
+        let mut stdin = child.stdin.take().expect("stdin is piped");
+        stdin
+            .write_all(input.as_bytes())
+            .map_err(|e| format!("writing daemon stdin: {e}"))?;
+    }
+    let output = child
+        .wait_with_output()
+        .map_err(|e| format!("waiting for daemon: {e}"))?;
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    if !output.status.success() {
+        return Err(format!("daemon crashed ({}): {stderr}", output.status));
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    Ok((stdout.lines().map(String::from).collect(), stderr))
+}
+
+// ---------------------------------------------------------------------
+// Bench report
+// ---------------------------------------------------------------------
+
+/// Merges campaign rows into `path`: rows named `chaos/...` and notes
+/// prefixed `chaos` are replaced, everything else is preserved.
+fn write_bench(
+    path: &Path,
+    opts: &CampaignOptions,
+    sweep: &SweepOutcome,
+    kill: &KillOutcome,
+) -> Result<(), String> {
+    let (mut rows, mut notes) = foreign_bench_content(path);
+    for (name, ns) in [
+        ("chaos/sweep/wall", sweep.wall_ns),
+        ("chaos/kill12/recovery_wall", kill.recovery_wall_ns),
+        ("chaos/kill12/warm_replay_wall", kill.warm_wall_ns),
+    ] {
+        rows.push(bench_row(name, ns));
+    }
+    let replay_rate = (kill.replayed * 100)
+        .checked_div(kill.replayed + kill.recomputed)
+        .unwrap_or(0);
+    let hit_rate = (kill.warm_hits * 100)
+        .checked_div(kill.warm_served)
+        .unwrap_or(0);
+    notes.push(format!(
+        "chaos sweep: {} iterations (seed {}), {} consults, {} injected, {} typed degradations, 0 crashes, 0 wrong answers",
+        opts.iters, opts.seed, sweep.consults, sweep.injected, sweep.degraded
+    ));
+    notes.push(format!(
+        "chaos kill12: journal replay rate {replay_rate}% ({} replayed, {} recomputed), store recovered {} entries / skipped {}",
+        kill.replayed, kill.recomputed, kill.store_loaded, kill.store_skipped
+    ));
+    notes.push(format!(
+        "chaos kill12: warm-restart memo_loaded {}, hit rate {hit_rate}% ({}/{} served)",
+        kill.warm_loaded, kill.warm_hits, kill.warm_served
+    ));
+    let mut out = String::from("{\n  \"benches\": [\n");
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n  \"notes\": [\n");
+    let quoted: Vec<String> = notes
+        .iter()
+        .map(|n| format!("    \"{}\"", n.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    out.push_str(&quoted.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(path, out).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn bench_row(name: &str, ns: u64) -> String {
+    format!(
+        "    {{\"name\": \"{name}\", \"samples\": 1, \"mean_ns\": {ns}, \"median_ns\": {ns}, \
+         \"min_ns\": {ns}, \"max_ns\": {ns}}}"
+    )
+}
+
+/// Reads rows and notes an existing bench file owns that the campaign
+/// does not (anything not named/prefixed `chaos`). A missing or
+/// unparsable file merges as empty.
+fn foreign_bench_content(path: &Path) -> (Vec<String>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (rows, notes);
+    };
+    let Ok(doc) = json::parse(&text) else {
+        return (rows, notes);
+    };
+    if let Some(json::Value::Arr(benches)) = obj_get(&doc, "benches") {
+        for bench in benches {
+            let Some(json::Value::Str(name)) = obj_get(bench, "name") else {
+                continue;
+            };
+            if name.starts_with("chaos/") {
+                continue;
+            }
+            // Re-render only the standard integer fields; a row some
+            // other tool wrote with a different shape is dropped rather
+            // than corrupted.
+            let fields: Option<Vec<u64>> = ["samples", "mean_ns", "median_ns", "min_ns", "max_ns"]
+                .iter()
+                .map(|k| obj_u64(bench, k))
+                .collect();
+            if let Some(f) = fields {
+                rows.push(format!(
+                    "    {{\"name\": \"{name}\", \"samples\": {}, \"mean_ns\": {}, \
+                     \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                    f[0], f[1], f[2], f[3], f[4]
+                ));
+            }
+        }
+    }
+    if let Some(json::Value::Arr(existing)) = obj_get(&doc, "notes") {
+        for note in existing {
+            if let json::Value::Str(s) = note {
+                if !s.starts_with("chaos") {
+                    notes.push(s.clone());
+                }
+            }
+        }
+    }
+    (rows, notes)
+}
+
+// ---------------------------------------------------------------------
+// Tiny JSON helpers over `eco_batch::json`
+// ---------------------------------------------------------------------
+
+fn obj_get<'a>(value: &'a json::Value, key: &str) -> Option<&'a json::Value> {
+    match value {
+        json::Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn obj_u64(value: &json::Value, key: &str) -> Option<u64> {
+    match obj_get(value, key) {
+        Some(json::Value::Int(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Extracts the first `"key": <int>` occurrence from daemon stderr.
+/// (The report/summary lines carry a float `wall_s`, so a full
+/// integer-only JSON parse would reject them; a keyed scan is enough
+/// for the counters the campaign reads.)
+fn stderr_u64(stderr: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    for line in stderr.lines() {
+        if let Some(pos) = line.find(&needle) {
+            let digits: &str = &line[pos + needle.len()..];
+            let end = digits
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(digits.len());
+            if end > 0 {
+                return digits[..end].parse().ok();
+            }
+        }
+    }
+    None
+}

@@ -61,10 +61,14 @@ mod cexenum;
 mod cluster;
 mod engine;
 mod error;
+/// Deterministic fault-injection registry (public module: consult sites
+/// live across the workspace).
+pub mod faultpoint;
 mod govern;
 mod instance;
 mod localize;
 mod memo;
+mod memo_store;
 mod optimize;
 mod patchgen;
 mod rebase;
@@ -85,10 +89,14 @@ pub use crate::engine::{
     EcoEngine, EcoOptions, EcoOutcome, EcoResult, PartialResult, StageTimes, TargetPatch,
 };
 pub use crate::error::EcoError;
+pub use crate::faultpoint::{parse_chaos_spec, ChaosSpec, FaultStats};
 pub use crate::govern::{Budget, BudgetOptions, ClusterDiagnosis, ClusterReport, ConflictMeter};
 pub use crate::instance::{BaseCandidate, EcoInstance};
 pub use crate::localize::{Cut, CutSignal, TapMap};
 pub use crate::memo::{patch_memo_key, rect_memo_key, MemoCache, MemoStats};
+pub use crate::memo_store::{
+    crc32, read_log, LogStats, LogWriter, MemoLoadStats, MemoStore, MEMO_MAGIC,
+};
 pub use crate::optimize::{optimize_patches, total_cost, OptimizeOptions, OptimizeStats};
 pub use crate::patchgen::{
     extract_patch_aig, generate_group_patches, GroupPatches, PatchFn, PatchGenOptions,

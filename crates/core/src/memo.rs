@@ -41,7 +41,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use eco_aig::FpHasher;
 use eco_fraig::{EquivClasses, SweepMemo, SweepStats};
@@ -58,9 +58,11 @@ const SHARDS: usize = 16;
 const DEFAULT_SHARD_CAPACITY: usize = 1024;
 
 /// One memoized value, tagged by kind so distinct computations can never
-/// alias even if their keys collided.
+/// alias even if their keys collided. Crate-visible so the durable store
+/// ([`crate::memo_store`]) can serialize entries without widening the
+/// public API.
 #[derive(Clone, Debug)]
-enum Entry {
+pub(crate) enum Entry {
     Sweep {
         check: u128,
         classes: Box<EquivClasses>,
@@ -80,6 +82,35 @@ enum Entry {
 struct Shard {
     map: HashMap<u128, Entry>,
     order: VecDeque<u128>,
+}
+
+/// Crate-internal observer of cache insertions — the hook the durable
+/// store uses to journal new entries as they are produced. Encoding
+/// happens *outside* the shard lock and appending happens after the
+/// insert, so a slow disk never stalls sibling lookups on the stripe.
+pub(crate) trait EntrySink: Send + Sync {
+    /// Serializes an entry for the journal, or `None` for kinds the sink
+    /// does not persist.
+    fn encode(&self, key: u128, entry: &Entry) -> Option<Vec<u8>>;
+    /// Appends previously encoded bytes. Must not panic; IO failures are
+    /// counted by the sink, not propagated (durability degrades, serving
+    /// does not).
+    fn append(&self, bytes: &[u8]);
+}
+
+/// Write-once slot for the optional entry sink (newtype so `MemoCache`
+/// keeps its derived `Debug`).
+#[derive(Default)]
+struct SinkSlot(OnceLock<Arc<dyn EntrySink>>);
+
+impl std::fmt::Debug for SinkSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.get().is_some() {
+            "SinkSlot(attached)"
+        } else {
+            "SinkSlot(none)"
+        })
+    }
 }
 
 /// Cumulative counters of one cache over its lifetime.
@@ -111,6 +142,7 @@ pub struct MemoCache {
     insertions: AtomicU64,
     evictions: AtomicU64,
     fallbacks: AtomicU64,
+    sink: SinkSlot,
 }
 
 impl Default for MemoCache {
@@ -136,7 +168,37 @@ impl MemoCache {
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
+            sink: SinkSlot::default(),
         }
+    }
+
+    /// Attaches the journal sink. Returns `false` (and leaves the
+    /// existing sink) if one is already attached. Attach *after* loading
+    /// persisted entries, so a reload does not re-journal its own input.
+    pub(crate) fn set_sink(&self, sink: Arc<dyn EntrySink>) -> bool {
+        self.sink.0.set(sink).is_ok()
+    }
+
+    /// Inserts a recovered entry (durable-store load path). Same
+    /// first-write-wins semantics as a live insert; call before
+    /// [`MemoCache::set_sink`] so the replay is not re-journaled.
+    pub(crate) fn import(&self, key: u128, entry: Entry) {
+        self.store(key, entry);
+    }
+
+    /// Clones every resident entry, shard by shard in FIFO order — the
+    /// durable store's snapshot source.
+    pub(crate) fn export_entries(&self) -> Vec<(u128, Entry)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for key in &shard.order {
+                if let Some(entry) = shard.map.get(key) {
+                    out.push((*key, entry.clone()));
+                }
+            }
+        }
+        out
     }
 
     /// Locks a shard, recovering from poisoning: a job thread that
@@ -167,21 +229,31 @@ impl MemoCache {
     }
 
     fn store(&self, key: u128, entry: Entry) {
-        let mut shard = self.lock_shard(key);
-        if shard.map.contains_key(&key) {
-            // First write wins: the value is a pure function of the key,
-            // so a concurrent duplicate carries the same data.
-            return;
-        }
-        if shard.map.len() >= self.shard_capacity {
-            if let Some(old) = shard.order.pop_front() {
-                shard.map.remove(&old);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+        // Serialize for the journal before taking the stripe: encoding a
+        // patch result (AIGER emission) is the slow part and must not
+        // run under the shard lock.
+        let encoded = self.sink.0.get().and_then(|sink| sink.encode(key, &entry));
+        {
+            let mut shard = self.lock_shard(key);
+            if shard.map.contains_key(&key) {
+                // First write wins: the value is a pure function of the
+                // key, so a concurrent duplicate carries the same data
+                // (and needs no journal record either).
+                return;
             }
+            if shard.map.len() >= self.shard_capacity {
+                if let Some(old) = shard.order.pop_front() {
+                    shard.map.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            shard.map.insert(key, entry);
+            shard.order.push_back(key);
+            self.insertions.fetch_add(1, Ordering::Relaxed);
         }
-        shard.map.insert(key, entry);
-        shard.order.push_back(key);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let (Some(sink), Some(bytes)) = (self.sink.0.get(), encoded) {
+            sink.append(&bytes);
+        }
     }
 
     /// Returns the memoized complete result for an instance key, if any.

@@ -13,7 +13,13 @@
 use std::io::{self, BufRead, Write};
 use std::time::{Duration, Instant};
 
+use eco_batch::json;
 use eco_core::JsonObj;
+
+/// First retry delay; doubles per attempt (jitter-free, so replays are
+/// deterministic) up to [`RETRY_BACKOFF_CAP`].
+const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(25);
+const RETRY_BACKOFF_CAP: Duration = Duration::from_millis(1000);
 
 /// Client knobs.
 #[derive(Clone, Debug, Default)]
@@ -24,6 +30,17 @@ pub struct ClientOptions {
     /// Append a `shutdown` request after the stream and wait for the
     /// ack (which the server sequences behind all admitted work).
     pub shutdown: bool,
+    /// Resend a request refused with the typed `busy` error up to this
+    /// many times, backing off exponentially (jitter-free: 25ms, 50ms,
+    /// … capped at 1s). `0` (the default) echoes the refusal like any
+    /// other response.
+    pub retries: u32,
+}
+
+/// The backoff before retry number `attempt` (1-based).
+pub fn retry_backoff(attempt: u32) -> Duration {
+    let base = RETRY_BACKOFF_BASE.as_millis() as u64;
+    Duration::from_millis((base << (attempt - 1).min(10)).min(RETRY_BACKOFF_CAP.as_millis() as u64))
 }
 
 /// What one client run measured.
@@ -32,9 +49,14 @@ pub struct ClientSummary {
     /// Requests sent from the input stream (excluding the optional
     /// trailing shutdown).
     pub requests: u64,
+    /// `busy` refusals that were retried (resends beyond the first
+    /// attempt).
+    pub retried: u64,
     /// Wall-clock time of the whole replay.
     pub wall: Duration,
     /// Per-request round-trip latencies, in send order (microseconds).
+    /// A retried request's latency spans first send → accepted
+    /// response, backoffs included.
     pub latencies_us: Vec<u64>,
 }
 
@@ -55,6 +77,7 @@ pub fn run_client(
         .map(|r| Duration::from_secs_f64(1.0 / r));
     let mut latencies = Vec::new();
     let mut sent: u64 = 0;
+    let mut retried: u64 = 0;
     let mut line = String::new();
     loop {
         line.clear();
@@ -74,15 +97,25 @@ pub fn run_client(
             }
         }
         let t0 = Instant::now();
-        writeln!(server_tx, "{request}")?;
-        server_tx.flush()?;
-        let mut response = String::new();
-        if server_rx.read_line(&mut response)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-stream",
-            ));
-        }
+        let mut attempt: u32 = 0;
+        let response = loop {
+            writeln!(server_tx, "{request}")?;
+            server_tx.flush()?;
+            let mut response = String::new();
+            if server_rx.read_line(&mut response)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-stream",
+                ));
+            }
+            if attempt < opts.retries && is_busy_refusal(&response) {
+                attempt += 1;
+                retried += 1;
+                std::thread::sleep(retry_backoff(attempt));
+                continue;
+            }
+            break response;
+        };
         latencies.push(t0.elapsed().as_micros() as u64);
         sent += 1;
         out.write_all(response.as_bytes())?;
@@ -97,9 +130,21 @@ pub fn run_client(
     out.flush()?;
     Ok(ClientSummary {
         requests: sent,
+        retried,
         wall: start.elapsed(),
         latencies_us: latencies,
     })
+}
+
+/// `true` for a typed `busy` refusal (`{"ok": false, "error": "busy"}`)
+/// — the only response the retry loop resends on.
+fn is_busy_refusal(line: &str) -> bool {
+    let Ok(json::Value::Obj(fields)) = json::parse(line.trim()) else {
+        return false;
+    };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    matches!(get("ok"), Some(json::Value::Bool(false)))
+        && matches!(get("error"), Some(json::Value::Str(e)) if e == "busy")
 }
 
 /// The `p`-th percentile (nearest-rank on a sorted slice); 0 if empty.
@@ -124,6 +169,7 @@ pub fn timing_json(summary: &ClientSummary) -> String {
     };
     JsonObj::new()
         .u64("requests", summary.requests)
+        .u64("retried", summary.retried)
         .raw("wall_s", &format!("{wall:.6}"))
         .raw("rps", &format!("{rps:.3}"))
         .u64("p50_us", percentile_us(&sorted, 50))
@@ -180,6 +226,83 @@ mod tests {
     }
 
     #[test]
+    fn busy_refusals_are_retried_up_to_the_budget() {
+        // Server script: busy, busy, then accepted.
+        let responses = "{\"id\": 1, \"ok\": false, \"error\": \"busy\", \"detail\": \"full\"}\n\
+                         {\"id\": 1, \"ok\": false, \"error\": \"busy\", \"detail\": \"full\"}\n\
+                         {\"id\": 1, \"ok\": true, \"op\": \"run\"}\n";
+        let mut rx = Cursor::new(responses.as_bytes().to_vec());
+        let mut tx = Vec::new();
+        let mut input = Cursor::new("{\"op\": \"run\", \"id\": 1}\n");
+        let mut out = Vec::new();
+        let opts = ClientOptions {
+            retries: 5,
+            ..ClientOptions::default()
+        };
+        let summary = run_client(&mut rx, &mut tx, &mut input, &mut out, &opts).unwrap();
+        assert_eq!(summary.requests, 1);
+        assert_eq!(summary.retried, 2);
+        assert_eq!(summary.latencies_us.len(), 1, "one latency for the request");
+        let sent = String::from_utf8(tx).unwrap();
+        assert_eq!(sent.lines().count(), 3, "request resent per retry");
+        let echoed = String::from_utf8(out).unwrap();
+        assert_eq!(
+            echoed.lines().count(),
+            1,
+            "only the accepted response is echoed"
+        );
+        assert!(echoed.contains("\"ok\": true"), "{echoed}");
+    }
+
+    #[test]
+    fn exhausted_retries_echo_the_refusal_and_zero_retries_never_resend() {
+        let busy = "{\"id\": 1, \"ok\": false, \"error\": \"busy\", \"detail\": \"full\"}\n";
+        // retries=1: resend once, then surface the second refusal.
+        let mut rx = Cursor::new(busy.repeat(2).into_bytes());
+        let mut tx = Vec::new();
+        let mut input = Cursor::new("{\"op\": \"run\", \"id\": 1}\n");
+        let mut out = Vec::new();
+        let opts = ClientOptions {
+            retries: 1,
+            ..ClientOptions::default()
+        };
+        let summary = run_client(&mut rx, &mut tx, &mut input, &mut out, &opts).unwrap();
+        assert_eq!(summary.retried, 1);
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("\"error\": \"busy\""));
+        // Default retries=0: the refusal comes straight back, one send.
+        let mut rx = Cursor::new(busy.as_bytes().to_vec());
+        let mut tx = Vec::new();
+        let mut input = Cursor::new("{\"op\": \"run\", \"id\": 1}\n");
+        let mut out = Vec::new();
+        let summary = run_client(
+            &mut rx,
+            &mut tx,
+            &mut input,
+            &mut out,
+            &ClientOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.retried, 0);
+        assert_eq!(String::from_utf8(tx).unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        assert_eq!(retry_backoff(1), Duration::from_millis(25));
+        assert_eq!(retry_backoff(2), Duration::from_millis(50));
+        assert_eq!(retry_backoff(3), Duration::from_millis(100));
+        assert_eq!(retry_backoff(6), Duration::from_millis(800));
+        assert_eq!(retry_backoff(7), Duration::from_millis(1000), "capped");
+        assert_eq!(
+            retry_backoff(60),
+            Duration::from_millis(1000),
+            "no overflow"
+        );
+    }
+
+    #[test]
     fn server_eof_mid_stream_is_an_error() {
         let mut rx = Cursor::new(Vec::new()); // no response coming
         let mut tx = Vec::new();
@@ -200,6 +323,7 @@ mod tests {
     fn timing_json_reports_percentiles() {
         let summary = ClientSummary {
             requests: 4,
+            retried: 0,
             wall: Duration::from_millis(100),
             latencies_us: vec![40, 10, 30, 20],
         };

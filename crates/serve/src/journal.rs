@@ -1,0 +1,288 @@
+//! The daemon's request journal: crash-safe write-ahead logging of
+//! admitted run requests and their responses, powering `--resume`.
+//!
+//! Every admitted `run` request is appended to `<dir>/requests.wal`
+//! *before* it is pushed to the worker queue, and its response line is
+//! appended *before* it is written to the client — so any response a
+//! client ever received is in the journal, and any journaled admit
+//! without a matching `done` is a job the daemon died holding. On
+//! restart, [`load_request_journal`] rebuilds that state and the server
+//! replays completed responses verbatim and re-executes the rest in
+//! admit order (see `Server::resume_from_journal`), making the union of
+//! pre-crash and recovered responses byte-identical to an uninterrupted
+//! run.
+//!
+//! The journal uses the workspace-wide checksummed record log
+//! ([`eco_core::LogWriter`]), so a SIGKILL mid-append leaves at worst a
+//! torn tail the loader discards. Requests are keyed by a fingerprint of
+//! the raw request line ([`request_fingerprint`]) — identical lines
+//! dedup, anything else (different id, different job) is distinct work.
+//!
+//! Journal IO failures degrade durability, never availability: appends
+//! that fail are counted ([`RequestJournal::append_errors`]) and the
+//! daemon keeps serving.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use eco_aig::FpHasher;
+use eco_core::{read_log, LogStats, LogWriter};
+
+/// Magic prefix of `requests.wal` files.
+pub const REQUEST_JOURNAL_MAGIC: [u8; 8] = *b"ECORQJL1";
+
+const REC_ADMIT: u8 = 1;
+const REC_DONE: u8 = 2;
+const REC_REFUSED: u8 = 3;
+const REC_ATTEMPT: u8 = 4;
+
+/// Fingerprint of one request line (trimmed): the journal's dedup key.
+/// The line includes the client-chosen `id`, so two submissions of the
+/// same job under different ids are distinct journal entries — each
+/// client gets its answer.
+pub fn request_fingerprint(line: &str) -> u128 {
+    let mut h = FpHasher::new();
+    h.word(0x5e59_4a1d); // domain tag: serve request-journal fingerprints
+    h.str(line.trim());
+    h.finish().0
+}
+
+/// Append handle on a serve state directory's request WAL.
+#[derive(Debug)]
+pub struct RequestJournal {
+    log: Mutex<LogWriter>,
+    path: PathBuf,
+    appended: AtomicU64,
+    append_errors: AtomicU64,
+}
+
+impl RequestJournal {
+    /// Opens (creating if needed) `<dir>/requests.wal` for appending.
+    pub fn open(dir: &Path) -> io::Result<RequestJournal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("requests.wal");
+        let log = LogWriter::open_append(&path, &REQUEST_JOURNAL_MAGIC)?;
+        Ok(RequestJournal {
+            log: Mutex::new(log),
+            path,
+            appended: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// Journals a run request (its raw line) as admitted to the queue.
+    pub fn admit(&self, fp: u128, line: &str) {
+        self.append(REC_ADMIT, fp, line.trim().as_bytes());
+    }
+
+    /// Journals a request's response line — called *before* the response
+    /// is written to the client, so every delivered response is durable.
+    pub fn done(&self, fp: u128, response: &str) {
+        self.append(REC_DONE, fp, response.as_bytes());
+    }
+
+    /// Journals that an admitted request was refused (shed or
+    /// quarantined): resume must not re-execute it.
+    pub fn refused(&self, fp: u128) {
+        self.append(REC_REFUSED, fp, &[]);
+    }
+
+    /// Journals a resume re-execution attempt, *before* it runs; the
+    /// attempt count drives per-job quarantine.
+    pub fn attempt(&self, fp: u128) {
+        self.append(REC_ATTEMPT, fp, &[]);
+    }
+
+    /// Truncates the journal back to an empty log — the checkpoint after
+    /// a graceful drain, when every admitted job's response has been
+    /// written. Failure leaves the old journal in place (a later resume
+    /// merely replays already-answered work) and is counted.
+    pub fn reset(&self) {
+        match LogWriter::create(&self.path, &REQUEST_JOURNAL_MAGIC) {
+            Ok(log) => *self.lock_log() = log,
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records appended so far.
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Appends that failed (journaling degraded, serving continued).
+    pub fn append_errors(&self) -> u64 {
+        self.append_errors.load(Ordering::Relaxed)
+    }
+
+    fn append(&self, tag: u8, fp: u128, body: &[u8]) {
+        let mut payload = Vec::with_capacity(17 + body.len());
+        payload.push(tag);
+        payload.extend_from_slice(&fp.to_le_bytes());
+        payload.extend_from_slice(body);
+        match self.lock_log().append(&payload) {
+            Ok(()) => {
+                self.appended.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn lock_log(&self) -> MutexGuard<'_, LogWriter> {
+        // A panic mid-append leaves at most a torn tail, which the
+        // loader discards; the writer handle stays valid.
+        self.log.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// What a request-journal load recovered.
+#[derive(Debug, Default)]
+pub struct RequestJournalState {
+    /// Admitted request lines in first-admit order, deduped by
+    /// fingerprint — the resume replay order.
+    pub admits: Vec<(u128, String)>,
+    /// Response lines by fingerprint (replayed verbatim on resume).
+    pub done: HashMap<u128, String>,
+    /// Fingerprints refused (shed or quarantined): not resumed.
+    pub refused: HashSet<u128>,
+    /// Prior resume attempts by fingerprint (drives quarantine).
+    pub attempts: HashMap<u128, u32>,
+    /// Raw log framing stats (torn tails, discarded bytes).
+    pub log: LogStats,
+    /// Structurally invalid payloads skipped.
+    pub bad_records: u64,
+}
+
+impl RequestJournalState {
+    /// Admitted requests with neither a response nor a refusal — the
+    /// jobs a crashed daemon died holding.
+    pub fn unfinished(&self) -> usize {
+        self.admits
+            .iter()
+            .filter(|(fp, _)| !self.done.contains_key(fp) && !self.refused.contains(fp))
+            .count()
+    }
+}
+
+/// Loads `<dir>/requests.wal`. A missing journal is an empty state; torn
+/// or corrupt frames and undecodable payloads are skipped and counted.
+pub fn load_request_journal(dir: &Path) -> io::Result<RequestJournalState> {
+    let (records, log) = read_log(&dir.join("requests.wal"), &REQUEST_JOURNAL_MAGIC)?;
+    let mut state = RequestJournalState {
+        log,
+        ..Default::default()
+    };
+    let mut seen_admits: HashSet<u128> = HashSet::new();
+    for payload in records {
+        if payload.len() < 17 {
+            state.bad_records += 1;
+            continue;
+        }
+        let fp = u128::from_le_bytes(payload[1..17].try_into().expect("17-byte prefix checked"));
+        let body = || String::from_utf8(payload[17..].to_vec()).ok();
+        match payload[0] {
+            REC_ADMIT => match body() {
+                Some(line) if seen_admits.insert(fp) => state.admits.push((fp, line)),
+                Some(_) => {} // duplicate resubmission of the same line
+                None => state.bad_records += 1,
+            },
+            REC_DONE => match body() {
+                Some(line) => {
+                    state.done.insert(fp, line);
+                }
+                None => state.bad_records += 1,
+            },
+            REC_REFUSED => {
+                state.refused.insert(fp);
+            }
+            REC_ATTEMPT => *state.attempts.entry(fp).or_insert(0) += 1,
+            _ => state.bad_records += 1,
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("eco_serve_journal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn journal_round_trips_all_record_kinds() {
+        let dir = tmpdir("roundtrip");
+        let journal = RequestJournal::open(&dir).expect("open");
+        let a = request_fingerprint("{\"op\": \"run\", \"id\": 1}");
+        let b = request_fingerprint("{\"op\": \"run\", \"id\": 2}");
+        let c = request_fingerprint("{\"op\": \"run\", \"id\": 3}");
+        journal.admit(a, "{\"op\": \"run\", \"id\": 1}");
+        journal.done(a, "{\"id\": 1, \"ok\": true}");
+        journal.admit(b, "{\"op\": \"run\", \"id\": 2}");
+        journal.refused(b);
+        journal.admit(c, "{\"op\": \"run\", \"id\": 3}"); // the crash victim
+        journal.attempt(c);
+        journal.admit(c, "{\"op\": \"run\", \"id\": 3}"); // duplicate admit
+        assert_eq!(journal.appended(), 7);
+        assert_eq!(journal.append_errors(), 0);
+        drop(journal);
+        let state = load_request_journal(&dir).expect("load");
+        assert_eq!(state.admits.len(), 3, "admits deduped by fingerprint");
+        assert_eq!(state.admits[0].0, a, "first-admit order");
+        assert_eq!(state.admits[2].0, c);
+        assert_eq!(
+            state.done.get(&a).map(String::as_str),
+            Some("{\"id\": 1, \"ok\": true}")
+        );
+        assert!(state.refused.contains(&b));
+        assert_eq!(state.attempts.get(&c), Some(&1));
+        assert_eq!(state.unfinished(), 1, "only c is unfinished");
+        assert_eq!(state.bad_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let dir = tmpdir("missing");
+        let state = load_request_journal(&dir).expect("load");
+        assert!(state.admits.is_empty());
+        assert_eq!(state.unfinished(), 0);
+    }
+
+    #[test]
+    fn reset_truncates_to_an_empty_log() {
+        let dir = tmpdir("reset");
+        let journal = RequestJournal::open(&dir).expect("open");
+        let fp = request_fingerprint("line");
+        journal.admit(fp, "line");
+        journal.reset();
+        journal.admit(fp, "line2"); // post-reset appends still land
+        drop(journal);
+        let state = load_request_journal(&dir).expect("load");
+        assert_eq!(state.admits.len(), 1);
+        assert_eq!(state.admits[0].1, "line2");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_ids_and_trim_whitespace() {
+        let a = request_fingerprint("{\"op\": \"run\", \"id\": 1}");
+        let b = request_fingerprint("{\"op\": \"run\", \"id\": 2}");
+        assert_ne!(
+            a, b,
+            "the id is part of the key: every client gets an answer"
+        );
+        assert_eq!(a, request_fingerprint("  {\"op\": \"run\", \"id\": 1}\n"));
+    }
+}

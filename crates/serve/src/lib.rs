@@ -43,10 +43,19 @@
 //! ```
 
 pub mod client;
+pub mod journal;
 pub mod proto;
 pub mod server;
 #[cfg(unix)]
 pub mod signal;
 
-pub use client::{percentile_us, run_client, timing_json, ClientOptions, ClientSummary};
-pub use server::{summary_json, ServeOptions, ServeSummary, Server};
+pub use client::{
+    percentile_us, retry_backoff, run_client, timing_json, ClientOptions, ClientSummary,
+};
+pub use journal::{
+    load_request_journal, request_fingerprint, RequestJournal, RequestJournalState,
+    REQUEST_JOURNAL_MAGIC,
+};
+pub use server::{
+    resume_report_json, summary_json, ResumeReport, ServeOptions, ServeSummary, Server,
+};

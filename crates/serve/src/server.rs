@@ -41,7 +41,7 @@ use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -49,8 +49,11 @@ use std::time::{Duration, Instant};
 use eco_batch::{
     execute_job, load_job_instance, BoundedQueue, JobRecord, JobSpec, JobStatus, PushError,
 };
-use eco_core::{Budget, BudgetOptions, EcoOptions, JsonObj, MemoCache, MemoStats};
+use eco_core::{
+    faultpoint, Budget, BudgetOptions, EcoOptions, JsonObj, MemoCache, MemoStats, MemoStore,
+};
 
+use crate::journal::{load_request_journal, request_fingerprint, RequestJournal};
 use crate::proto::{self, Request, StatsView};
 use eco_batch::json;
 
@@ -75,6 +78,14 @@ pub struct ServeOptions {
     /// Base engine options for every request (`jobs` and `memo` are
     /// overridden per job, as in the batch runner).
     pub eco: EcoOptions,
+    /// Durable state directory (memo snapshot + journal, request WAL).
+    /// `None` = in-memory only, the pre-durability behavior.
+    pub state_dir: Option<PathBuf>,
+    /// Resume quarantine threshold: a journaled job whose re-execution
+    /// has already been attempted this many times is refused with a
+    /// typed `quarantined` error instead of recrashing the daemon
+    /// forever (`0` = the default of 3).
+    pub quarantine_after: u32,
 }
 
 /// What a serve run did, for the operator's exit summary.
@@ -92,6 +103,17 @@ pub struct ServeSummary {
     pub memo: MemoStats,
     /// Worker threads used.
     pub workers: usize,
+    /// Worker threads restarted by the supervisor after an escaped
+    /// panic.
+    pub worker_restarts: u64,
+    /// Memo entries loaded from the durable store at startup (warm
+    /// restart).
+    pub memo_loaded: u64,
+    /// Journal/store records appended this run.
+    pub journal_appended: u64,
+    /// Persistence appends or checkpoints that failed (durability
+    /// degraded; serving continued).
+    pub persist_errors: u64,
     /// Wall-clock time the serve loop ran.
     pub wall: Duration,
 }
@@ -113,8 +135,46 @@ pub fn summary_json(s: &ServeSummary) -> String {
         .u64("refused_draining", s.refused_draining)
         .u64("bad_requests", s.bad_requests)
         .u64("workers", s.workers as u64)
+        .u64("worker_restarts", s.worker_restarts)
+        .u64("memo_loaded", s.memo_loaded)
+        .u64("journal_appended", s.journal_appended)
+        .u64("persist_errors", s.persist_errors)
         .raw("wall_s", &format!("{:.6}", s.wall.as_secs_f64()))
         .raw("memo", &memo)
+        .build()
+}
+
+/// What a `--resume` replay recovered (see
+/// [`Server::resume_from_journal`]).
+#[derive(Clone, Debug, Default)]
+pub struct ResumeReport {
+    /// Completed responses replayed verbatim from the journal.
+    pub replayed: u64,
+    /// Unfinished admitted jobs re-executed to a fresh response.
+    pub recomputed: u64,
+    /// Jobs refused with `quarantined` after too many failed attempts.
+    pub quarantined: u64,
+    /// Admitted lines that no longer parse as run requests (skipped).
+    pub skipped: u64,
+    /// Intact journal records read.
+    pub journal_records: u64,
+    /// Torn/corrupt frames and undecodable payloads discarded.
+    pub journal_skipped: u64,
+    /// Wall-clock time of the replay.
+    pub wall: Duration,
+}
+
+/// Renders a [`ResumeReport`] as one JSON object (the daemon's resume
+/// line on stderr).
+pub fn resume_report_json(r: &ResumeReport) -> String {
+    JsonObj::new()
+        .u64("replayed", r.replayed)
+        .u64("recomputed", r.recomputed)
+        .u64("quarantined", r.quarantined)
+        .u64("skipped", r.skipped)
+        .u64("journal_records", r.journal_records)
+        .u64("journal_skipped", r.journal_skipped)
+        .raw("wall_s", &format!("{:.6}", r.wall.as_secs_f64()))
         .build()
 }
 
@@ -172,6 +232,8 @@ struct QueuedJob {
     seq: u64,
     id: json::Value,
     spec: JobSpec,
+    /// Journal key, when a request journal is attached.
+    fp: Option<u128>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -188,15 +250,26 @@ pub struct Server {
     opts: ServeOptions,
     workers: usize,
     cache: Arc<MemoCache>,
+    store: Option<Arc<MemoStore>>,
+    journal: Option<RequestJournal>,
+    memo_loaded: u64,
+    state_error: Option<String>,
     draining: AtomicBool,
     served: AtomicU64,
     busy: AtomicU64,
     refused_draining: AtomicU64,
     bad_requests: AtomicU64,
+    worker_restarts: AtomicU64,
+    persist_errors: AtomicU64,
 }
 
 impl Server {
-    /// A daemon with a fresh process-lifetime memo cache.
+    /// A daemon with a process-lifetime memo cache. With
+    /// [`ServeOptions::state_dir`] set, the cache is pre-warmed from the
+    /// durable memo store and every insertion is journaled; a state
+    /// directory that fails to open degrades to in-memory serving (the
+    /// error is kept in [`Server::state_error`]) — availability over
+    /// durability.
     pub fn new(opts: ServeOptions) -> Self {
         let workers = if opts.workers != 0 {
             opts.workers
@@ -205,16 +278,49 @@ impl Server {
                 .map(|n| n.get())
                 .unwrap_or(1)
         };
+        let cache = Arc::new(MemoCache::new());
+        let mut store = None;
+        let mut journal = None;
+        let mut memo_loaded = 0;
+        let mut state_error = None;
+        if let Some(dir) = &opts.state_dir {
+            match MemoStore::open(dir) {
+                Ok(s) => {
+                    // Load before attach, so replayed entries are not
+                    // re-journaled.
+                    memo_loaded = s.load_into(&cache).loaded;
+                    s.attach(&cache);
+                    store = Some(s);
+                }
+                Err(e) => state_error = Some(format!("memo store: {e}")),
+            }
+            match RequestJournal::open(dir) {
+                Ok(j) => journal = Some(j),
+                Err(e) => state_error = Some(format!("request journal: {e}")),
+            }
+        }
         Server {
             opts,
             workers,
-            cache: Arc::new(MemoCache::new()),
+            cache,
+            store,
+            journal,
+            memo_loaded,
+            state_error,
             draining: AtomicBool::new(false),
             served: AtomicU64::new(0),
             busy: AtomicU64::new(0),
             refused_draining: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            persist_errors: AtomicU64::new(0),
         }
+    }
+
+    /// Why the durable state failed to open, if it did (the daemon is
+    /// serving in-memory).
+    pub fn state_error(&self) -> Option<&str> {
+        self.state_error.as_deref()
     }
 
     fn queue_capacity(&self) -> usize {
@@ -222,6 +328,14 @@ impl Server {
             self.opts.queue_capacity
         } else {
             64
+        }
+    }
+
+    fn quarantine_after(&self) -> u32 {
+        if self.opts.quarantine_after != 0 {
+            self.opts.quarantine_after
+        } else {
+            3
         }
     }
 
@@ -248,6 +362,11 @@ impl Server {
     }
 
     fn summary(&self, wall: Duration) -> ServeSummary {
+        let journal_appended = self.journal.as_ref().map_or(0, |j| j.appended())
+            + self.store.as_ref().map_or(0, |s| s.appended());
+        let persist_errors = self.persist_errors.load(Ordering::Relaxed)
+            + self.journal.as_ref().map_or(0, |j| j.append_errors())
+            + self.store.as_ref().map_or(0, |s| s.append_errors());
         ServeSummary {
             served: self.served.load(Ordering::Relaxed),
             busy: self.busy.load(Ordering::Relaxed),
@@ -255,6 +374,10 @@ impl Server {
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
             memo: self.cache.stats(),
             workers: self.workers,
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            memo_loaded: self.memo_loaded,
+            journal_appended,
+            persist_errors,
             wall,
         }
     }
@@ -301,16 +424,35 @@ impl Server {
                     );
                     return LineOutcome::Continue;
                 }
+                // Chaos site `queue.admit`: an injected shed takes the
+                // same typed-busy path an overloaded queue would.
+                if faultpoint::should_fail("queue.admit") {
+                    self.busy.fetch_add(1, Ordering::Relaxed);
+                    conn.send(
+                        seq,
+                        proto::refusal(&id, "busy", "chaos: injected admission shed"),
+                    );
+                    return LineOutcome::Continue;
+                }
+                // Write-ahead: the admit record lands before the job can
+                // run, so a crash never loses an admitted request.
+                let fp = self.journal.as_ref().map(|journal| {
+                    let fp = request_fingerprint(line);
+                    journal.admit(fp, line);
+                    fp
+                });
                 let job = QueuedJob {
                     conn: Arc::clone(conn),
                     seq,
                     id,
                     spec,
+                    fp,
                 };
                 match queue.try_push(job) {
                     Ok(()) => {}
                     Err((job, PushError::Full)) => {
                         self.busy.fetch_add(1, Ordering::Relaxed);
+                        self.journal_refused(job.fp);
                         let detail =
                             format!("admission queue full ({} jobs)", self.queue_capacity());
                         job.conn
@@ -318,6 +460,7 @@ impl Server {
                     }
                     Err((job, PushError::Closed)) => {
                         self.refused_draining.fetch_add(1, Ordering::Relaxed);
+                        self.journal_refused(job.fp);
                         job.conn.send(
                             job.seq,
                             proto::refusal(&job.id, "draining", "daemon is draining; no new work"),
@@ -329,46 +472,171 @@ impl Server {
         }
     }
 
+    /// Appends a refused record for an admitted-then-shed request, so a
+    /// resume does not re-execute work whose client got a typed refusal.
+    fn journal_refused(&self, fp: Option<u128>) {
+        if let (Some(journal), Some(fp)) = (&self.journal, fp) {
+            journal.refused(fp);
+        }
+    }
+
+    /// Executes one job spec to a record — the shared core of the worker
+    /// loop and the resume replay. The job gets a fresh per-request
+    /// [`Budget`] (clock starts now) tightened by the request's own
+    /// allowance via [`Budget::child`] — the batch runner's
+    /// apportioning, at request granularity. A panicking job becomes one
+    /// `error` record.
+    fn run_spec(&self, spec: &JobSpec) -> JobRecord {
+        let allowance = match (self.opts.request_budget.cluster_conflicts, spec.budget) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let budget = Budget::new(&self.opts.request_budget).child(allowance);
+        catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(test)]
+            test_panic_injection(spec);
+            let source = load_job_instance(spec);
+            execute_job(&spec.name, &source, &self.opts.eco, &budget, &self.cache)
+        }))
+        .unwrap_or_else(|_| JobRecord {
+            pass: 0,
+            index: 0,
+            name: spec.name.clone(),
+            status: JobStatus::Error,
+            targets: 0,
+            patches: 0,
+            cost: 0,
+            size: 0,
+            verified: false,
+            detail: "job worker panicked".into(),
+        })
+    }
+
     /// One worker: pop admitted jobs until the queue closes and drains.
-    /// Each job gets a fresh per-request [`Budget`] (clock starts now)
-    /// tightened by the request's own allowance via [`Budget::child`] —
-    /// the batch runner's apportioning, at request granularity. A
-    /// panicking job becomes one `error` response; the worker survives.
+    /// The response line is journaled *before* it is written to the
+    /// client, so every response a client ever saw survives a crash.
     fn worker_loop(&self, queue: &BoundedQueue<QueuedJob>) {
         while let Some(job) = queue.pop() {
-            let allowance = match (self.opts.request_budget.cluster_conflicts, job.spec.budget) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
-            let budget = Budget::new(&self.opts.request_budget).child(allowance);
-            let record = catch_unwind(AssertUnwindSafe(|| {
-                #[cfg(test)]
-                test_panic_injection(&job.spec);
-                let source = load_job_instance(&job.spec);
-                execute_job(
-                    &job.spec.name,
-                    &source,
-                    &self.opts.eco,
-                    &budget,
-                    &self.cache,
-                )
-            }))
-            .unwrap_or_else(|_| JobRecord {
-                pass: 0,
-                index: 0,
-                name: job.spec.name.clone(),
-                status: JobStatus::Error,
-                targets: 0,
-                patches: 0,
-                cost: 0,
-                size: 0,
-                verified: false,
-                detail: "job worker panicked".into(),
-            });
+            // Chaos site `worker.stall`: a bounded sleep that reorders
+            // worker scheduling without changing any response bytes.
+            faultpoint::stall("worker.stall", Duration::from_millis(5));
+            let record = self.run_spec(&job.spec);
+            let response = proto::run_response(&job.id, &record);
+            if let (Some(journal), Some(fp)) = (&self.journal, job.fp) {
+                journal.done(fp, &response);
+            }
             self.served.fetch_add(1, Ordering::Relaxed);
-            job.conn
-                .send(job.seq, proto::run_response(&job.id, &record));
+            job.conn.send(job.seq, response);
         }
+    }
+
+    /// Runs [`Server::worker_loop`] under a supervisor: a panic that
+    /// escapes the per-job containment (nothing known does, but chaos
+    /// and future bugs exist) restarts the loop after a bounded
+    /// exponential backoff instead of silently shrinking the pool. The
+    /// restart cap keeps a deterministic crash from spinning forever;
+    /// the scope join still guarantees the queue drains, because the
+    /// remaining workers keep popping.
+    fn supervised_worker(&self, queue: &BoundedQueue<QueuedJob>) {
+        const MAX_RESTARTS: u32 = 8;
+        let mut restarts: u32 = 0;
+        loop {
+            if catch_unwind(AssertUnwindSafe(|| self.worker_loop(queue))).is_ok() {
+                return; // queue closed and drained
+            }
+            self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            restarts += 1;
+            if restarts > MAX_RESTARTS {
+                return;
+            }
+            // 10ms, 20ms, 40ms, ... capped at 500ms.
+            let backoff = (10u64 << (restarts - 1).min(6)).min(500);
+            std::thread::sleep(Duration::from_millis(backoff));
+        }
+    }
+
+    /// Durability checkpoint after a drained serve loop: compact the
+    /// memo store (snapshot + truncated journal) and truncate the
+    /// request WAL — once the worker scope has joined, every admitted
+    /// job's response has been journaled and written. Failures are
+    /// counted, never fatal.
+    fn checkpoint(&self) {
+        if let Some(store) = &self.store {
+            if store.snapshot(&self.cache).is_err() {
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(journal) = &self.journal {
+            journal.reset();
+        }
+    }
+
+    /// Replays the request journal after a crash, writing recovered
+    /// response lines to `out`: responses journaled before the crash
+    /// are replayed verbatim; admitted-but-unanswered jobs are
+    /// re-executed in admit order. Each re-execution is journaled as an
+    /// attempt first, so a job that keeps killing the daemon is refused
+    /// with a typed `quarantined` error after
+    /// [`ServeOptions::quarantine_after`] attempts instead of recrashing
+    /// forever. The union of pre-crash client-visible responses and
+    /// `out` is byte-identical to an uninterrupted run (the engine is
+    /// deterministic and cached patches are SAT re-verified).
+    pub fn resume_from_journal(&self, out: &mut dyn Write) -> io::Result<ResumeReport> {
+        let t0 = Instant::now();
+        let mut report = ResumeReport::default();
+        let Some(dir) = self.opts.state_dir.clone() else {
+            return Ok(report);
+        };
+        let state = load_request_journal(&dir)?;
+        report.journal_records = state.log.records;
+        report.journal_skipped = state.log.skipped_frames + state.bad_records;
+        for (fp, line) in &state.admits {
+            if state.refused.contains(fp) {
+                continue; // the client already got a typed refusal
+            }
+            if let Some(response) = state.done.get(fp) {
+                writeln!(out, "{response}")?;
+                report.replayed += 1;
+                continue;
+            }
+            let (id, spec) = match proto::parse_request(line) {
+                Ok(Request::Run { id, spec }) => (id, spec),
+                _ => {
+                    report.skipped += 1;
+                    continue;
+                }
+            };
+            let attempts = state.attempts.get(fp).copied().unwrap_or(0);
+            if attempts >= self.quarantine_after() {
+                let refusal = proto::refusal(
+                    &id,
+                    "quarantined",
+                    &format!("job failed {attempts} resume attempts; quarantined"),
+                );
+                // Journaled as this request's final answer: a later
+                // resume replays the refusal instead of retrying.
+                if let Some(journal) = &self.journal {
+                    journal.done(*fp, &refusal);
+                }
+                writeln!(out, "{refusal}")?;
+                report.quarantined += 1;
+                continue;
+            }
+            if let Some(journal) = &self.journal {
+                journal.attempt(*fp);
+            }
+            let record = self.run_spec(&spec);
+            let response = proto::run_response(&id, &record);
+            if let Some(journal) = &self.journal {
+                journal.done(*fp, &response);
+            }
+            self.served.fetch_add(1, Ordering::Relaxed);
+            writeln!(out, "{response}")?;
+            report.recomputed += 1;
+        }
+        out.flush()?;
+        report.wall = t0.elapsed();
+        Ok(report)
     }
 
     /// Serves one request stream from any buffered reader, writing
@@ -384,7 +652,7 @@ impl Server {
         let conn = Arc::new(ConnOut::new(sink));
         std::thread::scope(|s| {
             for _ in 0..self.workers {
-                s.spawn(|| self.worker_loop(&queue));
+                s.spawn(|| self.supervised_worker(&queue));
             }
             let mut seq = 0u64;
             for line in input.lines() {
@@ -401,6 +669,7 @@ impl Server {
             }
             queue.close();
         });
+        self.checkpoint();
         self.summary(t0.elapsed())
     }
 
@@ -422,7 +691,7 @@ impl Server {
         let queue = BoundedQueue::new(self.queue_capacity());
         std::thread::scope(|s| {
             for _ in 0..self.workers {
-                s.spawn(|| self.worker_loop(&queue));
+                s.spawn(|| self.supervised_worker(&queue));
             }
             loop {
                 if shutdown.load(Ordering::Relaxed) {
@@ -444,12 +713,21 @@ impl Server {
                     Err(_) => std::thread::sleep(ACCEPT_POLL),
                 }
             }
+            // Drain the accept backlog once: a connection established
+            // before the drain latched still gets typed `draining`
+            // refusals instead of a connection reset when the listener
+            // drops.
+            while let Ok((stream, _)) = listener.accept() {
+                let queue = &queue;
+                s.spawn(move || self.handle_unix_conn(stream, queue));
+            }
             // Close admission; workers drain what was admitted, reader
             // threads notice the flag within READ_POLL and exit. The
             // scope join is the drain barrier.
             queue.close();
         });
         let _ = std::fs::remove_file(path);
+        self.checkpoint();
         Ok(self.summary(t0.elapsed()))
     }
 
@@ -796,6 +1074,124 @@ mod tests {
         conn.send(1, "second".into());
         conn.send(0, "first".into());
         assert_eq!(sink.take(), "first\nsecond\n");
+    }
+
+    /// The crash-recovery core property, without a real SIGKILL (the
+    /// chaos campaign covers that): a journal holding one answered and
+    /// one unanswered admit resumes to exactly the missing responses,
+    /// and the union is byte-identical to an uninterrupted run.
+    #[test]
+    fn resume_replays_done_and_recomputes_unfinished_byte_identically() {
+        let dir = case_dir("resume");
+        let state_dir = dir.join("state");
+        let line0 = run_line(&dir, "r0", "job0");
+        let line1 = run_line(&dir, "r1", "job1");
+        // Uninterrupted in-memory reference run.
+        let (reference, _) = serve(opts(1), &format!("{line0}\n{line1}\n"));
+        let reference: Vec<&str> = reference.lines().collect();
+        assert_eq!(reference.len(), 2);
+        // Forge the crash: job0 was admitted and answered (its response
+        // journaled before the client saw it), job1 was admitted and
+        // then the daemon died — no checkpoint ever ran.
+        {
+            let journal = crate::journal::RequestJournal::open(&state_dir).unwrap();
+            let fp0 = request_fingerprint(&line0);
+            journal.admit(fp0, &line0);
+            journal.done(fp0, reference[0]);
+            journal.admit(request_fingerprint(&line1), &line1);
+        }
+        let server = Server::new(ServeOptions {
+            workers: 1,
+            state_dir: Some(state_dir.clone()),
+            ..ServeOptions::default()
+        });
+        let mut out = Vec::new();
+        let report = server.resume_from_journal(&mut out).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.recomputed, 1);
+        assert_eq!(report.quarantined, 0);
+        let recovered = String::from_utf8(out).unwrap();
+        let recovered: Vec<&str> = recovered.lines().collect();
+        assert_eq!(
+            recovered, reference,
+            "replayed + recomputed responses must equal the fault-free run"
+        );
+        // A second resume replays both verbatim (the recomputation was
+        // journaled as done) and recomputes nothing.
+        let server2 = Server::new(ServeOptions {
+            workers: 1,
+            state_dir: Some(state_dir),
+            ..ServeOptions::default()
+        });
+        let mut out2 = Vec::new();
+        let report2 = server2.resume_from_journal(&mut out2).unwrap();
+        assert_eq!(report2.replayed, 2);
+        assert_eq!(report2.recomputed, 0);
+        assert_eq!(String::from_utf8(out2).unwrap().lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A job that keeps killing the daemon is quarantined with a typed
+    /// refusal after the attempt budget, instead of recrashing forever.
+    #[test]
+    fn resume_quarantines_repeat_offenders() {
+        let dir = case_dir("quarantine");
+        let state_dir = dir.join("state");
+        let killer = r#"{"op": "run", "id": "k", "job": {"name": "killer", "faulty": "f.v", "golden": "g.v"}}"#;
+        let fp = request_fingerprint(killer);
+        {
+            let journal = crate::journal::RequestJournal::open(&state_dir).unwrap();
+            journal.admit(fp, killer);
+            for _ in 0..3 {
+                journal.attempt(fp); // three resumes died mid-attempt
+            }
+        }
+        let server = Server::new(ServeOptions {
+            workers: 1,
+            state_dir: Some(state_dir),
+            ..ServeOptions::default()
+        });
+        let mut out = Vec::new();
+        let report = server.resume_from_journal(&mut out).unwrap();
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.recomputed, 0);
+        let line = String::from_utf8(out).unwrap();
+        assert!(line.contains("\"error\": \"quarantined\""), "{line}");
+        assert!(line.contains("\"id\": \"k\""), "{line}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Warm restart: a drained serve loop checkpoints the memo store,
+    /// and a fresh daemon on the same state directory loads it — the
+    /// repeated job is a cache hit with byte-identical responses.
+    #[test]
+    fn memo_store_survives_restart_and_stays_byte_identical() {
+        let dir = case_dir("durable");
+        let state_dir = dir.join("state");
+        let input = format!("{}\n", run_line(&dir, "a", "one"));
+        let serve_with_state = || {
+            let server = Server::new(ServeOptions {
+                workers: 1,
+                state_dir: Some(state_dir.clone()),
+                ..ServeOptions::default()
+            });
+            assert!(server.state_error().is_none(), "{:?}", server.state_error());
+            let sink = SharedBuf::default();
+            let summary = server.serve_reader(Cursor::new(input.clone()), Box::new(sink.clone()));
+            (sink.take(), summary)
+        };
+        let (out1, s1) = serve_with_state();
+        assert_eq!(s1.memo_loaded, 0, "first run starts cold");
+        assert!(s1.journal_appended > 0, "memo entries + requests journaled");
+        assert_eq!(s1.persist_errors, 0);
+        let (out2, s2) = serve_with_state();
+        assert!(s2.memo_loaded > 0, "restart loads the snapshot");
+        assert!(
+            s2.memo.hits > 0,
+            "restarted daemon answers the repeat from the loaded store"
+        );
+        assert_eq!(out1, out2, "durability must not change response bytes");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

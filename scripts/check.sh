@@ -53,6 +53,15 @@
 # reported, not gated — on a loaded or single-core host the race is
 # overhead, and determinism is the contract under test. Skip it with
 # --no-portfolio-smoke.
+#
+# The chaos smoke is also part of the DEFAULT gate (seconds): it runs
+# the seeded fault-injection campaign (eco-workgen --chaos-campaign),
+# 240 in-process fault sweeps with a differential oracle plus the
+# kill-mid-stream drill (SIGKILL a real eco-serve daemon, recover with
+# --resume, union of responses must equal the fault-free run, warm
+# restart must hit the durable memo). Recovery wall time, journal
+# replay rate, and store recovery counts are merged into
+# crates/bench/BENCH_chaos.json. Skip it with --no-chaos-smoke.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +72,7 @@ batch_smoke=0
 scale_smoke=0
 serve_smoke=0
 portfolio_smoke=1
+chaos_smoke=1
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
@@ -73,7 +83,9 @@ for arg in "$@"; do
     --serve-smoke) serve_smoke=1 ;;
     --portfolio-smoke) portfolio_smoke=1 ;;
     --no-portfolio-smoke) portfolio_smoke=0 ;;
-    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke] [--scale-smoke] [--serve-smoke] [--no-portfolio-smoke]" >&2; exit 2 ;;
+    --chaos-smoke) chaos_smoke=1 ;;
+    --no-chaos-smoke) chaos_smoke=0 ;;
+    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke] [--scale-smoke] [--serve-smoke] [--no-portfolio-smoke] [--no-chaos-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -132,6 +144,25 @@ EOF
   echo "portfolio smoke: ok (portfolio1 ${wall1}ns, portfolio4 ${wall4}ns)"
 fi
 
+if [ "$chaos_smoke" -eq 1 ]; then
+  echo "== chaos smoke: 240 seeded fault sweeps + kill-mid-stream recovery drill"
+  chtmp="$(mktemp -d)"
+  trap 'rm -rf "${ptmp:-}" "${chtmp:-}"' EXIT
+  # The campaign fails on any crash, any wrong answer (differential
+  # oracle), a lost response across the SIGKILL, or a warm restart that
+  # misses the durable memo store.
+  target/release/eco-workgen --chaos-campaign --out "$chtmp" --seed 1 \
+    --bench-out crates/bench/BENCH_chaos.json -q \
+    || { echo "chaos smoke: campaign failed"; exit 1; }
+  for row in 'chaos/sweep/wall' 'chaos/kill12/recovery_wall' 'chaos/kill12/warm_replay_wall'; do
+    grep -q "\"name\": \"$row\"" crates/bench/BENCH_chaos.json \
+      || { echo "chaos smoke: bench file missing $row"; cat crates/bench/BENCH_chaos.json; exit 1; }
+  done
+  grep -q '0 crashes, 0 wrong answers' crates/bench/BENCH_chaos.json \
+    || { echo "chaos smoke: bench file missing oracle note"; cat crates/bench/BENCH_chaos.json; exit 1; }
+  echo "chaos smoke: ok"
+fi
+
 if [ "$bench_smoke" -eq 1 ]; then
   echo "== bench smoke (1 sample): sim_throughput"
   ECO_BENCH_SAMPLES=1 cargo bench -p eco-bench --bench sim_throughput
@@ -149,7 +180,7 @@ fi
 if [ "$degrade_smoke" -eq 1 ]; then
   echo "== degrade smoke: starved eco-patch run must exit 4 with a well-formed partial result"
   tmp="$(mktemp -d)"
-  trap 'rm -rf "${ptmp:-}" "$tmp"' EXIT
+  trap 'rm -rf "${ptmp:-}" "${chtmp:-}" "$tmp"' EXIT
   # A tiny two-cluster workload: two independent targets, each cut to a
   # floating pseudo-input in the faulty circuit.
   cat > "$tmp/golden.v" <<'EOF'
@@ -212,7 +243,7 @@ fi
 if [ "$batch_smoke" -eq 1 ]; then
   echo "== batch smoke: 12-job manifest, cold + warm over one shared memo cache"
   btmp="$(mktemp -d)"
-  trap 'rm -rf "${ptmp:-}" "${tmp:-}" "${btmp:-}"' EXIT
+  trap 'rm -rf "${ptmp:-}" "${chtmp:-}" "${tmp:-}" "${btmp:-}"' EXIT
   target/release/eco-workgen --suite --count 12 --out "$btmp" --manifest "$btmp/manifest.toml" -q
 
   run_batch() {
@@ -258,7 +289,7 @@ fi
 if [ "$scale_smoke" -eq 1 ]; then
   echo "== scale smoke: 100k preset end-to-end under a 300s governor deadline"
   stmp="$(mktemp -d)"
-  trap 'rm -rf "${ptmp:-}" "${tmp:-}" "${btmp:-}" "${stmp:-}"' EXIT
+  trap 'rm -rf "${ptmp:-}" "${chtmp:-}" "${tmp:-}" "${btmp:-}" "${stmp:-}"' EXIT
 
   # The generator CLI path: both 100k AIGs must emit and re-parse.
   target/release/eco-workgen --scale 100k --out "$stmp" -q
@@ -298,7 +329,7 @@ if [ "$serve_smoke" -eq 1 ]; then
   serve_cleanup() {
     # shellcheck disable=SC2086
     [ -n "$serve_pids" ] && kill $serve_pids 2> /dev/null || true
-    rm -rf "${ptmp:-}" "${tmp:-}" "${btmp:-}" "${stmp:-}" "${svtmp:-}"
+    rm -rf "${ptmp:-}" "${chtmp:-}" "${tmp:-}" "${btmp:-}" "${stmp:-}" "${svtmp:-}"
   }
   trap serve_cleanup EXIT
   target/release/eco-workgen --suite --count 12 --out "$svtmp/cases" \

@@ -4,14 +4,18 @@
 //! same daemon must hit the process-lifetime memo cache while
 //! reproducing the cold responses exactly, broken requests mid-stream
 //! must degrade to typed error responses without disturbing their
-//! neighbors, and graceful drain must answer every admitted job before
-//! the session ends.
+//! neighbors, graceful drain (including a SIGTERM-style flag flip under
+//! concurrent connections) must answer every admitted job before the
+//! session ends, and `--resume` must replay a killed session's journal
+//! byte-identically.
 
-use std::io::{Cursor, Write};
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 
-use eco::serve::{ServeOptions, Server};
+use eco::serve::{request_fingerprint, RequestJournal, ServeOptions, Server};
 use eco::workgen::{contest_suite, request_stream, write_unit, ManifestEntry, SuiteUnit};
 
 /// Small, fast suite units (skips the difficult datapath ones).
@@ -193,5 +197,136 @@ fn shutdown_answers_admitted_work_then_refuses_new_runs() {
         &format!("{}{}", stream.lines().next().unwrap(), "\n"),
     );
     assert!(late.contains("\"error\": \"draining\""), "{late}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A SIGTERM-style drain (the signal handler just flips this flag)
+/// while several connections are in flight: every connection still gets
+/// exactly one typed response — completed if the job was admitted
+/// before the drain latched, a `draining` refusal otherwise — the
+/// daemon exits cleanly, and nothing hangs or is silently dropped.
+#[test]
+fn sigterm_drain_answers_every_concurrent_connection() {
+    let dir = temp_dir("sigterm");
+    let requests: Vec<String> = emit_stream(&dir, 3).lines().map(str::to_string).collect();
+    let sock = dir.join("eco.sock");
+    let server = Arc::new(Server::new(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    }));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let daemon = {
+        let server = Arc::clone(&server);
+        let sock = sock.clone();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || server.serve_unix(&sock, &shutdown).expect("serve_unix"))
+    };
+    while !sock.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // Every client writes its request, then all rendezvous with the
+    // main thread, which flips the termination flag *before* anyone
+    // reads a response — the drain races real in-flight work.
+    let barrier = Arc::new(Barrier::new(requests.len() + 1));
+    let clients: Vec<_> = requests
+        .iter()
+        .map(|req| {
+            let req = format!("{req}\n");
+            let sock = sock.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut tx = UnixStream::connect(&sock).expect("connect");
+                tx.write_all(req.as_bytes()).expect("send request");
+                barrier.wait();
+                let mut line = String::new();
+                BufReader::new(tx).read_line(&mut line).expect("response");
+                line
+            })
+        })
+        .collect();
+    barrier.wait();
+    shutdown.store(true, Ordering::SeqCst);
+
+    let responses: Vec<String> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    let summary = daemon.join().expect("daemon thread");
+    for line in &responses {
+        assert!(
+            line.contains("\"status\": \"complete\"") || line.contains("\"error\": \"draining\""),
+            "connection must get a completed job or a typed refusal: {line}"
+        );
+    }
+    assert_eq!(
+        summary.served + summary.refused_draining,
+        requests.len() as u64,
+        "every admitted or refused request is accounted for"
+    );
+    assert!(!sock.exists(), "socket file removed on drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash recovery end to end: a session's request journal is cut off
+/// mid-run (two jobs completed, two admitted but unanswered, a torn
+/// byte tail from the kill), and `resume` must reproduce the exact
+/// bytes of the uninterrupted session — completed responses verbatim,
+/// unfinished jobs recomputed.
+#[test]
+fn resume_after_kill_is_byte_identical_to_uninterrupted_run() {
+    let dir = temp_dir("resume");
+    let stream = emit_stream(&dir, 4);
+    let requests: Vec<&str> = stream.lines().collect();
+
+    // The uninterrupted reference session (no durable state).
+    let reference = serve_once(
+        &Server::new(ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        }),
+        &stream,
+    );
+    let reference_lines: Vec<&str> = reference.lines().collect();
+    assert_eq!(reference_lines.len(), 4);
+
+    // Forge the journal a SIGKILLed daemon would leave behind: all four
+    // admitted, the first two answered, plus a torn frame tail.
+    let state = dir.join("state");
+    {
+        let journal = RequestJournal::open(&state).expect("open journal");
+        for (i, req) in requests.iter().enumerate() {
+            let fp = request_fingerprint(req);
+            journal.admit(fp, req);
+            if i < 2 {
+                journal.done(fp, reference_lines[i]);
+            }
+        }
+        assert_eq!(journal.append_errors(), 0);
+    }
+    let wal = state.join("requests.wal");
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&wal)
+        .expect("open wal");
+    file.write_all(&[0x7f; 9]).expect("torn tail");
+    drop(file);
+
+    // Recovery: replay the journal on a fresh server.
+    let server = Server::new(ServeOptions {
+        workers: 2,
+        state_dir: Some(state),
+        ..ServeOptions::default()
+    });
+    assert!(server.state_error().is_none(), "state must open cleanly");
+    let mut recovered = Vec::new();
+    let report = server.resume_from_journal(&mut recovered).expect("resume");
+    assert_eq!(report.replayed, 2, "completed jobs replay verbatim");
+    assert_eq!(report.recomputed, 2, "unfinished jobs re-execute");
+    assert_eq!(
+        String::from_utf8(recovered).expect("utf-8"),
+        reference,
+        "recovered stream must be byte-identical to the uninterrupted run"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
