@@ -1,12 +1,25 @@
-//! AIGER format I/O (combinational subset).
+//! AIGER format I/O.
 //!
 //! Reads and writes the [AIGER](https://fmv.jku.at/aiger/) interchange
-//! format in both its ASCII (`aag`) and binary (`aig`) variants, restricted
-//! to combinational circuits (no latches). AIGER's literal encoding
-//! (`2·var + complement`, 0 = false) matches [`Lit`] exactly; only the
-//! variable numbering differs, since AIGER requires inputs first.
+//! format in both its ASCII (`aag`) and binary (`aig`) variants. AIGER's
+//! literal encoding (`2·var + complement`, 0 = false) matches [`Lit`]
+//! exactly; only the variable numbering differs, since AIGER requires
+//! inputs first.
+//!
+//! Two API levels:
+//!
+//! * [`parse_aiger_ascii`] / [`write_aiger_ascii`] (and the binary pair)
+//!   handle the combinational subset — files with latches are rejected;
+//! * [`parse_aiger_ascii_seq`] / [`write_aiger_ascii_seq`] (and the
+//!   binary pair) additionally carry latches as [`AigerLatch`] records:
+//!   each latch's current state is an ordinary input of the returned
+//!   [`Aig`], and its next-state function is a literal of the same AIG.
+//!
+//! Only the canonical ("reencoded") variable order is accepted: inputs
+//! `1..=I`, latch states `I+1..=I+L`, ANDs after. Both writers emit that
+//! order, so write → parse → write is a byte-level fixpoint.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -33,24 +46,56 @@ fn err(message: impl Into<String>) -> ParseAigerError {
     }
 }
 
+/// Initial value of an AIGER latch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AigerInit {
+    /// Resets to 0 (the AIGER default).
+    Zero,
+    /// Resets to 1.
+    One,
+    /// Uninitialized: the first-cycle value is free (encoded in AIGER as
+    /// an init field equal to the latch's own literal).
+    DontCare,
+}
+
+/// A latch of a sequential AIGER file.
+///
+/// `state` is an input variable of the accompanying [`Aig`] holding the
+/// current-state value; `next` is the next-state literal in the same AIG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AigerLatch {
+    /// Current-state variable (an input of the AIG).
+    pub state: Var,
+    /// Next-state literal.
+    pub next: Lit,
+    /// Reset value.
+    pub init: AigerInit,
+}
+
 /// Marker for nodes outside the emitted cone in the renumbering table.
 const UNMAPPED: u32 = u32::MAX;
 
-/// Renumbering of an AIG into AIGER order: inputs 1..=I, then ANDs in
-/// topological order. Returns (dense table old var index → new AIGER var,
-/// AND vars in emission order). Nodes outside the reachable cone stay
-/// [`UNMAPPED`]; a dense table beats a `HashMap` here because emission
-/// touches every mapped node at least twice.
-fn renumber(aig: &Aig) -> (Vec<u32>, Vec<Var>) {
+/// Renumbering of an AIG into AIGER order: primary inputs `1..=I`, latch
+/// states `I+1..=I+L`, then ANDs in topological order. Returns (dense
+/// table old var index → new AIGER var, AND vars in emission order).
+/// Nodes outside the reachable cone stay [`UNMAPPED`]; a dense table
+/// beats a `HashMap` here because emission touches every mapped node at
+/// least twice.
+fn renumber(aig: &Aig, pis: &[Var], latches: &[AigerLatch]) -> (Vec<u32>, Vec<Var>) {
     let mut map = vec![UNMAPPED; aig.len()];
     map[Var::CONST.index() as usize] = 0;
-    let count = |n: usize| u32::try_from(n).expect("node count fits in u32");
-    for (i, &v) in aig.inputs().iter().enumerate() {
-        map[v.index() as usize] = count(i) + 1;
+    let mut next: u32 = 1;
+    for &v in pis {
+        map[v.index() as usize] = next;
+        next += 1;
     }
-    let roots: Vec<Lit> = aig.outputs().iter().map(|o| o.lit).collect();
+    for l in latches {
+        map[l.state.index() as usize] = next;
+        next += 1;
+    }
+    let mut roots: Vec<Lit> = aig.outputs().iter().map(|o| o.lit).collect();
+    roots.extend(latches.iter().map(|l| l.next));
     let mut ands = Vec::new();
-    let mut next = count(aig.num_inputs()) + 1;
     for v in aig.cone_vars(&roots) {
         if aig.is_and(v) {
             map[v.index() as usize] = next;
@@ -67,18 +112,80 @@ fn map_lit(map: &[u32], lit: Lit) -> u32 {
     m * 2 + lit.is_complement() as u32
 }
 
+/// Primary-input vars: every AIG input that is not a latch state, in
+/// input-position order. Panics if a latch state is not an input — the
+/// sequential writers require validated designs.
+fn split_inputs(aig: &Aig, latches: &[AigerLatch]) -> Vec<Var> {
+    let states: HashSet<Var> = latches.iter().map(|l| l.state).collect();
+    for l in latches {
+        assert!(
+            aig.is_input(l.state),
+            "latch state must be an AIG input variable"
+        );
+    }
+    aig.inputs()
+        .iter()
+        .copied()
+        .filter(|v| !states.contains(v))
+        .collect()
+}
+
+/// Formats one latch definition's `next [init]` tail (shared by both
+/// writers): the init field is omitted for the default 0, `1` for
+/// init-to-1, and the latch's own literal for uninitialized.
+fn latch_tail(map: &[u32], state_lit: u32, l: &AigerLatch) -> String {
+    let next = map_lit(map, l.next);
+    match l.init {
+        AigerInit::Zero => format!("{next}"),
+        AigerInit::One => format!("{next} 1"),
+        AigerInit::DontCare => format!("{next} {state_lit}"),
+    }
+}
+
+fn symbol_table(aig: &Aig, pis: &[Var], latches: &[AigerLatch]) -> String {
+    use fmt::Write as _;
+    let mut s = String::new();
+    let name = |v: Var| {
+        let pos = aig.input_pos(v).expect("input var");
+        aig.input_name(pos)
+    };
+    for (k, &v) in pis.iter().enumerate() {
+        let _ = writeln!(s, "i{k} {}", name(v));
+    }
+    for (k, l) in latches.iter().enumerate() {
+        let _ = writeln!(s, "l{k} {}", name(l.state));
+    }
+    for (k, out) in aig.outputs().iter().enumerate() {
+        let _ = writeln!(s, "o{k} {}", out.name);
+    }
+    s
+}
+
 /// Writes the reachable logic as ASCII AIGER (`aag`), including a symbol
 /// table with the input and output names.
 pub fn write_aiger_ascii(aig: &Aig) -> String {
+    write_aiger_ascii_seq(aig, &[])
+}
+
+/// Writes a latch-bearing design as ASCII AIGER (`aag`).
+///
+/// Latch current states must be input variables of `aig`; they are
+/// emitted after the primary inputs, with `l<k>` symbol-table entries
+/// carrying their names.
+pub fn write_aiger_ascii_seq(aig: &Aig, latches: &[AigerLatch]) -> String {
     use fmt::Write as _;
-    let (map, ands) = renumber(aig);
-    let i = aig.num_inputs();
-    let a = ands.len();
-    let m = i + a;
+    let pis = split_inputs(aig, latches);
+    let (map, ands) = renumber(aig, &pis, latches);
+    let (i, l, a) = (pis.len(), latches.len(), ands.len());
+    let m = i + l + a;
     let mut s = String::new();
-    let _ = writeln!(s, "aag {m} {i} 0 {} {a}", aig.num_outputs());
+    let _ = writeln!(s, "aag {m} {i} {l} {} {a}", aig.num_outputs());
     for k in 0..i {
         let _ = writeln!(s, "{}", (k + 1) * 2);
+    }
+    for (k, lat) in latches.iter().enumerate() {
+        let state_lit = u32::try_from((i + k + 1) * 2).expect("literal fits in u32");
+        let _ = writeln!(s, "{state_lit} {}", latch_tail(&map, state_lit, lat));
     }
     for out in aig.outputs() {
         let _ = writeln!(s, "{}", map_lit(&map, out.lit));
@@ -90,24 +197,29 @@ pub fn write_aiger_ascii(aig: &Aig) -> String {
         let (r0, r1) = if r0 >= r1 { (r0, r1) } else { (r1, r0) };
         let _ = writeln!(s, "{lhs} {r0} {r1}");
     }
-    for k in 0..i {
-        let _ = writeln!(s, "i{k} {}", aig.input_name(k));
-    }
-    for (k, out) in aig.outputs().iter().enumerate() {
-        let _ = writeln!(s, "o{k} {}", out.name);
-    }
+    s.push_str(&symbol_table(aig, &pis, latches));
     s
 }
 
 /// Writes the reachable logic as binary AIGER (`aig`), including a symbol
 /// table.
 pub fn write_aiger_binary(aig: &Aig) -> Vec<u8> {
-    let (map, ands) = renumber(aig);
-    let i = aig.num_inputs();
-    let a = ands.len();
-    let m = i + a;
+    write_aiger_binary_seq(aig, &[])
+}
+
+/// Writes a latch-bearing design as binary AIGER (`aig`). See
+/// [`write_aiger_ascii_seq`] for the latch conventions.
+pub fn write_aiger_binary_seq(aig: &Aig, latches: &[AigerLatch]) -> Vec<u8> {
+    let pis = split_inputs(aig, latches);
+    let (map, ands) = renumber(aig, &pis, latches);
+    let (i, l, a) = (pis.len(), latches.len(), ands.len());
+    let m = i + l + a;
     let mut out = Vec::new();
-    out.extend_from_slice(format!("aig {m} {i} 0 {} {a}\n", aig.num_outputs()).as_bytes());
+    out.extend_from_slice(format!("aig {m} {i} {l} {} {a}\n", aig.num_outputs()).as_bytes());
+    for (k, lat) in latches.iter().enumerate() {
+        let state_lit = u32::try_from((i + k + 1) * 2).expect("literal fits in u32");
+        out.extend_from_slice(format!("{}\n", latch_tail(&map, state_lit, lat)).as_bytes());
+    }
     for o in aig.outputs() {
         out.extend_from_slice(format!("{}\n", map_lit(&map, o.lit)).as_bytes());
     }
@@ -120,12 +232,7 @@ pub fn write_aiger_binary(aig: &Aig) -> Vec<u8> {
         write_varint(&mut out, lhs - r0);
         write_varint(&mut out, r0 - r1);
     }
-    for k in 0..i {
-        out.extend_from_slice(format!("i{k} {}\n", aig.input_name(k)).as_bytes());
-    }
-    for (k, o) in aig.outputs().iter().enumerate() {
-        out.extend_from_slice(format!("o{k} {}\n", o.name).as_bytes());
-    }
+    out.extend_from_slice(symbol_table(aig, &pis, latches).as_bytes());
     out
 }
 
@@ -159,6 +266,7 @@ fn read_varint(data: &[u8], pos: &mut usize) -> Result<u32, ParseAigerError> {
 struct Header {
     m: u32,
     i: u32,
+    l: u32,
     o: u32,
     a: u32,
 }
@@ -179,22 +287,40 @@ fn parse_header(line: &str, magic: &str) -> Result<Header, ParseAigerError> {
     let l = field("L")?;
     let o = field("O")?;
     let a = field("A")?;
-    if l != 0 {
-        return Err(err("latches are not supported (combinational only)"));
+    if m != i
+        .checked_add(l)
+        .and_then(|x| x.checked_add(a))
+        .ok_or_else(|| err("header counts overflow"))?
+    {
+        return Err(err("M != I + L + A"));
     }
-    if m != i + a {
-        return Err(err("M != I + A"));
-    }
-    Ok(Header { m, i, o, a })
+    Ok(Header { m, i, l, o, a })
 }
 
-/// Builds the AIG given resolved AND definitions and output literals.
+/// Raw latch definition: next-state literal plus optional init literal.
+struct LatchDef {
+    next: u32,
+    init: Option<u32>,
+}
+
+fn parse_latch_init(state_lit: u32, def: &LatchDef) -> Result<AigerInit, ParseAigerError> {
+    match def.init {
+        None | Some(0) => Ok(AigerInit::Zero),
+        Some(1) => Ok(AigerInit::One),
+        Some(x) if x == state_lit => Ok(AigerInit::DontCare),
+        Some(x) => Err(err(format!("invalid latch init literal {x}"))),
+    }
+}
+
+/// Builds the AIG given resolved AND definitions, latch definitions, and
+/// output literals.
 fn build(
     header: &Header,
+    latch_defs: &[LatchDef],
     and_defs: &[(u32, u32, u32)],
     out_lits: &[u32],
     symbols: &HashMap<String, String>,
-) -> Result<Aig, ParseAigerError> {
+) -> Result<(Aig, Vec<AigerLatch>), ParseAigerError> {
     let mut aig = Aig::new();
     // lits[v] = our literal for AIGER variable v.
     let mut lits: Vec<Option<Lit>> = vec![None; header.m as usize + 1];
@@ -205,6 +331,13 @@ fn build(
             .cloned()
             .unwrap_or_else(|| format!("i{k}"));
         lits[k as usize + 1] = Some(aig.add_input(name));
+    }
+    for k in 0..header.l {
+        let name = symbols
+            .get(&format!("l{k}"))
+            .cloned()
+            .unwrap_or_else(|| format!("l{k}"));
+        lits[(header.i + k) as usize + 1] = Some(aig.add_input(name));
     }
     let resolve = |lits: &[Option<Lit>], l: u32| -> Result<Lit, ParseAigerError> {
         let v = (l / 2) as usize;
@@ -230,6 +363,18 @@ fn build(
         }
         lits[v] = Some(aig.and(a, b));
     }
+    // Latch next-state literals may reference ANDs defined later in the
+    // file, so they resolve only after the AND section is built.
+    let mut latches = Vec::with_capacity(latch_defs.len());
+    for (k, def) in latch_defs.iter().enumerate() {
+        let state_lit = (header.i + u32::try_from(k).expect("latch count fits in u32") + 1) * 2;
+        let state = resolve(&lits, state_lit)?.var();
+        latches.push(AigerLatch {
+            state,
+            next: resolve(&lits, def.next)?,
+            init: parse_latch_init(state_lit, def)?,
+        });
+    }
     for (k, &l) in out_lits.iter().enumerate() {
         let lit = resolve(&lits, l)?;
         let name = symbols
@@ -238,7 +383,7 @@ fn build(
             .unwrap_or_else(|| format!("o{k}"));
         aig.add_output(name, lit);
     }
-    Ok(aig)
+    Ok((aig, latches))
 }
 
 fn parse_symbols<'a>(lines: impl Iterator<Item = &'a str>) -> HashMap<String, String> {
@@ -252,6 +397,14 @@ fn parse_symbols<'a>(lines: impl Iterator<Item = &'a str>) -> HashMap<String, St
         }
     }
     symbols
+}
+
+fn reject_latches((aig, latches): (Aig, Vec<AigerLatch>)) -> Result<Aig, ParseAigerError> {
+    if latches.is_empty() {
+        Ok(aig)
+    } else {
+        Err(err("latches are not supported (combinational only)"))
+    }
 }
 
 /// Parses ASCII AIGER (`aag`), combinational subset.
@@ -271,6 +424,21 @@ fn parse_symbols<'a>(lines: impl Iterator<Item = &'a str>) -> HashMap<String, St
 /// # Ok::<(), eco_aig::ParseAigerError>(())
 /// ```
 pub fn parse_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
+    reject_latches(parse_aiger_ascii_seq(text)?)
+}
+
+/// Parses ASCII AIGER (`aag`) including latches.
+///
+/// Latch current states become input variables of the returned [`Aig`]
+/// (after the primary inputs, named from `l<k>` symbol entries when
+/// present); their next-state literals and init values are returned as
+/// [`AigerLatch`] records in file order.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed headers, non-canonical
+/// input/latch numbering, forward AND references, or redefinitions.
+pub fn parse_aiger_ascii_seq(text: &str) -> Result<(Aig, Vec<AigerLatch>), ParseAigerError> {
     let mut lines = text.lines();
     let header = parse_header(lines.next().ok_or_else(|| err("empty input"))?, "aag")?;
     let mut next_line = |what: &str| -> Result<&str, ParseAigerError> {
@@ -284,6 +452,26 @@ pub fn parse_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         if l != (k + 1) * 2 {
             return Err(err("inputs must be 2, 4, ... in order"));
         }
+    }
+    let mut latch_defs = Vec::with_capacity(header.l as usize);
+    for k in 0..header.l {
+        let line = next_line("latch line")?;
+        let mut it = line.split_whitespace();
+        let mut num = |what: &str| -> Result<Option<u32>, ParseAigerError> {
+            it.next()
+                .map(|t| t.parse().map_err(|_| err(format!("invalid {what}"))))
+                .transpose()
+        };
+        let state = num("latch state literal")?.ok_or_else(|| err("missing latch state"))?;
+        if state != (header.i + k + 1) * 2 {
+            return Err(err("latch states must follow the inputs in order"));
+        }
+        let next = num("latch next literal")?.ok_or_else(|| err("missing latch next"))?;
+        let init = num("latch init literal")?;
+        if it.next().is_some() {
+            return Err(err("trailing tokens on latch line"));
+        }
+        latch_defs.push(LatchDef { next, init });
     }
     let mut out_lits = Vec::with_capacity(header.o as usize);
     for _ in 0..header.o {
@@ -307,7 +495,7 @@ pub fn parse_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         and_defs.push((num("lhs")?, num("rhs0")?, num("rhs1")?));
     }
     let symbols = parse_symbols(lines);
-    build(&header, &and_defs, &out_lits, &symbols)
+    build(&header, &latch_defs, &and_defs, &out_lits, &symbols)
 }
 
 /// Parses binary AIGER (`aig`), combinational subset.
@@ -317,6 +505,17 @@ pub fn parse_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
 /// Returns [`ParseAigerError`] on malformed headers, latches, or corrupt
 /// delta encodings.
 pub fn parse_aiger_binary(data: &[u8]) -> Result<Aig, ParseAigerError> {
+    reject_latches(parse_aiger_binary_seq(data)?)
+}
+
+/// Parses binary AIGER (`aig`) including latches. See
+/// [`parse_aiger_ascii_seq`] for the latch conventions.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed headers or corrupt delta
+/// encodings.
+pub fn parse_aiger_binary_seq(data: &[u8]) -> Result<(Aig, Vec<AigerLatch>), ParseAigerError> {
     let header_end = data
         .iter()
         .position(|&b| b == b'\n')
@@ -325,24 +524,48 @@ pub fn parse_aiger_binary(data: &[u8]) -> Result<Aig, ParseAigerError> {
         std::str::from_utf8(&data[..header_end]).map_err(|_| err("non-UTF-8 header"))?;
     let header = parse_header(header_line, "aig")?;
     let mut pos = header_end + 1;
-    let mut out_lits = Vec::with_capacity(header.o as usize);
-    for _ in 0..header.o {
-        let end = data[pos..]
+    let ascii_line = |pos: &mut usize, what: &str| -> Result<String, ParseAigerError> {
+        let end = data[*pos..]
             .iter()
             .position(|&b| b == b'\n')
-            .ok_or_else(|| err("truncated output section"))?;
-        let line =
-            std::str::from_utf8(&data[pos..pos + end]).map_err(|_| err("non-UTF-8 output"))?;
+            .ok_or_else(|| err(format!("truncated {what} section")))?;
+        let line = std::str::from_utf8(&data[*pos..*pos + end])
+            .map_err(|_| err(format!("non-UTF-8 {what}")))?;
+        *pos += end + 1;
+        Ok(line.to_string())
+    };
+    // Binary AIGER keeps latch states implicit: line k defines the latch
+    // with state literal 2·(I+k+1) and holds only `next [init]`.
+    let mut latch_defs = Vec::with_capacity(header.l as usize);
+    for _ in 0..header.l {
+        let line = ascii_line(&mut pos, "latch")?;
+        let mut it = line.split_whitespace();
+        let next = it
+            .next()
+            .ok_or_else(|| err("missing latch next"))?
+            .parse()
+            .map_err(|_| err("invalid latch next literal"))?;
+        let init = it
+            .next()
+            .map(|t| t.parse().map_err(|_| err("invalid latch init literal")))
+            .transpose()?;
+        if it.next().is_some() {
+            return Err(err("trailing tokens on latch line"));
+        }
+        latch_defs.push(LatchDef { next, init });
+    }
+    let mut out_lits = Vec::with_capacity(header.o as usize);
+    for _ in 0..header.o {
+        let line = ascii_line(&mut pos, "output")?;
         out_lits.push(
             line.trim()
                 .parse()
                 .map_err(|_| err("invalid output literal"))?,
         );
-        pos += end + 1;
     }
     let mut and_defs = Vec::with_capacity(header.a as usize);
     for k in 0..header.a {
-        let lhs = (header.i + k + 1) * 2;
+        let lhs = (header.i + header.l + k + 1) * 2;
         let d0 = read_varint(data, &mut pos)?;
         let d1 = read_varint(data, &mut pos)?;
         let r0 = lhs
@@ -357,7 +580,7 @@ pub fn parse_aiger_binary(data: &[u8]) -> Result<Aig, ParseAigerError> {
         Ok(rest) => parse_symbols(rest.lines()),
         Err(_) => HashMap::new(),
     };
-    build(&header, &and_defs, &out_lits, &symbols)
+    build(&header, &latch_defs, &and_defs, &out_lits, &symbols)
 }
 
 #[cfg(test)]
@@ -376,6 +599,30 @@ mod tests {
         aig.add_output("f", f);
         aig.add_output("g", !g);
         aig
+    }
+
+    /// A 2-bit shift register with an XOR feedback tap and one output.
+    fn seq_sample() -> (Aig, Vec<AigerLatch>) {
+        let mut aig = Aig::new();
+        let d = aig.add_input("d");
+        let s0 = aig.add_input("s0");
+        let s1 = aig.add_input("s1");
+        let fb = aig.xor(d, s1);
+        let q = aig.and(s0, s1);
+        aig.add_output("q", q);
+        let latches = vec![
+            AigerLatch {
+                state: s0.var(),
+                next: fb,
+                init: AigerInit::Zero,
+            },
+            AigerLatch {
+                state: s1.var(),
+                next: s0,
+                init: AigerInit::One,
+            },
+        ];
+        (aig, latches)
     }
 
     fn check_equal(x: &Aig, y: &Aig) {
@@ -433,9 +680,9 @@ mod tests {
     fn rejects_malformed_input() {
         assert!(parse_aiger_ascii("").is_err());
         assert!(parse_aiger_ascii("nope 1 1 0 0 0\n").is_err());
-        // Latches unsupported.
-        assert!(parse_aiger_ascii("aag 1 0 1 0 0\n").is_err());
-        // M != I + A.
+        // Latches rejected by the combinational entry point.
+        assert!(parse_aiger_ascii("aag 1 0 1 0 0\n2 2\n").is_err());
+        // M != I + L + A.
         assert!(parse_aiger_ascii("aag 5 2 0 0 1\n2\n4\n6 2 4\n").is_err());
         // Forward reference.
         assert!(parse_aiger_ascii("aag 3 1 0 1 2\n2\n4\n4 6 2\n6 2 2\n").is_err());
@@ -444,6 +691,53 @@ mod tests {
         // Truncated binary.
         assert!(parse_aiger_binary(b"aig 2 1 0 0 1\n\x80").is_err());
         assert!(parse_aiger_binary(b"no newline").is_err());
+        // Sequential: truncated latch section.
+        assert!(parse_aiger_ascii_seq("aag 1 0 1 0 0\n").is_err());
+        // Non-canonical latch state literal.
+        assert!(parse_aiger_ascii_seq("aag 2 1 1 0 0\n2\n6 2\n").is_err());
+        // Bogus init literal.
+        assert!(parse_aiger_ascii_seq("aag 1 0 1 0 0\n2 2 7\n").is_err());
+        // Next literal out of range.
+        assert!(parse_aiger_ascii_seq("aag 1 0 1 0 0\n2 9\n").is_err());
+        assert!(parse_aiger_binary_seq(b"aig 1 0 1 0 0\n").is_err());
+    }
+
+    #[test]
+    fn seq_ascii_round_trip_is_byte_fixpoint() {
+        let (aig, latches) = seq_sample();
+        let text = write_aiger_ascii_seq(&aig, &latches);
+        let (back, back_latches) = parse_aiger_ascii_seq(&text).expect("parses");
+        assert_eq!(back_latches.len(), 2);
+        assert_eq!(back_latches[0].init, AigerInit::Zero);
+        assert_eq!(back_latches[1].init, AigerInit::One);
+        // Latch names survive via l<k> symbol entries.
+        let pos = back.input_pos(back_latches[0].state).expect("input");
+        assert_eq!(back.input_name(pos), "s0");
+        assert_eq!(write_aiger_ascii_seq(&back, &back_latches), text);
+    }
+
+    #[test]
+    fn seq_binary_round_trip_is_byte_fixpoint() {
+        let (aig, latches) = seq_sample();
+        let bytes = write_aiger_binary_seq(&aig, &latches);
+        let (back, back_latches) = parse_aiger_binary_seq(&bytes).expect("parses");
+        assert_eq!(back_latches.len(), 2);
+        assert_eq!(write_aiger_binary_seq(&back, &back_latches), bytes);
+    }
+
+    #[test]
+    fn seq_dontcare_init_round_trips() {
+        let mut aig = Aig::new();
+        let s = aig.add_input("s");
+        aig.add_output("q", !s);
+        let latches = vec![AigerLatch {
+            state: s.var(),
+            next: !s,
+            init: AigerInit::DontCare,
+        }];
+        let text = write_aiger_ascii_seq(&aig, &latches);
+        let (_, back_latches) = parse_aiger_ascii_seq(&text).expect("parses");
+        assert_eq!(back_latches[0].init, AigerInit::DontCare);
     }
 
     /// Seeded random AIGs round-trip through both formats: write → parse
@@ -542,5 +836,16 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A hand-written sequential AIGER file: a toggle flip-flop.
+    #[test]
+    fn external_handwritten_seq_file() {
+        // state' = ¬state, q = state, init 0.
+        let text = "aag 1 0 1 1 0\n2 3\n2\nl0 t\no0 q\n";
+        let (aig, latches) = parse_aiger_ascii_seq(text).expect("parses");
+        assert_eq!(latches.len(), 1);
+        assert_eq!(latches[0].init, AigerInit::Zero);
+        assert_eq!(latches[0].next, !aig.outputs()[0].lit);
     }
 }

@@ -1,75 +1,105 @@
-//! `eco-convert`: translate between the workspace's circuit formats.
+//! `eco-convert`: any-to-any translation between the workspace's
+//! circuit formats.
 //!
 //! ```text
 //! eco-convert -i design.v -o design.blif
-//! eco-convert -i design.aag -o design.v
+//! eco-convert -i design.btor2 -o design.aag
+//! eco-convert -i - --from blif -o - --to btor2 < in.blif > out.btor2
+//! eco-convert -i design.aag -o design.cnf          # Tseitin export
 //! ```
 //!
-//! Formats are inferred from file extensions: `.v` (structural Verilog
-//! subset), `.blif`, `.aag` (ASCII AIGER), `.aig` (binary AIGER). All
-//! conversions go through an AIG, so the output is always flat
-//! AND-inverter logic.
+//! Formats are inferred from file extensions — `.v` (structural Verilog
+//! subset), `.blif` (with `.latch`), `.aag`/`.aig` (AIGER with latches),
+//! `.btor2` (bit-level BTOR2), `.cnf` (Tseitin DIMACS, export only) —
+//! and can be forced with `--from`/`--to`, which is required when
+//! reading stdin or writing stdout via `-`. Latch-bearing designs
+//! convert freely between the sequential formats; the combinational
+//! formats reject them with a typed error.
 
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
-use eco_aig::Aig;
-use eco_netlist::{
-    elaborate, netlist_from_aig, parse_blif, parse_verilog, write_blif, write_verilog,
-};
+use eco_seq::hub::{read_design, write_design, Format, HubError};
 
-const USAGE: &str =
-    "usage: eco-convert -i <in.{v,blif,aag,aig}> -o <out.{v,blif,aag,aig}> [--name <module>]";
+const USAGE: &str = "usage: eco-convert -i <in.{v,blif,aag,aig,btor2}|-> -o \
+                     <out.{v,blif,aag,aig,btor2,cnf}|-> [--from <fmt>] [--to <fmt>] \
+                     [--name <module>]\n  `-` reads stdin / writes stdout and requires \
+                     --from / --to";
 
-fn ext(path: &str) -> Option<&str> {
-    std::path::Path::new(path).extension()?.to_str()
-}
-
-fn read_aig(path: &str) -> Result<Aig, String> {
-    let fmt = ext(path).ok_or_else(|| format!("{path}: no file extension"))?;
-    match fmt {
-        "v" => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let nl = parse_verilog(&text).map_err(|e| format!("{path}: {e}"))?;
-            Ok(elaborate(&nl).map_err(|e| format!("{path}: {e}"))?.aig)
-        }
-        "blif" => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            Ok(parse_blif(&text).map_err(|e| format!("{path}: {e}"))?.aig)
-        }
-        "aag" => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            eco_aig::parse_aiger_ascii(&text).map_err(|e| format!("{path}: {e}"))
-        }
-        "aig" => {
-            let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-            eco_aig::parse_aiger_binary(&data).map_err(|e| format!("{path}: {e}"))
-        }
-        other => Err(format!("{path}: unsupported input format `.{other}`")),
+fn resolve_format(path: &str, forced: Option<&str>) -> Result<Format, HubError> {
+    match forced {
+        Some(name) => Format::from_name(name).ok_or_else(|| HubError::UnknownFormat(name.into())),
+        None if path == "-" => Err(HubError::UnknownFormat(
+            "- (stdin/stdout needs --from/--to)".into(),
+        )),
+        None => Format::from_path(path),
     }
 }
 
-fn write_aig(path: &str, aig: &Aig, name: &str) -> Result<(), String> {
-    let fmt = ext(path).ok_or_else(|| format!("{path}: no file extension"))?;
-    let bytes: Vec<u8> = match fmt {
-        "v" => write_verilog(&netlist_from_aig(aig, name)).into_bytes(),
-        "blif" => write_blif(aig, name).into_bytes(),
-        "aag" => eco_aig::write_aiger_ascii(aig).into_bytes(),
-        "aig" => eco_aig::write_aiger_binary(aig),
-        other => return Err(format!("{path}: unsupported output format `.{other}`")),
-    };
-    std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
+fn read_input(path: &str) -> Result<Vec<u8>, String> {
+    if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn write_output(path: &str, bytes: &[u8]) -> Result<(), String> {
+    if path == "-" {
+        std::io::stdout()
+            .write_all(bytes)
+            .map_err(|e| format!("stdout: {e}"))
+    } else {
+        std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn run(
+    input: &str,
+    output: &str,
+    from: Option<&str>,
+    to: Option<&str>,
+    name: Option<String>,
+) -> Result<(), String> {
+    let from_fmt = resolve_format(input, from).map_err(|e| e.to_string())?;
+    let to_fmt = resolve_format(output, to).map_err(|e| e.to_string())?;
+    let data = read_input(input)?;
+    let mut design = read_design(from_fmt, &data).map_err(|e| format!("{input}: {e}"))?;
+    if let Some(n) = name {
+        design.name = n;
+    }
+    let mut roots: Vec<eco_aig::Lit> = design.aig.outputs().iter().map(|o| o.lit).collect();
+    roots.extend(design.latches.iter().map(|l| l.next));
+    eprintln!(
+        "{}: {} inputs, {} outputs, {} latches, {} AND gates",
+        input,
+        design.primary_input_positions().len(),
+        design.aig.num_outputs(),
+        design.latches.len(),
+        design.aig.count_cone_ands(&roots),
+    );
+    let bytes = write_design(to_fmt, &design).map_err(|e| format!("{output}: {e}"))?;
+    write_output(output, &bytes)
 }
 
 fn main() -> ExitCode {
     let mut input = None;
     let mut output = None;
-    let mut name = "top".to_string();
+    let mut from = None;
+    let mut to = None;
+    let mut name = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "-i" | "--input" => input = args.next(),
             "-o" | "--output" => output = args.next(),
-            "--name" => name = args.next().unwrap_or(name),
+            "--from" => from = args.next(),
+            "--to" => to = args.next(),
+            "--name" => name = args.next(),
             "-h" | "--help" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -84,17 +114,7 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(1);
     };
-    let result = read_aig(&input).and_then(|aig| {
-        eprintln!(
-            "{}: {} inputs, {} outputs, {} AND gates",
-            input,
-            aig.num_inputs(),
-            aig.num_outputs(),
-            aig.compact().num_ands()
-        );
-        write_aig(&output, &aig.compact(), &name)
-    });
-    match result {
+    match run(&input, &output, from.as_deref(), to.as_deref(), name) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");

@@ -20,6 +20,15 @@
 //! complete and pass the full oracle or degrade to a well-formed
 //! partial result — never panic, hang, or emit a malformed netlist.
 //!
+//! `--formats N` runs the format round-trip campaign instead: N seeded
+//! designs (combinational, shift-register, and sequential-DAG families)
+//! are pushed through every legal format and every ordered format pair,
+//! with per-format byte-fixpoint checks and a k-frame unrolled SAT
+//! miter proving each survivor equivalent to the original. Failures
+//! shrink by generator parameters and land in `--corpus <dir>` as
+//! `.rtcase` files; `--replay` replays both `.case` and `.rtcase`
+//! files.
+//!
 //! `--stats=json` renders the campaign summary as one JSON object on
 //! stdout (same `JsonObj` emitter as `eco-patch --stats=json` and
 //! `eco-batch --stats=json`, so field naming stays consistent).
@@ -32,10 +41,11 @@ use eco_core::JsonObj;
 use eco_workgen::fuzz::{
     gen_case, run_budget_campaign, run_campaign, run_case, CaseOutcome, FuzzCase, FuzzConfig,
 };
+use eco_workgen::roundtrip::{run_rt_campaign, run_rt_case, RtCase, RtConfig, RtOutcome};
 
 const USAGE: &str = "usage: eco-fuzz [--iters <n>] [--seed <s>] [--shrink] \
                      [--corpus <dir>] [--replay <file-or-dir>] [--case <seed>] \
-                     [--budget-campaign] [--stats=json]";
+                     [--budget-campaign] [--formats <n>] [--stats=json]";
 
 fn replay(path: &str, cfg: &FuzzConfig) -> Result<u64, String> {
     let meta = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
@@ -44,7 +54,7 @@ fn replay(path: &str, cfg: &FuzzConfig) -> Result<u64, String> {
             .map_err(|e| format!("{path}: {e}"))?
             .filter_map(|e| e.ok())
             .map(|e| e.path().to_string_lossy().into_owned())
-            .filter(|p| p.ends_with(".case"))
+            .filter(|p| p.ends_with(".case") || p.ends_with(".rtcase"))
             .collect();
         v.sort();
         v
@@ -52,11 +62,24 @@ fn replay(path: &str, cfg: &FuzzConfig) -> Result<u64, String> {
         vec![path.to_owned()]
     };
     if files.is_empty() {
-        eprintln!("{path}: no .case files");
+        eprintln!("{path}: no .case or .rtcase files");
     }
+    let rt_cfg = RtConfig::default();
     let mut failures = 0;
     for f in files.drain(..) {
         let text = std::fs::read_to_string(&f).map_err(|e| format!("{f}: {e}"))?;
+        if f.ends_with(".rtcase") {
+            let case = RtCase::from_text(&text).map_err(|e| format!("{f}: {e}"))?;
+            match run_rt_case(&case, &rt_cfg) {
+                RtOutcome::Pass => println!("{f}: pass"),
+                RtOutcome::Skip(why) => println!("{f}: skip ({why})"),
+                RtOutcome::Fail { hop, detail } => {
+                    failures += 1;
+                    println!("{f}: FAIL at {hop} — {detail}");
+                }
+            }
+            continue;
+        }
         let case = FuzzCase::from_text(&text).map_err(|e| format!("{f}: {e}"))?;
         match run_case(&case, cfg) {
             CaseOutcome::Pass => println!("{f}: pass"),
@@ -97,12 +120,17 @@ fn main() -> ExitCode {
     let mut replay_path: Option<String> = None;
     let mut one_case: Option<u64> = None;
     let mut budget_campaign = false;
+    let mut formats_iters: Option<u64> = None;
     let mut stats_json = false;
     let mut args = std::env::args().skip(1);
     let mut bad = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--budget-campaign" => budget_campaign = true,
+            "--formats" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => formats_iters = Some(v),
+                None => bad = true,
+            },
             "--stats=json" => stats_json = true,
             "--iters" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => iters = v,
@@ -154,6 +182,59 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}");
                 ExitCode::from(1)
             }
+        };
+    }
+
+    if let Some(iters) = formats_iters {
+        let rt_cfg = RtConfig::default();
+        let (stats, failures) = run_rt_campaign(iters, seed, &rt_cfg, shrink, |done, s| {
+            if done % 100 == 0 {
+                eprintln!(
+                    "{done}/{iters}: {} passed, {} skipped, {} failed",
+                    s.passes, s.skips, s.failures
+                );
+            }
+        });
+        if stats_json {
+            println!(
+                "{}",
+                JsonObj::new()
+                    .u64("cases", stats.cases)
+                    .u64("passes", stats.passes)
+                    .u64("skips", stats.skips)
+                    .u64("failures", stats.failures)
+                    .u64("shrink_steps", stats.shrink_steps)
+                    .u64("shrink_accepted", stats.shrink_accepted)
+                    .build()
+            );
+        } else {
+            println!(
+                "cases {}  passes {}  skips {}  failures {}  shrink-steps {}  shrink-accepted {}",
+                stats.cases,
+                stats.passes,
+                stats.skips,
+                stats.failures,
+                stats.shrink_steps,
+                stats.shrink_accepted
+            );
+        }
+        for (i, f) in failures.iter().enumerate() {
+            eprintln!("failure {i}: {f}");
+            if let Some(dir) = &corpus {
+                let path = format!("{dir}/rtfail_{:016x}.rtcase", f.case.seed);
+                if let Err(e) = std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(&path, f.case.to_text()))
+                {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                eprintln!("  wrote {path}");
+            }
+        }
+        return if failures.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(3)
         };
     }
 

@@ -30,6 +30,10 @@
 //! Modes: `--suite` (default; the deterministic Table-2 suite),
 //! `--stress` (the six heavier stress units), `--fuzz N` (N seeded
 //! random fuzz cases, skipping seeds that generate no cuttable target),
+//! `--seq N` (N latch-bearing cases — alternating shift-register banks
+//! and random sequential DAGs — each emitted as golden/faulty BTOR2 +
+//! latch-BLIF pairs with `.weights` and `.targets` files for `eco-patch
+//! --unroll`; the combinational manifest layer does not apply),
 //! `--scale <100k|500k|1m>` (two scale AIGs — a deep datapath and a wide
 //! random DAG — emitted as binary AIGER `scale_<shape>_<preset>.aig`;
 //! these skip the Verilog layer, so no manifest entries are written).
@@ -50,14 +54,15 @@ use std::process::ExitCode;
 
 use eco_workgen::fuzz::{gen_case, FuzzConfig};
 use eco_workgen::{
-    contest_suite, deep_datapath_aig, manifest_toml, request_stream, scale_preset, stress_suite,
-    wide_random_aig, write_fuzz_case, write_unit, ManifestEntry, ScalePreset,
+    contest_suite, deep_datapath_aig, gen_seq_unit, manifest_toml, request_stream, scale_preset,
+    stress_suite, wide_random_aig, write_fuzz_case, write_seq_unit, write_unit, ManifestEntry,
+    ScalePreset,
 };
 
 #[path = "../chaos_campaign.rs"]
 mod chaos_campaign;
 
-const USAGE: &str = "usage: eco-workgen --out <dir> [--suite | --stress | --fuzz N | \
+const USAGE: &str = "usage: eco-workgen --out <dir> [--suite | --stress | --fuzz N | --seq N | \
 --scale <100k|500k|1m>] [--seed S] [--count N] [--manifest <path>] [--requests <path>] [-q]
        eco-workgen --chaos-campaign --out <dir> [--seed S] [--iters N] [--bench-out <path>] [-q]";
 
@@ -65,6 +70,7 @@ enum Mode {
     Suite,
     Stress,
     Fuzz(u64),
+    Seq(u64),
     Scale(&'static ScalePreset),
     Chaos,
 }
@@ -103,6 +109,13 @@ fn parse_args() -> Result<Args, String> {
                 mode = Mode::Fuzz(
                     v.parse()
                         .map_err(|_| format!("--fuzz expects a count, got `{v}`"))?,
+                );
+            }
+            "--seq" => {
+                let v = value("--seq")?;
+                mode = Mode::Seq(
+                    v.parse()
+                        .map_err(|_| format!("--seq expects a count, got `{v}`"))?,
                 );
             }
             "--scale" => {
@@ -205,6 +218,35 @@ fn run(args: &Args) -> Result<(), String> {
                         aig.num_ands()
                     );
                 }
+            }
+            return Ok(());
+        }
+        Mode::Seq(n) => {
+            // Sequential cases bypass the combinational manifest layer.
+            let mut emitted = 0u64;
+            let mut seed = args.seed;
+            while emitted < n {
+                // One or two targets, alternating; some seeds yield no
+                // foldable fault site — advance past them.
+                let targets = 1 + (emitted % 2) as usize;
+                if let Some(unit) = gen_seq_unit(emitted, seed, targets) {
+                    let files = write_seq_unit(&args.out, &unit).map_err(io_err)?;
+                    if !args.quiet {
+                        eprintln!(
+                            "wrote {} ({} latches, {} targets, {} frames, {} files)",
+                            unit.name,
+                            unit.golden.latches.len(),
+                            unit.targets.len(),
+                            unit.frames,
+                            files.len()
+                        );
+                    }
+                    emitted += 1;
+                }
+                seed = seed.wrapping_add(1);
+            }
+            if !args.quiet {
+                eprintln!("wrote {emitted} sequential cases to {}", args.out.display());
             }
             return Ok(());
         }

@@ -25,6 +25,15 @@
 //! governor: when a limit cuts the run short, the process exits with code
 //! 4 and reports every cluster's diagnosis; `--allow-partial`
 //! additionally writes the completed (unverified) patches to the output.
+//!
+//! `--unroll K` switches to the sequential flow: the faulty and golden
+//! designs may carry latches (any sequential format the hub reads —
+//! `.v`, `.blif`, `.aag`, `.aig`, `.btor2`), both are unrolled K frames,
+//! the combinational engine rectifies the unrolled miter, and the
+//! per-frame patch is folded back into a single sequential patch proven
+//! cycle-accurate from reset by a fresh K-frame unrolled miter. Exit
+//! code 4 here means the fold or its re-proof failed (the unrolled
+//! patch exists but is not time-invariant).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -60,12 +69,13 @@ struct Args {
     timeout: Option<Duration>,
     conflict_budget: Option<u64>,
     allow_partial: bool,
+    unroll: Option<usize>,
 }
 
 const USAGE: &str = "usage: eco-patch -f <faulty.{v,blif}> -g <golden.{v,blif}> -t <t1,t2,...> \
 [-w <weights.txt>] [-o <patch.v>] [--no-localization] [--no-optimize] \
 [--initial onset|negoff|interpolant] [--jobs N] [--portfolio N] [--stats[=json]] [-q] \
-[--timeout SECS] [--conflict-budget N] [--allow-partial]";
+[--timeout SECS] [--conflict-budget N] [--allow-partial] [--unroll K]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -84,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         timeout: None,
         conflict_budget: None,
         allow_partial: false,
+        unroll: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -138,6 +149,13 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--allow-partial" => args.allow_partial = true,
+            "--unroll" => {
+                let v = value("--unroll")?;
+                args.unroll =
+                    Some(v.parse().ok().filter(|&k| k >= 1).ok_or_else(|| {
+                        format!("--unroll expects a frame count >= 1, got `{v}`")
+                    })?);
+            }
             "--stats" => args.stats = StatsFormat::Text,
             "--stats=json" => args.stats = StatsFormat::Json,
             "--stats=text" => args.stats = StatsFormat::Text,
@@ -169,12 +187,92 @@ fn read_circuit(path: &str) -> Result<(eco_aig::Aig, HashMap<String, eco_aig::Li
     }
 }
 
+/// The sequential flow behind `--unroll K`.
+fn run_seq(
+    args: &Args,
+    frames: usize,
+    weights: WeightTable,
+    options: EcoOptions,
+) -> Result<i32, String> {
+    use eco_seq::hub::{read_design, Format};
+    use eco_seq::{SeqEcoEngine, SeqEcoError, SeqEcoOptions};
+
+    let read_seq = |p: &str| -> Result<eco_seq::SeqNetlist, String> {
+        let fmt = Format::from_path(p).map_err(|e| e.to_string())?;
+        let data = std::fs::read(p).map_err(|e| format!("{p}: {e}"))?;
+        read_design(fmt, &data).map_err(|e| format!("{p}: {e}"))
+    };
+    let faulty = read_seq(&args.faulty)?;
+    let golden = read_seq(&args.golden)?;
+    let options = SeqEcoOptions {
+        frames,
+        eco: options,
+    };
+    let engine = SeqEcoEngine::new(faulty, golden, args.targets.clone(), weights, options)
+        .map_err(|e| e.to_string())?;
+    let result = match engine.run() {
+        Ok(r) => r,
+        Err(SeqEcoError::Eco(eco_core::EcoError::Unrectifiable(why))) => {
+            eprintln!("unrectifiable: {why}");
+            return Ok(2);
+        }
+        Err(
+            e @ (SeqEcoError::Degraded(_)
+            | SeqEcoError::NotFramePure(_)
+            | SeqEcoError::FoldFailed { .. }
+            | SeqEcoError::VerifyUnknown),
+        ) => {
+            eprintln!("degraded: {e}");
+            return Ok(4);
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    if !args.quiet {
+        for (target, frame) in &result.fold_frames {
+            eprintln!(
+                "target {target}: folded from frame {frame}/{}",
+                result.frames
+            );
+        }
+        eprintln!(
+            "patched and verified over {} frames: cost {}, size {}",
+            result.frames, result.cost, result.size
+        );
+    }
+    match args.stats {
+        StatsFormat::Off => {}
+        StatsFormat::Text => eprint!("{}", result.comb.telemetry),
+        StatsFormat::Json => eprintln!("{}", result.comb.telemetry.to_json()),
+    }
+    let text = write_verilog(&netlist_from_aig(&result.patch_aig, "patch"));
+    match &args.output {
+        Some(p) => std::fs::write(p, text).map_err(|e| format!("{p}: {e}"))?,
+        None => print!("{text}"),
+    }
+    Ok(0)
+}
+
 fn run(args: &Args) -> Result<i32, String> {
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
     let weights = match &args.weights {
         Some(p) => parse_weights(&read(p)?).map_err(|e| format!("{p}: {e}"))?,
         None => WeightTable::new(1),
     };
+    let options = EcoOptions {
+        localization: args.localization,
+        optimize: args.optimize,
+        initial_patch: args.initial,
+        jobs: args.jobs,
+        portfolio: args.portfolio,
+        budget: BudgetOptions {
+            timeout: args.timeout,
+            cluster_conflicts: args.conflict_budget,
+        },
+        ..Default::default()
+    };
+    if let Some(frames) = args.unroll {
+        return run_seq(args, frames, weights, options);
+    }
     let is_verilog =
         |p: &str| std::path::Path::new(p).extension().and_then(|e| e.to_str()) != Some("blif");
     // Verilog inputs go through `from_netlists`, which filters base
@@ -203,18 +301,6 @@ fn run(args: &Args) -> Result<i32, String> {
     }
     .map_err(|e| e.to_string())?;
 
-    let options = EcoOptions {
-        localization: args.localization,
-        optimize: args.optimize,
-        initial_patch: args.initial,
-        jobs: args.jobs,
-        portfolio: args.portfolio,
-        budget: BudgetOptions {
-            timeout: args.timeout,
-            cluster_conflicts: args.conflict_budget,
-        },
-        ..Default::default()
-    };
     let outcome = match EcoEngine::new(instance, options).run_governed() {
         Ok(o) => o,
         Err(eco_core::EcoError::Unrectifiable(why)) => {

@@ -173,3 +173,51 @@ fn blif_inputs_are_accepted() {
     let patch = String::from_utf8_lossy(&out.stdout);
     assert!(patch.contains("module patch"), "{patch}");
 }
+
+/// `--unroll K` runs the sequential flow on latch-BLIF inputs: the cut
+/// output-cone net `w` (the AND of the two shift stages) is re-driven
+/// by a time-invariant patch, proven over K frames.
+#[test]
+fn unroll_mode_patches_a_latch_design() {
+    const SEQ_GOLDEN: &str = ".model sr\n.inputs d\n.outputs q\n\
+                              .latch d s0 0\n.latch s0 s1 0\n\
+                              .names s0 s1 w\n11 1\n.names w q\n1 1\n.end\n";
+    const SEQ_FAULTY: &str = ".model sr\n.inputs d w\n.outputs q\n\
+                              .latch d s0 0\n.latch s0 s1 0\n\
+                              .names w q\n1 1\n.end\n";
+    let dir = tmpdir("unroll");
+    let f = dir.join("faulty.blif");
+    let g = dir.join("golden.blif");
+    let o = dir.join("patch.v");
+    std::fs::write(&f, SEQ_FAULTY).expect("write");
+    std::fs::write(&g, SEQ_GOLDEN).expect("write");
+    let out = bin()
+        .args(["-f", f.to_str().expect("path")])
+        .args(["-g", g.to_str().expect("path")])
+        .args(["-t", "w"])
+        .args(["--unroll", "3"])
+        .args(["-o", o.to_str().expect("path")])
+        .output()
+        .expect("run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(
+        stderr.contains("patched and verified over 3 frames"),
+        "stderr: {stderr}"
+    );
+    let patch = std::fs::read_to_string(&o).expect("patch file");
+    let nl = eco_netlist::parse_verilog(&patch).expect("patch parses");
+    assert_eq!(nl.outputs, vec!["w"]);
+    // No frame-indexed names leak into the folded patch.
+    assert!(!patch.contains('@'), "patch: {patch}");
+
+    // A zero frame count is a usage error.
+    let out = bin()
+        .args(["-f", f.to_str().expect("path")])
+        .args(["-g", g.to_str().expect("path")])
+        .args(["-t", "w"])
+        .args(["--unroll", "0"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,9 +1,17 @@
-//! BLIF (Berkeley Logic Interchange Format) I/O, combinational subset.
+//! BLIF (Berkeley Logic Interchange Format) I/O.
 //!
 //! Supports flat `.model` blocks with `.inputs`/`.outputs`/`.names`
-//! (single-output sum-of-products covers) and `.end`; line continuations
-//! (`\`) and `#` comments are handled. Latches (`.latch`) and hierarchy
-//! (`.subckt`) are rejected — the ECO flow is purely combinational.
+//! (single-output sum-of-products covers), `.latch`, and `.end`; line
+//! continuations (`\`) and `#` comments are handled. Hierarchy
+//! (`.subckt`/`.gate`) is rejected.
+//!
+//! Two API levels mirror the AIGER support in `eco-aig`:
+//! [`parse_blif`]/[`write_blif`] handle the combinational subset
+//! (`.latch` rejected), while [`parse_blif_seq`]/[`write_blif_seq`]
+//! carry latches: each latch's current state becomes an ordinary input
+//! of the elaborated AIG, with its next-state literal and [`LatchInit`]
+//! reset value recorded in a [`BlifLatch`]. The sequential writer emits
+//! a canonical form, so write → parse → write is a byte-level fixpoint.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -39,6 +47,43 @@ pub struct BlifModel {
     pub net_lits: HashMap<String, Lit>,
 }
 
+/// Reset value of a BLIF latch (the `.latch` init field).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LatchInit {
+    /// Resets to 0 (`init-val` 0).
+    Zero,
+    /// Resets to 1 (`init-val` 1).
+    One,
+    /// Don't care / unknown (`init-val` 2 or 3, or absent).
+    DontCare,
+}
+
+/// A latch of a sequential BLIF model: current state `state` is an input
+/// of the elaborated AIG, `next` its next-state literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlifLatch {
+    /// Net name of the latch output (the current-state input).
+    pub state: String,
+    /// Next-state literal in the elaborated AIG.
+    pub next: Lit,
+    /// Reset value.
+    pub init: LatchInit,
+}
+
+/// A parsed-and-elaborated sequential BLIF model.
+#[derive(Clone, Debug)]
+pub struct SeqBlifModel {
+    /// Model name.
+    pub name: String,
+    /// The elaborated AIG; latch states are inputs after the declared
+    /// primary inputs.
+    pub aig: Aig,
+    /// Literal of every defined net (including latch states).
+    pub net_lits: HashMap<String, Lit>,
+    /// Latches in `.latch` declaration order.
+    pub latches: Vec<BlifLatch>,
+}
+
 #[derive(Debug)]
 struct SopDef {
     output: String,
@@ -48,12 +93,21 @@ struct SopDef {
     line: usize,
 }
 
+#[derive(Debug)]
+struct LatchDef {
+    next: String,
+    state: String,
+    init: LatchInit,
+    line: usize,
+}
+
 /// Parses a combinational BLIF model into an AIG.
 ///
 /// # Errors
 ///
-/// Returns [`ParseBlifError`] on unsupported constructs, malformed covers,
-/// undefined nets, cycles, or multiple drivers.
+/// Returns [`ParseBlifError`] on unsupported constructs (including
+/// `.latch` — use [`parse_blif_seq`] for sequential models), malformed
+/// covers, undefined nets, cycles, or multiple drivers.
 ///
 /// # Examples
 ///
@@ -67,6 +121,41 @@ struct SopDef {
 /// # Ok::<(), eco_netlist::ParseBlifError>(())
 /// ```
 pub fn parse_blif(text: &str) -> Result<BlifModel, ParseBlifError> {
+    // Report `.latch` at its own line before any elaboration error the
+    // sequential parse might hit first.
+    for (i, raw) in text.lines().enumerate() {
+        let content = raw.split('#').next().unwrap_or("");
+        if content.split_whitespace().next() == Some(".latch") {
+            return Err(ParseBlifError {
+                line: i + 1,
+                message: ".latch is not supported (combinational only)".into(),
+            });
+        }
+    }
+    let m = parse_blif_seq(text)?;
+    Ok(BlifModel {
+        name: m.name,
+        aig: m.aig,
+        net_lits: m.net_lits,
+    })
+}
+
+/// Parses a BLIF model, latches included, into an AIG plus latch records.
+///
+/// `.latch` lines follow the BLIF grammar `input output [type control]
+/// [init-val]`; the edge type and control net are accepted and ignored
+/// (the model is cycle-accurate, not timing-accurate), and `init-val`
+/// maps 0 → [`LatchInit::Zero`], 1 → [`LatchInit::One`], 2/3/absent →
+/// [`LatchInit::DontCare`]. Each latch output becomes an input of the
+/// elaborated AIG, placed after the declared primary inputs in `.latch`
+/// order.
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] on unsupported constructs, malformed
+/// covers or latch lines, undefined nets, combinational cycles, or
+/// multiple drivers.
+pub fn parse_blif_seq(text: &str) -> Result<SeqBlifModel, ParseBlifError> {
     let err = |line: usize, m: &str| ParseBlifError {
         line,
         message: m.to_string(),
@@ -109,6 +198,7 @@ pub fn parse_blif(text: &str) -> Result<BlifModel, ParseBlifError> {
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
     let mut defs: Vec<SopDef> = Vec::new();
+    let mut latch_defs: Vec<LatchDef> = Vec::new();
     let mut current: Option<SopDef> = None;
     let mut ended = false;
 
@@ -143,7 +233,39 @@ pub fn parse_blif(text: &str) -> Result<BlifModel, ParseBlifError> {
                     line: line_no,
                 });
             }
-            ".latch" => return Err(err(line_no, ".latch is not supported (combinational only)")),
+            ".latch" => {
+                let rest: Vec<&str> = toks.collect();
+                // Grammar: input output [type control] [init-val].
+                let (next, state, init_tok) = match rest.len() {
+                    2 => (rest[0], rest[1], None),
+                    3 => (rest[0], rest[1], Some(rest[2])),
+                    4 => (rest[0], rest[1], None),
+                    5 => (rest[0], rest[1], Some(rest[4])),
+                    _ => {
+                        return Err(err(
+                            line_no,
+                            ".latch expects `input output [type control] [init-val]`",
+                        ))
+                    }
+                };
+                if rest.len() >= 4 && !matches!(rest[2], "fe" | "re" | "ah" | "al" | "as") {
+                    return Err(err(line_no, &format!("invalid latch type `{}`", rest[2])));
+                }
+                let init = match init_tok {
+                    None | Some("2") | Some("3") => LatchInit::DontCare,
+                    Some("0") => LatchInit::Zero,
+                    Some("1") => LatchInit::One,
+                    Some(other) => {
+                        return Err(err(line_no, &format!("invalid latch init value `{other}`")))
+                    }
+                };
+                latch_defs.push(LatchDef {
+                    next: next.to_string(),
+                    state: state.to_string(),
+                    init,
+                    line: line_no,
+                });
+            }
             ".subckt" | ".gate" => return Err(err(line_no, "hierarchical BLIF is not supported")),
             ".end" => {
                 ended = true;
@@ -191,13 +313,24 @@ pub fn parse_blif(text: &str) -> Result<BlifModel, ParseBlifError> {
         defs.push(def);
     }
 
-    // Elaborate: DFS over definitions with cycle detection.
+    // Elaborate: DFS over definitions with cycle detection. Latch states
+    // are inputs, so feedback loops through latches are naturally broken.
     let mut aig = Aig::new();
     let mut net_lits: HashMap<String, Lit> = HashMap::new();
     for n in &inputs {
         let lit = aig.add_input(n.clone());
         if net_lits.insert(n.clone(), lit).is_some() {
             return Err(err(0, &format!("net `{n}` declared twice")));
+        }
+    }
+    for l in &latch_defs {
+        let n = &l.state;
+        let lit = aig.add_input(n.clone());
+        if net_lits.insert(n.clone(), lit).is_some() {
+            return Err(err(
+                l.line,
+                &format!("latch output `{n}` has multiple drivers"),
+            ));
         }
     }
     let mut driver: HashMap<&str, usize> = HashMap::new();
@@ -255,16 +388,31 @@ pub fn parse_blif(text: &str) -> Result<BlifModel, ParseBlifError> {
         let lit = build_sop(&mut aig, def, &net_lits).map_err(|m| err(def.line, &m))?;
         net_lits.insert(def.output.clone(), lit);
     }
+    let mut latches = Vec::with_capacity(latch_defs.len());
+    for l in &latch_defs {
+        let &next = net_lits.get(l.next.as_str()).ok_or_else(|| {
+            err(
+                l.line,
+                &format!("latch input `{}` is never defined", l.next),
+            )
+        })?;
+        latches.push(BlifLatch {
+            state: l.state.clone(),
+            next,
+            init: l.init,
+        });
+    }
     for n in &outputs {
         let &lit = net_lits
             .get(n.as_str())
             .ok_or_else(|| err(0, &format!("output `{n}` is never defined")))?;
         aig.add_output(n.clone(), lit);
     }
-    Ok(BlifModel {
+    Ok(SeqBlifModel {
         name: if name.is_empty() { "top".into() } else { name },
         aig,
         net_lits,
+        latches,
     })
 }
 
@@ -310,27 +458,105 @@ fn build_sop(aig: &mut Aig, def: &SopDef, net_lits: &HashMap<String, Lit>) -> Re
 /// pattern plane; outputs get buffer/inverter covers. Internal nets are
 /// named `n<k>`.
 pub fn write_blif(aig: &Aig, model_name: &str) -> String {
+    write_blif_seq(aig, model_name, &[])
+}
+
+/// Writes a latch-bearing design as flat BLIF with `.latch` lines.
+///
+/// Each latch is `(state, next, init)`: `state` must be an input
+/// variable of `aig` (its name becomes the latch output net), `next` a
+/// literal of `aig`. The emitted form is canonical — internal nets are
+/// named `n<k>` in emission order, latch-next inverters `ln<k>` — so
+/// write → [`parse_blif_seq`] → write is a byte-level fixpoint.
+pub fn write_blif_seq(aig: &Aig, model_name: &str, latches: &[(Var, Lit, LatchInit)]) -> String {
     use fmt::Write as _;
     let mut s = String::new();
     let _ = writeln!(s, ".model {model_name}");
-    let input_names: Vec<String> = (0..aig.num_inputs())
-        .map(|p| aig.input_name(p).to_owned())
+    let states: std::collections::HashSet<Var> = latches.iter().map(|&(v, _, _)| v).collect();
+    let input_names: Vec<&str> = aig
+        .inputs()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !states.contains(v))
+        .map(|(p, _)| aig.input_name(p))
         .collect();
-    let _ = writeln!(s, ".inputs {}", input_names.join(" "));
+    if !input_names.is_empty() {
+        let _ = writeln!(s, ".inputs {}", input_names.join(" "));
+    }
     let out_names: Vec<String> = aig.outputs().iter().map(|o| o.name.clone()).collect();
-    let _ = writeln!(s, ".outputs {}", out_names.join(" "));
+    if !out_names.is_empty() {
+        let _ = writeln!(s, ".outputs {}", out_names.join(" "));
+    }
 
-    let roots: Vec<Lit> = aig.outputs().iter().map(|o| o.lit).collect();
+    let mut roots: Vec<Lit> = aig.outputs().iter().map(|o| o.lit).collect();
+    roots.extend(latches.iter().map(|&(_, next, _)| next));
     let mut name_of: HashMap<Var, String> = HashMap::new();
     name_of.insert(Var::CONST, "__const0".to_string());
     for (p, &v) in aig.inputs().iter().enumerate() {
         name_of.insert(v, aig.input_name(p).to_owned());
     }
     let cone = aig.cone_vars(&roots);
+    // Generated names must not collide with nets that already have a
+    // driver or declaration — inputs (e.g. a cut ECO target named `n3`),
+    // outputs, and latch state nets. The skip is a deterministic function
+    // of those names, so a parsed copy still re-emits identical bytes.
+    let mut taken: std::collections::HashSet<String> =
+        name_of.values().cloned().chain(out_names.clone()).collect();
+    // Name internal nets by emission order, not var index: a parsed copy
+    // then re-emits identical names even though its numbering differs.
+    let mut fresh = 0usize;
+    for &v in &cone {
+        if aig.is_and(v) {
+            let mut name = format!("n{fresh}");
+            while taken.contains(&name) {
+                fresh += 1;
+                name = format!("n{fresh}");
+            }
+            taken.insert(name.clone());
+            name_of.insert(v, name);
+            fresh += 1;
+        }
+    }
+
+    // Latch lines come before the covers; each references its next-state
+    // net by name, with `ln<k>` inverter/constant covers emitted below
+    // for literals that have no positive-net name.
+    let mut aux_covers: Vec<String> = Vec::new();
+    for (k, &(state, next, init)) in latches.iter().enumerate() {
+        let state_name = name_of[&state].clone();
+        let next_name = if next.var() == Var::CONST || next.is_complement() {
+            let mut j = k;
+            let mut ln = format!("ln{j}");
+            while taken.contains(&ln) {
+                j += 1;
+                ln = format!("ln{j}");
+            }
+            taken.insert(ln.clone());
+            let mut cover = String::new();
+            if next.var() == Var::CONST {
+                let _ = writeln!(cover, ".names {ln}");
+                if next == Lit::TRUE {
+                    let _ = writeln!(cover, "1");
+                }
+            } else {
+                let _ = writeln!(cover, ".names {} {ln}\n0 1", name_of[&next.var()]);
+            }
+            aux_covers.push(cover);
+            ln
+        } else {
+            name_of[&next.var()].clone()
+        };
+        let init_digit = match init {
+            LatchInit::Zero => '0',
+            LatchInit::One => '1',
+            LatchInit::DontCare => '2',
+        };
+        let _ = writeln!(s, ".latch {next_name} {state_name} {init_digit}");
+    }
+
     let mut const_used = false;
     for &v in &cone {
         if let Some((fan0, fan1)) = aig.and_fanins(v) {
-            let n = format!("n{}", v.index());
             let p0 = if fan0.is_complement() { '0' } else { '1' };
             let p1 = if fan1.is_complement() { '0' } else { '1' };
             let _ = writeln!(
@@ -338,12 +564,11 @@ pub fn write_blif(aig: &Aig, model_name: &str) -> String {
                 ".names {} {} {}\n{}{} 1",
                 name_of[&fan0.var()],
                 name_of[&fan1.var()],
-                n,
+                name_of[&v],
                 p0,
                 p1
             );
             const_used |= fan0.var() == Var::CONST || fan1.var() == Var::CONST;
-            name_of.insert(v, n);
         }
     }
     for out in aig.outputs() {
@@ -356,12 +581,21 @@ pub fn write_blif(aig: &Aig, model_name: &str) -> String {
             }
             continue;
         }
+        // An output that IS an input net of the same name (e.g. a cut
+        // ECO target fed back out) needs no cover — emitting the buffer
+        // would drive the declared input a second time.
+        if !out.lit.is_complement() && name_of[&v] == out.name {
+            continue;
+        }
         let row = if out.lit.is_complement() {
             "0 1"
         } else {
             "1 1"
         };
         let _ = writeln!(s, ".names {} {}\n{}", name_of[&v], out.name, row);
+    }
+    for cover in &aux_covers {
+        s.push_str(cover);
     }
     if const_used {
         let _ = writeln!(s, ".names __const0");
@@ -444,6 +678,102 @@ mod tests {
         .is_err());
         // Undefined output.
         assert!(parse_blif(".model m\n.inputs a\n.outputs ghost\n.end\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_latches() {
+        // Too few tokens.
+        assert!(parse_blif_seq(".model m\n.latch a\n.end\n").is_err());
+        // Bad init value.
+        assert!(parse_blif_seq(".model m\n.inputs a\n.latch a s 9\n.end\n").is_err());
+        // Bad latch type.
+        assert!(parse_blif_seq(".model m\n.inputs a c\n.latch a s xx c 0\n.end\n").is_err());
+        // Undefined next net.
+        assert!(parse_blif_seq(".model m\n.latch ghost s 0\n.end\n").is_err());
+        // State double-driven by a cover.
+        assert!(
+            parse_blif_seq(".model m\n.inputs a\n.latch a s 0\n.names a s\n1 1\n.end\n").is_err()
+        );
+        // State declared twice.
+        assert!(parse_blif_seq(".model m\n.inputs a\n.latch a s 0\n.latch a s 1\n.end\n").is_err());
+    }
+
+    #[test]
+    fn parses_latches() {
+        // 2-bit shift register: s1' = s0, s0' = d; q = s1.
+        let text = ".model sr\n.inputs d\n.outputs q\n\
+                    .latch d s0 0\n.latch s0 s1 1\n\
+                    .names s1 q\n1 1\n.end\n";
+        let m = parse_blif_seq(text).expect("parses");
+        assert_eq!(m.latches.len(), 2);
+        assert_eq!(m.latches[0].state, "s0");
+        assert_eq!(m.latches[0].init, LatchInit::Zero);
+        assert_eq!(m.latches[1].init, LatchInit::One);
+        // Latch states elaborate as inputs: d, s0, s1.
+        assert_eq!(m.aig.num_inputs(), 3);
+        assert_eq!(m.latches[1].next, m.net_lits["s0"]);
+    }
+
+    #[test]
+    fn feedback_through_latch_is_not_a_cycle() {
+        // Toggle: t' = !t.
+        let text = ".model tog\n.outputs q\n.latch nt t 0\n\
+                    .names t nt\n0 1\n.names t q\n1 1\n.end\n";
+        let m = parse_blif_seq(text).expect("parses");
+        assert_eq!(m.latches.len(), 1);
+        assert_eq!(m.latches[0].next, !m.net_lits["t"]);
+    }
+
+    #[test]
+    fn seq_write_round_trip_is_byte_fixpoint() {
+        let mut aig = Aig::new();
+        let d = aig.add_input("d");
+        let s0 = aig.add_input("s0");
+        let s1 = aig.add_input("s1");
+        let fb = aig.xor(d, s1);
+        let q = aig.and(s0, s1);
+        aig.add_output("q", q);
+        let latches = vec![
+            (s0.var(), fb, LatchInit::Zero),
+            (s1.var(), !s0, LatchInit::DontCare),
+        ];
+        let text = write_blif_seq(&aig, "sr", &latches);
+        let m = parse_blif_seq(&text).expect("round trip parses");
+        assert_eq!(m.latches.len(), 2);
+        let back_latches: Vec<(Var, Lit, LatchInit)> = m
+            .latches
+            .iter()
+            .map(|l| (m.net_lits[&l.state].var(), l.next, l.init))
+            .collect();
+        assert_eq!(write_blif_seq(&m.aig, "sr", &back_latches), text);
+    }
+
+    /// Inputs named like generated nets (`n<k>` — e.g. a cut ECO target
+    /// that kept its original name — or `ln<k>`) must not collide with
+    /// the writer's canonical internal/aux names: the emitted file stays
+    /// single-driver, parses back, and remains a byte fixpoint.
+    #[test]
+    fn generated_names_skip_colliding_inputs() {
+        let mut aig = Aig::new();
+        let n0 = aig.add_input("n0");
+        let ln0 = aig.add_input("ln0");
+        let s = aig.add_input("s");
+        let g = aig.and(n0, ln0);
+        let h = aig.and(g, s);
+        aig.add_output("y", h);
+        // A cut target fed straight back out: input `n0` is also the
+        // output `n0`, which must not get a self-driving buffer cover.
+        aig.add_output("n0", n0);
+        let latches = vec![(s.var(), !g, LatchInit::Zero)];
+        let text = write_blif_seq(&aig, "clash", &latches);
+        let m = parse_blif_seq(&text).expect("no multiple drivers");
+        assert_eq!(m.latches.len(), 1);
+        let back: Vec<(Var, Lit, LatchInit)> = m
+            .latches
+            .iter()
+            .map(|l| (m.net_lits[&l.state].var(), l.next, l.init))
+            .collect();
+        assert_eq!(write_blif_seq(&m.aig, "clash", &back), text);
     }
 
     #[test]

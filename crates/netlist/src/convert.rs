@@ -203,15 +203,27 @@ pub fn netlist_from_aig(aig: &Aig, module_name: &str) -> Netlist {
     let roots: Vec<Lit> = aig.outputs().iter().map(|o| o.lit).collect();
     let cone = aig.cone_vars(&roots);
 
-    // Which vars are used complemented (need an inverter net)?
+    // Generated names (internal `n<k>`, `const0`, `_inv` wires) must not
+    // collide with port names: a patch whose target is called `n8` would
+    // otherwise get an internal wire `n8` double-driving the output.
+    let mut taken: std::collections::HashSet<String> =
+        nl.inputs.iter().chain(nl.outputs.iter()).cloned().collect();
+    let uniquify = |base: String, taken: &mut std::collections::HashSet<String>| -> String {
+        let mut name = base;
+        while taken.contains(&name) {
+            name.push('_');
+        }
+        taken.insert(name.clone());
+        name
+    };
     let mut name_of: HashMap<Var, String> = HashMap::new();
     for &v in &cone {
         let name = if let Some(pos) = aig.input_pos(v) {
             aig.input_name(pos).to_owned()
         } else if v == Var::CONST {
-            "const0".to_string()
+            uniquify("const0".to_string(), &mut taken)
         } else {
-            format!("n{}", v.index())
+            uniquify(format!("n{}", v.index()), &mut taken)
         };
         name_of.insert(v, name);
     }
@@ -224,7 +236,8 @@ pub fn netlist_from_aig(aig: &Aig, module_name: &str) -> Netlist {
     let lit_net = |lit: Lit,
                    gates: &mut Vec<Gate>,
                    wires: &mut Vec<String>,
-                   inv_emitted: &mut HashMap<Var, String>|
+                   inv_emitted: &mut HashMap<Var, String>,
+                   taken: &mut std::collections::HashSet<String>|
      -> NetRef {
         let v = lit.var();
         if v == Var::CONST {
@@ -236,7 +249,11 @@ pub fn netlist_from_aig(aig: &Aig, module_name: &str) -> Netlist {
         if let Some(n) = inv_emitted.get(&v) {
             return NetRef::Named(n.clone());
         }
-        let inv_name = format!("{}_inv", name_of[&v]);
+        let mut inv_name = format!("{}_inv", name_of[&v]);
+        while taken.contains(&inv_name) {
+            inv_name.push('_');
+        }
+        taken.insert(inv_name.clone());
         wires.push(inv_name.clone());
         gates.push(Gate {
             kind: GateKind::Not,
@@ -250,8 +267,8 @@ pub fn netlist_from_aig(aig: &Aig, module_name: &str) -> Netlist {
 
     for &v in &cone {
         if let Some((fan0, fan1)) = aig.and_fanins(v) {
-            let i0 = lit_net(fan0, &mut gates, &mut wires, &mut inv_emitted);
-            let i1 = lit_net(fan1, &mut gates, &mut wires, &mut inv_emitted);
+            let i0 = lit_net(fan0, &mut gates, &mut wires, &mut inv_emitted, &mut taken);
+            let i1 = lit_net(fan1, &mut gates, &mut wires, &mut inv_emitted, &mut taken);
             let out = name_of[&v].clone();
             wires.push(out.clone());
             gates.push(Gate {
@@ -367,6 +384,28 @@ mod tests {
         let nl2 = netlist_from_aig(&e.aig, "m2");
         let e2 = elaborate(&nl2).expect("re-elaborate");
         assert_eq!(e2.aig.eval(&[]), vec![true]);
+    }
+
+    /// Port names shaped like generated nets (an ECO target `n8`, an
+    /// input `n2`) must not collide with the writer's internal `n<k>` /
+    /// `_inv` wires: the emitted netlist re-elaborates (single driver
+    /// per net) and keeps its semantics.
+    #[test]
+    fn generated_wire_names_skip_colliding_ports() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("n20");
+        let b = aig.add_input("x1");
+        for k in 0..12 {
+            let g = aig.and(a, if k % 2 == 0 { b } else { !b });
+            let h = aig.and(!g, a);
+            aig.add_output(format!("n{k}"), if k % 3 == 0 { !h } else { h });
+        }
+        let nl = netlist_from_aig(&aig, "patch");
+        let e = elaborate(&nl).expect("no colliding drivers");
+        for bits in 0u32..4 {
+            let vals: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(aig.eval(&vals), e.aig.eval(&vals), "bits {vals:?}");
+        }
     }
 
     #[test]

@@ -36,7 +36,10 @@ mod weights;
 mod write;
 
 pub use crate::ast::{Gate, GateKind, NetRef, Netlist};
-pub use crate::blif::{parse_blif, write_blif, BlifModel, ParseBlifError};
+pub use crate::blif::{
+    parse_blif, parse_blif_seq, write_blif, write_blif_seq, BlifLatch, BlifModel, LatchInit,
+    ParseBlifError, SeqBlifModel,
+};
 pub use crate::convert::{elaborate, netlist_from_aig, ElaborateError, Elaboration};
 pub use crate::parse::{parse_verilog, ParseNetlistError};
 pub use crate::weights::{parse_weights, write_weights, ParseWeightsError, WeightTable};

@@ -30,7 +30,9 @@ pub mod circuits;
 mod emit;
 mod fault;
 pub mod fuzz;
+pub mod roundtrip;
 pub mod scale;
+pub mod seqgen;
 mod suite;
 
 pub use crate::builder::NetlistBuilder;
@@ -43,6 +45,10 @@ pub use crate::fault::{
 };
 pub use crate::scale::{
     deep_datapath_aig, scale_preset, wide_random_aig, ScalePreset, SCALE_PRESETS,
+};
+pub use crate::seqgen::{
+    gen_seq_unit, inject_seq_faults, random_seq_dag, seq_weights, shift_register_datapath,
+    write_seq_unit, SeqUnit,
 };
 pub use crate::suite::{
     build_unit, contest_suite, stress_specs, stress_suite, suite_specs, Family, SuiteUnit,

@@ -54,6 +54,16 @@
 # overhead, and determinism is the contract under test. Skip it with
 # --no-portfolio-smoke.
 #
+# The seq smoke is also part of the DEFAULT gate (seconds): it generates
+# a latch-bearing case with eco-workgen --seq, rectifies it through
+# eco-patch --unroll at several frame depths (generate → unroll →
+# rectify → fold → verify, exit 0 each time), asserts the folded patch
+# parses and carries no frame-indexed names, cross-checks the format hub
+# with a byte-fixpoint conversion cycle and a short eco-fuzz --formats
+# round-trip campaign, and records unroll-depth wall times, frames/sec,
+# and patch sizes in crates/bench/BENCH_seq.json. Skip it with
+# --no-seq-smoke.
+#
 # The chaos smoke is also part of the DEFAULT gate (seconds): it runs
 # the seeded fault-injection campaign (eco-workgen --chaos-campaign),
 # 240 in-process fault sweeps with a differential oracle plus the
@@ -73,6 +83,7 @@ scale_smoke=0
 serve_smoke=0
 portfolio_smoke=1
 chaos_smoke=1
+seq_smoke=1
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
@@ -85,7 +96,9 @@ for arg in "$@"; do
     --no-portfolio-smoke) portfolio_smoke=0 ;;
     --chaos-smoke) chaos_smoke=1 ;;
     --no-chaos-smoke) chaos_smoke=0 ;;
-    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke] [--scale-smoke] [--serve-smoke] [--no-portfolio-smoke] [--no-chaos-smoke]" >&2; exit 2 ;;
+    --seq-smoke) seq_smoke=1 ;;
+    --no-seq-smoke) seq_smoke=0 ;;
+    *) echo "usage: $0 [--bench-smoke] [--fuzz-smoke] [--degrade-smoke] [--batch-smoke] [--scale-smoke] [--serve-smoke] [--no-portfolio-smoke] [--no-chaos-smoke] [--no-seq-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -95,8 +108,8 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo build --release"
-cargo build --release
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "== cargo test -q"
 cargo test -q --workspace
@@ -163,6 +176,69 @@ if [ "$chaos_smoke" -eq 1 ]; then
   echo "chaos smoke: ok"
 fi
 
+if [ "$seq_smoke" -eq 1 ]; then
+  echo "== seq smoke: generate -> unroll -> rectify -> fold -> verify at several depths"
+  sqtmp="$(mktemp -d)"
+  trap 'rm -rf "${ptmp:-}" "${chtmp:-}" "${sqtmp:-}"' EXIT
+  target/release/eco-workgen --seq 1 --out "$sqtmp" --seed 5 -q
+
+  # seq000 is the first shift-register unit (seed 5: 4 latches, 1
+  # target); its fault sits in the output cone, so the fold succeeds at
+  # any depth that covers the state.
+  targets=$(tr '\n' ',' < "$sqtmp/seq000.targets" | sed 's/,$//')
+  bench_rows=""
+  bench_notes=""
+  for k in 2 4 6; do
+    t0=$(date +%s%N)
+    target/release/eco-patch \
+      -f "$sqtmp/seq000_faulty.btor2" -g "$sqtmp/seq000_golden.btor2" \
+      -w "$sqtmp/seq000.weights" -t "$targets" --unroll "$k" \
+      -o "$sqtmp/patch_k$k.v" 2> "$sqtmp/stderr_k$k.txt" \
+      || { echo "seq smoke: --unroll $k run failed"; cat "$sqtmp/stderr_k$k.txt"; exit 1; }
+    t1=$(date +%s%N)
+    wall=$((t1 - t0))
+    grep -q "patched and verified over $k frames" "$sqtmp/stderr_k$k.txt" \
+      || { echo "seq smoke: --unroll $k did not verify"; cat "$sqtmp/stderr_k$k.txt"; exit 1; }
+    grep -q 'module patch' "$sqtmp/patch_k$k.v" \
+      || { echo "seq smoke: --unroll $k wrote a malformed patch"; cat "$sqtmp/patch_k$k.v"; exit 1; }
+    ! grep -q '@' "$sqtmp/patch_k$k.v" \
+      || { echo "seq smoke: frame-indexed name leaked into the folded patch"; cat "$sqtmp/patch_k$k.v"; exit 1; }
+    size=$(sed -n "s/.*cost [0-9]*, size \([0-9]*\).*/\1/p" "$sqtmp/stderr_k$k.txt")
+    fps=$(awk -v k="$k" -v w="$wall" 'BEGIN { printf "%.1f", k / (w / 1e9) }')
+    bench_rows="$bench_rows  {\"name\": \"seq/unroll$k/wall\", \"samples\": 1, \"mean_ns\": $wall, \"median_ns\": $wall, \"min_ns\": $wall, \"max_ns\": $wall},
+"
+    bench_notes="$bench_notes  \"unroll $k: ${fps} frames/s, patch size $size ANDs\",
+"
+  done
+
+  # Format-hub cross-checks: the canonical BTOR2 writer is a byte
+  # fixpoint through its own parser, the design survives a blif hop
+  # with its latches intact, and a short differential round-trip
+  # campaign over all format pairs comes back clean.
+  target/release/eco-convert -i "$sqtmp/seq000_golden.btor2" -o "$sqtmp/rt.btor2" 2> /dev/null \
+    || { echo "seq smoke: btor2 -> btor2 conversion failed"; exit 1; }
+  cmp -s "$sqtmp/seq000_golden.btor2" "$sqtmp/rt.btor2" \
+    || { echo "seq smoke: btor2 -> btor2 is not a byte fixpoint"; diff "$sqtmp/seq000_golden.btor2" "$sqtmp/rt.btor2" || true; exit 1; }
+  target/release/eco-convert -i "$sqtmp/seq000_golden.btor2" -o "$sqtmp/rt.blif" 2> "$sqtmp/convert.txt" \
+    || { echo "seq smoke: btor2 -> blif conversion failed"; cat "$sqtmp/convert.txt"; exit 1; }
+  grep -q '4 latches' "$sqtmp/convert.txt" \
+    || { echo "seq smoke: conversion lost latches"; cat "$sqtmp/convert.txt"; exit 1; }
+  target/release/eco-fuzz --formats 15 --seed 1 --shrink > /dev/null \
+    || { echo "seq smoke: format round-trip campaign failed"; exit 1; }
+
+  cat > crates/bench/BENCH_seq.json <<EOF
+{"benches": [
+${bench_rows%,
+}
+], "notes": [
+  "cold eco-patch --unroll process wall (parse + unroll + rectify + fold + k-frame re-proof)",
+${bench_notes%,
+}
+]}
+EOF
+  echo "seq smoke: ok"
+fi
+
 if [ "$bench_smoke" -eq 1 ]; then
   echo "== bench smoke (1 sample): sim_throughput"
   ECO_BENCH_SAMPLES=1 cargo bench -p eco-bench --bench sim_throughput
@@ -180,7 +256,7 @@ fi
 if [ "$degrade_smoke" -eq 1 ]; then
   echo "== degrade smoke: starved eco-patch run must exit 4 with a well-formed partial result"
   tmp="$(mktemp -d)"
-  trap 'rm -rf "${ptmp:-}" "${chtmp:-}" "$tmp"' EXIT
+  trap 'rm -rf "${ptmp:-}" "${chtmp:-}" "${sqtmp:-}" "$tmp"' EXIT
   # A tiny two-cluster workload: two independent targets, each cut to a
   # floating pseudo-input in the faulty circuit.
   cat > "$tmp/golden.v" <<'EOF'
@@ -243,7 +319,7 @@ fi
 if [ "$batch_smoke" -eq 1 ]; then
   echo "== batch smoke: 12-job manifest, cold + warm over one shared memo cache"
   btmp="$(mktemp -d)"
-  trap 'rm -rf "${ptmp:-}" "${chtmp:-}" "${tmp:-}" "${btmp:-}"' EXIT
+  trap 'rm -rf "${ptmp:-}" "${chtmp:-}" "${sqtmp:-}" "${tmp:-}" "${btmp:-}"' EXIT
   target/release/eco-workgen --suite --count 12 --out "$btmp" --manifest "$btmp/manifest.toml" -q
 
   run_batch() {
@@ -289,7 +365,7 @@ fi
 if [ "$scale_smoke" -eq 1 ]; then
   echo "== scale smoke: 100k preset end-to-end under a 300s governor deadline"
   stmp="$(mktemp -d)"
-  trap 'rm -rf "${ptmp:-}" "${chtmp:-}" "${tmp:-}" "${btmp:-}" "${stmp:-}"' EXIT
+  trap 'rm -rf "${ptmp:-}" "${chtmp:-}" "${sqtmp:-}" "${tmp:-}" "${btmp:-}" "${stmp:-}"' EXIT
 
   # The generator CLI path: both 100k AIGs must emit and re-parse.
   target/release/eco-workgen --scale 100k --out "$stmp" -q

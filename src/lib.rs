@@ -17,6 +17,9 @@
 //! * [`fraig`] — simulation + SAT sweeping equivalence classes.
 //! * [`netlist`] — structural Verilog subset and weight files.
 //! * [`core`] — the paper's algorithm (flow of Fig. 1).
+//! * [`seq`] — sequential ECO: latch-aware netlists, BTOR2 and
+//!   latch-BLIF I/O, k-frame unrolling with patch fold-back, and the
+//!   any-to-any format hub behind `eco-convert`.
 //! * [`workgen`] — synthetic ICCAD-2017-style ECO instances.
 //! * [`batch`] — manifest-driven batch runs over many instances with a
 //!   cross-job memo cache and job-level work stealing.
@@ -52,5 +55,6 @@ pub use eco_core as core;
 pub use eco_fraig as fraig;
 pub use eco_netlist as netlist;
 pub use eco_sat as sat;
+pub use eco_seq as seq;
 pub use eco_serve as serve;
 pub use eco_workgen as workgen;

@@ -11,6 +11,7 @@
 //! automatically.
 
 use eco::workgen::fuzz::{run_campaign, run_case, CaseOutcome, FuzzCase, FuzzConfig};
+use eco::workgen::roundtrip::{run_rt_campaign, run_rt_case, RtCase, RtConfig, RtOutcome};
 
 fn corpus_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
@@ -43,6 +44,47 @@ fn corpus_cases_all_pass_the_oracle() {
             }
         }
     }
+}
+
+#[test]
+fn rtcase_corpus_round_trips_cleanly() {
+    let cfg = RtConfig::default();
+    let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rtcase"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "rtcase corpus must not be empty");
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("rtcase readable");
+        let case = RtCase::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        match run_rt_case(&case, &cfg) {
+            RtOutcome::Pass => {}
+            RtOutcome::Skip(why) => {
+                panic!(
+                    "{}: skipped ({why}) — corpus cases must be cheap",
+                    path.display()
+                )
+            }
+            RtOutcome::Fail { hop, detail } => {
+                panic!("{}: FAIL at {hop} — {detail}", path.display())
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_seed_format_roundtrip_smoke_is_clean() {
+    let cfg = RtConfig::default();
+    let (stats, failures) = run_rt_campaign(15, 0xf0a7, &cfg, true, |_, _| {});
+    assert_eq!(stats.cases, 15);
+    assert!(
+        failures.is_empty(),
+        "format round-trip smoke failed: {}",
+        failures[0]
+    );
 }
 
 #[test]

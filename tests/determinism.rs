@@ -251,6 +251,49 @@ fn portfolio_starved_governor_is_deterministic() {
     }
 }
 
+/// The sequential flow (`eco-patch --unroll`) must be jobs-invariant
+/// end to end: the unrolled combinational stage runs on worker threads,
+/// but the folded sequential patch — and the emitted BTOR2 of the
+/// patched design — is byte-identical for every `jobs` value.
+#[test]
+fn unrolled_seq_eco_is_jobs_invariant() {
+    use eco::core::EcoOptions;
+    use eco::seq::{write_btor2, SeqEcoEngine, SeqEcoOptions};
+    use eco::workgen::gen_seq_unit;
+
+    let unit = (0..64)
+        .find_map(|s| gen_seq_unit(0, s, 1))
+        .expect("some seed yields a unit");
+    let run = |jobs: usize| {
+        SeqEcoEngine::new(
+            unit.faulty.clone(),
+            unit.golden.clone(),
+            unit.targets.clone(),
+            unit.weights.clone(),
+            SeqEcoOptions {
+                frames: unit.frames,
+                eco: EcoOptions {
+                    jobs,
+                    ..Default::default()
+                },
+            },
+        )
+        .expect("valid engine")
+        .run()
+        .expect("rectifiable by construction")
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(seq.cost, par.cost, "seq ECO cost differs across jobs");
+    assert_eq!(seq.size, par.size, "seq ECO size differs across jobs");
+    assert_eq!(seq.fold_frames, par.fold_frames, "fold frames differ");
+    assert_eq!(
+        write_btor2(&seq.patched),
+        write_btor2(&par.patched),
+        "patched BTOR2 output is not byte-identical across jobs"
+    );
+}
+
 /// `jobs: 0` (auto) must agree with explicit sequential execution too.
 #[test]
 fn auto_jobs_matches_sequential() {
